@@ -1,0 +1,36 @@
+"""Benchmarks regenerating the three panels of Fig. 6 (W1, W2, W3).
+
+Paper shape per panel: every NASAIC-explored solution meets the specs;
+the best solution's accuracies sit far above the smallest-network lower
+bounds (78.93% CIFAR, 71.57% STL, 0.6462 IOU); and for W1 the best
+solution runs close to the energy bound (the paper quotes 97.12%).
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE, run_once, write_report
+from repro.experiments import format_fig6, run_fig6
+from repro.workloads import w1, w2, w3
+
+
+@pytest.mark.parametrize("workload_fn,panel", [
+    (w1, "fig6_w1"), (w2, "fig6_w2"), (w3, "fig6_w3")])
+def test_fig6(benchmark, workload_fn, panel):
+    workload = workload_fn()
+    result = run_once(benchmark, lambda: run_fig6(
+        workload,
+        episodes=SCALE["episodes"],
+        hw_steps=SCALE["hw_steps"],
+        lower_bound_designs=200,
+        seed=43))
+    write_report(panel, format_fig6(result))
+    assert result.all_explored_feasible, \
+        "every NASAIC solution must meet the specs"
+    assert result.best is not None, "a feasible best solution must exist"
+    # Best solution beats the smallest-network lower bound on every task.
+    for best_acc, lb_acc in zip(result.best.accuracies,
+                                result.lower_bound_accuracies):
+        assert best_acc > lb_acc
+    # At least one spec dimension is nearly saturated (resource-bounded
+    # accuracy, §V-B).
+    assert max(result.spec_utilisation()) > 0.75

@@ -1,0 +1,74 @@
+"""Ablation A: HAP heuristic vs the exact branch-and-bound reference.
+
+The paper replaces the optimal (ILP) mapper with the heuristic of Shao
+et al. [29] for speed; this ablation quantifies both sides on random
+small instances: energy optimality gap and wall-clock ratio.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, write_report
+from repro.mapping import solve_exact, solve_hap
+from repro.utils.tables import format_table
+from tests.test_schedule import tiny_problem
+
+
+def _random_instance(rng, layers=9, slots=2):
+    durations = rng.integers(5, 60, size=(layers, slots)).tolist()
+    energies = rng.uniform(1, 25, size=(layers, slots)).tolist()
+    half = layers // 2
+    chains = [tuple(range(half)), tuple(range(half, layers))]
+    return tiny_problem(durations, chains, energies)
+
+
+def _gap_study():
+    rows = []
+    gaps = []
+    for seed in range(12):
+        rng = np.random.default_rng(seed)
+        prob = _random_instance(rng)
+        budget = int(prob.durations.min(axis=1).sum() * 1.4) + 1
+        exact = solve_exact(prob, budget)
+        heur = solve_hap(prob, budget)
+        if not (exact.feasible and heur.feasible):
+            continue
+        gap = heur.energy_nj / exact.energy_nj - 1.0
+        gaps.append(gap)
+        rows.append([seed, f"{exact.energy_nj:.1f}",
+                     f"{heur.energy_nj:.1f}", f"{gap:.1%}",
+                     exact.explored])
+    table = format_table(
+        ["seed", "exact energy", "heuristic energy", "gap",
+         "exact leaves"],
+        rows, title="Ablation A: HAP heuristic vs exact")
+    summary = (f"mean gap {np.mean(gaps):.2%}, worst {np.max(gaps):.2%} "
+               f"over {len(gaps)} instances")
+    return table + "\n" + summary, gaps
+
+
+def test_hap_heuristic_quality(benchmark):
+    report, gaps = run_once(benchmark, _gap_study)
+    write_report("ablation_hap", report)
+    assert gaps, "expected feasible instances"
+    assert float(np.mean(gaps)) < 0.15, "heuristic should be near-optimal"
+
+
+def test_hap_heuristic_speed(benchmark, cost_model=None):
+    """Wall-clock of one realistic HAP solve (the search's inner loop)."""
+    from repro.arch import cifar10_resnet_space, nuclei_unet_space
+    from repro.accel import Dataflow, HeterogeneousAccelerator, SubAccelerator
+    from repro.cost import CostModel
+    from repro.mapping import MappingProblem
+
+    cm = CostModel()
+    cifar = cifar10_resnet_space()
+    unet = nuclei_unet_space()
+    nets = (cifar.decode(cifar.indices_of((8, 64, 2, 256, 2, 256, 2))),
+            unet.decode((3, 1, 1, 1, 1, 0)))
+    accel = HeterogeneousAccelerator((
+        SubAccelerator(Dataflow.NVDLA, 2048, 32),
+        SubAccelerator(Dataflow.SHIDIANNAO, 1024, 32)))
+    problem = MappingProblem.build(nets, accel, cm)
+
+    result = benchmark(lambda: solve_hap(problem, 800_000))
+    assert result.feasible

@@ -1,0 +1,51 @@
+"""Ablation F: HERALD-style allocator vs NASAIC's learned allocation.
+
+HERALD [22] (the paper's heterogeneous-accelerator foundation) splits
+the PE/bandwidth budget proportionally to each network's demand.  For
+*fixed* networks that heuristic is strong; the co-exploration's edge is
+that it can also reshape the networks.  This ablation fixes NASAIC's
+winning W1 architectures, lets HERALD allocate for them, and compares
+against the design NASAIC found jointly.
+"""
+
+from benchmarks.conftest import SCALE, run_once, write_report
+from repro.core import NASAIC, NASAICConfig
+from repro.core.herald import herald_allocate
+from repro.utils.tables import format_table
+from repro.workloads import w1
+
+
+def _study():
+    workload = w1()
+    search = NASAIC(workload, config=NASAICConfig(
+        episodes=SCALE["episodes"], hw_steps=SCALE["hw_steps"], seed=67))
+    result = search.run()
+    assert result.best is not None, "NASAIC must find a feasible W1 pair"
+    best = result.best
+    herald = herald_allocate(best.networks, workload,
+                             cost_model=search.cost_model)
+    rows = [
+        ["NASAIC (joint)", best.accelerator.describe(),
+         f"{best.latency_cycles:.3g}", f"{best.energy_nj:.3g}",
+         f"{best.area_um2:.3g}",
+         "meets" if best.feasible else "VIOLATES"],
+        ["HERALD (for NASAIC nets)", herald.accelerator.describe(),
+         f"{herald.latency_cycles:.3g}", f"{herald.energy_nj:.3g}",
+         f"{herald.area_um2:.3g}",
+         "meets" if herald.feasible else "VIOLATES"],
+    ]
+    table = format_table(
+        ["allocator", "design", "L/cycles", "E/nJ", "A/um2", "specs"],
+        rows, title="Ablation F: learned vs demand-proportional "
+                    "allocation (W1, NASAIC's networks)")
+    return table, best, herald
+
+
+def test_herald_vs_nasaic(benchmark):
+    table, best, herald = run_once(benchmark, _study)
+    write_report("ablation_herald", table)
+    # The proportional heuristic should find a feasible design for
+    # networks that NASAIC already proved feasible.
+    assert herald.feasible
+    # And NASAIC's design must at least match HERALD's feasibility.
+    assert best.feasible

@@ -1,0 +1,62 @@
+"""Ablation C: the optimizer selector's early pruning (§IV-②).
+
+The paper credits its 3.5-GPU-hour search time to pruning: episodes
+whose ``1 + phi`` hardware explorations find no feasible design skip the
+(dominant) training step.  This ablation runs NASAIC on W1 with pruning
+on vs off and reports trainings executed, simulated GPU time, and the
+quality of the best feasible solution — pruning should save trainings
+without giving up quality.
+"""
+
+from benchmarks.conftest import SCALE, run_once, write_report
+from repro.core import NASAIC, NASAICConfig
+from repro.utils.tables import format_table
+from repro.workloads import w1
+
+
+def _run(prune: bool):
+    search = NASAIC(w1(), config=NASAICConfig(
+        episodes=SCALE["episodes"] // 2, hw_steps=SCALE["hw_steps"],
+        seed=59, prune_infeasible=prune))
+    result = search.run()
+    return search, result
+
+
+def _study():
+    rows = []
+    outcomes = {}
+    for prune in (False, True):
+        search, result = _run(prune)
+        gpu_h = search.trainer.simulated_gpu_seconds / 3600.0
+        feasible = len(result.feasible_solutions)
+        best = (result.best.weighted_accuracy
+                if result.best is not None else float("nan"))
+        outcomes[prune] = (result, gpu_h)
+        rows.append([
+            "on" if prune else "off", len(result.episodes),
+            result.trainings_run, result.trainings_skipped,
+            f"{gpu_h:.2f}", feasible, f"{best:.4f}"])
+    table = format_table(
+        ["pruning", "episodes", "trainings run", "trainings skipped",
+         "simulated GPU-hours", "feasible solutions",
+         "best weighted acc"],
+        rows, title="Ablation C: early pruning (optimizer selector)")
+    return table, outcomes
+
+
+def test_early_pruning(benchmark):
+    table, outcomes = run_once(benchmark, _study)
+    write_report("ablation_pruning", table)
+    result_off, gpu_off = outcomes[False]
+    result_on, gpu_on = outcomes[True]
+    assert result_on.best is not None
+    assert result_off.best is not None
+    # Pruning must actually skip trainings and hence save GPU time.
+    assert result_on.trainings_skipped > 0
+    assert gpu_on <= gpu_off
+    # Without losing solution quality (allow small run-to-run noise).
+    assert (result_on.best.weighted_accuracy
+            >= result_off.best.weighted_accuracy - 0.03)
+    # With pruning every explored solution meets the specs; without, the
+    # explored set may contain violating solutions.
+    assert all(s.feasible for s in result_on.explored)

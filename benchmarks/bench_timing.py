@@ -1,0 +1,29 @@
+"""Benchmark regenerating the paper's search-cost claim (§V-A).
+
+The paper: "NASAIC only takes around 3.5 GPU Hours to complete the
+exploration for each workload, which mainly benefits from the early
+pruning from optimizer selector".  This bench reconstructs the GPU-time
+accounting for a W1 run and checks the two structural claims: pruning
+plus memoisation avoid a large majority of trainings, and the
+non-blocking overlap keeps wall clock at the GPU-time level rather than
+the sum of both phases.
+"""
+
+from benchmarks.conftest import SCALE, run_once, write_report
+from repro.experiments import format_timing, run_timing
+from repro.workloads import w1
+
+
+def test_search_cost(benchmark):
+    report = run_once(benchmark, lambda: run_timing(
+        w1(), episodes=SCALE["episodes"], hw_steps=SCALE["hw_steps"],
+        seed=77))
+    write_report("timing_w1", format_timing(report))
+    total_training_opportunities = report.episodes * 2  # two tasks
+    executed = report.trainings_run
+    # Pruning + memoisation must avoid most trainings.
+    assert executed < 0.5 * total_training_opportunities
+    # Overlap: wall clock far below the never-prune, never-overlap cost.
+    assert report.overlapped_wall_seconds < report.naive_wall_seconds
+    # And the search still succeeds.
+    assert report.best_weighted is not None

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""AR-glasses multi-task co-exploration (the paper's W1 scenario).
+
+The paper motivates NASAIC with augmented-reality workloads: an edge
+device runs image *classification* and *segmentation* concurrently, one
+DNN per task, on a single heterogeneous ASIC.  This example:
+
+1. builds the W1 workload (CIFAR-10 ResNet9 space + Nuclei U-Net space,
+   specs <8e5 cycles, 2e9 nJ, 4e9 um^2>),
+2. shows why one dataflow cannot serve both networks (the §II
+   Challenge-2 affinity),
+3. co-explores with NASAIC, and
+4. inspects the resulting mapping: which sub-accelerator executes which
+   layers.
+
+Run:  python examples/ar_glasses_multitask.py [episodes]
+"""
+
+import sys
+
+from repro import NASAIC, NASAICConfig, CostModel, w1
+from repro.accel import Dataflow, SubAccelerator
+from repro.mapping import MappingProblem, solve_hap
+
+
+def show_dataflow_affinity(workload, cost_model) -> None:
+    """Per-network latency on equal-resource dla vs shi sub-accelerators."""
+    print("dataflow affinity (1024 PEs, 32 GB/s each):")
+    dla = SubAccelerator(Dataflow.NVDLA, 1024, 32)
+    shi = SubAccelerator(Dataflow.SHIDIANNAO, 1024, 32)
+    for task in workload.tasks:
+        net = task.space.decode(task.space.largest_indices())
+        lat_dla, _ = cost_model.network_cost_on(net, dla)
+        lat_shi, _ = cost_model.network_cost_on(net, shi)
+        better = "dla" if lat_dla < lat_shi else "shi"
+        print(f"  {task.name:14s} ({net.backbone}): "
+              f"dla {lat_dla:.3g} vs shi {lat_shi:.3g} cycles "
+              f"-> prefers {better}")
+    print()
+
+
+def main() -> None:
+    episodes = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    workload = w1()
+    cost_model = CostModel()
+    show_dataflow_affinity(workload, cost_model)
+
+    search = NASAIC(workload, cost_model=cost_model, config=NASAICConfig(
+        episodes=episodes, hw_steps=10, seed=11))
+    result = search.run(progress_every=max(1, episodes // 5))
+    print()
+    print(result.summary())
+    best = result.best
+    if best is None:
+        print("no feasible solution found - increase episodes")
+        return
+
+    # Re-run the mapper on the winning pair to inspect the layer split.
+    problem = MappingProblem.build(best.networks, best.accelerator,
+                                   cost_model)
+    hap = solve_hap(problem, workload.specs.latency_cycles)
+    print()
+    print("layer mapping of the best solution:")
+    for pos, slot in enumerate(problem.active_slots):
+        sub = best.accelerator.subaccs[slot]
+        layers = [problem.flat_layers[fid].name
+                  for fid, p in enumerate(hap.assignment) if p == pos]
+        nets = {problem.networks[problem.layer_net[fid]].dataset
+                for fid, p in enumerate(hap.assignment) if p == pos}
+        print(f"  {sub.describe()}: {len(layers)} layers "
+              f"from {sorted(nets)}")
+    print(f"  makespan {hap.makespan:.3g} cycles "
+          f"(constraint {workload.specs.latency_cycles:.3g})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Fig. 1-style joint design-space sweep on single-task CIFAR-10.
+
+Reproduces the motivation study: why successive optimisation and simple
+heuristics fail, and what joint exploration buys.  Prints the four
+solution families of Fig. 1 (successive NAS->ASIC, hardware-aware NAS on
+one fixed design, the closest-to-specs heuristic, and the Monte-Carlo
+optimum) and a small CSV-like dump of the NAS->ASIC cloud for plotting.
+
+Run:  python examples/design_space_sweep.py [mc_runs]
+"""
+
+import sys
+
+from repro.experiments import format_fig1, run_fig1
+
+
+def main() -> None:
+    mc_runs = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    result = run_fig1(nas_episodes=150, hw_nas_episodes=150,
+                      mc_runs=mc_runs, design_sweep_runs=400, seed=41)
+    print(format_fig1(result))
+    print()
+    feasible = sum(e.feasible for e in result.nas_asic_points)
+    print(f"NAS->ASIC cloud: {feasible} of {len(result.nas_asic_points)} "
+          "designs meet the specs for the NAS-chosen architecture")
+    print()
+    print("first 10 cloud points (latency_cycles, energy_nj, area_um2, "
+          "feasible):")
+    for point in result.nas_asic_points[:10]:
+        print(f"  {point.latency_cycles:.4g}, {point.energy_nj:.4g}, "
+              f"{point.area_um2:.4g}, {point.feasible}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: co-explore architectures and an accelerator for W3.
+
+Runs a short NASAIC search on the paper's W3 workload (two CIFAR-10
+networks under unified specs <4e5 cycles, 1e9 nJ, 4e9 um^2>) and prints
+the best feasible solution plus search statistics.
+
+Run:  python examples/quickstart.py [episodes]
+"""
+
+import sys
+
+from repro import NASAIC, NASAICConfig, w3
+
+
+def main() -> None:
+    episodes = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    workload = w3()
+    print(f"workload {workload.name}: "
+          + ", ".join(t.name for t in workload.tasks))
+    print(f"design specs <L, E, A> = {workload.specs.describe()}")
+
+    search = NASAIC(workload, config=NASAICConfig(
+        episodes=episodes, hw_steps=10, seed=7))
+    result = search.run(progress_every=max(1, episodes // 5))
+
+    print()
+    print(result.summary())
+    best = result.best
+    if best is None:
+        print("no feasible solution found - increase episodes")
+        return
+    print()
+    print("best solution in detail:")
+    print(f"  accelerator: {best.accelerator.describe()}")
+    for task, net, acc in zip(workload.tasks, best.networks,
+                              best.accuracies):
+        print(f"  {task.name}: genotype {net.genotype} "
+              f"-> {acc:.2f}% ({net.total_macs / 1e6:.0f} MMACs)")
+    specs = workload.specs
+    print(f"  latency {best.latency_cycles:.3g} cycles "
+          f"({best.latency_cycles / specs.latency_cycles:.0%} of spec)")
+    print(f"  energy  {best.energy_nj:.3g} nJ "
+          f"({best.energy_nj / specs.energy_nj:.0%} of spec)")
+    print(f"  area    {best.area_um2:.3g} um^2 "
+          f"({best.area_um2 / specs.area_um2:.0%} of spec)")
+
+
+if __name__ == "__main__":
+    main()

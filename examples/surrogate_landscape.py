@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Inspect the accuracy surrogate's landscape and its paper anchors.
+
+Prints (1) the published architecture/accuracy anchors and the
+surrogate's reproduction of each, (2) an accuracy-vs-capacity curve for
+CIFAR-10, and (3) the accuracy-vs-hardware-cost frontier a random sample
+of architectures spans — the tension the co-exploration navigates.
+
+Run:  python examples/surrogate_landscape.py
+"""
+
+import numpy as np
+
+from repro import CostModel
+from repro.accel import Dataflow, SubAccelerator
+from repro.arch import cifar10_resnet_space
+from repro.train import default_surrogate
+
+PAPER_ANCHORS = [
+    ((8, 32, 0, 32, 0, 32, 0), 78.93, "smallest network (Fig. 6)"),
+    ((32, 128, 2, 256, 2, 256, 2), 94.17, "NAS best (Tables I-II)"),
+    ((8, 64, 2, 256, 2, 256, 2), 93.23, "NASAIC hetero net 1 (Table II)"),
+    ((8, 32, 2, 128, 2, 128, 1), 91.11, "NASAIC hetero net 2 (Table II)"),
+    ((8, 32, 2, 128, 1, 256, 1), 91.45, "Single Acc. (Table II)"),
+    ((32, 32, 1, 128, 1, 256, 1), 92.00, "Homo. Acc. (Table II)"),
+]
+
+
+def main() -> None:
+    space = cifar10_resnet_space()
+    surrogate = default_surrogate([space])
+
+    print("paper anchors vs surrogate:")
+    for genotype, target, label in PAPER_ANCHORS:
+        net = space.decode(space.indices_of(genotype))
+        value = surrogate.accuracy(net)
+        print(f"  {str(genotype):32s} paper {target:6.2f}%  "
+              f"surrogate {value:6.2f}%  ({label})")
+
+    print("\naccuracy vs capacity score (20-point sweep):")
+    rng = np.random.default_rng(3)
+    samples = sorted(
+        ((surrogate.capacity_score(net), surrogate.accuracy(net))
+         for net in (space.decode(space.random_indices(rng))
+                     for _ in range(200))),
+        key=lambda t: t[0])
+    for idx in range(0, 200, 10):
+        score, acc = samples[idx]
+        bar = "#" * int((acc - 78) * 2)
+        print(f"  s={score:4.2f} acc={acc:6.2f}% {bar}")
+
+    print("\naccuracy vs energy (on <dla, 2048, 32>), 10 random nets:")
+    cost_model = CostModel()
+    sub = SubAccelerator(Dataflow.NVDLA, 2048, 32)
+    for _ in range(10):
+        net = space.decode(space.random_indices(rng))
+        _, energy = cost_model.network_cost_on(net, sub)
+        print(f"  {str(net.genotype):32s} acc={surrogate.accuracy(net):6.2f}% "
+              f"energy={energy:9.3g} nJ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+This environment ships setuptools without the ``wheel`` package, so PEP 517
+editable installs (which need ``bdist_wheel``) fail; keeping a ``setup.py``
+lets ``pip install -e .`` fall back to the legacy develop path.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,112 @@
+"""NASAIC reproduction: co-exploration of neural architectures and
+heterogeneous ASIC accelerator designs targeting multiple tasks.
+
+Reimplementation of Yang et al., DAC 2020 (arXiv:2002.04116), with every
+substrate built from scratch: the ResNet9/U-Net search spaces, the
+dataflow-template accelerator model, a MAESTRO-style analytic cost model,
+the HAP mapper/scheduler, the RNN controller with Monte-Carlo policy
+gradient, and the full baseline suite.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import NASAIC, NASAICConfig, w3
+
+    search = NASAIC(w3(), config=NASAICConfig(episodes=50, seed=7))
+    result = search.run()
+    print(result.summary())
+"""
+
+from repro.accel import (
+    AllocationSpace,
+    Dataflow,
+    HeterogeneousAccelerator,
+    ResourceBudget,
+    SubAccelerator,
+)
+from repro.arch import (
+    ArchitectureSpace,
+    Choice,
+    ConvLayer,
+    NetworkArch,
+    ResNetSpace,
+    UNetSpace,
+    cifar10_resnet_space,
+    nuclei_unet_space,
+    stl10_resnet_space,
+)
+from repro.core import (
+    NASAIC,
+    Evaluator,
+    ExploredSolution,
+    JointSearchSpace,
+    NASAICConfig,
+    RNNController,
+    SearchResult,
+    asic_then_hw_nas,
+    hardware_aware_nas,
+    monte_carlo_search,
+    run_nas,
+    successive_nas_then_asic,
+)
+from repro.cost import CostModel, CostModelParams, LayerCost
+from repro.mapping import MappingProblem, list_schedule, solve_exact, solve_hap
+from repro.train import AccuracySurrogate, SurrogateTrainer, default_surrogate
+from repro.workloads import (
+    DesignSpecs,
+    Task,
+    Workload,
+    fig1_workload,
+    w1,
+    w2,
+    w3,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccuracySurrogate",
+    "AllocationSpace",
+    "ArchitectureSpace",
+    "Choice",
+    "ConvLayer",
+    "CostModel",
+    "CostModelParams",
+    "Dataflow",
+    "DesignSpecs",
+    "Evaluator",
+    "ExploredSolution",
+    "HeterogeneousAccelerator",
+    "JointSearchSpace",
+    "LayerCost",
+    "MappingProblem",
+    "NASAIC",
+    "NASAICConfig",
+    "NetworkArch",
+    "RNNController",
+    "ResNetSpace",
+    "ResourceBudget",
+    "SearchResult",
+    "SubAccelerator",
+    "SurrogateTrainer",
+    "Task",
+    "UNetSpace",
+    "Workload",
+    "asic_then_hw_nas",
+    "cifar10_resnet_space",
+    "default_surrogate",
+    "fig1_workload",
+    "hardware_aware_nas",
+    "list_schedule",
+    "monte_carlo_search",
+    "nuclei_unet_space",
+    "run_nas",
+    "solve_exact",
+    "solve_hap",
+    "stl10_resnet_space",
+    "successive_nas_then_asic",
+    "w1",
+    "w2",
+    "w3",
+    "__version__",
+]

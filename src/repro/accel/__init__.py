@@ -1,0 +1,17 @@
+"""ASIC accelerator substrate: templates, sub-accelerators, allocation."""
+
+from repro.accel.accelerator import HeterogeneousAccelerator, ResourceBudget
+from repro.accel.allocation import AllocationSpace
+from repro.accel.dataflow import TEMPLATES, Dataflow, DataflowTemplate, template_for
+from repro.accel.subaccelerator import SubAccelerator
+
+__all__ = [
+    "AllocationSpace",
+    "Dataflow",
+    "DataflowTemplate",
+    "HeterogeneousAccelerator",
+    "ResourceBudget",
+    "SubAccelerator",
+    "TEMPLATES",
+    "template_for",
+]

@@ -1,0 +1,108 @@
+"""Heterogeneous accelerator: sub-accelerators behind a shared NoC.
+
+Per §III-➋ and Fig. 3 (right), the resultant accelerator connects ``k``
+sub-accelerators through Network Interface Controllers (NICs) on a global
+interconnect with a shared global buffer and DRAM port.  The resource
+constraints are global: total PEs <= ``NP`` (4096) and total NoC bandwidth
+<= ``BW`` (64 GB/s) in the paper's configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.dataflow import Dataflow
+from repro.accel.subaccelerator import SubAccelerator
+
+__all__ = ["HeterogeneousAccelerator", "ResourceBudget"]
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Global resource caps for an accelerator design.
+
+    Defaults follow §V-A: up to 4096 PEs and 64 GB/s of NoC bandwidth,
+    in accordance with HERALD [22].
+    """
+
+    max_pes: int = 4096
+    max_bandwidth_gbps: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_pes <= 0:
+            raise ValueError("max_pes must be positive")
+        if self.max_bandwidth_gbps <= 0:
+            raise ValueError("max_bandwidth_gbps must be positive")
+
+
+@dataclass(frozen=True)
+class HeterogeneousAccelerator:
+    """A complete accelerator design: a tuple of sub-accelerators.
+
+    The design is *heterogeneous* when at least two active slots use
+    different dataflow templates, *homogeneous* when all active slots share
+    one template, and degenerates to a *single* accelerator when only one
+    slot is active.
+    """
+
+    subaccs: tuple[SubAccelerator, ...]
+    budget: ResourceBudget = ResourceBudget()
+
+    def __post_init__(self) -> None:
+        if not self.subaccs:
+            raise ValueError("an accelerator needs at least one slot")
+        if self.total_pes == 0:
+            raise ValueError("at least one sub-accelerator must have PEs")
+        if self.total_pes > self.budget.max_pes:
+            raise ValueError(
+                f"PE allocation {self.total_pes} exceeds budget "
+                f"{self.budget.max_pes}"
+            )
+        if self.total_bandwidth_gbps > self.budget.max_bandwidth_gbps:
+            raise ValueError(
+                f"bandwidth allocation {self.total_bandwidth_gbps} GB/s "
+                f"exceeds budget {self.budget.max_bandwidth_gbps} GB/s"
+            )
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_pes(self) -> int:
+        """Sum of PE allocations across all slots."""
+        return sum(s.num_pes for s in self.subaccs)
+
+    @property
+    def total_bandwidth_gbps(self) -> int:
+        """Sum of NoC bandwidth allocations across all slots."""
+        return sum(s.bandwidth_gbps for s in self.subaccs if s.is_active)
+
+    @property
+    def active_subaccs(self) -> tuple[SubAccelerator, ...]:
+        """Slots that received a non-zero PE allocation."""
+        return tuple(s for s in self.subaccs if s.is_active)
+
+    @property
+    def dataflows(self) -> tuple[Dataflow, ...]:
+        """Dataflows of the active slots."""
+        return tuple(s.dataflow for s in self.active_subaccs)
+
+    @property
+    def is_single(self) -> bool:
+        """Whether the design degenerated to one active accelerator."""
+        return len(self.active_subaccs) == 1
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether all active slots share a template (and there are >= 2)."""
+        active = self.active_subaccs
+        return len(active) >= 2 and len(set(s.dataflow for s in active)) == 1
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether at least two active slots use different templates."""
+        return len(set(s.dataflow for s in self.active_subaccs)) >= 2
+
+    def describe(self) -> str:
+        """Paper-style design string, e.g. ``<dla, 2112, 48><shi, 1984, 16>``."""
+        return "".join(s.describe() for s in self.active_subaccs)

@@ -1,0 +1,100 @@
+"""ASIC dataflow template set.
+
+The key idea of the paper (§II, Challenge 1) is to shrink the intractable
+ASIC design space to a *template set*: each template fixes a dataflow style
+taken from a successful published accelerator, so a sub-accelerator is
+fully determined by (template, #PEs, NoC bandwidth).  The three templates
+used in the evaluation (§V-A) are:
+
+- ``shi`` — ShiDianNao [18]: output-stationary; PEs are spatially unrolled
+  over *output pixels*, inputs are shifted between neighbouring PEs and
+  weights are broadcast.  Favours high-resolution, channel-light layers.
+- ``dla`` — NVDLA [19]: PEs are spatially unrolled over *input x output
+  channels* with an adder tree reducing partial sums.  Favours
+  channel-heavy, low-resolution layers.
+- ``rs`` — row-stationary (Eyeriss [15]): PEs are unrolled over
+  (filter-row x output-row) pairs with folding over output channels;
+  a balanced middle ground.
+
+The quantitative behaviour of each template lives in
+:mod:`repro.cost.reuse`; this module defines the template identities and
+their physical footprint parameters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Dataflow", "DataflowTemplate", "TEMPLATES", "template_for"]
+
+
+class Dataflow(enum.Enum):
+    """Dataflow style of a sub-accelerator template."""
+
+    SHIDIANNAO = "shi"
+    NVDLA = "dla"
+    ROW_STATIONARY = "rs"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Dataflow":
+        """Parse a dataflow from its paper abbreviation (shi/dla/rs)."""
+        for member in cls:
+            if member.value == name:
+                return member
+        valid = ", ".join(m.value for m in cls)
+        raise ValueError(f"unknown dataflow {name!r}; expected one of {valid}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DataflowTemplate:
+    """Physical footprint parameters of one dataflow template.
+
+    Attributes:
+        dataflow: Which dataflow this template implements.
+        pe_area_um2: Silicon area of one PE including its local register
+            file/scratchpad, in um^2.  Row-stationary PEs carry the largest
+            register files (Eyeriss holds filter rows and partial sums
+            locally), NVDLA MAC+adder-tree cells are mid-size, and
+            ShiDianNao's shift-register cells are the leanest.
+        local_buffer_bytes: Per-PE scratchpad capacity, used by the reuse
+            analysis to bound in-array retention.
+    """
+
+    dataflow: Dataflow
+    pe_area_um2: float
+    local_buffer_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.pe_area_um2 <= 0:
+            raise ValueError("pe_area_um2 must be positive")
+        if self.local_buffer_bytes <= 0:
+            raise ValueError("local_buffer_bytes must be positive")
+
+
+#: The template set used throughout the paper's evaluation.
+TEMPLATES: dict[Dataflow, DataflowTemplate] = {
+    Dataflow.SHIDIANNAO: DataflowTemplate(
+        dataflow=Dataflow.SHIDIANNAO,
+        pe_area_um2=0.55e6,
+        local_buffer_bytes=64,
+    ),
+    Dataflow.NVDLA: DataflowTemplate(
+        dataflow=Dataflow.NVDLA,
+        pe_area_um2=1.05e6,
+        local_buffer_bytes=128,
+    ),
+    Dataflow.ROW_STATIONARY: DataflowTemplate(
+        dataflow=Dataflow.ROW_STATIONARY,
+        pe_area_um2=1.35e6,
+        local_buffer_bytes=512,
+    ),
+}
+
+
+def template_for(dataflow: Dataflow) -> DataflowTemplate:
+    """Look up the template record for a dataflow."""
+    return TEMPLATES[dataflow]

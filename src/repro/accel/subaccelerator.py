@@ -1,0 +1,51 @@
+"""Sub-accelerator model.
+
+Per §III-➋, a sub-accelerator ``aic_i = <df_i, pe_i, bw_i>`` is one
+template instance inside the heterogeneous accelerator: a dataflow style,
+a PE allocation and a NoC bandwidth allocation.  ``pe == 0`` denotes an
+unused slot — the paper notes that a zero allocation degenerates the
+design to fewer (or a single) accelerator(s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.dataflow import Dataflow
+
+__all__ = ["SubAccelerator"]
+
+
+@dataclass(frozen=True, order=True)
+class SubAccelerator:
+    """One template instance: ``<dataflow, #PEs, NoC bandwidth GB/s>``."""
+
+    dataflow: Dataflow
+    num_pes: int
+    bandwidth_gbps: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.num_pes, int) or self.num_pes < 0:
+            raise ValueError(
+                f"num_pes must be a non-negative integer, got {self.num_pes!r}"
+            )
+        if (not isinstance(self.bandwidth_gbps, int)
+                or self.bandwidth_gbps < 0):
+            raise ValueError(
+                "bandwidth_gbps must be a non-negative integer, got "
+                f"{self.bandwidth_gbps!r}"
+            )
+        if self.num_pes > 0 and self.bandwidth_gbps == 0:
+            raise ValueError(
+                "an active sub-accelerator (num_pes > 0) needs non-zero "
+                "NoC bandwidth"
+            )
+
+    @property
+    def is_active(self) -> bool:
+        """Whether this slot received any PE allocation."""
+        return self.num_pes > 0
+
+    def describe(self) -> str:
+        """Paper-style triple, e.g. ``<dla, 2112, 48>``."""
+        return f"<{self.dataflow.value}, {self.num_pes}, {self.bandwidth_gbps}>"

@@ -1,0 +1,24 @@
+"""Neural architecture substrate: layer IR, backbones and search spaces."""
+
+from repro.arch.layers import ConvLayer, dense_layer
+from repro.arch.network import NetworkArch
+from repro.arch.resnet import (
+    ResNetSpace,
+    cifar10_resnet_space,
+    stl10_resnet_space,
+)
+from repro.arch.space import ArchitectureSpace, Choice
+from repro.arch.unet import UNetSpace, nuclei_unet_space
+
+__all__ = [
+    "ArchitectureSpace",
+    "Choice",
+    "ConvLayer",
+    "NetworkArch",
+    "ResNetSpace",
+    "UNetSpace",
+    "cifar10_resnet_space",
+    "dense_layer",
+    "nuclei_unet_space",
+    "stl10_resnet_space",
+]

@@ -1,0 +1,76 @@
+"""Network architecture container.
+
+A :class:`NetworkArch` is the decoded form of one point in a backbone's
+search space: an ordered chain of :class:`~repro.arch.layers.ConvLayer`
+records plus the genotype that produced it.  Layers execute in chain order
+— within one network, layer ``j`` consumes layer ``j-1``'s output, so two
+layers of the same network can never run concurrently even when mapped to
+different sub-accelerators.  (Residual skip-adds and U-Net concatenations
+join *earlier* outputs into that chain and do not relax the ordering.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.layers import ConvLayer
+
+__all__ = ["NetworkArch"]
+
+
+@dataclass(frozen=True)
+class NetworkArch:
+    """A concrete neural architecture produced by decoding a genotype.
+
+    Attributes:
+        name: Identifier, e.g. ``"resnet9-cifar10"``.
+        backbone: Backbone family name (``"resnet9"`` or ``"unet"``).
+        dataset: Dataset key the network targets (see
+            :mod:`repro.train.datasets`).
+        genotype: The option-*value* tuple that produced this network, in
+            the paper's display order (e.g. ``(FN0, FN1, SK1, ...)``).
+        layers: Ordered chain of layers.
+    """
+
+    name: str
+    backbone: str
+    dataset: str
+    genotype: tuple[int, ...]
+    layers: tuple[ConvLayer, ...] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError(f"network {self.name!r} has no layers")
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"network {self.name!r} has duplicate layer names")
+
+    @property
+    def num_layers(self) -> int:
+        """Number of mapped layers in the execution chain."""
+        return len(self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Total multiply-accumulates of one inference."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_params(self) -> int:
+        """Total weight parameter count."""
+        return sum(layer.params for layer in self.layers)
+
+    def identity(self) -> tuple:
+        """Stable identity used for memoising accuracy/cost evaluations."""
+        return (self.backbone, self.dataset, self.genotype)
+
+    def describe(self) -> str:
+        """Multi-line summary used by the example scripts."""
+        lines = [
+            f"{self.name} [{self.backbone} on {self.dataset}] "
+            f"genotype={self.genotype} "
+            f"({self.total_macs / 1e6:.1f} MMACs, "
+            f"{self.total_params / 1e3:.1f} Kparams)"
+        ]
+        lines.extend("  " + layer.describe() for layer in self.layers)
+        return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``search``      — run NASAIC on a preset workload (W1/W2/W3/Fig1)
+- ``evolve``      — run the evolutionary optimiser on a preset workload
+- ``nas``         — accuracy-only NAS (per-task, the paper's baseline)
+- ``mc``          — joint Monte-Carlo search
+- ``experiments`` — regenerate one or all of the paper's tables/figures
+
+Every command prints a human-readable report and can persist the raw
+outcome as JSON (``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import (
+    EvolutionConfig,
+    EvolutionarySearch,
+    NASAIC,
+    NASAICConfig,
+    monte_carlo_search,
+    run_nas_per_task,
+)
+from repro.core.serialization import save_result
+from repro.workloads import workload_by_name
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NASAIC reproduction: neural architecture / ASIC "
+                    "accelerator co-exploration (DAC 2020)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", default="W3",
+                       choices=["W1", "W2", "W3", "Fig1"],
+                       help="preset workload (default: W3)")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--out", default=None,
+                       help="write the run as JSON to this path")
+
+    p_search = sub.add_parser("search", help="run NASAIC")
+    add_common(p_search)
+    p_search.add_argument("--episodes", type=int, default=200)
+    p_search.add_argument("--hw-steps", type=int, default=10)
+    p_search.add_argument("--progress", type=int, default=50,
+                          help="progress print interval (0 = silent)")
+
+    p_evolve = sub.add_parser("evolve", help="run the evolutionary search")
+    add_common(p_evolve)
+    p_evolve.add_argument("--population", type=int, default=30)
+    p_evolve.add_argument("--generations", type=int, default=15)
+
+    p_nas = sub.add_parser("nas", help="accuracy-only per-task NAS")
+    add_common(p_nas)
+    p_nas.add_argument("--episodes", type=int, default=200)
+
+    p_mc = sub.add_parser("mc", help="joint Monte-Carlo search")
+    add_common(p_mc)
+    p_mc.add_argument("--runs", type=int, default=2000)
+
+    p_exp = sub.add_parser("experiments",
+                           help="regenerate paper tables/figures")
+    p_exp.add_argument("target", choices=["fig1", "fig6", "table1",
+                                          "table2", "all"])
+    p_exp.add_argument("--episodes", type=int, default=200)
+    p_exp.add_argument("--mc-runs", type=int, default=1500)
+    p_exp.add_argument("--seed", type=int, default=41)
+    return parser
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    workload = workload_by_name(args.workload)
+    search = NASAIC(workload, config=NASAICConfig(
+        episodes=args.episodes, hw_steps=args.hw_steps, seed=args.seed))
+    result = search.run(
+        progress_every=args.progress if args.progress > 0 else None)
+    print(result.summary())
+    if args.out:
+        print(f"saved to {save_result(result, args.out)}")
+    return 0 if result.best is not None else 1
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    workload = workload_by_name(args.workload)
+    search = EvolutionarySearch(workload, config=EvolutionConfig(
+        population=args.population, generations=args.generations,
+        seed=args.seed))
+    result = search.run()
+    print(result.summary())
+    if args.out:
+        print(f"saved to {save_result(result, args.out)}")
+    return 0 if result.best is not None else 1
+
+
+def _cmd_nas(args: argparse.Namespace) -> int:
+    workload = workload_by_name(args.workload)
+    result = run_nas_per_task(workload, episodes=args.episodes,
+                              seed=args.seed)
+    for task, net, acc in zip(workload.tasks, result.best_networks,
+                              result.best_accuracies):
+        print(f"{task.name}: genotype {net.genotype} accuracy {acc:.4g}")
+    print(f"weighted (normalised): {result.best_weighted:.4f}")
+    return 0
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    workload = workload_by_name(args.workload)
+    result = monte_carlo_search(workload, runs=args.runs, seed=args.seed)
+    print(result.summary())
+    if args.out:
+        print(f"saved to {save_result(result, args.out)}")
+    return 0 if result.best is not None else 1
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.core import NASAICConfig as Cfg
+    from repro.experiments import (
+        format_fig1, format_fig6, format_table1, format_table2,
+        run_fig1, run_fig6, run_table1, run_table2)
+    from repro.workloads import w1, w2, w3
+
+    target = args.target
+    if target in ("fig1", "all"):
+        print(format_fig1(run_fig1(
+            nas_episodes=args.episodes, hw_nas_episodes=args.episodes,
+            mc_runs=args.mc_runs, design_sweep_runs=400, seed=args.seed)))
+    if target in ("fig6", "all"):
+        for wl in (w1(), w2(), w3()):
+            print(format_fig6(run_fig6(
+                wl, episodes=args.episodes, seed=args.seed)))
+    if target in ("table1", "all"):
+        results = [run_table1(
+            wl, nas_episodes=args.episodes, mc_runs=args.mc_runs,
+            seed=args.seed,
+            nasaic_config=Cfg(episodes=args.episodes, seed=args.seed))
+            for wl in (w1(), w2())]
+        print(format_table1(results))
+    if target in ("table2", "all"):
+        print(format_table2(run_table2(
+            w3(), nas_episodes=args.episodes, seed=args.seed,
+            nasaic_config=Cfg(episodes=args.episodes, seed=args.seed))))
+    return 0
+
+
+_COMMANDS = {
+    "search": _cmd_search,
+    "evolve": _cmd_evolve,
+    "nas": _cmd_nas,
+    "mc": _cmd_mc,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

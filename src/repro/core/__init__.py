@@ -1,0 +1,80 @@
+"""NASAIC core: controller, policy gradient, evaluator, search, baselines."""
+
+from repro.core.baselines import (
+    NASOnlyResult,
+    PipelineResult,
+    asic_then_hw_nas,
+    brute_force_designs,
+    closest_to_spec_design,
+    closest_to_spec_solution,
+    hardware_aware_nas,
+    monte_carlo_designs,
+    monte_carlo_search,
+    run_nas,
+    run_nas_per_task,
+    spec_distance,
+    successive_nas_then_asic,
+)
+from repro.core.bounds_calibration import calibrate_penalty_bounds
+from repro.core.choices import Decision, JointSample, JointSearchSpace
+from repro.core.controller import (
+    ControllerConfig,
+    ControllerSample,
+    RNNController,
+)
+from repro.core.evaluator import (
+    Evaluator,
+    HardwareEvaluation,
+    SolutionEvaluation,
+)
+from repro.core.evolution import EvolutionConfig, EvolutionarySearch
+from repro.core.herald import herald_allocate
+from repro.core.reinforce import ReinforceConfig, ReinforceTrainer
+from repro.core.results import EpisodeRecord, ExploredSolution, SearchResult
+from repro.core.reward import (
+    episode_reward,
+    hardware_penalty,
+    normalised_accuracy,
+    weighted_normalised_accuracy,
+)
+from repro.core.search import NASAIC, NASAICConfig
+
+__all__ = [
+    "NASAIC",
+    "NASAICConfig",
+    "ControllerConfig",
+    "ControllerSample",
+    "Decision",
+    "EpisodeRecord",
+    "Evaluator",
+    "EvolutionConfig",
+    "EvolutionarySearch",
+    "ExploredSolution",
+    "HardwareEvaluation",
+    "JointSample",
+    "JointSearchSpace",
+    "NASOnlyResult",
+    "PipelineResult",
+    "RNNController",
+    "ReinforceConfig",
+    "ReinforceTrainer",
+    "SearchResult",
+    "SolutionEvaluation",
+    "asic_then_hw_nas",
+    "brute_force_designs",
+    "calibrate_penalty_bounds",
+    "closest_to_spec_design",
+    "closest_to_spec_solution",
+    "episode_reward",
+    "hardware_aware_nas",
+    "hardware_penalty",
+    "herald_allocate",
+    "monte_carlo_designs",
+    "monte_carlo_search",
+    "normalised_accuracy",
+    "run_nas",
+    "run_nas_per_task",
+    "spec_distance",
+    "successive_nas_then_asic",
+    "weighted_normalised_accuracy",
+]

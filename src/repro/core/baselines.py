@@ -1,0 +1,491 @@
+"""Baseline approaches NASAIC is compared against (§I, §V-C, Fig. 1).
+
+- :func:`run_nas` — conventional NAS [1]: RL over architectures only,
+  maximising weighted accuracy (the controller's hardware segments are
+  pinned and carry no gradient).
+- :func:`brute_force_designs` — exhaustive hardware sweep for fixed
+  networks (the "ASIC" phase of NAS->ASIC; the circles of Fig. 1).
+- :func:`monte_carlo_designs` / :func:`closest_to_spec_design` — the MC
+  hardware search (10,000 runs in the paper) that seeds ASIC->HW-NAS.
+- :func:`hardware_aware_nas` — the MNASNet-style extension [30]:
+  architecture search with the Eq. 4 reward against one *fixed* design.
+- :func:`monte_carlo_search` — joint random sampling of architectures and
+  designs (the Fig. 1 star is its best feasible solution).
+- :func:`closest_to_spec_solution` — the heuristic that picks the
+  feasible solution nearest the spec point (the Fig. 1 square), which the
+  paper shows to be sub-optimal.
+- :func:`successive_nas_then_asic` / :func:`asic_then_hw_nas` — the two
+  composite pipelines of Table I.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accel.accelerator import HeterogeneousAccelerator
+from repro.accel.allocation import AllocationSpace
+from repro.arch.network import NetworkArch
+from repro.core.choices import JointSearchSpace
+from repro.core.controller import ControllerConfig, RNNController
+from repro.core.evaluator import Evaluator, HardwareEvaluation
+from repro.core.reinforce import ReinforceConfig, ReinforceTrainer
+from repro.core.results import ExploredSolution, SearchResult
+from repro.core.reward import episode_reward, weighted_normalised_accuracy
+from repro.cost.model import CostModel
+from repro.train.surrogate import AccuracySurrogate, default_surrogate
+from repro.train.trainer import SurrogateTrainer
+from repro.utils.rng import new_rng, spawn_rng
+from repro.workloads.workload import DesignSpecs, Task, Workload
+
+__all__ = [
+    "NASOnlyResult",
+    "PipelineResult",
+    "asic_then_hw_nas",
+    "brute_force_designs",
+    "closest_to_spec_design",
+    "closest_to_spec_solution",
+    "hardware_aware_nas",
+    "monte_carlo_designs",
+    "monte_carlo_search",
+    "run_nas",
+    "run_nas_per_task",
+    "spec_distance",
+    "successive_nas_then_asic",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def spec_distance(latency: float, energy: float, area: float,
+                  specs: DesignSpecs) -> float:
+    """Normalised L2 distance of a solution to the spec point.
+
+    Used by the "closest to the design specs" heuristics: each metric is
+    expressed relative to its spec, so the distance is scale-free.
+    """
+    return math.sqrt(
+        (latency / specs.latency_cycles - 1.0) ** 2
+        + (energy / specs.energy_nj - 1.0) ** 2
+        + (area / specs.area_um2 - 1.0) ** 2)
+
+
+def _reference_design(allocation: AllocationSpace) -> HeterogeneousAccelerator:
+    """An arbitrary valid design used to pin inert hardware segments."""
+    slots = [(allocation.dataflows[0], allocation.budget.max_pes,
+              allocation.budget.max_bandwidth_gbps)]
+    slots += [(allocation.dataflows[0], 0, 0)] * (allocation.num_slots - 1)
+    return allocation.build(slots)
+
+
+def _build_search_parts(
+    workload: Workload,
+    allocation: AllocationSpace | None,
+    cost_model: CostModel | None,
+    surrogate: AccuracySurrogate | None,
+    rho: float,
+):
+    allocation = allocation or AllocationSpace()
+    cost_model = cost_model or CostModel()
+    if surrogate is None:
+        surrogate = default_surrogate([t.space for t in workload.tasks])
+    trainer = SurrogateTrainer(surrogate)
+    evaluator = Evaluator(workload, cost_model, trainer, rho=rho)
+    space = JointSearchSpace(workload, allocation)
+    return allocation, cost_model, surrogate, evaluator, space
+
+
+def _solution_from_eval(networks, hw: HardwareEvaluation, accuracies,
+                        weighted: float) -> ExploredSolution:
+    return ExploredSolution(
+        networks=networks, accelerator=hw.accelerator,
+        latency_cycles=hw.latency_cycles, energy_nj=hw.energy_nj,
+        area_um2=hw.area_um2, feasible=hw.feasible,
+        accuracies=accuracies, weighted_accuracy=weighted)
+
+
+# ----------------------------------------------------------------------
+# Conventional NAS (architecture only)
+# ----------------------------------------------------------------------
+@dataclass
+class NASOnlyResult:
+    """Outcome of accuracy-only NAS."""
+
+    best_networks: tuple[NetworkArch, ...]
+    best_accuracies: tuple[float, ...]
+    best_weighted: float
+    history: list[tuple[tuple[tuple[int, ...], ...], float]]
+    trainings_run: int
+
+
+#: Accuracy-only searches face no feasibility cliffs, so they converge
+#: best with less exploration noise than the co-exploration defaults.
+_NAS_REINFORCE_DEFAULT = ReinforceConfig(entropy_beta=0.02,
+                                         learning_rate=0.08)
+
+
+def run_nas(
+    workload: Workload,
+    *,
+    allocation: AllocationSpace | None = None,
+    surrogate: AccuracySurrogate | None = None,
+    episodes: int = 200,
+    seed: int = 11,
+    controller_config: ControllerConfig | None = None,
+    reinforce_config: ReinforceConfig | None = None,
+) -> NASOnlyResult:
+    """Conventional NAS [1]: maximise Eq. 2, no hardware in the loop."""
+    if reinforce_config is None:
+        reinforce_config = _NAS_REINFORCE_DEFAULT
+    allocation, _, surrogate, evaluator, space = _build_search_parts(
+        workload, allocation, None, surrogate, rho=0.0)
+    forced = space.encode_design(_reference_design(allocation))
+    master = new_rng(seed)
+    controller = RNNController(space.decisions, controller_config,
+                               rng=spawn_rng(master, 0))
+    updates = ReinforceTrainer(controller, reinforce_config)
+    sample_rng = spawn_rng(master, 1)
+    best: tuple[float, tuple, tuple] | None = None
+    history: list[tuple[tuple[tuple[int, ...], ...], float]] = []
+    for _ in range(episodes):
+        sample = controller.sample(sample_rng, mask_fn=space.mask_for,
+                                   forced_actions=forced)
+        joint = space.decode(sample.actions)
+        accuracies = evaluator.train_networks(joint.networks)
+        weighted = weighted_normalised_accuracy(workload, accuracies)
+        updates.apply_episodes([(sample, weighted)])
+        history.append((tuple(n.genotype for n in joint.networks), weighted))
+        if best is None or weighted > best[0]:
+            best = (weighted, joint.networks, accuracies)
+    assert best is not None
+    # Final greedy read-out: the converged policy's argmax sample often
+    # beats the best stochastic draw; keep whichever is better.
+    greedy = controller.sample(sample_rng, mask_fn=space.mask_for,
+                               forced_actions=forced, greedy=True)
+    joint = space.decode(greedy.actions)
+    accuracies = evaluator.train_networks(joint.networks)
+    weighted = weighted_normalised_accuracy(workload, accuracies)
+    if weighted > best[0]:
+        best = (weighted, joint.networks, accuracies)
+    return NASOnlyResult(
+        best_networks=best[1], best_accuracies=best[2],
+        best_weighted=best[0], history=history,
+        trainings_run=evaluator.trainer.trainings_run)
+
+
+def run_nas_per_task(
+    workload: Workload,
+    *,
+    surrogate: AccuracySurrogate | None = None,
+    episodes: int = 200,
+    seed: int = 11,
+    controller_config: ControllerConfig | None = None,
+    reinforce_config: ReinforceConfig | None = None,
+) -> NASOnlyResult:
+    """Successive conventional NAS: one independent search per task.
+
+    This is what "successive NAS [1]" means in the NAS->ASIC pipeline
+    (§V-C): each DNN is optimised separately with the mono-objective of
+    its own accuracy, with no coupling between tasks — coupling only
+    appears later, when the shared hardware is chosen.  Per-task
+    searches also converge much more reliably than one multi-task
+    controller rewarded with a blended scalar.
+    """
+    if surrogate is None:
+        surrogate = default_surrogate([t.space for t in workload.tasks])
+    networks = []
+    accuracies = []
+    trainings = 0
+    history: list[tuple[tuple[tuple[int, ...], ...], float]] = []
+    for index, task in enumerate(workload.tasks):
+        specs = workload.specs
+        sub = Workload(
+            name=f"{workload.name}/{task.name}",
+            tasks=(Task(task.name, task.space, weight=1.0),),
+            specs=specs,
+            bounds=workload.bounds)
+        result = run_nas(sub, surrogate=surrogate, episodes=episodes,
+                         seed=seed + index,
+                         controller_config=controller_config,
+                         reinforce_config=reinforce_config)
+        networks.append(result.best_networks[0])
+        accuracies.append(result.best_accuracies[0])
+        trainings += result.trainings_run
+        history.extend(result.history)
+    weighted = weighted_normalised_accuracy(workload, tuple(accuracies))
+    return NASOnlyResult(
+        best_networks=tuple(networks),
+        best_accuracies=tuple(accuracies),
+        best_weighted=weighted,
+        history=history,
+        trainings_run=trainings)
+
+
+# ----------------------------------------------------------------------
+# Hardware searches for fixed networks
+# ----------------------------------------------------------------------
+def brute_force_designs(
+    networks: tuple[NetworkArch, ...],
+    workload: Workload,
+    *,
+    allocation: AllocationSpace | None = None,
+    cost_model: CostModel | None = None,
+    pe_stride: int = 512,
+    bw_stride: int = 16,
+    rho: float = 10.0,
+) -> list[HardwareEvaluation]:
+    """Exhaustive grid sweep of designs for fixed networks (NAS->ASIC)."""
+    allocation = allocation or AllocationSpace()
+    cost_model = cost_model or CostModel()
+    surrogate = default_surrogate([t.space for t in workload.tasks])
+    evaluator = Evaluator(workload, cost_model, SurrogateTrainer(surrogate),
+                          rho=rho)
+    return [
+        evaluator.evaluate_hardware(networks, design)
+        for design in allocation.enumerate_designs(
+            pe_stride=pe_stride, bw_stride=bw_stride)
+    ]
+
+
+def monte_carlo_designs(
+    networks: tuple[NetworkArch, ...],
+    workload: Workload,
+    *,
+    allocation: AllocationSpace | None = None,
+    cost_model: CostModel | None = None,
+    runs: int = 10_000,
+    seed: int = 13,
+    rho: float = 10.0,
+) -> list[HardwareEvaluation]:
+    """Monte-Carlo hardware search for fixed networks (ASIC->HW-NAS, 1st
+    phase; the paper uses 10,000 runs)."""
+    allocation = allocation or AllocationSpace()
+    cost_model = cost_model or CostModel()
+    surrogate = default_surrogate([t.space for t in workload.tasks])
+    evaluator = Evaluator(workload, cost_model, SurrogateTrainer(surrogate),
+                          rho=rho)
+    rng = new_rng(seed)
+    return [
+        evaluator.evaluate_hardware(networks,
+                                    allocation.random_design(rng))
+        for _ in range(runs)
+    ]
+
+
+def closest_to_spec_design(
+    evaluations: list[HardwareEvaluation],
+    specs: DesignSpecs,
+) -> HardwareEvaluation:
+    """Pick the design "closest to the design specs".
+
+    Feasible designs compete on spec distance.  If none is feasible (the
+    NAS-networks case of Table I), designs that at least satisfy the
+    *area* spec are preferred — area is a property of the silicon alone,
+    so a designer would never tape out a design that can't possibly meet
+    it — and among those the least-violating one (minimum penalty, then
+    distance) is returned.
+    """
+    if not evaluations:
+        raise ValueError("no design evaluations to choose from")
+    feasible = [e for e in evaluations if e.feasible]
+    area_ok = [e for e in evaluations if e.area_um2 <= specs.area_um2]
+    pool = feasible or area_ok or evaluations
+    return min(pool, key=lambda e: (
+        e.penalty,
+        spec_distance(e.latency_cycles, e.energy_nj, e.area_um2, specs)))
+
+
+# ----------------------------------------------------------------------
+# Hardware-aware NAS on a fixed design
+# ----------------------------------------------------------------------
+def hardware_aware_nas(
+    workload: Workload,
+    design: HeterogeneousAccelerator,
+    *,
+    allocation: AllocationSpace | None = None,
+    cost_model: CostModel | None = None,
+    surrogate: AccuracySurrogate | None = None,
+    episodes: int = 200,
+    seed: int = 17,
+    rho: float = 10.0,
+    controller_config: ControllerConfig | None = None,
+    reinforce_config: ReinforceConfig | None = None,
+) -> SearchResult:
+    """Hardware-aware NAS [30] for one fixed ASIC design.
+
+    The controller searches architectures only; every sample is evaluated
+    against ``design`` with the full Eq. 4 reward.
+    """
+    allocation, cost_model, surrogate, evaluator, space = \
+        _build_search_parts(workload, allocation, cost_model, surrogate,
+                            rho=rho)
+    forced = space.encode_design(design)
+    master = new_rng(seed)
+    controller = RNNController(space.decisions, controller_config,
+                               rng=spawn_rng(master, 0))
+    updates = ReinforceTrainer(controller, reinforce_config)
+    sample_rng = spawn_rng(master, 1)
+    result = SearchResult(name=f"ASIC->HW-NAS[{workload.name}]")
+    for _ in range(episodes):
+        sample = controller.sample(sample_rng, mask_fn=space.mask_for,
+                                   forced_actions=forced)
+        joint = space.decode(sample.actions)
+        hw = evaluator.evaluate_hardware(joint.networks, joint.accelerator)
+        accuracies = evaluator.train_networks(joint.networks)
+        weighted = weighted_normalised_accuracy(workload, accuracies)
+        reward = episode_reward(weighted, hw.penalty, rho)
+        updates.apply_episodes([(sample, reward)])
+        result.record(_solution_from_eval(joint.networks, hw, accuracies,
+                                          weighted))
+    result.trainings_run = evaluator.trainer.trainings_run
+    result.hardware_evaluations = evaluator.hardware_evaluations
+    return result
+
+
+# ----------------------------------------------------------------------
+# Joint Monte-Carlo search and the closest-to-spec heuristic
+# ----------------------------------------------------------------------
+def monte_carlo_search(
+    workload: Workload,
+    *,
+    allocation: AllocationSpace | None = None,
+    cost_model: CostModel | None = None,
+    surrogate: AccuracySurrogate | None = None,
+    runs: int = 10_000,
+    seed: int = 19,
+    rho: float = 10.0,
+) -> SearchResult:
+    """Joint random sampling of (architectures, design) pairs.
+
+    The paper's Fig. 1 "optimal solution" is the best feasible outcome of
+    10,000 such runs.
+    """
+    allocation, cost_model, surrogate, evaluator, space = \
+        _build_search_parts(workload, allocation, cost_model, surrogate,
+                            rho=rho)
+    rng = new_rng(seed)
+    result = SearchResult(name=f"MC[{workload.name}]")
+    for _ in range(runs):
+        networks = tuple(
+            task.space.decode(task.space.random_indices(rng))
+            for task in workload.tasks)
+        design = allocation.random_design(rng)
+        hw = evaluator.evaluate_hardware(networks, design)
+        accuracies = evaluator.train_networks(networks)
+        weighted = weighted_normalised_accuracy(workload, accuracies)
+        result.record(_solution_from_eval(networks, hw, accuracies,
+                                          weighted))
+    result.trainings_run = evaluator.trainer.trainings_run
+    result.hardware_evaluations = evaluator.hardware_evaluations
+    return result
+
+
+def closest_to_spec_solution(
+    solutions: list[ExploredSolution],
+    specs: DesignSpecs,
+) -> ExploredSolution | None:
+    """The Fig. 1 "heuristic" square: feasible solution nearest the specs."""
+    feasible = [s for s in solutions if s.feasible]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda s: spec_distance(
+        s.latency_cycles, s.energy_nj, s.area_um2, specs))
+
+
+# ----------------------------------------------------------------------
+# Composite pipelines (Table I rows)
+# ----------------------------------------------------------------------
+@dataclass
+class PipelineResult:
+    """Outcome of a successive (two-phase) pipeline."""
+
+    name: str
+    networks: tuple[NetworkArch, ...]
+    accuracies: tuple[float, ...]
+    hardware: HardwareEvaluation
+    weighted_accuracy: float
+
+    @property
+    def solution(self) -> ExploredSolution:
+        return _solution_from_eval(self.networks, self.hardware,
+                                   self.accuracies, self.weighted_accuracy)
+
+
+def successive_nas_then_asic(
+    workload: Workload,
+    *,
+    allocation: AllocationSpace | None = None,
+    cost_model: CostModel | None = None,
+    surrogate: AccuracySurrogate | None = None,
+    nas_episodes: int = 200,
+    pe_stride: int = 512,
+    bw_stride: int = 16,
+    seed: int = 23,
+    rho: float = 10.0,
+) -> PipelineResult:
+    """NAS->ASIC: accuracy-only NAS, then brute-force hardware search.
+
+    Table I shows this pipeline cannot find a feasible design — the
+    architectures are fixed before hardware is considered.
+    """
+    nas = run_nas_per_task(workload, surrogate=surrogate,
+                           episodes=nas_episodes, seed=seed)
+    evaluations = brute_force_designs(
+        nas.best_networks, workload, allocation=allocation,
+        cost_model=cost_model, pe_stride=pe_stride, bw_stride=bw_stride,
+        rho=rho)
+    best = closest_to_spec_design(evaluations, workload.specs)
+    weighted = weighted_normalised_accuracy(workload, nas.best_accuracies)
+    return PipelineResult(
+        name="NAS->ASIC", networks=nas.best_networks,
+        accuracies=nas.best_accuracies, hardware=best,
+        weighted_accuracy=weighted)
+
+
+def asic_then_hw_nas(
+    workload: Workload,
+    *,
+    allocation: AllocationSpace | None = None,
+    cost_model: CostModel | None = None,
+    surrogate: AccuracySurrogate | None = None,
+    mc_runs: int = 2_000,
+    nas_episodes: int = 200,
+    seed: int = 29,
+    rho: float = 10.0,
+    reference_networks: tuple[NetworkArch, ...] | None = None,
+) -> PipelineResult:
+    """ASIC->HW-NAS: MC design search, then hardware-aware NAS on it.
+
+    The design-selection phase needs reference networks to price latency
+    and energy; following the pipeline's successive nature we use the
+    accuracy-only NAS winners unless ``reference_networks`` is given
+    (documented in EXPERIMENTS.md — the paper does not specify them).
+    """
+    if reference_networks is None:
+        nas = run_nas_per_task(workload, surrogate=surrogate,
+                               episodes=nas_episodes, seed=seed)
+        reference_networks = nas.best_networks
+    evaluations = monte_carlo_designs(
+        reference_networks, workload, allocation=allocation,
+        cost_model=cost_model, runs=mc_runs, seed=seed + 1, rho=rho)
+    chosen = closest_to_spec_design(evaluations, workload.specs)
+    search = hardware_aware_nas(
+        workload, chosen.accelerator, allocation=allocation,
+        cost_model=cost_model, surrogate=surrogate, episodes=nas_episodes,
+        seed=seed + 2, rho=rho)
+    best = search.best
+    if best is None:
+        # No feasible architecture on the chosen design: report the most
+        # accurate explored solution so the violation is visible.
+        best = max(search.explored,
+                   key=lambda s: s.weighted_accuracy)
+    cost_model = cost_model or CostModel()
+    surrogate_eval = default_surrogate([t.space for t in workload.tasks])
+    evaluator = Evaluator(workload, cost_model,
+                          SurrogateTrainer(surrogate_eval), rho=rho)
+    hw = evaluator.evaluate_hardware(best.networks, best.accelerator)
+    return PipelineResult(
+        name="ASIC->HW-NAS", networks=best.networks,
+        accuracies=best.accuracies, hardware=hw,
+        weighted_accuracy=best.weighted_accuracy)

@@ -1,0 +1,245 @@
+"""Joint decision space for the co-exploration controller.
+
+Fig. 5 of the paper: the controller is one RNN whose output sequence is
+split into ``N = m + k`` segments — one per DNN (architecture
+hyperparameters, the ``nas(D_i)`` functions) and one per sub-accelerator
+(dataflow, #PEs, bandwidth, the ``alloc(aic_k)`` functions).  This module
+flattens those segments into a single fixed-length list of categorical
+:class:`Decision` tokens, provides budget-aware masks that make every
+sampled allocation feasible *by construction*, and decodes sampled action
+vectors back into (networks, accelerator) pairs.
+
+Decision order::
+
+    [task 0 arch choices][task 1 arch choices]...
+    [slot 0 dataflow][slot 0 PEs][slot 1 dataflow][slot 1 PEs]...
+    [slot 0 bandwidth][slot 1 bandwidth]...
+
+PE decisions precede all bandwidth decisions so that slot activity is
+known when bandwidth masks are computed; every active slot is guaranteed
+at least one bandwidth step by reserving headroom for later active slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.accelerator import HeterogeneousAccelerator
+from repro.accel.allocation import AllocationSpace
+from repro.arch.network import NetworkArch
+from repro.workloads.workload import Workload
+
+__all__ = ["Decision", "JointSearchSpace", "JointSample"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One categorical token of the controller's output sequence.
+
+    Attributes:
+        name: Qualified name, e.g. ``"task0.block1.filters"`` or
+            ``"slot1.pes"``.
+        num_options: Softmax width for this step.
+        kind: ``"arch"`` (architecture segment) or ``"hw"`` (hardware
+            segment) — the granularity of the optimizer selector's
+            ``SA``/``SH`` switches (§IV-②).
+    """
+
+    name: str
+    num_options: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.num_options < 1:
+            raise ValueError(f"decision {self.name!r} has no options")
+        if self.kind not in ("arch", "hw"):
+            raise ValueError(f"decision kind must be arch|hw, got {self.kind}")
+
+
+@dataclass(frozen=True)
+class JointSample:
+    """A decoded controller sample."""
+
+    actions: tuple[int, ...]
+    networks: tuple[NetworkArch, ...]
+    accelerator: HeterogeneousAccelerator
+
+
+class JointSearchSpace:
+    """Flattened co-exploration decision space for one workload.
+
+    Args:
+        workload: The multi-task workload (defines the arch segments).
+        allocation: The hardware allocation space (defines the hw
+            segments).
+    """
+
+    def __init__(self, workload: Workload,
+                 allocation: AllocationSpace) -> None:
+        self.workload = workload
+        self.allocation = allocation
+        decisions: list[Decision] = []
+        self._task_slices: list[slice] = []
+        for t_idx, task in enumerate(workload.tasks):
+            start = len(decisions)
+            for choice in task.space.choices:
+                decisions.append(Decision(
+                    name=f"task{t_idx}.{choice.name}",
+                    num_options=choice.num_options,
+                    kind="arch"))
+            self._task_slices.append(slice(start, len(decisions)))
+        self._df_positions: list[int] = []
+        self._pe_positions: list[int] = []
+        self._bw_positions: list[int] = []
+        for slot in range(allocation.num_slots):
+            self._df_positions.append(len(decisions))
+            decisions.append(Decision(
+                name=f"slot{slot}.dataflow",
+                num_options=len(allocation.dataflows), kind="hw"))
+            self._pe_positions.append(len(decisions))
+            decisions.append(Decision(
+                name=f"slot{slot}.pes",
+                num_options=len(allocation.pe_options), kind="hw"))
+        for slot in range(allocation.num_slots):
+            self._bw_positions.append(len(decisions))
+            decisions.append(Decision(
+                name=f"slot{slot}.bw",
+                num_options=len(allocation.bw_options), kind="hw"))
+        self.decisions: tuple[Decision, ...] = tuple(decisions)
+
+    # ------------------------------------------------------------------
+    # Segment views
+    # ------------------------------------------------------------------
+    @property
+    def num_decisions(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def arch_positions(self) -> tuple[int, ...]:
+        """Indices of all architecture-segment decisions."""
+        return tuple(i for i, d in enumerate(self.decisions)
+                     if d.kind == "arch")
+
+    @property
+    def hw_positions(self) -> tuple[int, ...]:
+        """Indices of all hardware-segment decisions."""
+        return tuple(i for i, d in enumerate(self.decisions)
+                     if d.kind == "hw")
+
+    def task_slice(self, task_index: int) -> slice:
+        """Decision range of one task's architecture segment."""
+        return self._task_slices[task_index]
+
+    # ------------------------------------------------------------------
+    # Budget-aware masking
+    # ------------------------------------------------------------------
+    def mask_for(self, position: int,
+                 sampled: list[int]) -> np.ndarray | None:
+        """Option mask for the decision at ``position``.
+
+        ``sampled`` holds the actions already taken at positions
+        ``0..position-1``.  Architecture and dataflow decisions are
+        unconstrained (``None``); PE and bandwidth decisions are masked to
+        the remaining budget so that ``sum(pe) <= NP`` and
+        ``sum(bw) <= BW`` hold for every completed sample.
+        """
+        alloc = self.allocation
+        if position in self._pe_positions:
+            slot = self._pe_positions.index(position)
+            used = sum(self._pe_of(sampled, s) for s in range(slot))
+            mask = alloc.pe_mask(alloc.budget.max_pes - used)
+            is_last = slot == alloc.num_slots - 1
+            earlier_active = any(
+                self._pe_of(sampled, s) > 0 for s in range(slot))
+            if is_last and not earlier_active:
+                # At least one slot must be active (a design needs PEs).
+                nonzero = np.array([p > 0 for p in alloc.pe_options])
+                combined = mask & nonzero
+                if not combined.any():
+                    raise ValueError(
+                        "budget exhausted before any slot became active")
+                return combined
+            return mask
+        if position in self._bw_positions:
+            slot = self._bw_positions.index(position)
+            if self._pe_of(sampled, slot) == 0:
+                return alloc.bw_mask(0, slot_active=False)
+            used = sum(
+                self._bw_of(sampled, s) for s in range(slot)
+                if self._pe_of(sampled, s) > 0)
+            later_active = sum(
+                1 for s in range(slot + 1, alloc.num_slots)
+                if self._pe_of(sampled, s) > 0)
+            reserve = later_active * alloc.bw_step
+            remaining = alloc.budget.max_bandwidth_gbps - used - reserve
+            return alloc.bw_mask(remaining, slot_active=True)
+        return None
+
+    def _pe_of(self, sampled: list[int], slot: int) -> int:
+        position = self._pe_positions[slot]
+        if position >= len(sampled):
+            raise IndexError(
+                f"slot {slot} PE decision not yet sampled")
+        return self.allocation.pe_options[sampled[position]]
+
+    def _bw_of(self, sampled: list[int], slot: int) -> int:
+        position = self._bw_positions[slot]
+        if position >= len(sampled):
+            raise IndexError(
+                f"slot {slot} bandwidth decision not yet sampled")
+        return self.allocation.bw_options[sampled[position]]
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, actions: tuple[int, ...] | list[int]) -> JointSample:
+        """Decode a complete action vector into networks + accelerator."""
+        actions = tuple(int(a) for a in actions)
+        if len(actions) != self.num_decisions:
+            raise ValueError(
+                f"expected {self.num_decisions} actions, got {len(actions)}")
+        networks = []
+        for t_idx, task in enumerate(self.workload.tasks):
+            sl = self._task_slices[t_idx]
+            networks.append(task.space.decode(actions[sl]))
+        slots = []
+        for slot in range(self.allocation.num_slots):
+            dataflow = self.allocation.dataflows[
+                actions[self._df_positions[slot]]]
+            pes = self.allocation.pe_options[
+                actions[self._pe_positions[slot]]]
+            bw = self.allocation.bw_options[
+                actions[self._bw_positions[slot]]]
+            slots.append((dataflow, pes, bw if pes > 0 else 0))
+        accelerator = self.allocation.build(slots)
+        return JointSample(actions=actions, networks=tuple(networks),
+                           accelerator=accelerator)
+
+    def encode_design(
+        self, accelerator: HeterogeneousAccelerator
+    ) -> dict[int, int]:
+        """Map a concrete design to forced hardware actions.
+
+        Used to pin the hardware segments (``SH = 0`` episodes and the
+        hardware-aware-NAS baseline, which searches architectures for a
+        *fixed* ASIC).  Inactive slots encode PE index 0 and the minimum
+        bandwidth index.
+        """
+        if len(accelerator.subaccs) != self.allocation.num_slots:
+            raise ValueError(
+                f"design has {len(accelerator.subaccs)} slots, space has "
+                f"{self.allocation.num_slots}")
+        forced: dict[int, int] = {}
+        for slot, subacc in enumerate(accelerator.subaccs):
+            forced[self._df_positions[slot]] = (
+                self.allocation.dataflows.index(subacc.dataflow))
+            forced[self._pe_positions[slot]] = (
+                self.allocation.pe_options.index(subacc.num_pes))
+            bw = subacc.bandwidth_gbps
+            if subacc.num_pes == 0:
+                bw = self.allocation.bw_options[0]
+            forced[self._bw_positions[slot]] = (
+                self.allocation.bw_options.index(bw))
+        return forced

@@ -1,0 +1,359 @@
+"""Reinforcement-learning RNN controller (numpy, from scratch).
+
+The paper's controller (§IV-①, Fig. 5) is a recurrent network that emits
+one categorical token per decision — architecture hyperparameters for
+every DNN followed by design parameters for every sub-accelerator — and
+is trained with the Monte-Carlo policy gradient of Eq. 1.  No deep
+learning framework is available here, so the LSTM, the per-decision
+softmax heads and full backpropagation-through-time are implemented
+directly on numpy arrays (and verified against finite differences in the
+test suite).
+
+Design notes:
+
+- each decision owns an output head (vocabularies differ per step) and an
+  embedding table feeding the *next* step's input, as in Zoph & Le [1];
+- option masks (from the budget-aware joint space) are applied to the
+  logits before the softmax, so infeasible allocations have zero
+  probability and zero gradient;
+- the optimizer selector's ``SA``/``SH`` switches are realised by
+  *forcing* the corresponding steps' actions and giving them zero weight
+  in the gradient (see :mod:`repro.core.reinforce`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.choices import Decision
+
+__all__ = ["ControllerConfig", "ControllerSample", "RNNController"]
+
+MaskFn = Callable[[int, list[int]], np.ndarray | None]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Controller hyperparameters.
+
+    Attributes:
+        hidden_size: LSTM state width.
+        embed_size: Input embedding width.
+        temperature: Softmax temperature (>1 flattens early exploration).
+        init_scale: Uniform init half-width for all weights.
+    """
+
+    hidden_size: int = 64
+    embed_size: int = 24
+    temperature: float = 1.0
+    init_scale: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.hidden_size < 1 or self.embed_size < 1:
+            raise ValueError("hidden_size/embed_size must be positive")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if self.init_scale <= 0:
+            raise ValueError("init_scale must be positive")
+
+
+@dataclass
+class _StepCache:
+    """Everything the backward pass needs for one step."""
+
+    x: np.ndarray
+    h_prev: np.ndarray
+    c_prev: np.ndarray
+    gate_i: np.ndarray
+    gate_f: np.ndarray
+    gate_g: np.ndarray
+    gate_o: np.ndarray
+    c: np.ndarray
+    h: np.ndarray
+    tanh_c: np.ndarray
+    probs: np.ndarray
+    mask: np.ndarray | None
+    action: int
+    forced: bool
+
+
+@dataclass
+class ControllerSample:
+    """One sampled trajectory with its forward caches.
+
+    Attributes:
+        actions: Sampled (or forced) option index per decision.
+        log_probs: ``log pi(a_t | a_<t)`` per step.
+        entropies: Policy entropy per step.
+        steps: Forward caches for backpropagation.
+    """
+
+    actions: tuple[int, ...]
+    log_probs: np.ndarray
+    entropies: np.ndarray
+    steps: list[_StepCache] = field(repr=False, default_factory=list)
+
+    @property
+    def total_log_prob(self) -> float:
+        return float(self.log_probs.sum())
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _masked_softmax(logits: np.ndarray,
+                    mask: np.ndarray | None) -> np.ndarray:
+    if mask is not None:
+        if mask.shape != logits.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} != logits shape {logits.shape}")
+        if not mask.any():
+            raise ValueError("mask disallows every option")
+        logits = np.where(mask, logits, -np.inf)
+    shifted = logits - logits.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+class RNNController:
+    """LSTM policy over a fixed decision sequence.
+
+    Args:
+        decisions: The joint space's decision list (order defines the
+            token sequence).
+        config: Network hyperparameters.
+        rng: Generator used for weight initialisation.
+    """
+
+    def __init__(self, decisions: tuple[Decision, ...] | list[Decision],
+                 config: ControllerConfig | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        self.decisions = tuple(decisions)
+        if not self.decisions:
+            raise ValueError("controller needs at least one decision")
+        self.config = config or ControllerConfig()
+        rng = rng or np.random.default_rng(0)
+        h, e = self.config.hidden_size, self.config.embed_size
+        s = self.config.init_scale
+
+        def init(*shape: int) -> np.ndarray:
+            return rng.uniform(-s, s, size=shape)
+
+        self.params: dict[str, np.ndarray] = {
+            "x0": init(e),
+            "Wx": init(e, 4 * h),
+            "Wh": init(h, 4 * h),
+            "b": np.zeros(4 * h),
+        }
+        for idx, decision in enumerate(self.decisions):
+            self.params[f"emb{idx}"] = init(decision.num_options, e)
+            self.params[f"Wout{idx}"] = init(h, decision.num_options)
+            self.params[f"bout{idx}"] = np.zeros(decision.num_options)
+
+    # ------------------------------------------------------------------
+    # Forward / sampling
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        rng: np.random.Generator,
+        *,
+        mask_fn: MaskFn | None = None,
+        forced_actions: dict[int, int] | None = None,
+        greedy: bool = False,
+    ) -> ControllerSample:
+        """Sample one trajectory.
+
+        Args:
+            rng: Sampling randomness.
+            mask_fn: ``(position, actions_so_far) -> option mask or None``;
+                typically :meth:`JointSearchSpace.mask_for`.
+            forced_actions: Positions whose action is pinned (teacher
+                forcing) — the mechanism behind the ``SA``/``SH`` switches.
+            greedy: Take the argmax instead of sampling (used to read out
+                the controller's current best guess).
+        """
+        forced_actions = forced_actions or {}
+        h_size = self.config.hidden_size
+        h = np.zeros(h_size)
+        c = np.zeros(h_size)
+        x = self.params["x0"]
+        actions: list[int] = []
+        log_probs = np.zeros(len(self.decisions))
+        entropies = np.zeros(len(self.decisions))
+        steps: list[_StepCache] = []
+        for t, decision in enumerate(self.decisions):
+            z = (x @ self.params["Wx"] + h @ self.params["Wh"]
+                 + self.params["b"])
+            gate_i = _sigmoid(z[:h_size])
+            gate_f = _sigmoid(z[h_size:2 * h_size])
+            gate_g = np.tanh(z[2 * h_size:3 * h_size])
+            gate_o = _sigmoid(z[3 * h_size:])
+            c_new = gate_f * c + gate_i * gate_g
+            tanh_c = np.tanh(c_new)
+            h_new = gate_o * tanh_c
+            logits = ((h_new @ self.params[f"Wout{t}"]
+                       + self.params[f"bout{t}"])
+                      / self.config.temperature)
+            mask = mask_fn(t, actions) if mask_fn is not None else None
+            probs = _masked_softmax(logits, mask)
+            if t in forced_actions:
+                action = int(forced_actions[t])
+                if not 0 <= action < decision.num_options:
+                    raise ValueError(
+                        f"forced action {action} out of range for "
+                        f"{decision.name!r}")
+                if probs[action] <= 0.0:
+                    raise ValueError(
+                        f"forced action {action} for {decision.name!r} is "
+                        "masked out")
+            elif greedy:
+                action = int(np.argmax(probs))
+            else:
+                action = int(rng.choice(decision.num_options, p=probs))
+            log_probs[t] = float(np.log(probs[action]))
+            safe_log = np.where(probs > 0, np.log(
+                np.where(probs > 0, probs, 1.0)), 0.0)
+            entropies[t] = float(-(probs * safe_log).sum())
+            steps.append(_StepCache(
+                x=x, h_prev=h, c_prev=c, gate_i=gate_i, gate_f=gate_f,
+                gate_g=gate_g, gate_o=gate_o, c=c_new, h=h_new,
+                tanh_c=tanh_c, probs=probs, mask=mask, action=action,
+                forced=t in forced_actions))
+            actions.append(action)
+            h, c = h_new, c_new
+            x = self.params[f"emb{t}"][action]
+        return ControllerSample(
+            actions=tuple(actions), log_probs=log_probs,
+            entropies=entropies, steps=steps)
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+    def backward(
+        self,
+        sample: ControllerSample,
+        logprob_weights: np.ndarray,
+        entropy_weights: np.ndarray | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Gradients of ``sum_t w_t log pi(a_t) + beta_t H_t`` w.r.t. params.
+
+        The caller chooses ``w_t`` to implement Eq. 1 (discounted
+        advantage, zero on forced steps); ``beta_t`` adds an optional
+        entropy bonus that keeps exploration alive.
+        """
+        t_count = len(self.decisions)
+        if logprob_weights.shape != (t_count,):
+            raise ValueError(
+                f"expected {t_count} log-prob weights, got "
+                f"{logprob_weights.shape}")
+        if entropy_weights is None:
+            entropy_weights = np.zeros(t_count)
+        h_size = self.config.hidden_size
+        grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        dh_next = np.zeros(h_size)
+        dc_next = np.zeros(h_size)
+        for t in range(t_count - 1, -1, -1):
+            step = sample.steps[t]
+            probs = step.probs
+            onehot = np.zeros_like(probs)
+            onehot[step.action] = 1.0
+            # d/dlogits of log p[a]:  onehot - p   (ascent direction)
+            g_logits = logprob_weights[t] * (onehot - probs)
+            beta = entropy_weights[t]
+            if beta != 0.0:
+                safe_log = np.where(probs > 0, np.log(
+                    np.where(probs > 0, probs, 1.0)), 0.0)
+                entropy = -(probs * safe_log).sum()
+                g_logits += beta * (-probs * (safe_log + entropy))
+            g_logits = g_logits / self.config.temperature
+            grads[f"Wout{t}"] += np.outer(step.h, g_logits)
+            grads[f"bout{t}"] += g_logits
+            dh = g_logits @ self.params[f"Wout{t}"].T + dh_next
+            # Input at step t+1 was emb[t][action_t]; its gradient arrives
+            # via dx of step t+1, handled below when we compute dx.
+            d_o = dh * step.tanh_c
+            dc = dh * step.gate_o * (1.0 - step.tanh_c ** 2) + dc_next
+            d_i = dc * step.gate_g
+            d_g = dc * step.gate_i
+            d_f = dc * step.c_prev
+            dc_next = dc * step.gate_f
+            dz = np.concatenate([
+                d_i * step.gate_i * (1.0 - step.gate_i),
+                d_f * step.gate_f * (1.0 - step.gate_f),
+                d_g * (1.0 - step.gate_g ** 2),
+                d_o * step.gate_o * (1.0 - step.gate_o),
+            ])
+            grads["Wx"] += np.outer(step.x, dz)
+            grads["Wh"] += np.outer(step.h_prev, dz)
+            grads["b"] += dz
+            dx = dz @ self.params["Wx"].T
+            if t == 0:
+                grads["x0"] += dx
+            else:
+                prev_action = sample.steps[t - 1].action
+                grads[f"emb{t - 1}"][prev_action] += dx
+            dh_next = dz @ self.params["Wh"].T
+        return grads
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(v.size for v in self.params.values())
+
+    def clone_params(self) -> dict[str, np.ndarray]:
+        """Deep copy of the current parameters (for tests/checkpoints)."""
+        return {k: v.copy() for k, v in self.params.items()}
+
+    def load_params(self, params: dict[str, np.ndarray]) -> None:
+        """Restore parameters from :meth:`clone_params`."""
+        if set(params) != set(self.params):
+            raise ValueError("parameter keys do not match this controller")
+        for key, value in params.items():
+            if value.shape != self.params[key].shape:
+                raise ValueError(
+                    f"shape mismatch for {key!r}: {value.shape} vs "
+                    f"{self.params[key].shape}")
+            self.params[key] = value.copy()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write a checkpoint (.npz) of the controller's parameters.
+
+        The decision structure is stored alongside the weights so
+        :meth:`load` can verify the checkpoint matches the controller it
+        is loaded into.
+        """
+        signature = np.array(
+            [f"{d.name}:{d.num_options}:{d.kind}" for d in self.decisions])
+        np.savez(path, __signature__=signature, **self.params)
+
+    def load(self, path) -> None:
+        """Restore a checkpoint written by :meth:`save`.
+
+        Raises:
+            ValueError: If the checkpoint was written for a controller
+                with a different decision structure.
+        """
+        with np.load(path, allow_pickle=False) as data:
+            signature = list(data["__signature__"])
+            expected = [f"{d.name}:{d.num_options}:{d.kind}"
+                        for d in self.decisions]
+            if signature != expected:
+                raise ValueError(
+                    "checkpoint decision structure does not match this "
+                    "controller")
+            self.load_params({k: data[k] for k in data.files
+                              if k != "__signature__"})

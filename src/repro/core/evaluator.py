@@ -1,0 +1,144 @@
+"""Evaluator (§IV-③): the two evaluation paths behind the reward.
+
+- the *hardware path* runs the cost model + HAP mapper/scheduler to obtain
+  latency ``rl``, energy ``re`` and area ``ra`` and the penalty of Eq. 3 —
+  cheap, run for every sampled design;
+- the *training path* trains and validates each DNN — expensive in the
+  paper (GPU training), here delegated to the surrogate trainer, but kept
+  behind the same interface so the optimizer selector's early pruning has
+  the same observable effect (trainings skipped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.accelerator import HeterogeneousAccelerator
+from repro.arch.network import NetworkArch
+from repro.cost.model import CostModel
+from repro.core.reward import (
+    episode_reward,
+    hardware_penalty,
+    weighted_normalised_accuracy,
+)
+from repro.mapping.hap import HAPResult, solve_hap
+from repro.mapping.problem import MappingProblem
+from repro.train.trainer import SurrogateTrainer
+from repro.workloads.workload import Workload
+
+__all__ = ["Evaluator", "HardwareEvaluation", "SolutionEvaluation"]
+
+
+@dataclass(frozen=True)
+class HardwareEvaluation:
+    """Hardware-path result for one (networks, accelerator) pair."""
+
+    accelerator: HeterogeneousAccelerator
+    latency_cycles: int
+    energy_nj: float
+    area_um2: float
+    penalty: float
+    feasible: bool
+    violations: tuple[str, ...]
+    hap: HAPResult
+
+
+@dataclass(frozen=True)
+class SolutionEvaluation:
+    """Full evaluation: hardware metrics plus trained accuracies."""
+
+    networks: tuple[NetworkArch, ...]
+    hardware: HardwareEvaluation
+    accuracies: tuple[float, ...]
+    weighted_accuracy: float
+    reward: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.hardware.feasible
+
+
+class Evaluator:
+    """Evaluates sampled solutions for one workload.
+
+    Args:
+        workload: Tasks, specs and penalty bounds.
+        cost_model: The MAESTRO-substitute oracle.
+        trainer: The (surrogate) training path.
+        rho: Penalty coefficient of Eq. 4 (paper: 10).
+    """
+
+    def __init__(self, workload: Workload, cost_model: CostModel,
+                 trainer: SurrogateTrainer, rho: float = 10.0) -> None:
+        self.workload = workload
+        self.cost_model = cost_model
+        self.trainer = trainer
+        self.rho = rho
+        self.hardware_evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Hardware path
+    # ------------------------------------------------------------------
+    def evaluate_hardware(
+        self,
+        networks: tuple[NetworkArch, ...],
+        accelerator: HeterogeneousAccelerator,
+    ) -> HardwareEvaluation:
+        """Cost model + mapping/scheduling -> (rl, re, ra) and penalty."""
+        if len(networks) != self.workload.num_tasks:
+            raise ValueError(
+                f"expected {self.workload.num_tasks} networks, got "
+                f"{len(networks)}")
+        specs = self.workload.specs
+        problem = MappingProblem.build(networks, accelerator,
+                                       self.cost_model)
+        hap = solve_hap(problem, specs.latency_cycles)
+        area = self.cost_model.area_um2(
+            accelerator,
+            mapped_layers=problem.mapped_layers_by_slot(hap.assignment))
+        penalty = hardware_penalty(hap.makespan, hap.energy_nj, area,
+                                   specs, self.workload.bounds)
+        feasible = specs.satisfied_by(hap.makespan, hap.energy_nj, area)
+        self.hardware_evaluations += 1
+        return HardwareEvaluation(
+            accelerator=accelerator,
+            latency_cycles=hap.makespan,
+            energy_nj=hap.energy_nj,
+            area_um2=area,
+            penalty=penalty,
+            feasible=feasible,
+            violations=specs.violations(hap.makespan, hap.energy_nj, area),
+            hap=hap,
+        )
+
+    # ------------------------------------------------------------------
+    # Training path
+    # ------------------------------------------------------------------
+    def train_networks(
+        self, networks: tuple[NetworkArch, ...]
+    ) -> tuple[float, ...]:
+        """Train/validate every task network; returns display-unit metrics."""
+        return tuple(
+            self.trainer.train_and_validate(net).accuracy
+            for net in networks)
+
+    # ------------------------------------------------------------------
+    # Full evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        networks: tuple[NetworkArch, ...],
+        accelerator: HeterogeneousAccelerator,
+    ) -> SolutionEvaluation:
+        """Hardware + training paths combined into the Eq. 4 reward."""
+        hardware = self.evaluate_hardware(networks, accelerator)
+        accuracies = self.train_networks(networks)
+        weighted = weighted_normalised_accuracy(self.workload, accuracies)
+        reward = episode_reward(weighted, hardware.penalty, self.rho)
+        return SolutionEvaluation(
+            networks=networks,
+            hardware=hardware,
+            accuracies=accuracies,
+            weighted_accuracy=weighted,
+            reward=reward,
+        )

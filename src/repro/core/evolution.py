@@ -1,0 +1,224 @@
+"""Evolutionary co-exploration (the paper's §IV remark made concrete).
+
+NASAIC formulates its reward (Eq. 4) independently of the optimiser and
+notes that "based on the formulated reward function, other optimization
+approaches, such as evolution algorithms, can also be applied".  This
+module provides that alternative: a steady-state genetic algorithm over
+the *same* genome the RNN controller emits — per-task architecture
+indices plus per-slot (dataflow, PEs, bandwidth) indices — evaluated by
+the same evaluator, so RL and EA are directly comparable at equal
+evaluation budgets (see ``benchmarks/bench_optimizers.py``).
+
+Genome layout and repair:
+
+- architecture genes are free categorical indices;
+- hardware genes are repaired after crossover/mutation by clamping each
+  slot's PE/bandwidth allocation to the remaining budget (the same
+  invariant the controller enforces with masks), so every individual
+  decodes to a valid accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accel.allocation import AllocationSpace
+from repro.core.bounds_calibration import calibrate_penalty_bounds
+from repro.core.choices import JointSearchSpace
+from repro.core.evaluator import Evaluator
+from repro.core.results import ExploredSolution, SearchResult
+from repro.core.reward import episode_reward, weighted_normalised_accuracy
+from repro.cost.model import CostModel
+from repro.train.surrogate import AccuracySurrogate, default_surrogate
+from repro.train.trainer import SurrogateTrainer
+from repro.utils.rng import new_rng
+from repro.workloads.workload import Workload
+
+__all__ = ["EvolutionConfig", "EvolutionarySearch"]
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Genetic-algorithm parameters.
+
+    Attributes:
+        population: Individuals per generation.
+        generations: Generation count.
+        tournament: Tournament size for parent selection.
+        mutation_rate: Per-gene mutation probability.
+        elite: Individuals copied unchanged into the next generation.
+        rho: Penalty coefficient of Eq. 4.
+        seed: Master seed.
+        calibrate_bounds: Use the paper-faithful exploration penalty
+            bounds (see :mod:`repro.core.bounds_calibration`).
+    """
+
+    population: int = 40
+    generations: int = 25
+    tournament: int = 4
+    mutation_rate: float = 0.15
+    elite: int = 4
+    rho: float = 10.0
+    seed: int = 7
+    calibrate_bounds: bool = True
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError("population must be >= 2")
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+        if not 1 <= self.tournament <= self.population:
+            raise ValueError("tournament must be in [1, population]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if not 0 <= self.elite < self.population:
+            raise ValueError("elite must be in [0, population)")
+
+
+@dataclass
+class _Individual:
+    genes: list[int]
+    fitness: float = field(default=float("-inf"))
+    solution: ExploredSolution | None = None
+
+
+class EvolutionarySearch:
+    """GA over the joint (architectures, accelerator) genome.
+
+    Args mirror :class:`repro.core.search.NASAIC` so the two optimisers
+    are drop-in interchangeable.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        *,
+        allocation: AllocationSpace | None = None,
+        cost_model: CostModel | None = None,
+        surrogate: AccuracySurrogate | None = None,
+        config: EvolutionConfig | None = None,
+    ) -> None:
+        self.allocation = allocation or AllocationSpace()
+        self.config = config or EvolutionConfig()
+        self.cost_model = cost_model or CostModel()
+        if self.config.calibrate_bounds:
+            bounds = calibrate_penalty_bounds(workload, self.cost_model,
+                                              self.allocation)
+            workload = workload.with_specs(workload.specs, bounds=bounds)
+        self.workload = workload
+        if surrogate is None:
+            surrogate = default_surrogate(
+                [task.space for task in workload.tasks])
+        self.trainer = SurrogateTrainer(surrogate)
+        self.evaluator = Evaluator(workload, self.cost_model, self.trainer,
+                                   rho=self.config.rho)
+        self.space = JointSearchSpace(workload, self.allocation)
+        self._rng = new_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    # Genome operations
+    # ------------------------------------------------------------------
+    def _random_genes(self) -> list[int]:
+        genes = []
+        for pos in range(self.space.num_decisions):
+            mask = self.space.mask_for(pos, genes)
+            if mask is None:
+                genes.append(int(self._rng.integers(
+                    self.space.decisions[pos].num_options)))
+            else:
+                allowed = np.flatnonzero(mask)
+                genes.append(int(self._rng.choice(allowed)))
+        return genes
+
+    def _repair(self, genes: list[int]) -> list[int]:
+        """Clamp hardware genes to the budget, walking slot by slot.
+
+        Architecture genes are always valid; PE/bandwidth genes may
+        violate the running budget after crossover or mutation, in which
+        case they are clamped to the largest allowed option — the
+        mildest change that restores validity.
+        """
+        repaired: list[int] = []
+        for pos, gene in enumerate(genes):
+            mask = self.space.mask_for(pos, repaired)
+            if mask is None or mask[gene]:
+                repaired.append(gene)
+                continue
+            allowed = np.flatnonzero(mask)
+            below = allowed[allowed <= gene]
+            repaired.append(int(below.max() if below.size else
+                                allowed.min()))
+        return repaired
+
+    def _crossover(self, a: list[int], b: list[int]) -> list[int]:
+        child = [ga if self._rng.random() < 0.5 else gb
+                 for ga, gb in zip(a, b)]
+        return self._repair(child)
+
+    def _mutate(self, genes: list[int]) -> list[int]:
+        mutated = list(genes)
+        for pos, decision in enumerate(self.space.decisions):
+            if self._rng.random() < self.config.mutation_rate:
+                mutated[pos] = int(self._rng.integers(decision.num_options))
+        return self._repair(mutated)
+
+    # ------------------------------------------------------------------
+    # Fitness
+    # ------------------------------------------------------------------
+    def _evaluate(self, individual: _Individual,
+                  result: SearchResult) -> None:
+        joint = self.space.decode(individual.genes)
+        hardware = self.evaluator.evaluate_hardware(joint.networks,
+                                                    joint.accelerator)
+        accuracies = self.evaluator.train_networks(joint.networks)
+        weighted = weighted_normalised_accuracy(self.workload, accuracies)
+        individual.fitness = episode_reward(weighted, hardware.penalty,
+                                            self.config.rho)
+        individual.solution = ExploredSolution(
+            networks=joint.networks,
+            accelerator=hardware.accelerator,
+            latency_cycles=hardware.latency_cycles,
+            energy_nj=hardware.energy_nj,
+            area_um2=hardware.area_um2,
+            feasible=hardware.feasible,
+            accuracies=accuracies,
+            weighted_accuracy=weighted,
+        )
+        result.record(individual.solution)
+
+    def _tournament(self, population: list[_Individual]) -> _Individual:
+        contenders = self._rng.choice(len(population),
+                                      size=self.config.tournament,
+                                      replace=False)
+        return max((population[i] for i in contenders),
+                   key=lambda ind: ind.fitness)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SearchResult:
+        """Evolve and return the full exploration record."""
+        cfg = self.config
+        result = SearchResult(name=f"EA[{self.workload.name}]")
+        population = [_Individual(self._random_genes())
+                      for _ in range(cfg.population)]
+        for individual in population:
+            self._evaluate(individual, result)
+        for _ in range(cfg.generations - 1):
+            population.sort(key=lambda ind: ind.fitness, reverse=True)
+            next_gen = [
+                _Individual(list(ind.genes), ind.fitness, ind.solution)
+                for ind in population[:cfg.elite]]
+            while len(next_gen) < cfg.population:
+                parent_a = self._tournament(population)
+                parent_b = self._tournament(population)
+                child = _Individual(self._mutate(
+                    self._crossover(parent_a.genes, parent_b.genes)))
+                self._evaluate(child, result)
+                next_gen.append(child)
+            population = next_gen
+        result.trainings_run = self.trainer.trainings_run
+        result.hardware_evaluations = self.evaluator.hardware_evaluations
+        return result

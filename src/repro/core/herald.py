@@ -1,0 +1,105 @@
+"""HERALD-style demand-proportional resource allocator.
+
+The paper's heterogeneous-accelerator premise builds on HERALD [22]
+(Kwon et al.), which partitions a PE/bandwidth budget across
+sub-accelerators to fit a *known* set of DNNs.  This module provides that
+designer's heuristic as an additional hardware baseline: given fixed
+networks, dedicate one sub-accelerator per network, try every template
+combination, and split PEs and bandwidth proportionally to each
+network's arithmetic demand (MAC count), quantised to the allocation
+grid.  The best resulting design (lowest penalty, then energy) is
+returned.
+
+Compared against NASAIC's learned allocations in
+``benchmarks/bench_herald.py``: the proportional split is a strong prior
+but cannot trade architecture against hardware, which is the paper's
+entire point.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.accel.allocation import AllocationSpace
+from repro.arch.network import NetworkArch
+from repro.core.evaluator import Evaluator, HardwareEvaluation
+from repro.cost.model import CostModel
+from repro.train.surrogate import default_surrogate
+from repro.train.trainer import SurrogateTrainer
+from repro.workloads.workload import Workload
+
+__all__ = ["herald_allocate"]
+
+
+def _proportional_split(demands: list[int], total: int,
+                        step: int, minimum: int) -> list[int]:
+    """Split ``total`` across demands proportionally, on a ``step`` grid.
+
+    Every share receives at least ``minimum``; leftover quanta go to the
+    largest demand (deterministic).
+    """
+    if total < minimum * len(demands):
+        raise ValueError(
+            f"budget {total} cannot give {len(demands)} shares of "
+            f"{minimum}")
+    weights = [max(d, 1) for d in demands]
+    scale = sum(weights)
+    shares = [max(minimum, (total * w // scale) // step * step)
+              for w in weights]
+    # Repair rounding drift against the budget.
+    while sum(shares) > total:
+        idx = max(range(len(shares)), key=lambda i: shares[i])
+        shares[idx] -= step
+    leftover = (total - sum(shares)) // step * step
+    if leftover > 0:
+        idx = max(range(len(shares)), key=lambda i: weights[i])
+        shares[idx] += leftover
+    return shares
+
+
+def herald_allocate(
+    networks: tuple[NetworkArch, ...],
+    workload: Workload,
+    *,
+    allocation: AllocationSpace | None = None,
+    cost_model: CostModel | None = None,
+    rho: float = 10.0,
+) -> HardwareEvaluation:
+    """Best demand-proportional design for fixed ``networks``.
+
+    Raises:
+        ValueError: If the allocation space has fewer slots than there
+            are networks (HERALD dedicates one sub-accelerator each).
+    """
+    allocation = allocation or AllocationSpace()
+    if allocation.num_slots < len(networks):
+        raise ValueError(
+            f"{len(networks)} networks need at least as many slots, "
+            f"space has {allocation.num_slots}")
+    cost_model = cost_model or CostModel()
+    evaluator = Evaluator(
+        workload, cost_model,
+        SurrogateTrainer(default_surrogate(
+            [t.space for t in workload.tasks])),
+        rho=rho)
+    demands = [net.total_macs for net in networks]
+    pe_shares = _proportional_split(
+        demands, allocation.budget.max_pes, allocation.pe_step,
+        allocation.pe_step)
+    bw_shares = _proportional_split(
+        demands, allocation.budget.max_bandwidth_gbps, allocation.bw_step,
+        allocation.bw_step)
+    best: HardwareEvaluation | None = None
+    for templates in itertools.product(allocation.dataflows,
+                                       repeat=len(networks)):
+        slots = [(df, pes, bw)
+                 for df, pes, bw in zip(templates, pe_shares, bw_shares)]
+        slots += [(allocation.dataflows[0], 0, 0)] * (
+            allocation.num_slots - len(networks))
+        design = allocation.build(slots)
+        evaluation = evaluator.evaluate_hardware(networks, design)
+        if best is None or (evaluation.penalty, evaluation.energy_nj) < (
+                best.penalty, best.energy_nj):
+            best = evaluation
+    assert best is not None
+    return best

@@ -1,0 +1,171 @@
+"""Monte-Carlo policy gradient (REINFORCE) with RMSProp.
+
+Implements Eq. 1 of the paper:
+
+``grad J = (1/m) * sum_k sum_t gamma^(T-t) grad log pi(a_t | a_<t) (R_k - b)``
+
+with ``b`` the exponential moving average of rewards, per-step discount
+``gamma``, batch size ``m``, and RMSProp as the optimiser (§V-A).  Steps
+whose actions were *forced* (the optimizer selector's closed switches) get
+zero weight — their tokens were not decided by the policy in that episode.
+
+The paper quotes an initial learning rate of 0.99 decayed by 0.5 every 50
+steps; on the surrogate landscape that initial rate saturates the softmax
+heads within a few updates, so the default here is a gentler 0.15 with the
+same halving schedule shape (both are configurable, and the paper's values
+can be passed verbatim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.controller import ControllerSample, RNNController
+
+__all__ = ["ReinforceConfig", "ReinforceTrainer"]
+
+
+@dataclass(frozen=True)
+class ReinforceConfig:
+    """REINFORCE/RMSProp hyperparameters.
+
+    Attributes:
+        learning_rate: Initial RMSProp step size.
+        lr_decay: Multiplicative decay factor for the learning rate.
+        lr_decay_every: Updates between decay applications (paper: 50).
+        rms_decay: RMSProp second-moment decay.
+        rms_eps: RMSProp denominator guard.
+        gamma: Per-step reward discount ``gamma`` of Eq. 1.
+        baseline_decay: EMA factor for the reward baseline ``b``.
+        entropy_beta: Entropy-bonus weight on policy-owned steps.
+        grad_clip: Global L2 norm clip on the averaged gradient.
+    """
+
+    learning_rate: float = 0.15
+    lr_decay: float = 0.5
+    lr_decay_every: int = 100
+    rms_decay: float = 0.99
+    rms_eps: float = 1e-8
+    gamma: float = 0.99
+    baseline_decay: float = 0.9
+    entropy_beta: float = 0.1
+    grad_clip: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0 < self.lr_decay <= 1:
+            raise ValueError("lr_decay must be in (0, 1]")
+        if self.lr_decay_every < 1:
+            raise ValueError("lr_decay_every must be >= 1")
+        if not 0 <= self.gamma <= 1:
+            raise ValueError("gamma must be in [0, 1]")
+        if not 0 <= self.baseline_decay < 1:
+            raise ValueError("baseline_decay must be in [0, 1)")
+
+
+class ReinforceTrainer:
+    """Stateful REINFORCE optimiser for one controller."""
+
+    def __init__(self, controller: RNNController,
+                 config: ReinforceConfig | None = None) -> None:
+        self.controller = controller
+        self.config = config or ReinforceConfig()
+        self._rms: dict[str, np.ndarray] = {
+            k: np.zeros_like(v) for k, v in controller.params.items()}
+        self.baseline: float | None = None
+        self.updates_applied = 0
+
+    # ------------------------------------------------------------------
+    # Weights per Eq. 1
+    # ------------------------------------------------------------------
+    def step_weights(
+        self,
+        sample: ControllerSample,
+        reward: float,
+        trainable: set[int] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(log-prob weights, entropy weights) for one episode.
+
+        Args:
+            sample: The sampled trajectory.
+            reward: Episode reward ``R_k``.
+            trainable: Step indices the policy owns this episode; ``None``
+                means every non-forced step.
+        """
+        t_count = len(sample.log_probs)
+        advantage = reward - (self.baseline
+                              if self.baseline is not None else 0.0)
+        weights = np.zeros(t_count)
+        entropy = np.zeros(t_count)
+        for t in range(t_count):
+            if sample.steps[t].forced:
+                continue
+            if trainable is not None and t not in trainable:
+                continue
+            weights[t] = (self.config.gamma ** (t_count - 1 - t)) * advantage
+            entropy[t] = self.config.entropy_beta
+        return weights, entropy
+
+    # ------------------------------------------------------------------
+    # Update
+    # ------------------------------------------------------------------
+    @property
+    def learning_rate(self) -> float:
+        """Current (decayed) learning rate."""
+        halvings = self.updates_applied // self.config.lr_decay_every
+        return self.config.learning_rate * (self.config.lr_decay ** halvings)
+
+    def apply_episodes(
+        self,
+        episodes: list[tuple[ControllerSample, float]],
+        *,
+        trainable: set[int] | None = None,
+    ) -> float:
+        """Accumulate a batch of (sample, reward) episodes and step.
+
+        Returns the mean advantage of the batch (diagnostic).  The
+        baseline EMA is refreshed *after* computing advantages, matching
+        the usual REINFORCE-with-moving-baseline order.
+        """
+        if not episodes:
+            raise ValueError("apply_episodes needs at least one episode")
+        grads_total: dict[str, np.ndarray] = {
+            k: np.zeros_like(v) for k, v in self.controller.params.items()}
+        advantages = []
+        for sample, reward in episodes:
+            weights, entropy = self.step_weights(sample, reward, trainable)
+            grads = self.controller.backward(sample, weights, entropy)
+            for key, grad in grads.items():
+                grads_total[key] += grad
+            base = self.baseline if self.baseline is not None else 0.0
+            advantages.append(reward - base)
+        scale = 1.0 / len(episodes)
+        for key in grads_total:
+            grads_total[key] *= scale
+        self._clip(grads_total)
+        lr = self.learning_rate
+        for key, grad in grads_total.items():
+            rms = self._rms[key]
+            rms *= self.config.rms_decay
+            rms += (1.0 - self.config.rms_decay) * grad * grad
+            self.controller.params[key] += (
+                lr * grad / (np.sqrt(rms) + self.config.rms_eps))
+        mean_reward = float(np.mean([r for _, r in episodes]))
+        if self.baseline is None:
+            self.baseline = mean_reward
+        else:
+            d = self.config.baseline_decay
+            self.baseline = d * self.baseline + (1.0 - d) * mean_reward
+        self.updates_applied += 1
+        return float(np.mean(advantages))
+
+    def _clip(self, grads: dict[str, np.ndarray]) -> None:
+        total = float(np.sqrt(sum(
+            float((g * g).sum()) for g in grads.values())))
+        if total > self.config.grad_clip > 0:
+            factor = self.config.grad_clip / total
+            for key in grads:
+                grads[key] *= factor

@@ -1,0 +1,107 @@
+"""Search result records shared by NASAIC and the baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accel.accelerator import HeterogeneousAccelerator
+from repro.arch.network import NetworkArch
+
+__all__ = ["EpisodeRecord", "ExploredSolution", "SearchResult"]
+
+
+@dataclass(frozen=True)
+class ExploredSolution:
+    """One fully evaluated (architectures, accelerator) pair.
+
+    These are the points plotted in Fig. 6: hardware metrics plus the
+    accuracy of every task network (display units: % or IOU).
+    """
+
+    networks: tuple[NetworkArch, ...]
+    accelerator: HeterogeneousAccelerator
+    latency_cycles: int
+    energy_nj: float
+    area_um2: float
+    feasible: bool
+    accuracies: tuple[float, ...]
+    weighted_accuracy: float
+
+    @property
+    def genotypes(self) -> tuple[tuple[int, ...], ...]:
+        return tuple(net.genotype for net in self.networks)
+
+    def describe(self) -> str:
+        """One-line summary in the paper's notation."""
+        acc = "/".join(f"{a:.4g}" for a in self.accuracies)
+        flag = "meets specs" if self.feasible else "VIOLATES specs"
+        return (f"{self.accelerator.describe()} acc={acc} "
+                f"L={self.latency_cycles:.3g} E={self.energy_nj:.3g} "
+                f"A={self.area_um2:.3g} [{flag}]")
+
+
+@dataclass(frozen=True)
+class EpisodeRecord:
+    """Diagnostics for one NASAIC episode.
+
+    ``solution`` is ``None`` when early pruning skipped the episode's
+    training (no feasible hardware among the ``1 + phi`` designs).
+    """
+
+    episode: int
+    solution: ExploredSolution | None
+    reward: float
+    penalty: float
+    trained: bool
+    hardware_steps: int
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run (NASAIC or a baseline).
+
+    Attributes:
+        name: Which approach produced the result.
+        episodes: Per-episode diagnostics (empty for non-RL baselines).
+        explored: All fully evaluated solutions, in discovery order.
+        best: The feasible solution with the highest weighted accuracy
+            (``None`` if nothing feasible was ever found).
+        trainings_run / trainings_skipped: Training-path accounting
+            (early-pruning effectiveness, §IV-②).
+        hardware_evaluations: Cost-model invocation count.
+    """
+
+    name: str
+    episodes: list[EpisodeRecord] = field(default_factory=list)
+    explored: list[ExploredSolution] = field(default_factory=list)
+    best: ExploredSolution | None = None
+    trainings_run: int = 0
+    trainings_skipped: int = 0
+    hardware_evaluations: int = 0
+
+    def record(self, solution: ExploredSolution) -> None:
+        """Add a solution and refresh the incumbent best."""
+        self.explored.append(solution)
+        if solution.feasible and (
+                self.best is None
+                or solution.weighted_accuracy > self.best.weighted_accuracy):
+            self.best = solution
+
+    @property
+    def feasible_solutions(self) -> list[ExploredSolution]:
+        return [s for s in self.explored if s.feasible]
+
+    def summary(self) -> str:
+        """Multi-line human-readable run summary."""
+        lines = [
+            f"{self.name}: {len(self.explored)} solutions explored, "
+            f"{len(self.feasible_solutions)} feasible, "
+            f"{self.trainings_run} trainings run, "
+            f"{self.trainings_skipped} skipped, "
+            f"{self.hardware_evaluations} hardware evaluations",
+        ]
+        if self.best is not None:
+            lines.append("best: " + self.best.describe())
+        else:
+            lines.append("best: none feasible")
+        return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Reward shaping: weighted accuracy (Eq. 2), penalty (Eq. 3), reward (Eq. 4).
+
+Accuracies enter the reward on a [0, 1] scale (classification percentages
+are divided by 100; IOU already is a fraction), so the paper's
+``rho = 10`` penalty coefficient dominates any accuracy gain whenever a
+spec is violated — exactly the intended behaviour: feasibility first,
+accuracy second.
+"""
+
+from __future__ import annotations
+
+from repro.train.datasets import dataset_spec
+from repro.workloads.workload import DesignSpecs, PenaltyBounds, Workload
+
+__all__ = [
+    "episode_reward",
+    "hardware_penalty",
+    "normalised_accuracy",
+    "weighted_normalised_accuracy",
+]
+
+
+def hardware_penalty(latency: float, energy: float, area: float,
+                     specs: DesignSpecs, bounds: PenaltyBounds) -> float:
+    """Eq. 3: graded spec-violation penalty, zero when all specs are met.
+
+    Each violated metric contributes its overshoot normalised by the
+    headroom between the spec and its exploration upper bound
+    ``(bl, be, ba)``.
+    """
+    bounds.validate_against(specs)
+    penalty = (
+        max(latency - specs.latency_cycles, 0.0)
+        / (bounds.latency_cycles - specs.latency_cycles)
+        + max(energy - specs.energy_nj, 0.0)
+        / (bounds.energy_nj - specs.energy_nj)
+        + max(area - specs.area_um2, 0.0)
+        / (bounds.area_um2 - specs.area_um2)
+    )
+    return float(penalty)
+
+
+def normalised_accuracy(dataset: str, accuracy: float) -> float:
+    """Map a display-unit metric (92.85% or 0.8374 IOU) to [0, 1]."""
+    spec = dataset_spec(dataset)
+    return accuracy / 100.0 if spec.metric_is_percent else accuracy
+
+
+def weighted_normalised_accuracy(workload: Workload,
+                                 accuracies: tuple[float, ...]) -> float:
+    """The ``weighted(D)`` objective on the normalised [0, 1] scale.
+
+    Honours the workload's aggregate function: ``avg`` is Eq. 2
+    (``sum(alpha_i * acc_i)``); ``min`` maximises the worst task.
+    """
+    if len(accuracies) != workload.num_tasks:
+        raise ValueError(
+            f"expected {workload.num_tasks} accuracies, got "
+            f"{len(accuracies)}")
+    normalised = [
+        normalised_accuracy(task.dataset, acc)
+        for task, acc in zip(workload.tasks, accuracies)]
+    if workload.aggregate == "min":
+        return min(normalised)
+    return sum(task.weight * value
+               for task, value in zip(workload.tasks, normalised))
+
+
+def episode_reward(weighted_accuracy: float, penalty: float,
+                   rho: float = 10.0) -> float:
+    """Eq. 4: ``R(D, P) = weighted(D) - rho * P``."""
+    if rho < 0:
+        raise ValueError("rho must be non-negative")
+    return weighted_accuracy - rho * penalty

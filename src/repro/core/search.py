@@ -1,0 +1,254 @@
+"""NASAIC: the co-exploration framework (§IV).
+
+One episode follows the optimizer selector's schedule (§IV-②):
+
+1. one **joint step** (``SA = SH = 1``): the controller samples new
+   architectures *and* a new accelerator design; the hardware path
+   evaluates the design;
+2. ``phi`` **hardware-only steps** (``SA = 0, SH = 1``): the architecture
+   segments are pinned to the episode's sample (teacher forcing) while the
+   hardware segments explore designs for it; each step updates the
+   controller with the accuracy-free reward ``-rho * P``;
+3. **early pruning**: if none of the ``1 + phi`` designs is feasible, the
+   (expensive) training of the episode's architectures is skipped and the
+   joint step is updated with ``-rho * P_best``; otherwise the networks
+   are trained and the joint step receives the full Eq. 4 reward
+   ``weighted(D) - rho * P_best``.
+
+The joint and hardware reward streams have different scales, so each gets
+its own REINFORCE trainer (separate reward baselines and RMSProp moments)
+over the *shared* controller parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accel.allocation import AllocationSpace
+from repro.core.bounds_calibration import calibrate_penalty_bounds
+from repro.core.choices import JointSearchSpace
+from repro.core.controller import ControllerConfig, RNNController
+from repro.core.evaluator import Evaluator, HardwareEvaluation
+from repro.core.reinforce import ReinforceConfig, ReinforceTrainer
+from repro.core.results import EpisodeRecord, ExploredSolution, SearchResult
+from repro.core.reward import episode_reward, weighted_normalised_accuracy
+from repro.cost.model import CostModel
+from repro.train.surrogate import AccuracySurrogate, default_surrogate
+from repro.train.trainer import SurrogateTrainer
+from repro.utils.rng import new_rng, spawn_rng
+from repro.workloads.workload import Workload
+
+__all__ = ["NASAIC", "NASAICConfig"]
+
+
+@dataclass(frozen=True)
+class NASAICConfig:
+    """NASAIC exploration parameters (§V-A defaults).
+
+    Attributes:
+        episodes: Exploration episodes ``beta`` (paper: 500).
+        hw_steps: Hardware-only designs explored per episode ``phi``
+            (paper: 10).
+        rho: Penalty coefficient of Eq. 4 (paper: 10).
+        seed: Master seed for controller init and sampling.
+        joint_batch: Batch size ``m`` of Eq. 1 for the joint-step policy
+            updates (gradients are averaged over this many episodes).
+        prune_infeasible: The §IV-② early pruning: skip the training path
+            whenever no feasible design was found among the ``1 + phi``
+            hardware explorations.  Disabling it trains every sampled
+            architecture (the ablation baseline) — slower, and explored
+            solutions may then violate the specs.
+        calibrate_bounds: Replace the workload's penalty bounds with the
+            paper-faithful exploration bounds (largest networks on
+            maximal designs, see
+            :mod:`repro.core.bounds_calibration`) before searching.
+        controller: RNN controller hyperparameters.
+        reinforce: Policy-gradient hyperparameters.
+    """
+
+    episodes: int = 500
+    hw_steps: int = 10
+    rho: float = 10.0
+    seed: int = 7
+    joint_batch: int = 5
+    prune_infeasible: bool = True
+    calibrate_bounds: bool = True
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    reinforce: ReinforceConfig = field(default_factory=ReinforceConfig)
+
+    def __post_init__(self) -> None:
+        if self.episodes < 1:
+            raise ValueError("episodes must be >= 1")
+        if self.hw_steps < 0:
+            raise ValueError("hw_steps must be >= 0")
+        if self.joint_batch < 1:
+            raise ValueError("joint_batch must be >= 1")
+
+
+class NASAIC:
+    """Co-exploration of neural architectures and ASIC designs.
+
+    Args:
+        workload: Multi-task workload with design specs.
+        allocation: Hardware allocation space; defaults to the paper's
+            two-slot, 4096-PE, 64-GB/s configuration.
+        cost_model: MAESTRO-substitute oracle (fresh one by default).
+        surrogate: Accuracy oracle; defaults to the paper-calibrated
+            surrogate with the workload's spaces registered.
+        config: Exploration parameters.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        *,
+        allocation: AllocationSpace | None = None,
+        cost_model: CostModel | None = None,
+        surrogate: AccuracySurrogate | None = None,
+        config: NASAICConfig | None = None,
+    ) -> None:
+        self.allocation = allocation or AllocationSpace()
+        self.config = config or NASAICConfig()
+        self.cost_model = cost_model or CostModel()
+        if self.config.calibrate_bounds:
+            bounds = calibrate_penalty_bounds(workload, self.cost_model,
+                                              self.allocation)
+            workload = workload.with_specs(workload.specs, bounds=bounds)
+        self.workload = workload
+        if surrogate is None:
+            surrogate = default_surrogate(
+                [task.space for task in workload.tasks])
+        self.surrogate = surrogate
+        self.trainer = SurrogateTrainer(surrogate)
+        self.evaluator = Evaluator(workload, self.cost_model, self.trainer,
+                                   rho=self.config.rho)
+        self.space = JointSearchSpace(workload, self.allocation)
+        master = new_rng(self.config.seed)
+        self._init_rng = spawn_rng(master, 0)
+        self._sample_rng = spawn_rng(master, 1)
+        self.controller = RNNController(
+            self.space.decisions, self.config.controller,
+            rng=self._init_rng)
+        self._joint_updates = ReinforceTrainer(self.controller,
+                                               self.config.reinforce)
+        self._hw_updates = ReinforceTrainer(self.controller,
+                                            self.config.reinforce)
+        self._pending_joint: list = []
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, episodes: int | None = None,
+            *, progress_every: int | None = None) -> SearchResult:
+        """Run the search and return the full exploration record."""
+        episodes = episodes or self.config.episodes
+        result = SearchResult(name=f"NASAIC[{self.workload.name}]")
+        for episode in range(episodes):
+            record = self._run_episode(episode, result)
+            result.episodes.append(record)
+            if progress_every and (episode + 1) % progress_every == 0:
+                best = (f"{result.best.weighted_accuracy:.4f}"
+                        if result.best else "none")
+                print(f"episode {episode + 1}/{episodes} "
+                      f"reward={record.reward:+.3f} best={best}")
+        result.trainings_run = self.trainer.trainings_run
+        result.trainings_skipped = self.trainer.trainings_skipped
+        result.hardware_evaluations = self.evaluator.hardware_evaluations
+        return result
+
+    def _run_episode(self, episode: int,
+                     result: SearchResult) -> EpisodeRecord:
+        rho = self.config.rho
+        # -- joint step (SA = SH = 1) ----------------------------------
+        joint_sample = self.controller.sample(
+            self._sample_rng, mask_fn=self.space.mask_for)
+        joint = self.space.decode(joint_sample.actions)
+        best_hw = self.evaluator.evaluate_hardware(
+            joint.networks, joint.accelerator)
+        # -- hardware-only steps (SA = 0, SH = 1) ----------------------
+        forced = {pos: joint_sample.actions[pos]
+                  for pos in self.space.arch_positions}
+        hw_batch = []
+        for _ in range(self.config.hw_steps):
+            hw_sample = self.controller.sample(
+                self._sample_rng, mask_fn=self.space.mask_for,
+                forced_actions=forced)
+            hw_design = self.space.decode(hw_sample.actions).accelerator
+            hw_eval = self.evaluator.evaluate_hardware(
+                joint.networks, hw_design)
+            hw_batch.append((hw_sample, -rho * hw_eval.penalty))
+            if self._better_hw(hw_eval, best_hw):
+                best_hw = hw_eval
+        if hw_batch:
+            self._hw_updates.apply_episodes(hw_batch)
+        # -- training path with early pruning --------------------------
+        trained = (best_hw.penalty == 0.0
+                   or not self.config.prune_infeasible)
+        if trained:
+            accuracies = self.evaluator.train_networks(joint.networks)
+            weighted = weighted_normalised_accuracy(self.workload,
+                                                    accuracies)
+        else:
+            self.trainer.skip_training()
+            accuracies = ()
+            weighted = 0.0
+        reward = episode_reward(weighted, best_hw.penalty, rho)
+        self._pending_joint.append((joint_sample, reward))
+        if len(self._pending_joint) >= self.config.joint_batch:
+            self._joint_updates.apply_episodes(self._pending_joint)
+            self._pending_joint = []
+        # -- bookkeeping ------------------------------------------------
+        solution = None
+        if trained:
+            solution = ExploredSolution(
+                networks=joint.networks,
+                accelerator=best_hw.accelerator,
+                latency_cycles=best_hw.latency_cycles,
+                energy_nj=best_hw.energy_nj,
+                area_um2=best_hw.area_um2,
+                feasible=best_hw.feasible,
+                accuracies=accuracies,
+                weighted_accuracy=weighted,
+            )
+            result.record(solution)
+        return EpisodeRecord(
+            episode=episode,
+            solution=solution,
+            reward=reward,
+            penalty=best_hw.penalty,
+            trained=trained,
+            hardware_steps=self.config.hw_steps,
+        )
+
+    @staticmethod
+    def _better_hw(candidate: HardwareEvaluation,
+                   incumbent: HardwareEvaluation) -> bool:
+        """Prefer lower penalty, then lower energy, then lower latency."""
+        return ((candidate.penalty, candidate.energy_nj,
+                 candidate.latency_cycles)
+                < (incumbent.penalty, incumbent.energy_nj,
+                   incumbent.latency_cycles))
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+    def greedy_solution(self) -> ExploredSolution:
+        """Evaluate the controller's current argmax sample."""
+        rng = np.random.default_rng(0)  # unused under greedy decoding
+        sample = self.controller.sample(
+            rng, mask_fn=self.space.mask_for, greedy=True)
+        joint = self.space.decode(sample.actions)
+        evaluation = self.evaluator.evaluate(joint.networks,
+                                             joint.accelerator)
+        return ExploredSolution(
+            networks=joint.networks,
+            accelerator=joint.accelerator,
+            latency_cycles=evaluation.hardware.latency_cycles,
+            energy_nj=evaluation.hardware.energy_nj,
+            area_um2=evaluation.hardware.area_um2,
+            feasible=evaluation.feasible,
+            accuracies=evaluation.accuracies,
+            weighted_accuracy=evaluation.weighted_accuracy,
+        )

@@ -1,0 +1,79 @@
+"""JSON serialisation of search results.
+
+Lives in ``repro.core`` (not ``repro.utils``) because it consumes the
+search-result types; ``repro.utils`` sits below every other subpackage.
+
+Experiment harnesses persist their outcomes so EXPERIMENTS.md numbers
+can be regenerated and diffed.  Solutions serialise to plain dictionaries
+(genotypes, accelerator triples, metrics) — enough to reproduce every
+table row without pickling live objects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.results import ExploredSolution, SearchResult
+
+__all__ = ["load_result", "result_to_dict", "save_result",
+           "solution_to_dict"]
+
+
+def solution_to_dict(solution: ExploredSolution) -> dict[str, Any]:
+    """Flatten one solution into JSON-safe primitives."""
+    return {
+        "networks": [
+            {
+                "backbone": net.backbone,
+                "dataset": net.dataset,
+                "genotype": list(net.genotype),
+                "macs": net.total_macs,
+                "params": net.total_params,
+            }
+            for net in solution.networks
+        ],
+        "accelerator": [
+            {
+                "dataflow": sub.dataflow.value,
+                "pes": sub.num_pes,
+                "bandwidth_gbps": sub.bandwidth_gbps,
+            }
+            for sub in solution.accelerator.active_subaccs
+        ],
+        "latency_cycles": solution.latency_cycles,
+        "energy_nj": solution.energy_nj,
+        "area_um2": solution.area_um2,
+        "feasible": solution.feasible,
+        "accuracies": list(solution.accuracies),
+        "weighted_accuracy": solution.weighted_accuracy,
+    }
+
+
+def result_to_dict(result: SearchResult) -> dict[str, Any]:
+    """Flatten a whole search run (explored set + accounting)."""
+    return {
+        "name": result.name,
+        "best": (solution_to_dict(result.best)
+                 if result.best is not None else None),
+        "explored": [solution_to_dict(s) for s in result.explored],
+        "trainings_run": result.trainings_run,
+        "trainings_skipped": result.trainings_skipped,
+        "hardware_evaluations": result.hardware_evaluations,
+        "num_feasible": len(result.feasible_solutions),
+    }
+
+
+def save_result(result: SearchResult, path: str | Path) -> Path:
+    """Write a search run to ``path`` as indented JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=2),
+                    encoding="utf-8")
+    return path
+
+
+def load_result(path: str | Path) -> dict[str, Any]:
+    """Read back a serialised run as a plain dictionary."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

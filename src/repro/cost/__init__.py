@@ -1,0 +1,23 @@
+"""MAESTRO-style analytic cost model (latency / energy / area)."""
+
+from repro.cost.area import accelerator_area_um2, subaccelerator_area_um2
+from repro.cost.energy import dram_bytes, layer_energy_nj
+from repro.cost.latency import memory_cycles, roofline_latency
+from repro.cost.model import CostModel, LayerCost
+from repro.cost.params import DEFAULT_PARAMS, CostModelParams
+from repro.cost.reuse import TilingAnalysis, analyze
+
+__all__ = [
+    "CostModel",
+    "CostModelParams",
+    "DEFAULT_PARAMS",
+    "LayerCost",
+    "TilingAnalysis",
+    "accelerator_area_um2",
+    "analyze",
+    "dram_bytes",
+    "layer_energy_nj",
+    "memory_cycles",
+    "roofline_latency",
+    "subaccelerator_area_um2",
+]

@@ -1,0 +1,72 @@
+"""Accelerator area model.
+
+A sub-accelerator's area is the sum of
+
+- its PE array (dataflow-specific per-PE area — row-stationary PEs carry
+  large register files, NVDLA cells an adder tree, ShiDianNao lean shift
+  cells),
+- its global-buffer SRAM, sized to the largest working set among the
+  layers mapped to it (§III-➋: buffers are derived, not searched), and
+- its NIC plus NoC wiring proportional to the allocated bandwidth.
+
+Inactive slots (zero PEs) contribute nothing.
+"""
+
+from __future__ import annotations
+
+from repro.accel.accelerator import HeterogeneousAccelerator
+from repro.accel.dataflow import template_for
+from repro.accel.subaccelerator import SubAccelerator
+from repro.cost.params import CostModelParams
+
+__all__ = ["accelerator_area_um2", "subaccelerator_area_um2"]
+
+
+def subaccelerator_area_um2(
+    subacc: SubAccelerator,
+    params: CostModelParams,
+    *,
+    glb_bytes: int | None = None,
+) -> float:
+    """Area of one sub-accelerator in um^2.
+
+    Args:
+        subacc: The slot to size.
+        params: Cost-model constants.
+        glb_bytes: Global-buffer capacity implied by the mapped layers'
+            largest working set; ``None`` uses the default idle size.
+    """
+    if not subacc.is_active:
+        return 0.0
+    if glb_bytes is None:
+        glb_bytes = params.default_glb_bytes
+    if glb_bytes < 0:
+        raise ValueError(f"glb_bytes must be non-negative, got {glb_bytes}")
+    template = template_for(subacc.dataflow)
+    pe_array = subacc.num_pes * template.pe_area_um2
+    sram = glb_bytes * params.sram_area_um2_per_byte
+    noc = (subacc.bandwidth_gbps * params.noc_area_um2_per_gbps
+           + params.nic_base_area_um2)
+    return pe_array + sram + noc
+
+
+def accelerator_area_um2(
+    accelerator: HeterogeneousAccelerator,
+    params: CostModelParams,
+    *,
+    glb_bytes_per_slot: dict[int, int] | None = None,
+) -> float:
+    """Total accelerator area in um^2.
+
+    Args:
+        accelerator: The full design.
+        params: Cost-model constants.
+        glb_bytes_per_slot: Optional map from slot index to the buffer
+            capacity its mapping requires; missing slots use the default.
+    """
+    glb_bytes_per_slot = glb_bytes_per_slot or {}
+    return sum(
+        subaccelerator_area_um2(
+            subacc, params, glb_bytes=glb_bytes_per_slot.get(slot))
+        for slot, subacc in enumerate(accelerator.subaccs)
+    )

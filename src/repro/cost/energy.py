@@ -1,0 +1,36 @@
+"""Layer energy: MAC + NoC + DRAM components.
+
+Energy is additive across a hierarchical breakdown, the structure every
+published accelerator evaluation (Eyeriss, MAESTRO) uses:
+
+- arithmetic: one ``mac_energy_nj`` per multiply-accumulate;
+- NoC: traffic between the global buffer and the PE array, including the
+  dataflow's refetch multipliers;
+- DRAM: each of the layer's tensors (weights, inputs, outputs) crosses the
+  DRAM interface once — the global buffer is sized for full reuse
+  (§III-➋), so no DRAM refetch occurs.
+"""
+
+from __future__ import annotations
+
+from repro.arch.layers import ConvLayer
+from repro.cost.params import CostModelParams
+from repro.cost.reuse import TilingAnalysis
+
+__all__ = ["dram_bytes", "layer_energy_nj"]
+
+
+def dram_bytes(layer: ConvLayer, params: CostModelParams) -> int:
+    """Bytes crossing the DRAM interface for one layer execution."""
+    elems = layer.weight_elems + layer.ifmap_elems + layer.ofmap_elems
+    return elems * params.elem_bytes
+
+
+def layer_energy_nj(layer: ConvLayer, analysis: TilingAnalysis,
+                    params: CostModelParams) -> float:
+    """Total energy in nJ for one execution of ``layer``."""
+    mac = layer.macs * params.mac_energy_nj
+    noc = (analysis.total_fetches * params.elem_bytes
+           * params.noc_energy_nj_per_byte)
+    dram = dram_bytes(layer, params) * params.dram_energy_nj_per_byte
+    return mac + noc + dram

@@ -1,0 +1,156 @@
+"""Cost model facade: the MAESTRO role in NASAIC.
+
+NASAIC uses MAESTRO as a black-box oracle (§IV-③): feed it a network layer
+and a sub-accelerator, get latency and energy back; feed it the accelerator
+set, get area back.  :class:`CostModel` provides exactly that interface on
+top of the analytic components in this package, with memoisation — the
+search evaluates the same (layer, sub-accelerator) pairs across thousands
+of episodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.accelerator import HeterogeneousAccelerator
+from repro.accel.subaccelerator import SubAccelerator
+from repro.arch.layers import ConvLayer
+from repro.arch.network import NetworkArch
+from repro.cost.area import accelerator_area_um2
+from repro.cost.energy import dram_bytes, layer_energy_nj
+from repro.cost.latency import memory_cycles, roofline_latency
+from repro.cost.params import DEFAULT_PARAMS, CostModelParams
+from repro.cost.reuse import analyze
+
+__all__ = ["CostModel", "LayerCost"]
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Full cost report for one layer on one sub-accelerator.
+
+    Attributes:
+        latency_cycles: Roofline latency including launch overhead.
+        energy_nj: Total energy (MAC + NoC + DRAM).
+        compute_cycles: Pure compute component.
+        memory_cycles: Pure NoC-streaming component.
+        utilization: Steady-state PE utilisation.
+        noc_bytes: Bytes crossing the sub-accelerator NoC.
+        dram_bytes: Bytes crossing the DRAM interface.
+        working_set_bytes: Global-buffer bytes needed for full reuse.
+    """
+
+    latency_cycles: int
+    energy_nj: float
+    compute_cycles: int
+    memory_cycles: int
+    utilization: float
+    noc_bytes: int
+    dram_bytes: int
+    working_set_bytes: int
+
+    @property
+    def bound(self) -> str:
+        """Which roofline side limits this layer: compute or memory."""
+        return ("memory" if self.memory_cycles > self.compute_cycles
+                else "compute")
+
+
+class CostModel:
+    """Memoising analytic cost oracle.
+
+    Args:
+        params: Model constants; defaults to the calibrated set in
+            :data:`repro.cost.params.DEFAULT_PARAMS`.
+    """
+
+    def __init__(self, params: CostModelParams | None = None) -> None:
+        self.params = params or DEFAULT_PARAMS
+        self._layer_cache: dict[tuple, LayerCost] = {}
+
+    # ------------------------------------------------------------------
+    # Per-layer oracle
+    # ------------------------------------------------------------------
+    def layer_cost(self, layer: ConvLayer,
+                   subacc: SubAccelerator) -> LayerCost:
+        """Latency/energy of one layer on one sub-accelerator (cached)."""
+        if not subacc.is_active:
+            raise ValueError(
+                f"layer {layer.name!r} mapped to an inactive sub-accelerator")
+        key = (layer, subacc.dataflow, subacc.num_pes, subacc.bandwidth_gbps)
+        cached = self._layer_cache.get(key)
+        if cached is not None:
+            return cached
+        analysis = analyze(layer, subacc.dataflow, subacc.num_pes,
+                           self.params)
+        mem = memory_cycles(analysis, subacc.bandwidth_gbps, self.params)
+        latency = roofline_latency(analysis, subacc.bandwidth_gbps,
+                                   self.params)
+        energy = layer_energy_nj(layer, analysis, self.params)
+        cost = LayerCost(
+            latency_cycles=latency,
+            energy_nj=energy,
+            compute_cycles=analysis.compute_cycles,
+            memory_cycles=mem,
+            utilization=analysis.utilization,
+            noc_bytes=analysis.total_fetches * self.params.elem_bytes,
+            dram_bytes=dram_bytes(layer, self.params),
+            working_set_bytes=(analysis.working_set_elems
+                               * self.params.elem_bytes),
+        )
+        self._layer_cache[key] = cost
+        return cost
+
+    def network_cost_on(self, network: NetworkArch,
+                        subacc: SubAccelerator) -> tuple[int, float]:
+        """(total latency cycles, total energy nJ) of a whole network
+        executed sequentially on one sub-accelerator."""
+        latency = 0
+        energy = 0.0
+        for layer in network.layers:
+            cost = self.layer_cost(layer, subacc)
+            latency += cost.latency_cycles
+            energy += cost.energy_nj
+        return latency, energy
+
+    # ------------------------------------------------------------------
+    # Area oracle
+    # ------------------------------------------------------------------
+    def area_um2(
+        self,
+        accelerator: HeterogeneousAccelerator,
+        *,
+        mapped_layers: dict[int, list[ConvLayer]] | None = None,
+    ) -> float:
+        """Total area, with buffers sized to the mapped working sets.
+
+        Args:
+            accelerator: The design to size.
+            mapped_layers: Optional map from slot index to the layers the
+                scheduler placed there; each slot's global buffer is sized
+                to its largest working set.  Without a mapping, the default
+                buffer size is charged per active slot.
+        """
+        glb: dict[int, int] = {}
+        if mapped_layers:
+            for slot, layers in mapped_layers.items():
+                subacc = accelerator.subaccs[slot]
+                if not layers:
+                    continue
+                glb[slot] = max(
+                    self.layer_cost(layer, subacc).working_set_bytes
+                    for layer in layers)
+        return accelerator_area_um2(accelerator, self.params,
+                                    glb_bytes_per_slot=glb)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    @property
+    def cache_size(self) -> int:
+        """Number of memoised (layer, sub-accelerator) evaluations."""
+        return len(self._layer_cache)
+
+    def clear_cache(self) -> None:
+        """Drop all memoised evaluations."""
+        self._layer_cache.clear()

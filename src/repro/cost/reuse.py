@@ -1,0 +1,164 @@
+"""Per-dataflow tiling, utilisation and data-movement analysis.
+
+This is the core of the MAESTRO substitute: for each dataflow template it
+derives, from a layer's geometry and a PE count,
+
+- **compute cycles** from the template's spatial unrolling (with ceiling
+  effects — the source of each dataflow's layer affinity),
+- **NoC traffic** per tensor (weight/input/output fetch counts including
+  refetch multipliers from tiling passes), and
+- the **working set** the global buffer must hold for full reuse (which
+  sizes the buffer, §III-➋: "the memory size can be determined to support
+  the full use of hardware").
+
+Affinity structure reproduced from §II (Challenge 2):
+
+- ``dla`` unrolls input x output channels, so channel-light high-res
+  layers (U-Net encoders, stems) underutilise it, while channel-heavy
+  low-res layers (deep ResNet blocks) saturate it.
+- ``shi`` unrolls output pixels, the exact opposite.
+- ``rs`` unrolls (filter row x output row) pairs with folding over output
+  channels — balanced on both extremes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accel.dataflow import Dataflow
+from repro.arch.layers import ConvLayer
+from repro.cost.params import CostModelParams
+
+__all__ = ["TilingAnalysis", "analyze"]
+
+
+@dataclass(frozen=True)
+class TilingAnalysis:
+    """Result of mapping one layer onto one dataflow template.
+
+    Attributes:
+        compute_cycles: Cycles the PE array needs, ignoring memory stalls.
+        weight_fetches: Weight elements crossing the NoC (with refetch).
+        input_fetches: Input activation elements crossing the NoC.
+        output_fetches: Output activation elements crossing the NoC
+            (including partial-sum spill passes).
+        utilization: Fraction of PEs doing useful work in steady state.
+        working_set_elems: Elements the global buffer holds for full reuse.
+    """
+
+    compute_cycles: int
+    weight_fetches: int
+    input_fetches: int
+    output_fetches: int
+    utilization: float
+    working_set_elems: int
+
+    @property
+    def total_fetches(self) -> int:
+        """All elements crossing the NoC for this layer."""
+        return self.weight_fetches + self.input_fetches + self.output_fetches
+
+
+def _cap(count: int, cap: int) -> int:
+    """Clamp a refetch multiplier at the mapper's re-tiling bound."""
+    return min(count, cap)
+
+
+def _analyze_nvdla(layer: ConvLayer, pes: int,
+                   cap: int) -> TilingAnalysis:
+    """NVDLA-style: spatial unrolling over input x output channels.
+
+    The PE array is split into ``Ct`` input-channel lanes feeding an adder
+    tree and ``Kt`` output-channel groups; each step produces partial sums
+    for one output pixel per group.
+    """
+    c, k = layer.in_channels, layer.out_channels
+    ct = min(c, pes)
+    kt = min(k, max(1, pes // ct))
+    passes_c = math.ceil(c / ct)
+    passes_k = math.ceil(k / kt)
+    taps = layer.kernel * layer.kernel
+    compute = passes_c * passes_k * taps * layer.out_pixels
+    utilization = min(1.0, (ct * kt) / pes)
+    weight_fetches = layer.weight_elems
+    input_fetches = layer.ifmap_elems * _cap(passes_k, cap)
+    output_fetches = layer.ofmap_elems * _cap(passes_c, cap)
+    working_set = (layer.ifmap_elems + layer.ofmap_elems
+                   + ct * kt * taps)
+    return TilingAnalysis(compute, weight_fetches, input_fetches,
+                          output_fetches, utilization, working_set)
+
+
+def _analyze_shidiannao(layer: ConvLayer, pes: int,
+                        cap: int) -> TilingAnalysis:
+    """ShiDianNao-style: spatial unrolling over output pixels.
+
+    Each PE owns one output pixel (output-stationary); inputs are shifted
+    between neighbours, weights are broadcast, and output channels are
+    processed sequentially.
+    """
+    pixels = layer.out_pixels
+    pt = min(pixels, pes)
+    tiles = math.ceil(pixels / pt)
+    k, c = layer.out_channels, layer.in_channels
+    taps = layer.kernel * layer.kernel
+    compute = tiles * k * c * taps
+    utilization = min(1.0, pixels / (tiles * pes))
+    weight_fetches = layer.weight_elems * _cap(tiles, cap)
+    input_fetches = layer.ifmap_elems
+    output_fetches = layer.ofmap_elems
+    working_set = (layer.ifmap_elems + layer.ofmap_elems
+                   + layer.weight_elems)
+    return TilingAnalysis(compute, weight_fetches, input_fetches,
+                          output_fetches, utilization, working_set)
+
+
+def _analyze_row_stationary(layer: ConvLayer, pes: int,
+                            cap: int) -> TilingAnalysis:
+    """Eyeriss-style row-stationary: unrolls (filter row x output row).
+
+    A PE computes the 1-D convolution of one filter row against one input
+    row; ``R`` rows stack vertically to form one 2-D output row, replicated
+    over output rows and output channels until PEs are exhausted.
+    """
+    r = layer.kernel
+    yo = layer.out_height
+    k, c = layer.out_channels, layer.in_channels
+    r_t = min(r, pes)  # tiny arrays cannot unroll all kernel rows
+    yo_t = min(yo, max(1, pes // r_t))
+    kt = min(k, max(1, pes // (r_t * yo_t)))
+    passes_r = math.ceil(r / r_t)
+    passes_y = math.ceil(yo / yo_t)
+    passes_k = math.ceil(k / kt)
+    compute = (passes_r * passes_y * passes_k
+               * c * layer.kernel * layer.out_width)
+    utilization = min(1.0, (r_t * yo_t * kt) / pes)
+    weight_fetches = layer.weight_elems * _cap(passes_y, cap)
+    input_fetches = layer.ifmap_elems * _cap(passes_k, cap)
+    output_fetches = layer.ofmap_elems
+    working_set = (layer.ifmap_elems + layer.ofmap_elems
+                   + layer.weight_elems)
+    return TilingAnalysis(compute, weight_fetches, input_fetches,
+                          output_fetches, utilization, working_set)
+
+
+_ANALYZERS = {
+    Dataflow.NVDLA: _analyze_nvdla,
+    Dataflow.SHIDIANNAO: _analyze_shidiannao,
+    Dataflow.ROW_STATIONARY: _analyze_row_stationary,
+}
+
+
+def analyze(layer: ConvLayer, dataflow: Dataflow, pes: int,
+            params: CostModelParams) -> TilingAnalysis:
+    """Map ``layer`` onto ``pes`` PEs of ``dataflow`` style.
+
+    Raises:
+        ValueError: If ``pes`` is not positive (inactive sub-accelerators
+            cannot execute layers).
+    """
+    if pes <= 0:
+        raise ValueError(
+            f"cannot map layer {layer.name!r} onto {pes} PEs")
+    return _ANALYZERS[dataflow](layer, pes, params.refetch_cap)

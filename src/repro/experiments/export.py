@@ -1,0 +1,71 @@
+"""CSV exporters for the figure harnesses.
+
+The paper's figures are 3-D scatter plots; these helpers dump every
+point series as CSV so any plotting tool can regenerate the visuals from
+the benchmark outputs (``benchmarks/results/*.csv`` when run through the
+benches, or programmatically).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig1 import Fig1Result
+from repro.experiments.fig6 import Fig6Result
+
+__all__ = ["fig1_to_csv", "fig6_to_csv"]
+
+_HEADER = "series,latency_cycles,energy_nj,area_um2,feasible,accuracy"
+
+
+def _row(series: str, latency: float, energy: float, area: float,
+         feasible: bool, accuracy: str) -> str:
+    return (f"{series},{latency:.6g},{energy:.6g},{area:.6g},"
+            f"{int(feasible)},{accuracy}")
+
+
+def fig6_to_csv(result: Fig6Result) -> str:
+    """One Fig. 6 panel as CSV (explored / lower-bound / best series)."""
+    lines = [_HEADER]
+    for solution in result.explored:
+        lines.append(_row(
+            "explored", solution.latency_cycles, solution.energy_nj,
+            solution.area_um2, solution.feasible,
+            "/".join(f"{a:.4g}" for a in solution.accuracies)))
+    lb_acc = "/".join(f"{a:.4g}" for a in result.lower_bound_accuracies)
+    for evaluation in result.lower_bounds:
+        lines.append(_row(
+            "lower_bound", evaluation.latency_cycles,
+            evaluation.energy_nj, evaluation.area_um2,
+            evaluation.feasible, lb_acc))
+    if result.best is not None:
+        lines.append(_row(
+            "best", result.best.latency_cycles, result.best.energy_nj,
+            result.best.area_um2, result.best.feasible,
+            "/".join(f"{a:.4g}" for a in result.best.accuracies)))
+    specs = result.workload.specs
+    lines.append(_row("specs", specs.latency_cycles, specs.energy_nj,
+                      specs.area_um2, True, ""))
+    return "\n".join(lines)
+
+
+def fig1_to_csv(result: Fig1Result) -> str:
+    """The Fig. 1 point families as CSV."""
+    lines = [_HEADER]
+    for evaluation in result.nas_asic_points:
+        lines.append(_row(
+            "nas_asic", evaluation.latency_cycles, evaluation.energy_nj,
+            evaluation.area_um2, evaluation.feasible,
+            f"{result.nas_accuracy:.4g}"))
+    for series, point in (
+            ("hw_aware_nas", result.hw_aware_nas_point),
+            ("heuristic", result.heuristic_point),
+            ("mc_optimal", result.mc_optimal_point)):
+        if point is None:
+            continue
+        lines.append(_row(
+            series, point.latency_cycles, point.energy_nj,
+            point.area_um2, point.feasible,
+            f"{point.accuracies[0]:.4g}"))
+    specs = result.workload.specs
+    lines.append(_row("specs", specs.latency_cycles, specs.energy_nj,
+                      specs.area_um2, True, ""))
+    return "\n".join(lines)

@@ -1,0 +1,253 @@
+"""Table II — single vs homogeneous vs heterogeneous accelerators on W3.
+
+Four accelerator configurations for the two-CIFAR-10 workload:
+
+- **NAS**: architecture search without hardware awareness, deployed on
+  the maximum-resource single accelerator ``<dla, 4096, 64>`` — reaches
+  the highest accuracy (94.17% in the paper) but violates the specs;
+- **Single Acc.**: one sub-accelerator runs one searched network twice
+  *sequentially*, so the latency and energy specs are halved for the
+  search (91.45%);
+- **Homo. Acc.**: two identical sub-accelerators run the same searched
+  network *simultaneously*, so energy and area are halved per
+  sub-accelerator (92.00%);
+- **Hetero. Acc. (NASAIC)**: the full co-exploration — two distinct
+  networks on two heterogeneous sub-accelerators (93.23% / 91.11%).
+
+Expected shape: NAS > hetero-best > homo > single > hetero-second on
+accuracy, with every configuration except NAS meeting the specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.accelerator import HeterogeneousAccelerator, ResourceBudget
+from repro.accel.allocation import AllocationSpace
+from repro.accel.dataflow import Dataflow
+from repro.accel.subaccelerator import SubAccelerator
+from repro.core.baselines import run_nas
+from repro.core.evaluator import Evaluator
+from repro.core.results import ExploredSolution
+from repro.core.search import NASAIC, NASAICConfig
+from repro.cost.model import CostModel
+from repro.train.surrogate import default_surrogate
+from repro.train.trainer import SurrogateTrainer
+from repro.utils.tables import format_table
+from repro.workloads.workload import (
+    DesignSpecs,
+    PenaltyBounds,
+    Task,
+    Workload,
+)
+
+__all__ = ["Table2Result", "Table2Row", "format_table2", "run_table2"]
+
+
+@dataclass
+class Table2Row:
+    """One accelerator-configuration row.
+
+    ``architectures``/``accuracies`` hold one entry per distinct network
+    (two for the heterogeneous row, one otherwise).  The hardware metrics
+    are expressed at *workload* level (both task executions included) so
+    all rows are compared against the same W3 specs.
+    """
+
+    approach: str
+    hardware: str
+    architectures: tuple[tuple[int, ...], ...]
+    accuracies: tuple[float, ...]
+    latency_cycles: float
+    energy_nj: float
+    area_um2: float
+    meets_specs: bool
+
+
+@dataclass
+class Table2Result:
+    """All four rows plus the workload they were evaluated against."""
+
+    workload: Workload
+    rows: list[Table2Row]
+
+    def row(self, approach: str) -> Table2Row:
+        for row in self.rows:
+            if row.approach == approach:
+                return row
+        raise KeyError(f"no row for approach {approach!r}")
+
+
+def _single_task_workload(base: Workload, name: str,
+                          specs: DesignSpecs) -> Workload:
+    """A one-task CIFAR-10 workload reusing the base task's space."""
+    task = base.tasks[0]
+    return Workload(
+        name=name,
+        tasks=(Task(task.name, task.space, weight=1.0),),
+        specs=specs,
+        bounds=PenaltyBounds.from_specs(specs),
+    )
+
+
+def run_table2(
+    workload: Workload,
+    *,
+    nas_episodes: int = 300,
+    nasaic_episodes: int = 500,
+    seed: int = 53,
+    nasaic_config: NASAICConfig | None = None,
+    hetero_restarts: int = 3,
+    nas_restarts: int = 2,
+) -> Table2Result:
+    """Regenerate Table II for the two-CIFAR workload ``workload``.
+
+    ``hetero_restarts``/``nas_restarts`` run the heterogeneous
+    co-exploration and the NAS row from several seeds and keep the best
+    outcome — REINFORCE runs have seed variance, and the heterogeneous
+    joint space is by far the largest of the four configurations.
+    """
+    if workload.num_tasks != 2:
+        raise ValueError("Table II expects the two-task W3 workload")
+    specs = workload.specs
+    cost_model = CostModel()
+    surrogate = default_surrogate([t.space for t in workload.tasks])
+    evaluator = Evaluator(workload, cost_model, SurrogateTrainer(surrogate))
+    rows: list[Table2Row] = []
+
+    # -- NAS: no hardware awareness, maximum single accelerator --------
+    nas_wl = _single_task_workload(workload, "W3-nas", specs)
+    nas = run_nas(nas_wl, surrogate=surrogate, episodes=nas_episodes,
+                  seed=seed)
+    for restart in range(1, max(1, nas_restarts)):
+        other = run_nas(nas_wl, surrogate=surrogate,
+                        episodes=nas_episodes, seed=seed + 100 * restart)
+        if other.best_weighted > nas.best_weighted:
+            nas = other
+    nas_net = nas.best_networks[0]
+    full_hw = HeterogeneousAccelerator(
+        (SubAccelerator(Dataflow.NVDLA, 4096, 64),))
+    nas_eval = evaluator.evaluate_hardware((nas_net, nas_net), full_hw)
+    rows.append(Table2Row(
+        approach="NAS", hardware=full_hw.describe(),
+        architectures=(nas_net.genotype,),
+        accuracies=(nas.best_accuracies[0],),
+        latency_cycles=nas_eval.latency_cycles,
+        energy_nj=nas_eval.energy_nj, area_um2=nas_eval.area_um2,
+        meets_specs=nas_eval.feasible))
+
+    # -- Single Acc.: one network executed twice sequentially ----------
+    single_specs = DesignSpecs(
+        latency_cycles=specs.latency_cycles // 2,
+        energy_nj=specs.energy_nj / 2,
+        area_um2=specs.area_um2)
+    single_wl = _single_task_workload(workload, "W3-single", single_specs)
+    single_alloc = AllocationSpace(num_slots=1, allow_empty_slots=False)
+    single_cfg = _scaled_config(nasaic_config, nasaic_episodes, seed + 1)
+    single = NASAIC(single_wl, allocation=single_alloc,
+                    cost_model=cost_model, surrogate=surrogate,
+                    config=single_cfg).run()
+    rows.append(_degenerate_row("Single Acc.", single.best, sequential=True,
+                                specs=specs))
+
+    # -- Homo. Acc.: two identical sub-accelerators, same network ------
+    homo_specs = DesignSpecs(
+        latency_cycles=specs.latency_cycles,
+        energy_nj=specs.energy_nj / 2,
+        area_um2=specs.area_um2 / 2)
+    homo_wl = _single_task_workload(workload, "W3-homo", homo_specs)
+    homo_alloc = AllocationSpace(
+        num_slots=1, allow_empty_slots=False,
+        budget=ResourceBudget(max_pes=2048, max_bandwidth_gbps=32))
+    homo_cfg = _scaled_config(nasaic_config, nasaic_episodes, seed + 2)
+    homo = NASAIC(homo_wl, allocation=homo_alloc, cost_model=cost_model,
+                  surrogate=surrogate, config=homo_cfg).run()
+    rows.append(_degenerate_row("Homo. Acc.", homo.best, sequential=False,
+                                specs=specs))
+
+    # -- Hetero. Acc.: full NASAIC co-exploration -----------------------
+    # The heterogeneous search space is the product of two architecture
+    # spaces and two hardware slots; give it an episode budget
+    # proportional to the task count, and restart from several seeds.
+    best = None
+    for restart in range(max(1, hetero_restarts)):
+        hetero_cfg = _scaled_config(
+            nasaic_config, nasaic_episodes, seed + 3 + restart,
+            episode_factor=workload.num_tasks)
+        hetero = NASAIC(workload, cost_model=cost_model,
+                        surrogate=surrogate, config=hetero_cfg).run()
+        if hetero.best is None:
+            continue
+        if (best is None
+                or hetero.best.weighted_accuracy > best.weighted_accuracy):
+            best = hetero.best
+    if best is None:
+        raise RuntimeError("NASAIC found no feasible W3 solution; "
+                           "increase episodes")
+    rows.append(Table2Row(
+        approach="Hetero. Acc. (NASAIC)",
+        hardware=best.accelerator.describe(),
+        architectures=best.genotypes,
+        accuracies=best.accuracies,
+        latency_cycles=best.latency_cycles,
+        energy_nj=best.energy_nj, area_um2=best.area_um2,
+        meets_specs=best.feasible))
+    return Table2Result(workload=workload, rows=rows)
+
+
+def _scaled_config(base: NASAICConfig | None, episodes: int,
+                   seed: int, *, episode_factor: int = 1) -> NASAICConfig:
+    if base is None:
+        return NASAICConfig(episodes=episodes * episode_factor, seed=seed)
+    return NASAICConfig(
+        episodes=base.episodes * episode_factor, hw_steps=base.hw_steps,
+        rho=base.rho, seed=seed, controller=base.controller,
+        reinforce=base.reinforce)
+
+
+def _degenerate_row(approach: str, best: ExploredSolution | None,
+                    *, sequential: bool, specs: DesignSpecs) -> Table2Row:
+    """Scale a single-network solution back to workload level.
+
+    Sequential execution doubles latency and energy; simultaneous
+    execution on duplicated hardware doubles energy and area.
+    """
+    if best is None:
+        raise RuntimeError(
+            f"{approach}: search found no feasible solution; increase "
+            "episodes")
+    if sequential:
+        latency = 2 * best.latency_cycles
+        energy = 2 * best.energy_nj
+        area = float(best.area_um2)
+        hardware = best.accelerator.describe()
+    else:
+        latency = float(best.latency_cycles)
+        energy = 2 * best.energy_nj
+        area = 2 * best.area_um2
+        hardware = "2x " + best.accelerator.describe()
+    return Table2Row(
+        approach=approach, hardware=hardware,
+        architectures=best.genotypes, accuracies=best.accuracies,
+        latency_cycles=latency, energy_nj=energy, area_um2=area,
+        meets_specs=specs.satisfied_by(latency, energy, area))
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render the rows in the paper's Table II layout."""
+    rows: list[list[object]] = []
+    for row in result.rows:
+        archs = " & ".join(str(g) for g in row.architectures)
+        accs = " / ".join(f"{a:.2f}%" for a in row.accuracies)
+        rows.append([
+            row.approach, row.hardware, archs, accs,
+            f"{row.latency_cycles:.3g}", f"{row.energy_nj:.3g}",
+            f"{row.area_um2:.3g}",
+            "meets" if row.meets_specs else "VIOLATES"])
+    title = (f"Table II [{result.workload.name}] specs "
+             f"{result.workload.specs.describe()} "
+             "(genotype <FN0, FN1, SK1, FN2, SK2, FN3, SK3>)")
+    return format_table(
+        ["approach", "hardware", "architecture", "accuracy", "L/cycles",
+         "E/nJ", "A/um2", "specs"],
+        rows, title=title)

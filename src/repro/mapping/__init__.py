@@ -1,0 +1,26 @@
+"""Mapping & scheduling: HAP solvers, bounds and the list scheduler."""
+
+from repro.mapping.bounds import IlpBound, energy_lower_bound
+from repro.mapping.exact import ExactResult, solve_exact
+from repro.mapping.hap import HAPResult, solve_hap
+from repro.mapping.problem import MappingProblem
+from repro.mapping.schedule import (
+    POLICIES,
+    Schedule,
+    ScheduledLayer,
+    list_schedule,
+)
+
+__all__ = [
+    "ExactResult",
+    "HAPResult",
+    "IlpBound",
+    "MappingProblem",
+    "POLICIES",
+    "Schedule",
+    "ScheduledLayer",
+    "energy_lower_bound",
+    "list_schedule",
+    "solve_exact",
+    "solve_hap",
+]

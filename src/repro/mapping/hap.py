@@ -1,0 +1,146 @@
+"""Heuristic HAP solver (the paper's choice, after Shao et al. [29]).
+
+Given a :class:`~repro.mapping.problem.MappingProblem` and a latency
+constraint ``LS``, minimise total energy subject to makespan <= ``LS``.
+The paper notes ILP gives the optimum but is too slow inside the search
+loop, so it "applies a heuristic approach in [29]"; we implement the same
+two-phase ratio-greedy scheme:
+
+1. **Feasibility phase** — seed with the per-layer minimum-latency
+   assignment, then hill-climb single-layer moves that shrink the
+   makespan until it fits ``LS`` (or no move helps).
+2. **Energy refinement phase** — repeatedly apply the single-layer move
+   with the best energy saving whose resulting makespan still fits
+   ``LS`` (ties broken by smaller makespan growth), until no improving
+   move remains.
+
+The result reports the achieved makespan and energy even when infeasible,
+so the evaluator can compute the paper's graded penalty (Eq. 3) instead of
+rejecting outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mapping.problem import MappingProblem
+from repro.mapping.schedule import Schedule, list_schedule
+
+__all__ = ["HAPResult", "solve_hap"]
+
+
+@dataclass(frozen=True)
+class HAPResult:
+    """Solution of one HAP instance.
+
+    Attributes:
+        assignment: Flat layer id -> active-slot position.
+        schedule: The list schedule realising the assignment.
+        makespan: Achieved latency ``rl``, cycles.
+        energy_nj: Achieved energy ``re``, nJ.
+        feasible: Whether ``makespan <= latency_constraint``.
+        latency_constraint: The ``LS`` the solver targeted.
+    """
+
+    assignment: tuple[int, ...]
+    schedule: Schedule
+    makespan: int
+    energy_nj: float
+    feasible: bool
+    latency_constraint: int
+
+
+def _evaluate(problem: MappingProblem,
+              assignment: tuple[int, ...]) -> tuple[Schedule, float]:
+    schedule = list_schedule(problem, assignment)
+    return schedule, problem.assignment_energy(assignment)
+
+
+def _improve_makespan(problem: MappingProblem,
+                      assignment: list[int],
+                      latency_constraint: int) -> tuple[list[int], Schedule]:
+    """Hill-climb single-layer moves until the makespan fits or stalls."""
+    schedule = list_schedule(problem, tuple(assignment))
+    while schedule.makespan > latency_constraint:
+        best_move: tuple[int, int] | None = None
+        best_makespan = schedule.makespan
+        for flat_id in range(problem.num_layers):
+            current = assignment[flat_id]
+            for pos in range(problem.num_slots):
+                if pos == current:
+                    continue
+                assignment[flat_id] = pos
+                trial = list_schedule(problem, tuple(assignment))
+                if trial.makespan < best_makespan:
+                    best_makespan = trial.makespan
+                    best_move = (flat_id, pos)
+                assignment[flat_id] = current
+        if best_move is None:
+            break  # stuck: no single move shrinks the makespan
+        flat_id, pos = best_move
+        assignment[flat_id] = pos
+        schedule = list_schedule(problem, tuple(assignment))
+    return assignment, schedule
+
+
+def _refine_energy(problem: MappingProblem,
+                   assignment: list[int],
+                   latency_constraint: int) -> tuple[list[int], Schedule]:
+    """Greedy best-saving moves while staying within the constraint."""
+    schedule = list_schedule(problem, tuple(assignment))
+    improved = True
+    while improved:
+        improved = False
+        best_move: tuple[int, int] | None = None
+        best_key: tuple[float, int] | None = None
+        for flat_id in range(problem.num_layers):
+            current = assignment[flat_id]
+            for pos in range(problem.num_slots):
+                if pos == current:
+                    continue
+                saving = float(problem.energies[flat_id, current]
+                               - problem.energies[flat_id, pos])
+                if saving <= 0:
+                    continue
+                assignment[flat_id] = pos
+                trial = list_schedule(problem, tuple(assignment))
+                assignment[flat_id] = current
+                if trial.makespan > latency_constraint:
+                    continue
+                key = (-saving, trial.makespan)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_move = (flat_id, pos)
+        if best_move is not None:
+            flat_id, pos = best_move
+            assignment[flat_id] = pos
+            schedule = list_schedule(problem, tuple(assignment))
+            improved = True
+    return assignment, schedule
+
+
+def solve_hap(problem: MappingProblem,
+              latency_constraint: int) -> HAPResult:
+    """Minimise energy subject to makespan <= ``latency_constraint``.
+
+    Raises:
+        ValueError: If ``latency_constraint`` is not positive.
+    """
+    if latency_constraint <= 0:
+        raise ValueError(
+            f"latency constraint must be positive, got {latency_constraint}")
+    assignment = list(problem.min_latency_assignment())
+    assignment, schedule = _improve_makespan(problem, assignment,
+                                             latency_constraint)
+    if schedule.makespan <= latency_constraint:
+        assignment, schedule = _refine_energy(problem, assignment,
+                                              latency_constraint)
+    energy = problem.assignment_energy(tuple(assignment))
+    return HAPResult(
+        assignment=tuple(assignment),
+        schedule=schedule,
+        makespan=schedule.makespan,
+        energy_nj=energy,
+        feasible=schedule.makespan <= latency_constraint,
+        latency_constraint=latency_constraint,
+    )

@@ -1,0 +1,142 @@
+"""Heterogeneous assignment problem (HAP) instances.
+
+§IV-③ reduces NASAIC's mapping/scheduling step to the classical
+heterogeneous assignment problem [28], [29]: given per-layer latency and
+energy on every sub-accelerator, chain dependencies within each DNN, and
+a latency constraint ``LS``, choose an assignment (and schedule) that
+minimises energy subject to makespan <= ``LS``.
+
+:class:`MappingProblem` materialises the cost tables by querying the
+MAESTRO-substitute oracle for every (layer, active sub-accelerator) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.accelerator import HeterogeneousAccelerator
+from repro.arch.layers import ConvLayer
+from repro.arch.network import NetworkArch
+from repro.cost.model import CostModel
+
+__all__ = ["MappingProblem"]
+
+
+@dataclass(frozen=True)
+class MappingProblem:
+    """Flattened HAP instance over all layers of all networks.
+
+    Attributes:
+        networks: The DNNs of the workload, in task order.
+        accelerator: The candidate hardware design.
+        active_slots: Indices into ``accelerator.subaccs`` that have PEs;
+            assignments refer to *positions in this tuple*.
+        durations: ``[num_layers, num_active_slots]`` latency table, cycles.
+        energies: ``[num_layers, num_active_slots]`` energy table, nJ.
+        chains: Per-network tuples of flat layer ids in execution order.
+        layer_net: Flat layer id -> owning network index.
+        flat_layers: Flat layer id -> the layer record.
+    """
+
+    networks: tuple[NetworkArch, ...]
+    accelerator: HeterogeneousAccelerator
+    active_slots: tuple[int, ...]
+    durations: np.ndarray
+    energies: np.ndarray
+    chains: tuple[tuple[int, ...], ...]
+    layer_net: tuple[int, ...]
+    flat_layers: tuple[ConvLayer, ...]
+
+    @classmethod
+    def build(
+        cls,
+        networks: tuple[NetworkArch, ...] | list[NetworkArch],
+        accelerator: HeterogeneousAccelerator,
+        cost_model: CostModel,
+    ) -> "MappingProblem":
+        """Query the cost oracle and assemble the HAP tables."""
+        networks = tuple(networks)
+        if not networks:
+            raise ValueError("a mapping problem needs at least one network")
+        active = tuple(i for i, s in enumerate(accelerator.subaccs)
+                       if s.is_active)
+        flat_layers: list[ConvLayer] = []
+        layer_net: list[int] = []
+        chains: list[tuple[int, ...]] = []
+        for net_idx, network in enumerate(networks):
+            chain = []
+            for layer in network.layers:
+                chain.append(len(flat_layers))
+                flat_layers.append(layer)
+                layer_net.append(net_idx)
+            chains.append(tuple(chain))
+        num_layers = len(flat_layers)
+        durations = np.zeros((num_layers, len(active)), dtype=np.int64)
+        energies = np.zeros((num_layers, len(active)), dtype=np.float64)
+        for flat_id, layer in enumerate(flat_layers):
+            for pos, slot in enumerate(active):
+                cost = cost_model.layer_cost(layer,
+                                             accelerator.subaccs[slot])
+                durations[flat_id, pos] = cost.latency_cycles
+                energies[flat_id, pos] = cost.energy_nj
+        return cls(
+            networks=networks,
+            accelerator=accelerator,
+            active_slots=active,
+            durations=durations,
+            energies=energies,
+            chains=tuple(chains),
+            layer_net=tuple(layer_net),
+            flat_layers=tuple(flat_layers),
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        return len(self.flat_layers)
+
+    @property
+    def num_slots(self) -> int:
+        """Number of *active* sub-accelerators."""
+        return len(self.active_slots)
+
+    def assignment_energy(self, assignment: tuple[int, ...]) -> float:
+        """Total energy of an assignment (makespan-independent)."""
+        self.validate_assignment(assignment)
+        return float(self.energies[np.arange(self.num_layers),
+                                   list(assignment)].sum())
+
+    def validate_assignment(self, assignment: tuple[int, ...]) -> None:
+        """Raise ``ValueError`` unless every layer maps to an active slot."""
+        if len(assignment) != self.num_layers:
+            raise ValueError(
+                f"assignment covers {len(assignment)} layers, expected "
+                f"{self.num_layers}")
+        for flat_id, pos in enumerate(assignment):
+            if not 0 <= pos < self.num_slots:
+                raise ValueError(
+                    f"layer {flat_id} assigned to slot position {pos}, "
+                    f"valid range [0, {self.num_slots})")
+
+    def mapped_layers_by_slot(
+        self, assignment: tuple[int, ...]
+    ) -> dict[int, list[ConvLayer]]:
+        """Group layers by *accelerator slot index* (for buffer sizing)."""
+        self.validate_assignment(assignment)
+        grouped: dict[int, list[ConvLayer]] = {
+            slot: [] for slot in self.active_slots}
+        for flat_id, pos in enumerate(assignment):
+            grouped[self.active_slots[pos]].append(self.flat_layers[flat_id])
+        return grouped
+
+    def min_latency_assignment(self) -> tuple[int, ...]:
+        """Per-layer latency-greedy assignment (HAP heuristic seed)."""
+        return tuple(int(i) for i in np.argmin(self.durations, axis=1))
+
+    def min_energy_assignment(self) -> tuple[int, ...]:
+        """Per-layer energy-greedy assignment (unconstrained optimum)."""
+        return tuple(int(i) for i in np.argmin(self.energies, axis=1))

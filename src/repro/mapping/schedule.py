@@ -1,0 +1,128 @@
+"""List scheduler for layers mapped onto sub-accelerators.
+
+Given an assignment of layers to active sub-accelerators, the scheduler
+determines execution order (the ``sch(aic_k)`` function of §III-➌) and the
+resulting makespan.  Constraints:
+
+- layers of one network form a chain: layer ``j`` cannot start before
+  layer ``j-1`` finishes, regardless of where either is mapped;
+- a sub-accelerator executes one layer at a time.
+
+Three deterministic list-scheduling priority policies are provided (the
+default matches the paper's needs; the others back the scheduling
+ablation in ``benchmarks/bench_schedulers.py``):
+
+- ``"earliest_start"`` (default): schedule the ready layer that can
+  begin soonest, ties toward lower network index then lower flat id;
+- ``"lpt"``: among equal start times, prefer the longest-processing
+  layer (the classical LPT rule);
+- ``"critical_path"``: among equal start times, prefer the layer whose
+  remaining chain (priced at per-layer best-case durations) is longest.
+
+Task-level parallelism across DNNs — the paper's motivation for
+heterogeneous sub-accelerators — emerges naturally when different
+networks occupy different sub-accelerators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mapping.problem import MappingProblem
+
+__all__ = ["ScheduledLayer", "Schedule", "list_schedule", "POLICIES"]
+
+#: Valid priority policies for :func:`list_schedule`.
+POLICIES = ("earliest_start", "lpt", "critical_path")
+
+
+@dataclass(frozen=True)
+class ScheduledLayer:
+    """One scheduled layer execution."""
+
+    flat_id: int
+    network: int
+    slot_pos: int
+    start: int
+    finish: int
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete schedule: per-layer timings plus the makespan."""
+
+    entries: tuple[ScheduledLayer, ...]
+    makespan: int
+
+    def by_slot(self, slot_pos: int) -> tuple[ScheduledLayer, ...]:
+        """Entries executed on one sub-accelerator, in start order."""
+        return tuple(sorted(
+            (e for e in self.entries if e.slot_pos == slot_pos),
+            key=lambda e: e.start))
+
+    def slot_busy_cycles(self, slot_pos: int) -> int:
+        """Total busy time of one sub-accelerator."""
+        return sum(e.finish - e.start for e in self.entries
+                   if e.slot_pos == slot_pos)
+
+
+def _remaining_chain_work(problem: MappingProblem) -> list[int]:
+    """Best-case remaining work (suffix sum of per-layer min durations)."""
+    best = np.min(problem.durations, axis=1)
+    remaining = [0] * problem.num_layers
+    for chain in problem.chains:
+        tail = 0
+        for flat_id in reversed(chain):
+            tail += int(best[flat_id])
+            remaining[flat_id] = tail
+    return remaining
+
+
+def list_schedule(problem: MappingProblem,
+                  assignment: tuple[int, ...],
+                  *, policy: str = "earliest_start") -> Schedule:
+    """Schedule ``assignment`` under the chosen list-scheduling policy."""
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown policy {policy!r}; expected one of {POLICIES}")
+    problem.validate_assignment(assignment)
+    num_nets = len(problem.chains)
+    next_idx = [0] * num_nets           # next chain position per network
+    net_ready = [0] * num_nets          # finish time of previous layer
+    slot_free = [0] * problem.num_slots
+    remaining_work = (_remaining_chain_work(problem)
+                      if policy == "critical_path" else None)
+    entries: list[ScheduledLayer] = []
+    remaining = problem.num_layers
+    while remaining:
+        best: tuple | None = None       # (start, tiebreak..., net, flat_id)
+        for net in range(num_nets):
+            chain = problem.chains[net]
+            if next_idx[net] >= len(chain):
+                continue
+            flat_id = chain[next_idx[net]]
+            slot_pos = assignment[flat_id]
+            start = max(net_ready[net], slot_free[slot_pos])
+            if policy == "lpt":
+                tiebreak = -int(problem.durations[flat_id, slot_pos])
+            elif policy == "critical_path":
+                tiebreak = -remaining_work[flat_id]
+            else:
+                tiebreak = 0
+            key = (start, tiebreak, net, flat_id)
+            if best is None or key < best:
+                best = key
+        assert best is not None, "unscheduled layers but none ready"
+        start, _, net, flat_id = best
+        slot_pos = assignment[flat_id]
+        duration = int(problem.durations[flat_id, slot_pos])
+        finish = start + duration
+        entries.append(ScheduledLayer(flat_id, net, slot_pos, start, finish))
+        net_ready[net] = finish
+        slot_free[slot_pos] = finish
+        next_idx[net] += 1
+        remaining -= 1
+    makespan = max(e.finish for e in entries)
+    return Schedule(entries=tuple(entries), makespan=makespan)

@@ -1,0 +1,20 @@
+"""Training substrate: dataset descriptors and the accuracy surrogate."""
+
+from repro.train.datasets import DATASETS, DatasetSpec, dataset_spec
+from repro.train.surrogate import (
+    AccuracySurrogate,
+    SurrogateCalibration,
+    default_surrogate,
+)
+from repro.train.trainer import SurrogateTrainer, TrainingResult
+
+__all__ = [
+    "AccuracySurrogate",
+    "DATASETS",
+    "DatasetSpec",
+    "SurrogateCalibration",
+    "SurrogateTrainer",
+    "TrainingResult",
+    "dataset_spec",
+    "default_surrogate",
+]

@@ -1,0 +1,71 @@
+"""Trainer facade over the accuracy surrogate.
+
+NASAIC's evaluator has a *training path* (§IV-③): every newly sampled
+architecture is trained from scratch and validated — the dominant cost of
+the whole search, which the optimizer selector's early pruning exists to
+avoid.  :class:`SurrogateTrainer` exposes the same interface and cost
+accounting (how many trainings ran, how many were skipped, simulated GPU
+time) while delegating the accuracy itself to the surrogate landscape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.network import NetworkArch
+from repro.train.surrogate import AccuracySurrogate
+
+__all__ = ["SurrogateTrainer", "TrainingResult"]
+
+#: Simulated wall-clock cost of one from-scratch training, GPU-seconds.
+#: The paper's 3.5 GPU-hours / 500 episodes imply ~25 s of amortised GPU
+#: time per *trained* sample on a P100 once pruning skips most of them.
+_GPU_SECONDS_PER_TRAINING = 25.0
+
+
+@dataclass(frozen=True)
+class TrainingResult:
+    """Outcome of one (simulated) training run."""
+
+    network: NetworkArch
+    accuracy: float
+    cache_hit: bool
+
+
+class SurrogateTrainer:
+    """Counts and memoises trainings, like the paper's training path.
+
+    Args:
+        surrogate: The accuracy oracle standing in for GPU training.
+    """
+
+    def __init__(self, surrogate: AccuracySurrogate) -> None:
+        self.surrogate = surrogate
+        self._trained: dict[tuple, float] = {}
+        self.trainings_run = 0
+        self.trainings_skipped = 0
+
+    def train_and_validate(self, network: NetworkArch) -> TrainingResult:
+        """Train ``network`` from scratch (memoised) and validate it."""
+        key = network.identity()
+        if key in self._trained:
+            return TrainingResult(network, self._trained[key],
+                                  cache_hit=True)
+        accuracy = self.surrogate.accuracy(network)
+        self._trained[key] = accuracy
+        self.trainings_run += 1
+        return TrainingResult(network, accuracy, cache_hit=False)
+
+    def skip_training(self) -> None:
+        """Record a training avoided by early pruning (§IV-②)."""
+        self.trainings_skipped += 1
+
+    @property
+    def unique_architectures_trained(self) -> int:
+        """Number of distinct architectures that were actually trained."""
+        return len(self._trained)
+
+    @property
+    def simulated_gpu_seconds(self) -> float:
+        """GPU time the paper's pipeline would have spent on trainings."""
+        return self.trainings_run * _GPU_SECONDS_PER_TRAINING

@@ -1,0 +1,42 @@
+"""Stable, process-independent hashing.
+
+Python's builtin ``hash`` is salted per process which would make surrogate
+accuracy jitter (seeded by architecture identity) irreproducible across
+runs.  We hash a canonical string encoding with BLAKE2 instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+__all__ = ["stable_hash", "stable_unit_float"]
+
+
+def _canonical(obj: Any) -> str:
+    """Render nested tuples/lists/dicts/scalars into a canonical string."""
+    if isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: str(kv[0]))
+        inner = ",".join(f"{_canonical(k)}:{_canonical(v)}" for k, v in items)
+        return "{" + inner + "}"
+    if isinstance(obj, (list, tuple)):
+        return "(" + ",".join(_canonical(x) for x in obj) + ")"
+    if isinstance(obj, float):
+        return format(obj, ".12g")
+    return repr(obj)
+
+
+def stable_hash(obj: Any, *, salt: str = "") -> int:
+    """Return a 64-bit stable hash of ``obj``.
+
+    The result is identical across processes and platforms for equal
+    canonical encodings.
+    """
+    payload = (salt + "|" + _canonical(obj)).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def stable_unit_float(obj: Any, *, salt: str = "") -> float:
+    """Map ``obj`` to a deterministic float uniformly spread in [0, 1)."""
+    return stable_hash(obj, salt=salt) / float(1 << 64)

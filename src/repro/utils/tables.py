@@ -1,0 +1,37 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harnesses print the same rows the paper's tables report;
+this module renders them as aligned ASCII so the output is directly
+comparable with the publication.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    for idx, row in enumerate(cells):
+        padded = " | ".join(c.ljust(w) for c, w in zip(row, widths))
+        lines.append(padded.rstrip())
+        if idx == 0:
+            lines.append(sep)
+    lines.append(sep)
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Multi-task workloads, design specs and the paper's presets."""
+
+from repro.workloads.presets import fig1_workload, w1, w2, w3, workload_by_name
+from repro.workloads.workload import (
+    DesignSpecs,
+    PenaltyBounds,
+    Task,
+    Workload,
+)
+
+__all__ = [
+    "DesignSpecs",
+    "PenaltyBounds",
+    "Task",
+    "Workload",
+    "fig1_workload",
+    "w1",
+    "w2",
+    "w3",
+    "workload_by_name",
+]

@@ -1,0 +1,173 @@
+"""Multi-task workloads and design specifications.
+
+§III-➊ defines a workload ``W = <T1 ... Tm>`` where each task carries a
+DNN search space, and the optimisation target (§III, Problem Definition):
+maximise the weighted accuracy subject to unified design specs
+``(LS, ES, AS)`` on latency, energy and area, plus the resource budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.arch.space import ArchitectureSpace
+
+__all__ = ["DesignSpecs", "PenaltyBounds", "Task", "Workload"]
+
+
+@dataclass(frozen=True)
+class DesignSpecs:
+    """Unified hardware design specs ``(LS, ES, AS)`` (§III).
+
+    Attributes:
+        latency_cycles: Latency upper bound ``LS``, cycles.
+        energy_nj: Energy upper bound ``ES``, nJ.
+        area_um2: Area upper bound ``AS``, um^2.
+    """
+
+    latency_cycles: int
+    energy_nj: float
+    area_um2: float
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles <= 0 or self.energy_nj <= 0 \
+                or self.area_um2 <= 0:
+            raise ValueError("design specs must be positive")
+
+    def satisfied_by(self, latency: float, energy: float,
+                     area: float) -> bool:
+        """Whether a solution ``(rl, re, ra)`` meets every spec."""
+        return (latency <= self.latency_cycles
+                and energy <= self.energy_nj
+                and area <= self.area_um2)
+
+    def violations(self, latency: float, energy: float,
+                   area: float) -> tuple[str, ...]:
+        """Names of the violated specs, in (latency, energy, area) order."""
+        out = []
+        if latency > self.latency_cycles:
+            out.append("latency")
+        if energy > self.energy_nj:
+            out.append("energy")
+        if area > self.area_um2:
+            out.append("area")
+        return tuple(out)
+
+    def describe(self) -> str:
+        """Paper-style triple ``<LS, ES, AS>``."""
+        return (f"<{self.latency_cycles:.3g}, {self.energy_nj:.3g}, "
+                f"{self.area_um2:.3g}>")
+
+
+@dataclass(frozen=True)
+class PenaltyBounds:
+    """Upper bounds ``(bl, be, ba)`` normalising the penalty (Eq. 3).
+
+    The paper obtains them by exploring the hardware space with the
+    NAS-identified architectures (the circles of Fig. 1); they must
+    strictly exceed the corresponding specs so the denominators of Eq. 3
+    are positive.
+    """
+
+    latency_cycles: float
+    energy_nj: float
+    area_um2: float
+
+    @classmethod
+    def from_specs(cls, specs: DesignSpecs,
+                   factor: float = 2.0) -> "PenaltyBounds":
+        """Default bounds at ``factor`` x the specs (must be > 1)."""
+        if factor <= 1.0:
+            raise ValueError("bounds factor must exceed 1")
+        return cls(specs.latency_cycles * factor,
+                   specs.energy_nj * factor,
+                   specs.area_um2 * factor)
+
+    def validate_against(self, specs: DesignSpecs) -> None:
+        """Raise unless every bound strictly exceeds its spec."""
+        if (self.latency_cycles <= specs.latency_cycles
+                or self.energy_nj <= specs.energy_nj
+                or self.area_um2 <= specs.area_um2):
+            raise ValueError(
+                "penalty bounds must strictly exceed the design specs")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One AI task: a dataset plus its architecture search space.
+
+    Attributes:
+        name: Task identifier, unique within the workload.
+        space: Architecture search space for the task's DNN.
+        weight: Accuracy weight ``alpha_i`` in Eq. 2.
+    """
+
+    name: str
+    space: ArchitectureSpace
+    weight: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError(
+                f"task {self.name!r}: weight must be in (0, 1], got "
+                f"{self.weight}")
+
+    @property
+    def dataset(self) -> str:
+        return self.space.dataset
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A multi-task workload with unified design specs.
+
+    ``aggregate`` selects the paper's ``weighted`` reward function (§III):
+    ``"avg"`` maximises the weighted average accuracy (Eq. 2, default)
+    and ``"min"`` maximises the worst task's accuracy — useful when no
+    task may be sacrificed for the others.
+    """
+
+    name: str
+    tasks: tuple[Task, ...]
+    specs: DesignSpecs
+    bounds: PenaltyBounds
+    aggregate: str = "avg"
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a workload needs at least one task")
+        names = [t.name for t in self.tasks]
+        if len(set(names)) != len(names):
+            raise ValueError("task names must be unique")
+        total = sum(t.weight for t in self.tasks)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"task weights must sum to 1, got {total}")
+        if self.aggregate not in ("avg", "min"):
+            raise ValueError(
+                f"aggregate must be 'avg' or 'min', got {self.aggregate!r}")
+        self.bounds.validate_against(self.specs)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    def weighted_accuracy(self, accuracies: tuple[float, ...]) -> float:
+        """The ``weighted(D)`` objective on raw (display-unit) metrics.
+
+        ``avg``: Eq. 2, ``sum(alpha_i * acc_i)``; ``min``: worst task.
+        """
+        if len(accuracies) != self.num_tasks:
+            raise ValueError(
+                f"expected {self.num_tasks} accuracies, got "
+                f"{len(accuracies)}")
+        if self.aggregate == "min":
+            return min(accuracies)
+        return sum(t.weight * a for t, a in zip(self.tasks, accuracies))
+
+    def with_specs(self, specs: DesignSpecs,
+                   bounds: PenaltyBounds | None = None) -> "Workload":
+        """Clone with different specs (used by the Table II variants)."""
+        return replace(
+            self, specs=specs,
+            bounds=bounds or PenaltyBounds.from_specs(specs))

@@ -1,0 +1,120 @@
+"""Unit tests for dataflow templates, sub-accelerators and designs."""
+
+import pytest
+
+from repro.accel import (
+    Dataflow,
+    HeterogeneousAccelerator,
+    ResourceBudget,
+    SubAccelerator,
+    TEMPLATES,
+    template_for,
+)
+
+
+class TestDataflow:
+    def test_paper_abbreviations(self):
+        assert Dataflow.from_name("shi") is Dataflow.SHIDIANNAO
+        assert Dataflow.from_name("dla") is Dataflow.NVDLA
+        assert Dataflow.from_name("rs") is Dataflow.ROW_STATIONARY
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataflow"):
+            Dataflow.from_name("weird")
+
+    def test_template_registry_complete(self):
+        assert set(TEMPLATES) == set(Dataflow)
+
+    def test_template_lookup(self):
+        assert template_for(Dataflow.NVDLA).dataflow is Dataflow.NVDLA
+
+    def test_rs_pes_largest(self):
+        # Row-stationary PEs carry the largest register files.
+        areas = {df: template_for(df).pe_area_um2 for df in Dataflow}
+        assert areas[Dataflow.ROW_STATIONARY] == max(areas.values())
+        assert areas[Dataflow.SHIDIANNAO] == min(areas.values())
+
+
+class TestSubAccelerator:
+    def test_describe_matches_paper_notation(self):
+        sub = SubAccelerator(Dataflow.NVDLA, 2112, 48)
+        assert sub.describe() == "<dla, 2112, 48>"
+
+    def test_zero_pes_is_inactive(self):
+        sub = SubAccelerator(Dataflow.NVDLA, 0, 0)
+        assert not sub.is_active
+
+    def test_active_requires_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            SubAccelerator(Dataflow.NVDLA, 64, 0)
+
+    def test_negative_pes_rejected(self):
+        with pytest.raises(ValueError, match="num_pes"):
+            SubAccelerator(Dataflow.NVDLA, -1, 8)
+
+    def test_non_integer_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth_gbps"):
+            SubAccelerator(Dataflow.NVDLA, 64, 8.5)
+
+
+class TestHeterogeneousAccelerator:
+    def test_totals(self, small_accel):
+        assert small_accel.total_pes == 2048
+        assert small_accel.total_bandwidth_gbps == 64
+
+    def test_classification_flags(self, small_accel):
+        assert small_accel.is_heterogeneous
+        assert not small_accel.is_homogeneous
+        assert not small_accel.is_single
+
+    def test_homogeneous(self):
+        acc = HeterogeneousAccelerator((
+            SubAccelerator(Dataflow.NVDLA, 1024, 32),
+            SubAccelerator(Dataflow.NVDLA, 1024, 32)))
+        assert acc.is_homogeneous and not acc.is_heterogeneous
+
+    def test_single_via_inactive_slot(self):
+        acc = HeterogeneousAccelerator((
+            SubAccelerator(Dataflow.NVDLA, 1024, 32),
+            SubAccelerator(Dataflow.SHIDIANNAO, 0, 0)))
+        assert acc.is_single
+        assert len(acc.active_subaccs) == 1
+
+    def test_inactive_bandwidth_not_counted(self):
+        acc = HeterogeneousAccelerator((
+            SubAccelerator(Dataflow.NVDLA, 1024, 64),
+            SubAccelerator(Dataflow.SHIDIANNAO, 0, 0)))
+        assert acc.total_bandwidth_gbps == 64
+
+    def test_pe_budget_enforced(self):
+        with pytest.raises(ValueError, match="PE allocation"):
+            HeterogeneousAccelerator((
+                SubAccelerator(Dataflow.NVDLA, 4096, 32),
+                SubAccelerator(Dataflow.SHIDIANNAO, 64, 32)))
+
+    def test_bandwidth_budget_enforced(self):
+        with pytest.raises(ValueError, match="bandwidth allocation"):
+            HeterogeneousAccelerator((
+                SubAccelerator(Dataflow.NVDLA, 1024, 48),
+                SubAccelerator(Dataflow.SHIDIANNAO, 1024, 48)))
+
+    def test_all_inactive_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            HeterogeneousAccelerator((
+                SubAccelerator(Dataflow.NVDLA, 0, 0),))
+
+    def test_describe_concatenates_active(self):
+        acc = HeterogeneousAccelerator((
+            SubAccelerator(Dataflow.NVDLA, 2112, 48),
+            SubAccelerator(Dataflow.SHIDIANNAO, 1984, 16)))
+        assert acc.describe() == "<dla, 2112, 48><shi, 1984, 16>"
+
+    def test_custom_budget(self):
+        budget = ResourceBudget(max_pes=2048, max_bandwidth_gbps=32)
+        acc = HeterogeneousAccelerator(
+            (SubAccelerator(Dataflow.NVDLA, 2048, 32),), budget=budget)
+        assert acc.total_pes == 2048
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            ResourceBudget(max_pes=0)

@@ -1,0 +1,127 @@
+"""Unit tests for the hardware allocation space."""
+
+import numpy as np
+import pytest
+
+from repro.accel import AllocationSpace, Dataflow, ResourceBudget
+
+
+class TestOptions:
+    def test_pe_options_quantised(self):
+        space = AllocationSpace()
+        assert space.pe_options[0] == 0
+        assert space.pe_options[-1] == 4096
+        assert all(p % 32 == 0 for p in space.pe_options)
+
+    def test_bw_options_quantised(self):
+        space = AllocationSpace()
+        assert space.bw_options == tuple(range(8, 65, 8))
+
+    def test_no_empty_slots_drops_zero(self):
+        space = AllocationSpace(allow_empty_slots=False)
+        assert space.pe_options[0] == 32
+
+    def test_step_must_divide_budget(self):
+        with pytest.raises(ValueError, match="pe_step"):
+            AllocationSpace(pe_step=100)
+        with pytest.raises(ValueError, match="bw_step"):
+            AllocationSpace(bw_step=7)
+
+    def test_paper_designs_representable(self):
+        space = AllocationSpace()
+        for pes, bw in ((2112, 48), (1984, 16), (576, 56), (1792, 8),
+                        (3104, 24), (1408, 32)):
+            assert pes in space.pe_options
+            assert bw in space.bw_options
+
+
+class TestMasks:
+    def test_pe_mask_respects_remaining(self):
+        space = AllocationSpace()
+        mask = space.pe_mask(1000)
+        allowed = [p for p, ok in zip(space.pe_options, mask) if ok]
+        assert max(allowed) == 992  # largest multiple of 32 <= 1000
+
+    def test_pe_mask_exhausted_budget_leaves_zero(self):
+        space = AllocationSpace()
+        mask = space.pe_mask(0)
+        allowed = [p for p, ok in zip(space.pe_options, mask) if ok]
+        assert allowed == [0]
+
+    def test_bw_mask_active(self):
+        space = AllocationSpace()
+        mask = space.bw_mask(24, slot_active=True)
+        allowed = [b for b, ok in zip(space.bw_options, mask) if ok]
+        assert allowed == [8, 16, 24]
+
+    def test_bw_mask_inactive_allows_everything(self):
+        space = AllocationSpace()
+        assert space.bw_mask(0, slot_active=False).all()
+
+    def test_bw_mask_active_empty_raises(self):
+        space = AllocationSpace()
+        with pytest.raises(ValueError, match="bandwidth"):
+            space.bw_mask(4, slot_active=True)
+
+
+class TestBuild:
+    def test_build_normalises_inactive_bandwidth(self):
+        space = AllocationSpace()
+        acc = space.build([(Dataflow.NVDLA, 1024, 32),
+                           (Dataflow.SHIDIANNAO, 0, 48)])
+        assert acc.subaccs[1].bandwidth_gbps == 0
+
+    def test_build_wrong_slot_count(self):
+        space = AllocationSpace()
+        with pytest.raises(ValueError, match="slots"):
+            space.build([(Dataflow.NVDLA, 1024, 32)])
+
+
+class TestRandomDesign:
+    def test_random_designs_always_feasible(self, rng):
+        space = AllocationSpace()
+        for _ in range(200):
+            acc = space.random_design(rng)
+            assert acc.total_pes <= 4096
+            assert acc.total_bandwidth_gbps <= 64
+            assert acc.total_pes > 0
+
+    def test_random_design_seed_reproducible(self):
+        space = AllocationSpace()
+        a = space.random_design(np.random.default_rng(5))
+        b = space.random_design(np.random.default_rng(5))
+        assert a == b
+
+
+class TestEnumeration:
+    def test_enumeration_within_budget(self, tiny_alloc):
+        designs = list(tiny_alloc.enumerate_designs(
+            pe_stride=1024, bw_stride=32))
+        assert designs, "enumeration must yield designs"
+        for acc in designs:
+            assert acc.total_pes <= 4096
+            assert acc.total_bandwidth_gbps <= 64
+
+    def test_enumeration_unique(self, tiny_alloc):
+        designs = list(tiny_alloc.enumerate_designs(
+            pe_stride=1024, bw_stride=32))
+        seen = {acc.describe() for acc in designs}
+        assert len(seen) == len(designs)
+
+    def test_enumeration_includes_single_designs(self, tiny_alloc):
+        designs = list(tiny_alloc.enumerate_designs(
+            pe_stride=1024, bw_stride=32))
+        assert any(acc.is_single for acc in designs)
+        assert any(acc.is_heterogeneous for acc in designs)
+
+    def test_bad_stride_rejected(self, tiny_alloc):
+        with pytest.raises(ValueError, match="strides"):
+            next(tiny_alloc.enumerate_designs(pe_stride=500))
+
+    def test_single_slot_space(self):
+        space = AllocationSpace(
+            num_slots=1, allow_empty_slots=False,
+            budget=ResourceBudget(max_pes=2048, max_bandwidth_gbps=32))
+        designs = list(space.enumerate_designs(pe_stride=512, bw_stride=16))
+        assert all(acc.is_single for acc in designs)
+        assert all(acc.total_pes <= 2048 for acc in designs)

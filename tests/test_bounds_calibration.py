@@ -1,0 +1,76 @@
+"""Unit tests for penalty-bound calibration."""
+
+import pytest
+
+from repro.core import calibrate_penalty_bounds
+from repro.cost import CostModel
+from repro.workloads import w1, w2, w3
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return CostModel()
+
+
+class TestCalibration:
+    def test_bounds_exceed_specs(self, cm):
+        for wl in (w1(), w2(), w3()):
+            bounds = calibrate_penalty_bounds(wl, cm)
+            bounds.validate_against(wl.specs)  # must not raise
+
+    def test_w2_bounds_reflect_huge_stl_nets(self, cm):
+        """The STL-10 space's maximal network costs ~an order of
+        magnitude above the specs; the calibrated bounds must capture
+        that (this is what keeps the Eq. 3 penalty within O(1))."""
+        wl = w2()
+        bounds = calibrate_penalty_bounds(wl, cm)
+        assert bounds.energy_nj > 5 * wl.specs.energy_nj
+        assert bounds.latency_cycles > 5 * wl.specs.latency_cycles
+
+    def test_minimum_headroom_floor(self, cm):
+        # Even if the largest nets were cheap, bounds keep 1.5x headroom.
+        for wl in (w1(), w3()):
+            bounds = calibrate_penalty_bounds(wl, cm)
+            assert bounds.area_um2 >= 1.5 * wl.specs.area_um2
+
+    def test_deterministic(self, cm):
+        a = calibrate_penalty_bounds(w1(), cm)
+        b = calibrate_penalty_bounds(w1(), cm)
+        assert a == b
+
+    def test_penalty_in_o1_for_random_samples(self, cm, rng):
+        """With calibrated bounds, random W2 samples should produce
+        penalties of order 1, not order 10 (the gradient-saturation
+        problem the calibration exists to fix)."""
+        from repro.accel import AllocationSpace
+        from repro.core.reward import hardware_penalty
+        from repro.mapping import MappingProblem, solve_hap
+        wl = w2()
+        bounds = calibrate_penalty_bounds(wl, cm)
+        alloc = AllocationSpace()
+        worst = 0.0
+        for _ in range(10):
+            nets = tuple(t.space.decode(t.space.random_indices(rng))
+                         for t in wl.tasks)
+            design = alloc.random_design(rng)
+            problem = MappingProblem.build(nets, design, cm)
+            hap = solve_hap(problem, wl.specs.latency_cycles)
+            area = cm.area_um2(design)
+            p = hardware_penalty(hap.makespan, hap.energy_nj, area,
+                                 wl.specs, bounds)
+            worst = max(worst, p)
+        assert worst < 4.0
+
+
+class TestSearchIntegration:
+    def test_nasaic_uses_calibrated_bounds(self):
+        from repro.core import NASAIC, NASAICConfig
+        search = NASAIC(w2(), config=NASAICConfig(
+            episodes=1, hw_steps=0, seed=1))
+        assert search.workload.bounds.energy_nj > 5 * w2().specs.energy_nj
+
+    def test_calibration_can_be_disabled(self):
+        from repro.core import NASAIC, NASAICConfig
+        search = NASAIC(w2(), config=NASAICConfig(
+            episodes=1, hw_steps=0, seed=1, calibrate_bounds=False))
+        assert search.workload.bounds == w2().bounds

@@ -1,0 +1,67 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.workload == "W3"
+        assert args.episodes == 200
+
+    def test_workload_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--workload", "W9"])
+
+    def test_experiment_targets(self):
+        args = build_parser().parse_args(["experiments", "table2"])
+        assert args.target == "table2"
+
+    def test_unknown_experiment_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "table9"])
+
+
+class TestCommands:
+    def test_search_command(self, capsys, tmp_path):
+        out = tmp_path / "run.json"
+        code = main(["search", "--episodes", "4", "--seed", "5",
+                     "--progress", "0", "--out", str(out)])
+        captured = capsys.readouterr().out
+        assert "NASAIC[W3]" in captured
+        assert out.exists()
+        assert code in (0, 1)
+
+    def test_nas_command(self, capsys):
+        code = main(["nas", "--episodes", "5", "--workload", "W3"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "genotype" in captured
+        assert "weighted" in captured
+
+    def test_mc_command(self, capsys):
+        code = main(["mc", "--runs", "10", "--workload", "W3",
+                     "--seed", "3"])
+        captured = capsys.readouterr().out
+        assert "MC[W3]" in captured
+        assert code in (0, 1)
+
+    def test_evolve_command(self, capsys):
+        code = main(["evolve", "--population", "6", "--generations", "2",
+                     "--workload", "W3"])
+        captured = capsys.readouterr().out
+        assert "EA[W3]" in captured
+        assert code in (0, 1)
+
+    def test_experiments_table2(self, capsys):
+        code = main(["experiments", "table2", "--episodes", "15",
+                     "--mc-runs", "30", "--seed", "3"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Table II" in captured

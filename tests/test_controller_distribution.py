@@ -1,0 +1,83 @@
+"""Statistical tests of the controller's sampling behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import ControllerConfig, RNNController
+from repro.core.choices import Decision
+
+
+@pytest.fixture
+def controller():
+    return RNNController(
+        [Decision("a", 4, "arch"), Decision("b", 6, "hw")],
+        ControllerConfig(hidden_size=12, embed_size=6),
+        rng=np.random.default_rng(2))
+
+
+class TestSamplingDistribution:
+    def test_masked_options_never_sampled(self, controller):
+        mask = np.array([True, False, True, False, False, True])
+
+        def mask_fn(pos, _actions):
+            return mask if pos == 1 else None
+
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            sample = controller.sample(rng, mask_fn=mask_fn)
+            assert mask[sample.actions[1]]
+
+    def test_fresh_controller_samples_broadly(self, controller):
+        """An untrained policy should be near-uniform: over many draws
+        every option of every decision appears."""
+        rng = np.random.default_rng(1)
+        seen = [set(), set()]
+        for _ in range(400):
+            sample = controller.sample(rng)
+            seen[0].add(sample.actions[0])
+            seen[1].add(sample.actions[1])
+        assert seen[0] == set(range(4))
+        assert seen[1] == set(range(6))
+
+    def test_empirical_frequency_matches_probs(self, controller):
+        rng = np.random.default_rng(3)
+        counts = np.zeros(4)
+        probs = None
+        for _ in range(3000):
+            sample = controller.sample(rng)
+            counts[sample.actions[0]] += 1
+            probs = sample.steps[0].probs
+        freqs = counts / counts.sum()
+        assert np.abs(freqs - probs).max() < 0.05
+
+    def test_log_prob_matches_prob_of_action(self, controller):
+        rng = np.random.default_rng(4)
+        sample = controller.sample(rng)
+        for t, action in enumerate(sample.actions):
+            assert sample.log_probs[t] == pytest.approx(
+                np.log(sample.steps[t].probs[action]))
+
+    def test_entropy_matches_definition(self, controller):
+        rng = np.random.default_rng(5)
+        sample = controller.sample(rng)
+        for t in range(2):
+            p = sample.steps[t].probs
+            p = p[p > 0]
+            assert sample.entropies[t] == pytest.approx(
+                float(-(p * np.log(p)).sum()))
+
+    def test_temperature_flattens_distribution(self):
+        rng_init = np.random.default_rng(2)
+        cold = RNNController(
+            [Decision("a", 6, "arch")],
+            ControllerConfig(hidden_size=12, embed_size=6,
+                             temperature=0.3),
+            rng=rng_init)
+        hot = RNNController(
+            [Decision("a", 6, "arch")],
+            ControllerConfig(hidden_size=12, embed_size=6,
+                             temperature=3.0),
+            rng=np.random.default_rng(2))
+        s_cold = cold.sample(np.random.default_rng(0), greedy=True)
+        s_hot = hot.sample(np.random.default_rng(0), greedy=True)
+        assert s_hot.entropies[0] > s_cold.entropies[0]

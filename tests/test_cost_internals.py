@@ -1,0 +1,158 @@
+"""Exact-formula tests for the cost-model internals (reuse/latency/
+energy/area), complementing the behavioural tests in test_cost_model."""
+
+import math
+
+import pytest
+
+from repro.accel import Dataflow, HeterogeneousAccelerator, SubAccelerator
+from repro.arch import ConvLayer
+from repro.cost import (
+    DEFAULT_PARAMS,
+    CostModelParams,
+    analyze,
+    dram_bytes,
+    layer_energy_nj,
+    memory_cycles,
+    roofline_latency,
+    subaccelerator_area_um2,
+)
+
+LAYER = ConvLayer(name="t", in_channels=64, out_channels=128, kernel=3,
+                  stride=1, in_height=16, in_width=16)
+
+
+class TestNvdlaTiling:
+    def test_exact_compute_when_fits(self):
+        # C*K = 8192 <= pes: one pass, R*S*Xo*Yo cycles... but K*C > pes
+        # here, so check the ceiling arithmetic explicitly.
+        pes = 4096
+        a = analyze(LAYER, Dataflow.NVDLA, pes, DEFAULT_PARAMS)
+        ct = min(64, pes)                 # 64
+        kt = min(128, pes // ct)          # 64
+        passes = math.ceil(64 / ct) * math.ceil(128 / kt)
+        assert a.compute_cycles == passes * 9 * 256
+
+    def test_weight_fetches_once(self):
+        a = analyze(LAYER, Dataflow.NVDLA, 1024, DEFAULT_PARAMS)
+        assert a.weight_fetches == LAYER.weight_elems
+
+    def test_input_refetch_per_k_tile(self):
+        pes = 128
+        a = analyze(LAYER, Dataflow.NVDLA, pes, DEFAULT_PARAMS)
+        ct = min(64, pes)
+        kt = max(1, pes // ct)
+        expected = LAYER.ifmap_elems * min(
+            math.ceil(128 / kt), DEFAULT_PARAMS.refetch_cap)
+        assert a.input_fetches == expected
+
+
+class TestShidiannaoTiling:
+    def test_exact_compute(self):
+        pes = 100
+        a = analyze(LAYER, Dataflow.SHIDIANNAO, pes, DEFAULT_PARAMS)
+        tiles = math.ceil(256 / 100)
+        assert a.compute_cycles == tiles * 128 * 64 * 9
+
+    def test_outputs_written_once(self):
+        a = analyze(LAYER, Dataflow.SHIDIANNAO, 100, DEFAULT_PARAMS)
+        assert a.output_fetches == LAYER.ofmap_elems
+        assert a.input_fetches == LAYER.ifmap_elems
+
+    def test_weight_rebroadcast_per_tile(self):
+        a = analyze(LAYER, Dataflow.SHIDIANNAO, 100, DEFAULT_PARAMS)
+        tiles = math.ceil(256 / 100)
+        assert a.weight_fetches == LAYER.weight_elems * tiles
+
+
+class TestRowStationaryTiling:
+    def test_exact_compute(self):
+        pes = 96
+        a = analyze(LAYER, Dataflow.ROW_STATIONARY, pes, DEFAULT_PARAMS)
+        yo_t = min(16, pes // 3)          # 16
+        kt = min(128, max(1, pes // (3 * yo_t)))  # 2
+        passes = math.ceil(16 / yo_t) * math.ceil(128 / kt)
+        assert a.compute_cycles == passes * 64 * 3 * 16
+
+    def test_tiny_array_still_valid(self):
+        a = analyze(LAYER, Dataflow.ROW_STATIONARY, 1, DEFAULT_PARAMS)
+        assert a.compute_cycles >= LAYER.macs
+
+
+class TestLatencyMath:
+    def test_memory_cycles_formula(self):
+        a = analyze(LAYER, Dataflow.SHIDIANNAO, 256, DEFAULT_PARAMS)
+        bw = 32
+        expected = math.ceil(a.total_fetches * DEFAULT_PARAMS.elem_bytes
+                             / bw)
+        assert memory_cycles(a, bw, DEFAULT_PARAMS) == expected
+
+    def test_roofline_is_max_plus_overhead(self):
+        a = analyze(LAYER, Dataflow.SHIDIANNAO, 256, DEFAULT_PARAMS)
+        lat = roofline_latency(a, 8, DEFAULT_PARAMS)
+        mem = memory_cycles(a, 8, DEFAULT_PARAMS)
+        assert lat == max(a.compute_cycles, mem) + \
+            DEFAULT_PARAMS.layer_launch_cycles
+
+    def test_zero_bandwidth_rejected(self):
+        a = analyze(LAYER, Dataflow.SHIDIANNAO, 256, DEFAULT_PARAMS)
+        with pytest.raises(ValueError, match="bandwidth"):
+            memory_cycles(a, 0, DEFAULT_PARAMS)
+
+
+class TestEnergyMath:
+    def test_dram_bytes_formula(self):
+        expected = (LAYER.weight_elems + LAYER.ifmap_elems
+                    + LAYER.ofmap_elems) * DEFAULT_PARAMS.elem_bytes
+        assert dram_bytes(LAYER, DEFAULT_PARAMS) == expected
+
+    def test_energy_decomposition(self):
+        a = analyze(LAYER, Dataflow.NVDLA, 1024, DEFAULT_PARAMS)
+        total = layer_energy_nj(LAYER, a, DEFAULT_PARAMS)
+        mac = LAYER.macs * DEFAULT_PARAMS.mac_energy_nj
+        noc = (a.total_fetches * DEFAULT_PARAMS.elem_bytes
+               * DEFAULT_PARAMS.noc_energy_nj_per_byte)
+        dram = (dram_bytes(LAYER, DEFAULT_PARAMS)
+                * DEFAULT_PARAMS.dram_energy_nj_per_byte)
+        assert total == pytest.approx(mac + noc + dram)
+
+    def test_energy_scales_with_params(self):
+        cheap = CostModelParams(mac_energy_nj=0.1)
+        costly = CostModelParams(mac_energy_nj=10.0)
+        a = analyze(LAYER, Dataflow.NVDLA, 1024, cheap)
+        assert layer_energy_nj(LAYER, a, costly) > \
+            layer_energy_nj(LAYER, a, cheap)
+
+
+class TestAreaMath:
+    def test_inactive_is_zero(self):
+        sub = SubAccelerator(Dataflow.NVDLA, 0, 0)
+        assert subaccelerator_area_um2(sub, DEFAULT_PARAMS) == 0.0
+
+    def test_decomposition(self):
+        sub = SubAccelerator(Dataflow.NVDLA, 1024, 32)
+        glb = 100_000
+        area = subaccelerator_area_um2(sub, DEFAULT_PARAMS, glb_bytes=glb)
+        from repro.accel import template_for
+        expected = (1024 * template_for(Dataflow.NVDLA).pe_area_um2
+                    + glb * DEFAULT_PARAMS.sram_area_um2_per_byte
+                    + 32 * DEFAULT_PARAMS.noc_area_um2_per_gbps
+                    + DEFAULT_PARAMS.nic_base_area_um2)
+        assert area == pytest.approx(expected)
+
+    def test_negative_buffer_rejected(self):
+        sub = SubAccelerator(Dataflow.NVDLA, 1024, 32)
+        with pytest.raises(ValueError, match="glb_bytes"):
+            subaccelerator_area_um2(sub, DEFAULT_PARAMS, glb_bytes=-1)
+
+    def test_dataflow_pe_area_ordering(self):
+        accs = {
+            df: HeterogeneousAccelerator(
+                (SubAccelerator(df, 2048, 32),))
+            for df in Dataflow
+        }
+        from repro.cost import accelerator_area_um2
+        areas = {df: accelerator_area_um2(acc, DEFAULT_PARAMS)
+                 for df, acc in accs.items()}
+        assert (areas[Dataflow.SHIDIANNAO] < areas[Dataflow.NVDLA]
+                < areas[Dataflow.ROW_STATIONARY])

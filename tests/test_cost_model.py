@@ -1,0 +1,232 @@
+"""Unit tests for the MAESTRO-substitute cost model.
+
+Beyond correctness of the arithmetic, these tests pin the *orderings* the
+search exploits (DESIGN.md §5): dataflow affinities, PE/bandwidth
+monotonicity, and the Table I magnitude calibration.
+"""
+
+import pytest
+
+from repro.accel import Dataflow, SubAccelerator
+from repro.arch import ConvLayer, dense_layer
+from repro.cost import (
+    CostModel,
+    CostModelParams,
+    DEFAULT_PARAMS,
+    analyze,
+)
+
+
+def conv(c, k, hw, kernel=3, stride=1):
+    return ConvLayer(name=f"c{c}k{k}hw{hw}", in_channels=c, out_channels=k,
+                     kernel=kernel, stride=stride, in_height=hw, in_width=hw)
+
+
+HIGH_RES_LIGHT = conv(c=3, k=32, hw=64)      # stem-like / U-Net encoder
+LOW_RES_HEAVY = conv(c=256, k=256, hw=4)     # deep ResNet block
+
+
+class TestTilingAnalysis:
+    def test_dla_full_utilisation_on_channel_heavy(self):
+        a = analyze(LOW_RES_HEAVY, Dataflow.NVDLA, 1024, DEFAULT_PARAMS)
+        assert a.utilization == 1.0
+
+    def test_dla_poor_utilisation_on_channel_light(self):
+        a = analyze(HIGH_RES_LIGHT, Dataflow.NVDLA, 1024, DEFAULT_PARAMS)
+        assert a.utilization < 0.2
+
+    def test_shi_full_utilisation_on_high_res(self):
+        a = analyze(HIGH_RES_LIGHT, Dataflow.SHIDIANNAO, 1024,
+                    DEFAULT_PARAMS)
+        assert a.utilization > 0.9
+
+    def test_shi_poor_utilisation_on_low_res(self):
+        a = analyze(LOW_RES_HEAVY, Dataflow.SHIDIANNAO, 1024,
+                    DEFAULT_PARAMS)
+        assert a.utilization < 0.05
+
+    def test_rs_balanced(self):
+        for layer in (HIGH_RES_LIGHT, LOW_RES_HEAVY):
+            a = analyze(layer, Dataflow.ROW_STATIONARY, 1024,
+                        DEFAULT_PARAMS)
+            assert a.utilization > 0.2
+
+    def test_compute_cycles_at_least_ideal(self):
+        for df in Dataflow:
+            for layer in (HIGH_RES_LIGHT, LOW_RES_HEAVY):
+                a = analyze(layer, df, 1024, DEFAULT_PARAMS)
+                assert a.compute_cycles >= layer.macs // 1024
+
+    def test_refetch_capped(self):
+        layer = conv(c=512, k=512, hw=2)
+        a = analyze(layer, Dataflow.NVDLA, 64, DEFAULT_PARAMS)
+        assert a.input_fetches <= layer.ifmap_elems * DEFAULT_PARAMS.refetch_cap
+
+    def test_zero_pes_rejected(self):
+        with pytest.raises(ValueError, match="0 PEs"):
+            analyze(HIGH_RES_LIGHT, Dataflow.NVDLA, 0, DEFAULT_PARAMS)
+
+
+class TestDataflowAffinity:
+    """The §II Challenge-2 orderings that motivate heterogeneity."""
+
+    def test_dla_beats_shi_on_channel_heavy_layer(self, cost_model):
+        dla = cost_model.layer_cost(
+            LOW_RES_HEAVY, SubAccelerator(Dataflow.NVDLA, 1024, 32))
+        shi = cost_model.layer_cost(
+            LOW_RES_HEAVY, SubAccelerator(Dataflow.SHIDIANNAO, 1024, 32))
+        assert dla.latency_cycles < shi.latency_cycles
+
+    def test_shi_beats_dla_on_high_res_layer(self, cost_model):
+        dla = cost_model.layer_cost(
+            HIGH_RES_LIGHT, SubAccelerator(Dataflow.NVDLA, 1024, 32))
+        shi = cost_model.layer_cost(
+            HIGH_RES_LIGHT, SubAccelerator(Dataflow.SHIDIANNAO, 1024, 32))
+        assert shi.latency_cycles < dla.latency_cycles
+
+    def test_dla_favours_resnet_shi_favours_unet(self, cost_model,
+                                                 cifar_space, unet_space):
+        """Whole-network check: the paper's 'NVDLA works better for
+        ResNets, Shidiannao for U-Nets'."""
+        resnet = cifar_space.decode(
+            cifar_space.indices_of((32, 128, 2, 256, 2, 256, 2)))
+        unet = unet_space.decode((3, 1, 1, 1, 1, 0))
+        dla = SubAccelerator(Dataflow.NVDLA, 1024, 32)
+        shi = SubAccelerator(Dataflow.SHIDIANNAO, 1024, 32)
+        res_dla, _ = cost_model.network_cost_on(resnet, dla)
+        res_shi, _ = cost_model.network_cost_on(resnet, shi)
+        unet_dla, _ = cost_model.network_cost_on(unet, dla)
+        unet_shi, _ = cost_model.network_cost_on(unet, shi)
+        assert res_dla < res_shi
+        assert unet_shi < unet_dla
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("df", list(Dataflow))
+    def test_more_pes_never_slower(self, cost_model, df):
+        layer = conv(c=64, k=128, hw=16)
+        lat = [cost_model.layer_cost(layer, SubAccelerator(df, p, 32))
+               .latency_cycles for p in (128, 512, 2048)]
+        assert lat[0] >= lat[1] >= lat[2]
+
+    @pytest.mark.parametrize("df", list(Dataflow))
+    def test_more_bandwidth_never_slower(self, cost_model, df):
+        layer = conv(c=64, k=128, hw=16)
+        lat = [cost_model.layer_cost(layer, SubAccelerator(df, 512, b))
+               .latency_cycles for b in (8, 32, 64)]
+        assert lat[0] >= lat[1] >= lat[2]
+
+    def test_energy_independent_of_bandwidth(self, cost_model):
+        layer = conv(c=64, k=128, hw=16)
+        e = [cost_model.layer_cost(
+                layer, SubAccelerator(Dataflow.NVDLA, 512, b)).energy_nj
+             for b in (8, 64)]
+        assert e[0] == pytest.approx(e[1])
+
+    def test_low_bandwidth_becomes_memory_bound(self, cost_model):
+        layer = conv(c=64, k=128, hw=16)
+        cost = cost_model.layer_cost(
+            layer, SubAccelerator(Dataflow.NVDLA, 4000, 8))
+        assert cost.bound == "memory"
+
+
+class TestLayerCost:
+    def test_latency_includes_launch_overhead(self, cost_model):
+        layer = dense_layer("fc", 16, 10)
+        cost = cost_model.layer_cost(
+            layer, SubAccelerator(Dataflow.NVDLA, 1024, 64))
+        assert cost.latency_cycles >= DEFAULT_PARAMS.layer_launch_cycles
+
+    def test_energy_positive_and_dram_dominated(self, cost_model):
+        cost = cost_model.layer_cost(
+            HIGH_RES_LIGHT, SubAccelerator(Dataflow.NVDLA, 1024, 32))
+        dram_energy = cost.dram_bytes * DEFAULT_PARAMS.dram_energy_nj_per_byte
+        assert 0 < dram_energy <= cost.energy_nj
+
+    def test_inactive_subacc_rejected(self, cost_model):
+        with pytest.raises(ValueError, match="inactive"):
+            cost_model.layer_cost(
+                HIGH_RES_LIGHT, SubAccelerator(Dataflow.NVDLA, 0, 0))
+
+    def test_cache_hits(self):
+        model = CostModel()
+        sub = SubAccelerator(Dataflow.NVDLA, 1024, 32)
+        model.layer_cost(HIGH_RES_LIGHT, sub)
+        assert model.cache_size == 1
+        model.layer_cost(HIGH_RES_LIGHT, sub)
+        assert model.cache_size == 1
+        model.clear_cache()
+        assert model.cache_size == 0
+
+    def test_network_cost_sums_layers(self, cost_model, cifar_net_small):
+        sub = SubAccelerator(Dataflow.NVDLA, 1024, 32)
+        total_lat, total_energy = cost_model.network_cost_on(
+            cifar_net_small, sub)
+        per_layer = [cost_model.layer_cost(l, sub)
+                     for l in cifar_net_small.layers]
+        assert total_lat == sum(c.latency_cycles for c in per_layer)
+        assert total_energy == pytest.approx(
+            sum(c.energy_nj for c in per_layer))
+
+
+class TestAreaModel:
+    def test_area_scales_with_pes(self, cost_model):
+        from repro.accel import HeterogeneousAccelerator
+        small = HeterogeneousAccelerator(
+            (SubAccelerator(Dataflow.NVDLA, 512, 32),))
+        big = HeterogeneousAccelerator(
+            (SubAccelerator(Dataflow.NVDLA, 4096, 32),))
+        assert cost_model.area_um2(big) > cost_model.area_um2(small)
+
+    def test_area_scales_with_bandwidth(self, cost_model):
+        from repro.accel import HeterogeneousAccelerator
+        lo = HeterogeneousAccelerator(
+            (SubAccelerator(Dataflow.NVDLA, 512, 8),))
+        hi = HeterogeneousAccelerator(
+            (SubAccelerator(Dataflow.NVDLA, 512, 64),))
+        assert cost_model.area_um2(hi) > cost_model.area_um2(lo)
+
+    def test_inactive_slot_contributes_nothing(self, cost_model):
+        from repro.accel import HeterogeneousAccelerator
+        single = HeterogeneousAccelerator(
+            (SubAccelerator(Dataflow.NVDLA, 512, 32),))
+        padded = HeterogeneousAccelerator(
+            (SubAccelerator(Dataflow.NVDLA, 512, 32),
+             SubAccelerator(Dataflow.SHIDIANNAO, 0, 0)))
+        assert cost_model.area_um2(single) == pytest.approx(
+            cost_model.area_um2(padded))
+
+    def test_mapped_working_set_sizes_buffer(self, cost_model,
+                                             cifar_net_large):
+        from repro.accel import HeterogeneousAccelerator
+        acc = HeterogeneousAccelerator(
+            (SubAccelerator(Dataflow.NVDLA, 1024, 32),))
+        bare = cost_model.area_um2(acc)
+        mapped = cost_model.area_um2(
+            acc, mapped_layers={0: list(cifar_net_large.layers)})
+        assert mapped != bare  # buffer resized to the actual working set
+
+
+class TestCalibration:
+    """Magnitude calibration against Table I (DESIGN.md §6)."""
+
+    def test_table1_design_area_magnitude(self, cost_model):
+        from repro.accel import HeterogeneousAccelerator
+        acc = HeterogeneousAccelerator((
+            SubAccelerator(Dataflow.NVDLA, 2112, 48),
+            SubAccelerator(Dataflow.SHIDIANNAO, 1984, 16)))
+        area = cost_model.area_um2(acc)
+        # Paper: 4.71e9 um^2; require the same order of magnitude.
+        assert 2e9 < area < 8e9
+
+    def test_max_design_violates_4e9_area(self, cost_model):
+        from repro.accel import HeterogeneousAccelerator
+        acc = HeterogeneousAccelerator(
+            (SubAccelerator(Dataflow.NVDLA, 4096, 64),))
+        assert cost_model.area_um2(acc) > 4e9  # Table II NAS row violates
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            CostModelParams(mac_energy_nj=-1)
+        with pytest.raises(ValueError):
+            CostModelParams(refetch_cap=0)

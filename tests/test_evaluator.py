@@ -1,0 +1,91 @@
+"""Unit tests for the evaluator (§IV-③ hardware + training paths)."""
+
+import pytest
+
+from repro.core import Evaluator
+from repro.cost import CostModel
+
+
+@pytest.fixture
+def evaluator(workload_w1, cost_model, trainer):
+    return Evaluator(workload_w1, cost_model, trainer)
+
+
+class TestHardwarePath:
+    def test_metrics_positive(self, evaluator, cifar_net_small,
+                              unet_net_mid, small_accel):
+        hw = evaluator.evaluate_hardware((cifar_net_small, unet_net_mid),
+                                         small_accel)
+        assert hw.latency_cycles > 0
+        assert hw.energy_nj > 0
+        assert hw.area_um2 > 0
+
+    def test_feasible_iff_no_violations(self, evaluator, cifar_net_small,
+                                        unet_net_mid, small_accel):
+        hw = evaluator.evaluate_hardware((cifar_net_small, unet_net_mid),
+                                         small_accel)
+        assert hw.feasible == (len(hw.violations) == 0)
+        assert hw.feasible == (hw.penalty == 0.0)
+
+    def test_small_nets_feasible_on_w1(self, evaluator, cifar_net_small,
+                                       unet_net_mid, small_accel):
+        hw = evaluator.evaluate_hardware((cifar_net_small, unet_net_mid),
+                                         small_accel)
+        assert hw.feasible
+
+    def test_large_nets_violate_w1(self, evaluator, cifar_net_large,
+                                   unet_space, small_accel):
+        unet_large = unet_space.decode(unet_space.largest_indices())
+        hw = evaluator.evaluate_hardware((cifar_net_large, unet_large),
+                                         small_accel)
+        assert not hw.feasible
+        assert hw.penalty > 0
+        assert "energy" in hw.violations
+
+    def test_network_count_checked(self, evaluator, cifar_net_small,
+                                   small_accel):
+        with pytest.raises(ValueError, match="networks"):
+            evaluator.evaluate_hardware((cifar_net_small,), small_accel)
+
+    def test_counts_evaluations(self, evaluator, cifar_net_small,
+                                unet_net_mid, small_accel):
+        before = evaluator.hardware_evaluations
+        evaluator.evaluate_hardware((cifar_net_small, unet_net_mid),
+                                    small_accel)
+        assert evaluator.hardware_evaluations == before + 1
+
+    def test_hap_respects_spec_constraint(self, evaluator, cifar_net_small,
+                                          unet_net_mid, small_accel):
+        hw = evaluator.evaluate_hardware((cifar_net_small, unet_net_mid),
+                                         small_accel)
+        assert hw.hap.latency_constraint == \
+            evaluator.workload.specs.latency_cycles
+
+
+class TestFullEvaluation:
+    def test_reward_composition(self, evaluator, cifar_net_small,
+                                unet_net_mid, small_accel):
+        ev = evaluator.evaluate((cifar_net_small, unet_net_mid),
+                                small_accel)
+        expected = ev.weighted_accuracy - 10.0 * ev.hardware.penalty
+        assert ev.reward == pytest.approx(expected)
+
+    def test_accuracies_in_display_units(self, evaluator, cifar_net_small,
+                                         unet_net_mid, small_accel):
+        ev = evaluator.evaluate((cifar_net_small, unet_net_mid),
+                                small_accel)
+        assert ev.accuracies[0] > 1.0   # percentage
+        assert ev.accuracies[1] < 1.0   # IOU
+
+    def test_weighted_accuracy_normalised(self, evaluator, cifar_net_small,
+                                          unet_net_mid, small_accel):
+        ev = evaluator.evaluate((cifar_net_small, unet_net_mid),
+                                small_accel)
+        assert 0.0 < ev.weighted_accuracy < 1.0
+
+    def test_training_memoised_across_evaluations(
+            self, evaluator, cifar_net_small, unet_net_mid, small_accel):
+        evaluator.evaluate((cifar_net_small, unet_net_mid), small_accel)
+        runs = evaluator.trainer.trainings_run
+        evaluator.evaluate((cifar_net_small, unet_net_mid), small_accel)
+        assert evaluator.trainer.trainings_run == runs

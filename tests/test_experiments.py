@@ -1,0 +1,144 @@
+"""Smoke tests for the experiment harnesses (reduced scale).
+
+Full-scale regeneration lives in benchmarks/; these tests check that the
+harnesses run end-to-end, produce structurally valid results and render
+their reports.
+"""
+
+import pytest
+
+from repro.experiments import (
+    format_fig1,
+    format_fig6,
+    format_table1,
+    format_table2,
+    run_fig1,
+    run_fig6,
+    run_table1,
+    run_table2,
+)
+from repro.core import NASAICConfig
+from repro.workloads import w1, w3
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    return run_fig1(nas_episodes=40, hw_nas_episodes=40, mc_runs=120,
+                    design_sweep_runs=60, seed=61)
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return run_fig6(w3(), episodes=40, hw_steps=4,
+                    lower_bound_designs=30, seed=67)
+
+
+class TestFig1:
+    def test_point_sets_populated(self, fig1_result):
+        assert len(fig1_result.nas_asic_points) == 60
+        assert fig1_result.mc_optimal_point is not None
+
+    def test_nas_accuracy_highest(self, fig1_result):
+        """Fig. 1 ordering: unconstrained NAS accuracy tops everything."""
+        nas = fig1_result.nas_accuracy
+        for point in (fig1_result.hw_aware_nas_point,
+                      fig1_result.heuristic_point,
+                      fig1_result.mc_optimal_point):
+            if point is not None:
+                assert nas >= point.accuracies[0] - 0.3
+
+    def test_feasible_points_meet_specs(self, fig1_result):
+        specs = fig1_result.workload.specs
+        for point in (fig1_result.heuristic_point,
+                      fig1_result.mc_optimal_point):
+            if point is not None:
+                assert specs.satisfied_by(point.latency_cycles,
+                                          point.energy_nj, point.area_um2)
+
+    def test_report_renders(self, fig1_result):
+        text = format_fig1(fig1_result)
+        assert "Fig. 1" in text
+        assert "MC optimal" in text
+
+
+class TestFig6:
+    def test_all_explored_feasible(self, fig6_result):
+        assert fig6_result.all_explored_feasible
+
+    def test_lower_bound_accuracies_match_paper(self, fig6_result):
+        # W3: both tasks CIFAR-10, smallest-net accuracy 78.93%.
+        for acc in fig6_result.lower_bound_accuracies:
+            assert acc == pytest.approx(78.93, abs=0.01)
+
+    def test_best_above_lower_bound(self, fig6_result):
+        assert fig6_result.best is not None
+        assert min(fig6_result.best.accuracies) > 80.0
+
+    def test_spec_utilisation_fractions(self, fig6_result):
+        util = fig6_result.spec_utilisation()
+        assert all(0 < u <= 1.0 for u in util)
+
+    def test_report_renders(self, fig6_result):
+        text = format_fig6(fig6_result)
+        assert "Fig. 6 [W3]" in text
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        return run_table1(
+            w1(), nas_episodes=40, mc_runs=100, seed=71,
+            nasaic_config=NASAICConfig(episodes=40, hw_steps=4, seed=73))
+
+    def test_nas_asic_violates(self, table1):
+        assert not table1.nas_asic.meets_specs
+
+    def test_nasaic_meets(self, table1):
+        assert table1.nasaic.meets_specs
+
+    def test_reductions_positive(self, table1):
+        lat, energy, area = table1.reductions_vs_nas_asic()
+        assert energy > 1.0 and area > 1.0
+
+    def test_report_renders(self, table1):
+        text = format_table1([table1])
+        assert "Table I" in text
+        assert "NAS->ASIC" in text and "NASAIC" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def table2(self):
+        return run_table2(
+            w3(), nas_episodes=40, seed=79,
+            nasaic_config=NASAICConfig(episodes=40, hw_steps=4, seed=79))
+
+    def test_four_rows(self, table2):
+        approaches = [row.approach for row in table2.rows]
+        assert approaches == ["NAS", "Single Acc.", "Homo. Acc.",
+                              "Hetero. Acc. (NASAIC)"]
+
+    def test_nas_violates_specs(self, table2):
+        assert not table2.row("NAS").meets_specs
+
+    def test_constrained_rows_meet_specs(self, table2):
+        for name in ("Single Acc.", "Homo. Acc.", "Hetero. Acc. (NASAIC)"):
+            assert table2.row(name).meets_specs, name
+
+    def test_nas_accuracy_highest(self, table2):
+        nas_acc = table2.row("NAS").accuracies[0]
+        for name in ("Single Acc.", "Homo. Acc."):
+            assert nas_acc >= max(table2.row(name).accuracies) - 0.3
+
+    def test_hetero_has_two_networks(self, table2):
+        assert len(table2.row("Hetero. Acc. (NASAIC)").architectures) == 2
+
+    def test_report_renders(self, table2):
+        text = format_table2(table2)
+        assert "Table II" in text
+        assert "Homo. Acc." in text
+
+    def test_requires_two_tasks(self):
+        from repro.workloads import fig1_workload
+        with pytest.raises(ValueError, match="two-task"):
+            run_table2(fig1_workload())

@@ -1,0 +1,66 @@
+"""Unit tests for the CSV figure exporters."""
+
+import pytest
+
+from repro.experiments import run_fig1, run_fig6
+from repro.experiments.export import fig1_to_csv, fig6_to_csv
+from repro.workloads import w3
+
+
+@pytest.fixture(scope="module")
+def fig6_small():
+    return run_fig6(w3(), episodes=10, hw_steps=2,
+                    lower_bound_designs=10, seed=73)
+
+
+@pytest.fixture(scope="module")
+def fig1_small():
+    return run_fig1(nas_episodes=15, hw_nas_episodes=15, mc_runs=30,
+                    design_sweep_runs=20, seed=75)
+
+
+class TestFig6Csv:
+    def test_header(self, fig6_small):
+        csv = fig6_to_csv(fig6_small)
+        assert csv.splitlines()[0] == (
+            "series,latency_cycles,energy_nj,area_um2,feasible,accuracy")
+
+    def test_row_counts(self, fig6_small):
+        lines = fig6_to_csv(fig6_small).splitlines()
+        explored = [l for l in lines if l.startswith("explored,")]
+        lower = [l for l in lines if l.startswith("lower_bound,")]
+        assert len(explored) == len(fig6_small.explored)
+        assert len(lower) == len(fig6_small.lower_bounds)
+
+    def test_specs_row_present(self, fig6_small):
+        lines = fig6_to_csv(fig6_small).splitlines()
+        specs = [l for l in lines if l.startswith("specs,")]
+        assert len(specs) == 1
+        assert "400000" in specs[0]
+
+    def test_parses_as_csv(self, fig6_small):
+        import csv
+        import io
+        rows = list(csv.DictReader(io.StringIO(fig6_to_csv(fig6_small))))
+        for row in rows:
+            float(row["latency_cycles"])
+            assert row["feasible"] in ("0", "1")
+
+
+class TestFig1Csv:
+    def test_families_present(self, fig1_small):
+        csv = fig1_to_csv(fig1_small)
+        assert "nas_asic," in csv
+        assert "specs," in csv
+
+    def test_nas_asic_count(self, fig1_small):
+        lines = fig1_to_csv(fig1_small).splitlines()
+        cloud = [l for l in lines if l.startswith("nas_asic,")]
+        assert len(cloud) == len(fig1_small.nas_asic_points)
+
+    def test_optional_points_skipped_gracefully(self, fig1_small):
+        # With tiny budgets some families may be missing; the export
+        # must still be valid CSV.
+        import csv
+        import io
+        list(csv.DictReader(io.StringIO(fig1_to_csv(fig1_small))))

@@ -1,0 +1,103 @@
+"""Unit tests for the HERALD-style demand-proportional allocator."""
+
+import pytest
+
+from repro.accel import AllocationSpace
+from repro.core.herald import _proportional_split, herald_allocate
+from repro.workloads import w1, w3
+
+
+class TestProportionalSplit:
+    def test_equal_demands_equal_shares(self):
+        shares = _proportional_split([100, 100], 4096, 32, 32)
+        assert shares[0] == shares[1]
+        assert sum(shares) <= 4096
+
+    def test_proportionality(self):
+        shares = _proportional_split([300, 100], 4096, 32, 32)
+        assert shares[0] > shares[1]
+        assert shares[0] >= 2 * shares[1]
+
+    def test_minimum_respected(self):
+        shares = _proportional_split([1, 10_000], 4096, 32, 32)
+        assert min(shares) >= 32
+
+    def test_grid_alignment(self):
+        shares = _proportional_split([7, 13], 4096, 32, 32)
+        assert all(s % 32 == 0 for s in shares)
+
+    def test_budget_never_exceeded(self):
+        for demands in ([1, 1], [5, 95], [33, 66, 1]):
+            shares = _proportional_split(demands, 4096, 32, 32)
+            assert sum(shares) <= 4096
+
+    def test_impossible_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            _proportional_split([1, 1, 1], 64, 32, 32)
+
+
+class TestHeraldAllocate:
+    def test_w1_networks_get_reasonable_design(self, cost_model,
+                                               cifar_net_small,
+                                               unet_net_mid):
+        wl = w1()
+        result = herald_allocate((cifar_net_small, unet_net_mid), wl,
+                                 cost_model=cost_model)
+        assert result.feasible
+        design = result.accelerator
+        assert design.total_pes <= 4096
+        # The U-Net's demand dwarfs the small CIFAR net's, so its slot
+        # gets the bigger share.
+        pes = [s.num_pes for s in design.active_subaccs]
+        assert pes[1] > pes[0]
+
+    def test_slot_count_checked(self, cost_model, cifar_net_small):
+        wl = w3()
+        alloc = AllocationSpace(num_slots=1, allow_empty_slots=False)
+        with pytest.raises(ValueError, match="slots"):
+            herald_allocate((cifar_net_small, cifar_net_small), wl,
+                            allocation=alloc, cost_model=cost_model)
+
+    def test_deterministic(self, cost_model, cifar_net_small,
+                           unet_net_mid):
+        wl = w1()
+        a = herald_allocate((cifar_net_small, unet_net_mid), wl,
+                            cost_model=cost_model)
+        b = herald_allocate((cifar_net_small, unet_net_mid), wl,
+                            cost_model=cost_model)
+        assert a.accelerator.describe() == b.accelerator.describe()
+
+
+class TestCheckpointing:
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        import numpy as np
+        from repro.core import ControllerConfig, RNNController
+        from repro.core.choices import Decision
+        decisions = [Decision("a", 3, "arch"), Decision("b", 4, "hw")]
+        c1 = RNNController(decisions, ControllerConfig(hidden_size=8,
+                                                       embed_size=4),
+                           rng=np.random.default_rng(1))
+        path = tmp_path / "ctrl.npz"
+        c1.save(path)
+        c2 = RNNController(decisions, ControllerConfig(hidden_size=8,
+                                                       embed_size=4),
+                           rng=np.random.default_rng(99))
+        c2.load(path)
+        s1 = c1.sample(np.random.default_rng(5))
+        s2 = c2.sample(np.random.default_rng(5))
+        assert s1.actions == s2.actions
+
+    def test_structure_mismatch_rejected(self, tmp_path):
+        import numpy as np
+        from repro.core import ControllerConfig, RNNController
+        from repro.core.choices import Decision
+        c1 = RNNController([Decision("a", 3, "arch")],
+                           ControllerConfig(hidden_size=8, embed_size=4),
+                           rng=np.random.default_rng(1))
+        path = tmp_path / "ctrl.npz"
+        c1.save(path)
+        c2 = RNNController([Decision("a", 4, "arch")],
+                           ControllerConfig(hidden_size=8, embed_size=4),
+                           rng=np.random.default_rng(1))
+        with pytest.raises(ValueError, match="decision structure"):
+            c2.load(path)

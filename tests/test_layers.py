@@ -1,0 +1,106 @@
+"""Unit tests for the convolutional layer IR."""
+
+import pytest
+
+from repro.arch import ConvLayer, dense_layer
+
+
+def make_layer(**overrides):
+    base = dict(name="l", in_channels=16, out_channels=32, kernel=3,
+                stride=1, in_height=32, in_width=32)
+    base.update(overrides)
+    return ConvLayer(**base)
+
+
+class TestGeometry:
+    def test_same_padding_stride1_preserves_resolution(self):
+        layer = make_layer()
+        assert (layer.out_height, layer.out_width) == (32, 32)
+
+    def test_stride2_halves_resolution(self):
+        layer = make_layer(stride=2)
+        assert (layer.out_height, layer.out_width) == (16, 16)
+
+    def test_stride2_odd_input_rounds_up(self):
+        layer = make_layer(in_height=33, in_width=33, stride=2)
+        assert (layer.out_height, layer.out_width) == (17, 17)
+
+    def test_transposed_doubles_resolution(self):
+        layer = make_layer(stride=2, transposed=True)
+        assert (layer.out_height, layer.out_width) == (64, 64)
+
+    def test_out_pixels(self):
+        layer = make_layer(stride=2)
+        assert layer.out_pixels == 16 * 16
+
+    def test_non_square_input(self):
+        layer = make_layer(in_height=16, in_width=64)
+        assert (layer.out_height, layer.out_width) == (16, 64)
+
+
+class TestArithmetic:
+    def test_macs_formula(self):
+        layer = make_layer()
+        assert layer.macs == 32 * 16 * 3 * 3 * 32 * 32
+
+    def test_macs_with_stride(self):
+        layer = make_layer(stride=2)
+        assert layer.macs == 32 * 16 * 3 * 3 * 16 * 16
+
+    def test_transposed_macs_counted_at_output_resolution(self):
+        layer = make_layer(kernel=2, stride=2, transposed=True)
+        assert layer.macs == 32 * 16 * 2 * 2 * 64 * 64
+
+    def test_params_excludes_spatial(self):
+        layer = make_layer()
+        assert layer.params == 32 * 16 * 9
+
+    def test_tensor_footprints(self):
+        layer = make_layer(stride=2)
+        assert layer.ifmap_elems == 16 * 32 * 32
+        assert layer.ofmap_elems == 32 * 16 * 16
+        assert layer.weight_elems == layer.params
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", [
+        "in_channels", "out_channels", "kernel", "stride",
+        "in_height", "in_width"])
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(ValueError, match=field):
+            make_layer(**{field: 0})
+
+    @pytest.mark.parametrize("field", ["in_channels", "kernel"])
+    def test_rejects_non_integer(self, field):
+        with pytest.raises(ValueError, match=field):
+            make_layer(**{field: 3.5})
+
+    def test_frozen(self):
+        layer = make_layer()
+        with pytest.raises(AttributeError):
+            layer.kernel = 5
+
+
+class TestDenseLayer:
+    def test_dense_macs_equal_matrix_product(self):
+        layer = dense_layer("fc", 256, 10)
+        assert layer.macs == 256 * 10
+
+    def test_dense_is_pointwise_on_unit_map(self):
+        layer = dense_layer("fc", 256, 10)
+        assert layer.kernel == 1
+        assert layer.out_pixels == 1
+
+    def test_dense_params(self):
+        layer = dense_layer("fc", 128, 10)
+        assert layer.params == 1280
+
+
+class TestDescribe:
+    def test_describe_mentions_name_and_channels(self):
+        text = make_layer().describe()
+        assert "l:" in text and "16->32" in text
+
+    def test_describe_marks_transposed(self):
+        text = make_layer(stride=2, transposed=True).describe()
+        assert "^" in text

@@ -1,0 +1,86 @@
+"""Public API surface checks: exports, docstrings, version."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = ["repro.arch", "repro.accel", "repro.cost", "repro.mapping",
+               "repro.train", "repro.workloads", "repro.core",
+               "repro.experiments", "repro.utils"]
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_all_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolvable(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), module_name
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_docstrings(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, module_name
+
+    def test_public_callables_documented(self):
+        """Every public class/function re-exported at top level carries a
+        docstring (deliverable (e): doc comments on every public item)."""
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    undocumented.append(name)
+        assert not undocumented, undocumented
+
+    def test_public_methods_documented(self):
+        """Public methods of the main entry-point classes are documented."""
+        for cls in (repro.NASAIC, repro.CostModel, repro.RNNController,
+                    repro.AccuracySurrogate, repro.MappingProblem):
+            for name, member in inspect.getmembers(cls):
+                if name.startswith("_"):
+                    continue
+                if inspect.isfunction(member):
+                    assert inspect.getdoc(member), f"{cls.__name__}.{name}"
+
+
+class TestLayering:
+    """The bottom-up dependency rule from CONTRIBUTING.md."""
+
+    ORDER = {"utils": 0, "arch": 1, "accel": 1, "cost": 2, "mapping": 3,
+             "train": 4, "workloads": 4, "core": 5, "experiments": 6}
+
+    def test_no_upward_imports(self):
+        import ast
+        from pathlib import Path
+        src = Path(repro.__file__).parent
+        violations = []
+        for path in src.rglob("*.py"):
+            rel = path.relative_to(src)
+            if len(rel.parts) < 2:
+                continue  # top-level modules (cli) may import anything
+            layer = rel.parts[0]
+            if layer not in self.ORDER:
+                continue
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.ImportFrom):
+                    continue
+                if not node.module or not node.module.startswith("repro."):
+                    continue
+                target = node.module.split(".")[1]
+                if target not in self.ORDER:
+                    continue
+                if self.ORDER[target] > self.ORDER[layer]:
+                    violations.append(f"{rel}: imports {node.module}")
+        assert not violations, violations

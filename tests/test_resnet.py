@@ -1,0 +1,123 @@
+"""Unit tests for the ResNet9 search spaces."""
+
+import pytest
+
+from repro.arch import ResNetSpace, cifar10_resnet_space, stl10_resnet_space
+
+
+class TestCifarSpace:
+    def test_decision_count(self, cifar_space):
+        # stem + 3 x (filters, skips)
+        assert len(cifar_space.choices) == 7
+
+    def test_paper_options(self, cifar_space):
+        assert cifar_space.choices[1].options == (32, 64, 128, 256)
+        assert cifar_space.choices[2].options == (0, 1, 2)
+
+    def test_cardinality(self, cifar_space):
+        assert cifar_space.cardinality() == 4 * (4 * 3) ** 3
+
+    def test_smallest_genotype(self, cifar_space):
+        values = cifar_space.values(cifar_space.smallest_indices())
+        assert values == (8, 32, 0, 32, 0, 32, 0)
+
+    def test_largest_genotype(self, cifar_space):
+        values = cifar_space.values(cifar_space.largest_indices())
+        assert values == (64, 256, 2, 256, 2, 256, 2)
+
+    def test_decode_paper_nas_best(self, cifar_space):
+        # Table II NAS row: <32, 128, 2, 256, 2, 256, 2>
+        net = cifar_space.decode(
+            cifar_space.indices_of((32, 128, 2, 256, 2, 256, 2)))
+        assert net.genotype == (32, 128, 2, 256, 2, 256, 2)
+        # stem + 3 x (down + skips) + classifier
+        assert net.num_layers == 1 + (1 + 2) * 3 + 1
+
+    def test_layer_resolutions_halve_per_block(self, cifar_space):
+        net = cifar_space.decode(cifar_space.largest_indices())
+        downs = [l for l in net.layers if l.name.endswith(".down")]
+        assert [d.in_height for d in downs] == [32, 16, 8]
+
+    def test_skip_layers_square(self, cifar_space):
+        net = cifar_space.decode(cifar_space.largest_indices())
+        for layer in net.layers:
+            if ".res" in layer.name:
+                assert layer.in_channels == layer.out_channels
+                assert layer.stride == 1
+
+    def test_classifier_is_last(self, cifar_space):
+        net = cifar_space.decode(cifar_space.smallest_indices())
+        assert net.layers[-1].name == "classifier"
+        assert net.layers[-1].out_channels == 10
+
+    def test_zero_skip_block_has_only_down_conv(self, cifar_space):
+        net = cifar_space.decode(cifar_space.smallest_indices())
+        assert not any(".res" in l.name for l in net.layers)
+
+    def test_macs_monotone_in_filters(self, cifar_space):
+        small = cifar_space.decode(
+            cifar_space.indices_of((8, 32, 1, 32, 1, 32, 1)))
+        big = cifar_space.decode(
+            cifar_space.indices_of((8, 64, 1, 64, 1, 64, 1)))
+        assert big.total_macs > small.total_macs
+
+    def test_channels_chain_consistency(self, cifar_space):
+        net = cifar_space.decode(
+            cifar_space.indices_of((16, 64, 2, 128, 1, 256, 2)))
+        convs = [l for l in net.layers if l.name != "classifier"]
+        for prev, cur in zip(convs, convs[1:]):
+            assert cur.in_channels == prev.out_channels
+
+
+class TestStlSpace:
+    def test_five_blocks(self, stl_space):
+        assert len(stl_space.choices) == 1 + 2 * 5
+
+    def test_input_resolution(self, stl_space):
+        net = stl_space.decode(stl_space.smallest_indices())
+        assert net.layers[0].in_height == 96
+
+    def test_deepened_options(self, stl_space):
+        # max 3 convolutions per block, max 512 filters (§V-A)
+        assert max(stl_space.choices[2].options) == 3
+        assert max(stl_space.choices[1].options) == 512
+
+    def test_resolution_survives_five_halvings(self, stl_space):
+        net = stl_space.decode(stl_space.largest_indices())
+        downs = [l for l in net.layers if l.name.endswith(".down")]
+        assert downs[-1].out_height == 3
+
+
+class TestValidation:
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError, match="num_blocks"):
+            ResNetSpace("cifar10", input_hw=32, num_blocks=0)
+
+    def test_rejects_too_small_input(self):
+        with pytest.raises(ValueError, match="too small"):
+            ResNetSpace("cifar10", input_hw=4, num_blocks=3)
+
+    def test_decode_rejects_wrong_length(self, cifar_space):
+        with pytest.raises(ValueError, match="decisions"):
+            cifar_space.decode((0, 0))
+
+    def test_decode_rejects_out_of_range_index(self, cifar_space):
+        bad = list(cifar_space.smallest_indices())
+        bad[0] = 99
+        with pytest.raises(IndexError):
+            cifar_space.decode(tuple(bad))
+
+    def test_indices_of_rejects_unknown_value(self, cifar_space):
+        with pytest.raises(ValueError, match="not one of"):
+            cifar_space.indices_of((7, 32, 0, 32, 0, 32, 0))
+
+
+def test_cifar_and_stl_factories_distinct():
+    assert cifar10_resnet_space().dataset == "cifar10"
+    assert stl10_resnet_space().dataset == "stl10"
+
+
+def test_roundtrip_values_indices(cifar_space, rng):
+    for _ in range(20):
+        idx = cifar_space.random_indices(rng)
+        assert cifar_space.indices_of(cifar_space.values(idx)) == idx

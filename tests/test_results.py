@@ -1,0 +1,69 @@
+"""Unit tests for search result records."""
+
+import pytest
+
+from repro.accel import Dataflow, HeterogeneousAccelerator, SubAccelerator
+from repro.core import ExploredSolution, SearchResult
+
+
+@pytest.fixture
+def accel():
+    return HeterogeneousAccelerator((
+        SubAccelerator(Dataflow.NVDLA, 1024, 32),))
+
+
+def solution(accel, nets, *, weighted, feasible=True):
+    return ExploredSolution(
+        networks=nets, accelerator=accel, latency_cycles=100,
+        energy_nj=1e6, area_um2=1e9, feasible=feasible,
+        accuracies=(weighted * 100,), weighted_accuracy=weighted)
+
+
+class TestExploredSolution:
+    def test_genotypes(self, accel, cifar_net_small):
+        s = solution(accel, (cifar_net_small,), weighted=0.9)
+        assert s.genotypes == (cifar_net_small.genotype,)
+
+    def test_describe_flags_violations(self, accel, cifar_net_small):
+        ok = solution(accel, (cifar_net_small,), weighted=0.9)
+        bad = solution(accel, (cifar_net_small,), weighted=0.9,
+                       feasible=False)
+        assert "meets specs" in ok.describe()
+        assert "VIOLATES" in bad.describe()
+
+
+class TestSearchResult:
+    def test_record_tracks_best_feasible(self, accel, cifar_net_small):
+        result = SearchResult(name="t")
+        result.record(solution(accel, (cifar_net_small,), weighted=0.5))
+        result.record(solution(accel, (cifar_net_small,), weighted=0.9))
+        result.record(solution(accel, (cifar_net_small,), weighted=0.7))
+        assert result.best.weighted_accuracy == 0.9
+
+    def test_infeasible_never_best(self, accel, cifar_net_small):
+        result = SearchResult(name="t")
+        result.record(solution(accel, (cifar_net_small,), weighted=0.99,
+                               feasible=False))
+        assert result.best is None
+        result.record(solution(accel, (cifar_net_small,), weighted=0.5))
+        assert result.best.weighted_accuracy == 0.5
+
+    def test_feasible_filter(self, accel, cifar_net_small):
+        result = SearchResult(name="t")
+        result.record(solution(accel, (cifar_net_small,), weighted=0.9,
+                               feasible=False))
+        result.record(solution(accel, (cifar_net_small,), weighted=0.5))
+        assert len(result.feasible_solutions) == 1
+        assert len(result.explored) == 2
+
+    def test_summary_without_best(self):
+        result = SearchResult(name="t")
+        assert "none feasible" in result.summary()
+
+    def test_summary_counts(self, accel, cifar_net_small):
+        result = SearchResult(name="t")
+        result.record(solution(accel, (cifar_net_small,), weighted=0.5))
+        result.trainings_run = 3
+        text = result.summary()
+        assert "1 solutions explored" in text
+        assert "3 trainings run" in text

@@ -1,0 +1,89 @@
+"""Unit tests for reward shaping (Eqs. 2-4)."""
+
+import pytest
+
+from repro.core import (
+    episode_reward,
+    hardware_penalty,
+    normalised_accuracy,
+    weighted_normalised_accuracy,
+)
+from repro.workloads import DesignSpecs, PenaltyBounds
+
+
+@pytest.fixture
+def specs():
+    return DesignSpecs(latency_cycles=100, energy_nj=200.0, area_um2=300.0)
+
+
+@pytest.fixture
+def bounds(specs):
+    return PenaltyBounds.from_specs(specs, factor=2.0)
+
+
+class TestPenalty:
+    def test_zero_when_all_specs_met(self, specs, bounds):
+        assert hardware_penalty(100, 200, 300, specs, bounds) == 0.0
+
+    def test_zero_inside_specs(self, specs, bounds):
+        assert hardware_penalty(1, 1, 1, specs, bounds) == 0.0
+
+    def test_single_violation_normalised(self, specs, bounds):
+        # Latency at the bound (2x spec) contributes exactly 1.
+        assert hardware_penalty(200, 100, 100, specs, bounds) == \
+            pytest.approx(1.0)
+
+    def test_half_overshoot(self, specs, bounds):
+        assert hardware_penalty(150, 100, 100, specs, bounds) == \
+            pytest.approx(0.5)
+
+    def test_violations_additive(self, specs, bounds):
+        p = hardware_penalty(200, 400, 600, specs, bounds)
+        assert p == pytest.approx(3.0)
+
+    def test_penalty_monotone_in_overshoot(self, specs, bounds):
+        p1 = hardware_penalty(120, 100, 100, specs, bounds)
+        p2 = hardware_penalty(180, 100, 100, specs, bounds)
+        assert p2 > p1 > 0
+
+    def test_bounds_validated(self, specs):
+        bad = PenaltyBounds(100, 400, 600)  # latency bound == spec
+        with pytest.raises(ValueError, match="exceed"):
+            hardware_penalty(100, 100, 100, specs, bad)
+
+
+class TestNormalisedAccuracy:
+    def test_percent_scaled(self):
+        assert normalised_accuracy("cifar10", 92.85) == pytest.approx(
+            0.9285)
+
+    def test_iou_passthrough(self):
+        assert normalised_accuracy("nuclei", 0.8374) == pytest.approx(
+            0.8374)
+
+    def test_weighted_mixes_scales(self, workload_w1):
+        # W1: CIFAR percentage and Nuclei IOU on a common [0,1] scale.
+        value = weighted_normalised_accuracy(workload_w1, (92.85, 0.8374))
+        assert value == pytest.approx(0.5 * 0.9285 + 0.5 * 0.8374)
+
+    def test_wrong_arity(self, workload_w1):
+        with pytest.raises(ValueError):
+            weighted_normalised_accuracy(workload_w1, (92.0,))
+
+
+class TestReward:
+    def test_no_penalty_returns_accuracy(self):
+        assert episode_reward(0.93, 0.0) == pytest.approx(0.93)
+
+    def test_rho_scales_penalty(self):
+        assert episode_reward(0.93, 0.1, rho=10.0) == pytest.approx(-0.07)
+
+    def test_violation_dominates_accuracy(self):
+        # rho=10: even a tiny violation outweighs any accuracy gain.
+        best_feasible = episode_reward(0.80, 0.0)
+        slightly_violating = episode_reward(1.00, 0.05)
+        assert best_feasible > slightly_violating
+
+    def test_negative_rho_rejected(self):
+        with pytest.raises(ValueError, match="rho"):
+            episode_reward(0.9, 0.1, rho=-1)

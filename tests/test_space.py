@@ -1,0 +1,91 @@
+"""Unit tests for the generic search-space abstraction."""
+
+import pytest
+
+from repro.arch.space import Choice
+
+
+class TestChoice:
+    def test_value_lookup(self):
+        choice = Choice("c", (8, 16, 32))
+        assert choice.value(1) == 16
+
+    def test_index_of(self):
+        choice = Choice("c", (8, 16, 32))
+        assert choice.index_of(32) == 2
+
+    def test_num_options(self):
+        assert Choice("c", (1, 2)).num_options == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no options"):
+            Choice("c", ())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Choice("c", (8, 8))
+
+    def test_value_bounds_checked(self):
+        with pytest.raises(IndexError):
+            Choice("c", (8,)).value(1)
+
+    def test_index_of_unknown_value(self):
+        with pytest.raises(ValueError, match="not one of"):
+            Choice("c", (8,)).index_of(9)
+
+
+class TestSpaceHelpers:
+    def test_enumerate_covers_cardinality(self, unet_space):
+        count = sum(1 for _ in unet_space.enumerate_indices())
+        assert count == unet_space.cardinality() == 5 * 3 ** 5
+
+    def test_enumerate_yields_unique(self, unet_space):
+        seen = set(unet_space.enumerate_indices())
+        assert len(seen) == unet_space.cardinality()
+
+    def test_random_indices_valid(self, cifar_space, rng):
+        for _ in range(50):
+            idx = cifar_space.random_indices(rng)
+            cifar_space.validate_indices(idx)  # must not raise
+
+    def test_smallest_below_largest_macs(self, cifar_space):
+        small = cifar_space.decode(cifar_space.smallest_indices())
+        large = cifar_space.decode(cifar_space.largest_indices())
+        assert small.total_macs < large.total_macs
+
+    def test_values_wrong_length(self, cifar_space):
+        with pytest.raises(ValueError):
+            cifar_space.values((0,))
+
+    def test_indices_of_wrong_length(self, cifar_space):
+        with pytest.raises(ValueError):
+            cifar_space.indices_of((8,))
+
+
+class TestNetworkArch:
+    def test_total_macs_sums_layers(self, cifar_space):
+        net = cifar_space.decode(cifar_space.smallest_indices())
+        assert net.total_macs == sum(l.macs for l in net.layers)
+
+    def test_duplicate_layer_names_rejected(self, cifar_space):
+        net = cifar_space.decode(cifar_space.smallest_indices())
+        from repro.arch import NetworkArch
+        with pytest.raises(ValueError, match="duplicate"):
+            NetworkArch(name="bad", backbone="resnet9", dataset="cifar10",
+                        genotype=net.genotype,
+                        layers=(net.layers[0], net.layers[0]))
+
+    def test_empty_layers_rejected(self):
+        from repro.arch import NetworkArch
+        with pytest.raises(ValueError, match="no layers"):
+            NetworkArch(name="bad", backbone="resnet9", dataset="cifar10",
+                        genotype=(), layers=())
+
+    def test_describe_contains_genotype(self, cifar_space):
+        net = cifar_space.decode(cifar_space.smallest_indices())
+        assert str(net.genotype) in net.describe()
+
+    def test_identity_distinguishes_datasets(self, cifar_space, stl_space):
+        a = cifar_space.decode(cifar_space.smallest_indices())
+        b = stl_space.decode(stl_space.smallest_indices())
+        assert a.identity() != b.identity()

@@ -1,0 +1,62 @@
+"""Unit tests for the timing and sensitivity harnesses."""
+
+import pytest
+
+from repro.experiments import (
+    format_sensitivity,
+    format_timing,
+    run_sensitivity,
+    run_timing,
+)
+from repro.workloads import w3
+
+
+@pytest.fixture(scope="module")
+def timing_report():
+    return run_timing(w3(), episodes=12, hw_steps=3, seed=77)
+
+
+class TestTiming:
+    def test_counts_consistent(self, timing_report):
+        r = timing_report
+        assert r.episodes == 12
+        assert r.hardware_evaluations == 12 * 4  # 1 joint + 3 hw steps
+        assert r.trainings_run + r.trainings_memoised >= 0
+
+    def test_gpu_time_scales_with_trainings(self, timing_report):
+        r = timing_report
+        assert r.simulated_gpu_seconds == pytest.approx(
+            r.trainings_run * 25.0)
+
+    def test_overlap_bounded_by_naive(self, timing_report):
+        r = timing_report
+        assert r.overlapped_wall_seconds <= r.naive_wall_seconds + 1e-9
+
+    def test_format_mentions_pruning(self, timing_report):
+        text = format_timing(timing_report)
+        assert "early pruning" in text
+        assert "GPU-hours" in text
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_sensitivity(
+            w3(), episodes=8, seed=79,
+            rho_values=(10.0,), phi_values=(0, 2), beta_values=(8,))
+
+    def test_point_count(self, points):
+        assert len(points) == 4
+
+    def test_parameters_labelled(self, points):
+        assert {p.parameter for p in points} == {"rho", "phi", "beta"}
+
+    def test_phi_zero_runs(self, points):
+        phi0 = next(p for p in points
+                    if p.parameter == "phi" and p.value == 0)
+        assert phi0.trainings_run + phi0.trainings_skipped > 0
+
+    def test_format_renders(self, points):
+        text = format_sensitivity(points, "W3")
+        assert "Sensitivity sweep [W3]" in text
+        assert "rho" in text

@@ -1,0 +1,73 @@
+"""Unit tests for the surrogate trainer facade."""
+
+import pytest
+
+from repro.train import SurrogateTrainer
+
+
+class TestTrainingAccounting:
+    def test_first_training_counted(self, trainer, cifar_net_small):
+        result = trainer.train_and_validate(cifar_net_small)
+        assert not result.cache_hit
+        assert trainer.trainings_run == 1
+
+    def test_retraining_is_cache_hit(self, trainer, cifar_net_small):
+        trainer.train_and_validate(cifar_net_small)
+        result = trainer.train_and_validate(cifar_net_small)
+        assert result.cache_hit
+        assert trainer.trainings_run == 1
+
+    def test_distinct_architectures_counted(self, trainer, cifar_net_small,
+                                            cifar_net_large):
+        trainer.train_and_validate(cifar_net_small)
+        trainer.train_and_validate(cifar_net_large)
+        assert trainer.trainings_run == 2
+        assert trainer.unique_architectures_trained == 2
+
+    def test_skip_training_counter(self, trainer):
+        trainer.skip_training()
+        trainer.skip_training()
+        assert trainer.trainings_skipped == 2
+        assert trainer.trainings_run == 0
+
+    def test_simulated_gpu_time_scales_with_trainings(
+            self, trainer, cifar_net_small, cifar_net_large):
+        trainer.train_and_validate(cifar_net_small)
+        t1 = trainer.simulated_gpu_seconds
+        trainer.train_and_validate(cifar_net_large)
+        assert trainer.simulated_gpu_seconds == pytest.approx(2 * t1)
+
+    def test_accuracy_matches_surrogate(self, trainer, surrogate,
+                                        cifar_net_small):
+        result = trainer.train_and_validate(cifar_net_small)
+        assert result.accuracy == surrogate.accuracy(cifar_net_small)
+
+    def test_same_network_same_accuracy_across_calls(
+            self, trainer, cifar_net_large):
+        a = trainer.train_and_validate(cifar_net_large).accuracy
+        b = trainer.train_and_validate(cifar_net_large).accuracy
+        assert a == b
+
+
+class TestDatasets:
+    def test_registry_contents(self):
+        from repro.train import DATASETS, dataset_spec
+        assert set(DATASETS) == {"cifar10", "stl10", "nuclei"}
+        assert dataset_spec("cifar10").task == "classification"
+        assert dataset_spec("nuclei").task == "segmentation"
+
+    def test_unknown_dataset(self):
+        from repro.train import dataset_spec
+        with pytest.raises(KeyError, match="unknown dataset"):
+            dataset_spec("mnist")
+
+    def test_metric_formatting(self):
+        from repro.train import dataset_spec
+        assert dataset_spec("cifar10").format_metric(92.85) == "92.85%"
+        assert dataset_spec("nuclei").format_metric(0.8374) == "0.8374"
+
+    def test_input_resolutions(self):
+        from repro.train import dataset_spec
+        assert dataset_spec("cifar10").input_hw == 32
+        assert dataset_spec("stl10").input_hw == 96
+        assert dataset_spec("nuclei").input_hw == 128

@@ -1,0 +1,93 @@
+"""Unit tests for the U-Net search space."""
+
+import pytest
+
+from repro.arch import UNetSpace, nuclei_unet_space
+
+
+class TestSpaceStructure:
+    def test_decision_count(self, unet_space):
+        assert len(unet_space.choices) == 1 + 5  # height + 5 level filters
+
+    def test_height_options(self, unet_space):
+        assert unet_space.choices[0].options == (1, 2, 3, 4, 5)
+
+    def test_filter_options_double_with_depth(self, unet_space):
+        # FNi in <4*2^(i-1), 8*2^(i-1), 16*2^(i-1)> (§V-A / Fig. 3)
+        assert unet_space.choices[1].options == (4, 8, 16)
+        assert unet_space.choices[3].options == (16, 32, 64)
+        assert unet_space.choices[5].options == (64, 128, 256)
+
+
+class TestDecode:
+    def test_height1_structure(self, unet_space):
+        net = unet_space.decode((0, 0, 0, 0, 0, 0))
+        names = [l.name for l in net.layers]
+        assert names == [
+            "enc1.conv0", "enc1.conv1", "enc1.down",
+            "mid.conv0", "mid.conv1",
+            "dec1.up", "dec1.conv0", "dec1.conv1", "head"]
+
+    def test_height5_layer_count(self, unet_space):
+        net = unet_space.decode((4, 0, 0, 0, 0, 0))
+        # 3 per encoder level + 2 mid + 3 per decoder level + head
+        assert net.num_layers == 5 * 3 + 2 + 5 * 3 + 1
+
+    def test_canonical_genotype_drops_unused_levels(self, unet_space):
+        a = unet_space.decode((1, 0, 1, 0, 0, 0))
+        b = unet_space.decode((1, 0, 1, 2, 2, 2))
+        assert a.genotype == b.genotype == (2, 4, 16)
+
+    def test_same_network_same_identity(self, unet_space):
+        a = unet_space.decode((1, 0, 1, 0, 0, 0))
+        b = unet_space.decode((1, 0, 1, 1, 1, 1))
+        assert a.identity() == b.identity()
+
+    def test_decoder_sees_skip_concatenation(self, unet_space):
+        net = unet_space.decode((2, 1, 1, 1, 0, 0))
+        dec_conv0 = next(l for l in net.layers if l.name == "dec2.conv0")
+        dec_up = next(l for l in net.layers if l.name == "dec2.up")
+        assert dec_conv0.in_channels == 2 * dec_up.out_channels
+
+    def test_bottleneck_doubles_deepest_filters(self, unet_space):
+        net = unet_space.decode((2, 1, 1, 2, 0, 0))  # h=3, FN3=64
+        mid = next(l for l in net.layers if l.name == "mid.conv0")
+        assert mid.out_channels == 128
+
+    def test_resolution_recovers_at_head(self, unet_space):
+        for h_idx in range(5):
+            net = unet_space.decode((h_idx, 1, 1, 1, 1, 1))
+            head = net.layers[-1]
+            assert head.in_height == 128
+            assert head.out_channels == 1
+
+    def test_upsample_layers_are_transposed(self, unet_space):
+        net = unet_space.decode((3, 1, 1, 1, 1, 0))
+        ups = [l for l in net.layers if l.name.endswith(".up")]
+        assert len(ups) == 4
+        assert all(l.transposed for l in ups)
+
+    def test_macs_monotone_in_height(self, unet_space):
+        nets = [unet_space.decode((h, 1, 1, 1, 1, 1)) for h in range(5)]
+        macs = [n.total_macs for n in nets]
+        assert macs == sorted(macs)
+
+    def test_macs_monotone_in_filters(self, unet_space):
+        small = unet_space.decode((3, 0, 0, 0, 0, 0))
+        big = unet_space.decode((3, 2, 2, 2, 2, 0))
+        assert big.total_macs > small.total_macs
+
+
+class TestValidation:
+    def test_rejects_zero_height(self):
+        with pytest.raises(ValueError, match="max_height"):
+            UNetSpace("nuclei", max_height=0)
+
+    def test_rejects_indivisible_resolution(self):
+        with pytest.raises(ValueError, match="divisible"):
+            UNetSpace("nuclei", input_hw=100, max_height=5)
+
+    def test_factory_defaults(self):
+        space = nuclei_unet_space()
+        assert space.input_hw == 128
+        assert space.max_height == 5

@@ -1,0 +1,99 @@
+"""Unit tests for the utility helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    format_table,
+    gbps_to_bytes_per_cycle,
+    new_rng,
+    spawn_rng,
+    stable_hash,
+    stable_unit_float,
+    um2_to_mm2,
+)
+
+
+class TestHashing:
+    def test_stable_across_calls(self):
+        assert stable_hash((1, 2, "x")) == stable_hash((1, 2, "x"))
+
+    def test_distinguishes_values(self):
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+
+    def test_salt_changes_hash(self):
+        assert stable_hash("a") != stable_hash("a", salt="s")
+
+    def test_dict_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash(
+            {"b": 2, "a": 1})
+
+    def test_nested_structures(self):
+        assert stable_hash({"a": (1, [2, 3])}) == stable_hash(
+            {"a": (1, [2, 3])})
+
+    def test_float_canonicalisation(self):
+        assert stable_hash(0.1 + 0.2) == stable_hash(0.30000000000000004)
+
+    def test_unit_float_in_range(self):
+        for value in ("a", "b", (1, 2, 3), 42):
+            u = stable_unit_float(value)
+            assert 0.0 <= u < 1.0
+
+    def test_unit_float_spread(self):
+        values = [stable_unit_float(i) for i in range(100)]
+        assert 0.3 < float(np.mean(values)) < 0.7
+
+
+class TestRng:
+    def test_new_rng_reproducible(self):
+        assert new_rng(5).integers(1000) == new_rng(5).integers(1000)
+
+    def test_spawn_independent_streams(self):
+        base = new_rng(5)
+        a = spawn_rng(base, 0)
+        b = spawn_rng(base, 1)
+        assert a.integers(10**9) != b.integers(10**9)
+
+    def test_spawn_deterministic(self):
+        a = spawn_rng(new_rng(5), 3)
+        b = spawn_rng(new_rng(5), 3)
+        assert a.integers(10**9) == b.integers(10**9)
+
+    def test_spawn_rejects_negative_stream(self):
+        with pytest.raises(ValueError, match="stream"):
+            spawn_rng(new_rng(5), -1)
+
+
+class TestUnits:
+    def test_gbps_identity_at_1ghz(self):
+        assert gbps_to_bytes_per_cycle(64) == pytest.approx(64.0)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            gbps_to_bytes_per_cycle(-1)
+
+    def test_um2_to_mm2(self):
+        assert um2_to_mm2(4.71e9) == pytest.approx(4710.0)
+
+
+class TestTables:
+    def test_basic_rendering(self):
+        text = format_table(["a", "b"], [[1, 2], [30, 40]])
+        lines = text.splitlines()
+        assert "a" in lines[1] and "b" in lines[1]
+        assert any("30" in line for line in lines)
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cell per header"):
+            format_table(["a", "b"], [[1]])
+
+    def test_alignment(self):
+        text = format_table(["col"], [["a"], ["bbbb"]])
+        data_lines = [l for l in text.splitlines() if "b" in l or
+                      (l.strip() and "a" in l and "-" not in l)]
+        assert len(set(len(l.rstrip()) for l in data_lines)) <= 2

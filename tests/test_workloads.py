@@ -1,0 +1,124 @@
+"""Unit tests for workloads, specs and presets."""
+
+import pytest
+
+from repro.workloads import (
+    DesignSpecs,
+    PenaltyBounds,
+    Task,
+    Workload,
+    fig1_workload,
+    w1,
+    w2,
+    w3,
+    workload_by_name,
+)
+
+
+class TestDesignSpecs:
+    def test_paper_w1_specs(self, workload_w1):
+        specs = workload_w1.specs
+        assert specs.latency_cycles == 8e5
+        assert specs.energy_nj == 2e9
+        assert specs.area_um2 == 4e9
+
+    def test_paper_w2_specs(self, workload_w2):
+        specs = workload_w2.specs
+        assert (specs.latency_cycles, specs.energy_nj,
+                specs.area_um2) == (1e6, 3.5e9, 4e9)
+
+    def test_paper_w3_specs(self, workload_w3):
+        specs = workload_w3.specs
+        assert (specs.latency_cycles, specs.energy_nj,
+                specs.area_um2) == (4e5, 1e9, 4e9)
+
+    def test_satisfied_by_boundary_inclusive(self):
+        specs = DesignSpecs(100, 100.0, 100.0)
+        assert specs.satisfied_by(100, 100.0, 100.0)
+        assert not specs.satisfied_by(101, 100.0, 100.0)
+
+    def test_violations_named(self):
+        specs = DesignSpecs(100, 100.0, 100.0)
+        assert specs.violations(200, 50, 200) == ("latency", "area")
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            DesignSpecs(0, 1, 1)
+
+    def test_describe(self):
+        text = DesignSpecs(800_000, 2e9, 4e9).describe()
+        assert "8e+05" in text and "2e+09" in text
+
+
+class TestPenaltyBounds:
+    def test_from_specs_factor(self):
+        specs = DesignSpecs(100, 200.0, 300.0)
+        bounds = PenaltyBounds.from_specs(specs, factor=3.0)
+        assert bounds.latency_cycles == 300
+
+    def test_factor_must_exceed_one(self):
+        with pytest.raises(ValueError, match="factor"):
+            PenaltyBounds.from_specs(DesignSpecs(1, 1, 1), factor=1.0)
+
+    def test_bounds_must_exceed_specs(self):
+        specs = DesignSpecs(100, 100, 100)
+        bad = PenaltyBounds(100, 200, 200)
+        with pytest.raises(ValueError, match="exceed"):
+            bad.validate_against(specs)
+
+
+class TestWorkloadStructure:
+    def test_w1_tasks(self, workload_w1):
+        datasets = [t.dataset for t in workload_w1.tasks]
+        assert datasets == ["cifar10", "nuclei"]
+
+    def test_w2_tasks(self, workload_w2):
+        datasets = [t.dataset for t in workload_w2.tasks]
+        assert datasets == ["cifar10", "stl10"]
+
+    def test_w3_same_dataset_twice(self, workload_w3):
+        datasets = [t.dataset for t in workload_w3.tasks]
+        assert datasets == ["cifar10", "cifar10"]
+        names = [t.name for t in workload_w3.tasks]
+        assert len(set(names)) == 2  # distinct task names
+
+    def test_equal_weights(self, workload_w1):
+        assert all(t.weight == 0.5 for t in workload_w1.tasks)
+
+    def test_weighted_accuracy(self, workload_w1):
+        assert workload_w1.weighted_accuracy((90.0, 0.8)) == pytest.approx(
+            45.4)
+
+    def test_weighted_accuracy_wrong_arity(self, workload_w1):
+        with pytest.raises(ValueError):
+            workload_w1.weighted_accuracy((90.0,))
+
+    def test_weights_must_sum_to_one(self, cifar_space):
+        specs = DesignSpecs(1, 1, 1)
+        with pytest.raises(ValueError, match="sum to 1"):
+            Workload("bad", (Task("a", cifar_space, 0.3),
+                             Task("b", cifar_space, 0.3)),
+                     specs, PenaltyBounds.from_specs(specs))
+
+    def test_duplicate_task_names_rejected(self, cifar_space):
+        specs = DesignSpecs(1, 1, 1)
+        with pytest.raises(ValueError, match="unique"):
+            Workload("bad", (Task("a", cifar_space, 0.5),
+                             Task("a", cifar_space, 0.5)),
+                     specs, PenaltyBounds.from_specs(specs))
+
+    def test_with_specs_clones(self, workload_w3):
+        specs = DesignSpecs(200_000, 5e8, 4e9)
+        clone = workload_w3.with_specs(specs)
+        assert clone.specs.latency_cycles == 200_000
+        assert workload_w3.specs.latency_cycles == 400_000
+
+    def test_fig1_single_task(self):
+        wl = fig1_workload()
+        assert wl.num_tasks == 1
+        assert wl.tasks[0].weight == 1.0
+
+    def test_lookup_by_name(self):
+        assert workload_by_name("W2").name == "W2"
+        with pytest.raises(KeyError, match="unknown workload"):
+            workload_by_name("W9")
