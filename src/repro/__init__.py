@@ -37,6 +37,8 @@ from repro.arch import (
 )
 from repro.core import (
     NASAIC,
+    EvalService,
+    EvalServiceStats,
     Evaluator,
     ExploredSolution,
     JointSearchSpace,
@@ -74,6 +76,8 @@ __all__ = [
     "CostModelParams",
     "Dataflow",
     "DesignSpecs",
+    "EvalService",
+    "EvalServiceStats",
     "Evaluator",
     "ExploredSolution",
     "HeterogeneousAccelerator",

@@ -47,8 +47,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--out", default=None,
                        help="write the run as JSON to this path")
 
+    def add_eval_service(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-size", type=int, default=4096,
+                       help="hardware evaluation LRU capacity "
+                            "(0 disables caching; default: 4096)")
+        p.add_argument("--workers", type=int, default=0,
+                       help="process-pool width for batched hardware "
+                            "evaluations (0/1 = serial; default: 0)")
+
     p_search = sub.add_parser("search", help="run NASAIC")
     add_common(p_search)
+    add_eval_service(p_search)
     p_search.add_argument("--episodes", type=int, default=200)
     p_search.add_argument("--hw-steps", type=int, default=10)
     p_search.add_argument("--progress", type=int, default=50,
@@ -56,6 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_evolve = sub.add_parser("evolve", help="run the evolutionary search")
     add_common(p_evolve)
+    add_eval_service(p_evolve)
     p_evolve.add_argument("--population", type=int, default=30)
     p_evolve.add_argument("--generations", type=int, default=15)
 
@@ -80,9 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_search(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload)
     search = NASAIC(workload, config=NASAICConfig(
-        episodes=args.episodes, hw_steps=args.hw_steps, seed=args.seed))
-    result = search.run(
-        progress_every=args.progress if args.progress > 0 else None)
+        episodes=args.episodes, hw_steps=args.hw_steps, seed=args.seed,
+        cache_size=args.cache_size, eval_workers=args.workers))
+    try:
+        result = search.run(
+            progress_every=args.progress if args.progress > 0 else None)
+    finally:
+        search.close()
     print(result.summary())
     if args.out:
         print(f"saved to {save_result(result, args.out)}")
@@ -93,8 +107,12 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload)
     search = EvolutionarySearch(workload, config=EvolutionConfig(
         population=args.population, generations=args.generations,
-        seed=args.seed))
-    result = search.run()
+        seed=args.seed, cache_size=args.cache_size,
+        eval_workers=args.workers))
+    try:
+        result = search.run()
+    finally:
+        search.close()
     print(result.summary())
     if args.out:
         print(f"saved to {save_result(result, args.out)}")

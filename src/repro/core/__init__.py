@@ -27,6 +27,12 @@ from repro.core.evaluator import (
     HardwareEvaluation,
     SolutionEvaluation,
 )
+from repro.core.evalservice import (
+    EvalService,
+    EvalServiceStats,
+    design_content,
+    design_digest,
+)
 from repro.core.evolution import EvolutionConfig, EvolutionarySearch
 from repro.core.herald import herald_allocate
 from repro.core.reinforce import ReinforceConfig, ReinforceTrainer
@@ -46,6 +52,8 @@ __all__ = [
     "ControllerSample",
     "Decision",
     "EpisodeRecord",
+    "EvalService",
+    "EvalServiceStats",
     "Evaluator",
     "EvolutionConfig",
     "EvolutionarySearch",
@@ -65,6 +73,8 @@ __all__ = [
     "calibrate_penalty_bounds",
     "closest_to_spec_design",
     "closest_to_spec_solution",
+    "design_content",
+    "design_digest",
     "episode_reward",
     "hardware_aware_nas",
     "hardware_penalty",

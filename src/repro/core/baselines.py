@@ -29,6 +29,7 @@ from repro.arch.network import NetworkArch
 from repro.core.choices import JointSearchSpace
 from repro.core.controller import ControllerConfig, RNNController
 from repro.core.evaluator import Evaluator, HardwareEvaluation
+from repro.core.evalservice import EvalService
 from repro.core.reinforce import ReinforceConfig, ReinforceTrainer
 from repro.core.results import ExploredSolution, SearchResult
 from repro.core.reward import episode_reward, weighted_normalised_accuracy
@@ -92,8 +93,9 @@ def _build_search_parts(
         surrogate = default_surrogate([t.space for t in workload.tasks])
     trainer = SurrogateTrainer(surrogate)
     evaluator = Evaluator(workload, cost_model, trainer, rho=rho)
+    service = EvalService(evaluator)
     space = JointSearchSpace(workload, allocation)
-    return allocation, cost_model, surrogate, evaluator, space
+    return allocation, cost_model, surrogate, evaluator, service, space
 
 
 def _solution_from_eval(networks, hw: HardwareEvaluation, accuracies,
@@ -138,7 +140,7 @@ def run_nas(
     """Conventional NAS [1]: maximise Eq. 2, no hardware in the loop."""
     if reinforce_config is None:
         reinforce_config = _NAS_REINFORCE_DEFAULT
-    allocation, _, surrogate, evaluator, space = _build_search_parts(
+    allocation, _, surrogate, evaluator, _, space = _build_search_parts(
         workload, allocation, None, surrogate, rho=0.0)
     forced = space.encode_design(_reference_design(allocation))
     master = new_rng(seed)
@@ -234,18 +236,17 @@ def brute_force_designs(
     pe_stride: int = 512,
     bw_stride: int = 16,
     rho: float = 10.0,
+    eval_workers: int = 0,
 ) -> list[HardwareEvaluation]:
     """Exhaustive grid sweep of designs for fixed networks (NAS->ASIC)."""
     allocation = allocation or AllocationSpace()
     cost_model = cost_model or CostModel()
-    surrogate = default_surrogate([t.space for t in workload.tasks])
-    evaluator = Evaluator(workload, cost_model, SurrogateTrainer(surrogate),
-                          rho=rho)
-    return [
-        evaluator.evaluate_hardware(networks, design)
-        for design in allocation.enumerate_designs(
-            pe_stride=pe_stride, bw_stride=bw_stride)
-    ]
+    evaluator = Evaluator(workload, cost_model, trainer=None, rho=rho)
+    with EvalService(evaluator, workers=eval_workers) as service:
+        return service.evaluate_many([
+            (networks, design)
+            for design in allocation.enumerate_designs(
+                pe_stride=pe_stride, bw_stride=bw_stride)])
 
 
 def monte_carlo_designs(
@@ -257,20 +258,19 @@ def monte_carlo_designs(
     runs: int = 10_000,
     seed: int = 13,
     rho: float = 10.0,
+    eval_workers: int = 0,
 ) -> list[HardwareEvaluation]:
     """Monte-Carlo hardware search for fixed networks (ASIC->HW-NAS, 1st
-    phase; the paper uses 10,000 runs)."""
+    phase; the paper uses 10,000 runs).  The design sampler is drained
+    before evaluation (sampling is RNG-driven, pricing is not), so
+    repeated designs hit the cache and misses can run on a pool."""
     allocation = allocation or AllocationSpace()
     cost_model = cost_model or CostModel()
-    surrogate = default_surrogate([t.space for t in workload.tasks])
-    evaluator = Evaluator(workload, cost_model, SurrogateTrainer(surrogate),
-                          rho=rho)
+    evaluator = Evaluator(workload, cost_model, trainer=None, rho=rho)
     rng = new_rng(seed)
-    return [
-        evaluator.evaluate_hardware(networks,
-                                    allocation.random_design(rng))
-        for _ in range(runs)
-    ]
+    designs = [allocation.random_design(rng) for _ in range(runs)]
+    with EvalService(evaluator, workers=eval_workers) as service:
+        return service.evaluate_many([(networks, d) for d in designs])
 
 
 def closest_to_spec_design(
@@ -317,7 +317,7 @@ def hardware_aware_nas(
     The controller searches architectures only; every sample is evaluated
     against ``design`` with the full Eq. 4 reward.
     """
-    allocation, cost_model, surrogate, evaluator, space = \
+    allocation, cost_model, surrogate, evaluator, service, space = \
         _build_search_parts(workload, allocation, cost_model, surrogate,
                             rho=rho)
     forced = space.encode_design(design)
@@ -331,7 +331,7 @@ def hardware_aware_nas(
         sample = controller.sample(sample_rng, mask_fn=space.mask_for,
                                    forced_actions=forced)
         joint = space.decode(sample.actions)
-        hw = evaluator.evaluate_hardware(joint.networks, joint.accelerator)
+        hw = service.evaluate_hardware(joint.networks, joint.accelerator)
         accuracies = evaluator.train_networks(joint.networks)
         weighted = weighted_normalised_accuracy(workload, accuracies)
         reward = episode_reward(weighted, hw.penalty, rho)
@@ -339,7 +339,10 @@ def hardware_aware_nas(
         result.record(_solution_from_eval(joint.networks, hw, accuracies,
                                           weighted))
     result.trainings_run = evaluator.trainer.trainings_run
-    result.hardware_evaluations = evaluator.hardware_evaluations
+    result.hardware_evaluations = service.stats.requests
+    result.cache_hits = service.stats.hits
+    result.cache_misses = service.stats.misses
+    result.eval_seconds = service.stats.miss_seconds
     return result
 
 
@@ -361,7 +364,7 @@ def monte_carlo_search(
     The paper's Fig. 1 "optimal solution" is the best feasible outcome of
     10,000 such runs.
     """
-    allocation, cost_model, surrogate, evaluator, space = \
+    allocation, cost_model, surrogate, evaluator, service, space = \
         _build_search_parts(workload, allocation, cost_model, surrogate,
                             rho=rho)
     rng = new_rng(seed)
@@ -371,13 +374,16 @@ def monte_carlo_search(
             task.space.decode(task.space.random_indices(rng))
             for task in workload.tasks)
         design = allocation.random_design(rng)
-        hw = evaluator.evaluate_hardware(networks, design)
+        hw = service.evaluate_hardware(networks, design)
         accuracies = evaluator.train_networks(networks)
         weighted = weighted_normalised_accuracy(workload, accuracies)
         result.record(_solution_from_eval(networks, hw, accuracies,
                                           weighted))
     result.trainings_run = evaluator.trainer.trainings_run
-    result.hardware_evaluations = evaluator.hardware_evaluations
+    result.hardware_evaluations = service.stats.requests
+    result.cache_hits = service.stats.hits
+    result.cache_misses = service.stats.misses
+    result.eval_seconds = service.stats.miss_seconds
     return result
 
 

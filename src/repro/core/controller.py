@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.choices import Decision
+from repro.utils.rng import new_rng
 
 __all__ = ["ControllerConfig", "ControllerSample", "RNNController"]
 
@@ -131,7 +132,10 @@ class RNNController:
         decisions: The joint space's decision list (order defines the
             token sequence).
         config: Network hyperparameters.
-        rng: Generator used for weight initialisation.
+        rng: Generator used for weight initialisation.  Defaults to the
+            fixed seed 0 — never OS entropy — per the seeding contract
+            of :mod:`repro.utils.rng`; searches always pass a sub-stream
+            of their master seed instead.
     """
 
     def __init__(self, decisions: tuple[Decision, ...] | list[Decision],
@@ -141,7 +145,8 @@ class RNNController:
         if not self.decisions:
             raise ValueError("controller needs at least one decision")
         self.config = config or ControllerConfig()
-        rng = rng or np.random.default_rng(0)
+        if rng is None:
+            rng = new_rng(0)
         h, e = self.config.hidden_size, self.config.embed_size
         s = self.config.init_scale
 

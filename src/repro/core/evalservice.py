@@ -1,0 +1,346 @@
+"""Cached, parallel evaluation service for the hardware hot path.
+
+Every sampled design in the NASAIC loop prices hardware through
+:meth:`repro.core.evaluator.Evaluator.evaluate_hardware` — cost model +
+HAP solve — and the controller revisits near-identical (networks,
+accelerator) pairs constantly.  :class:`EvalService` wraps an evaluator
+with the three amenities that make the search scale (cf. Apollo and
+DANCE, which both amortise the evaluator to make co-search tractable):
+
+- a **content-keyed LRU cache** over hardware evaluations.  The cache
+  itself is keyed by the exact canonical content tuple (collision-free
+  by construction); the companion :func:`design_digest` renders the
+  same content as a process-stable 64-bit hex digest via
+  :func:`repro.utils.hashing.stable_hash` for fixtures, logs and
+  cross-run comparison (golden tests snapshot these digests);
+- a **batch API** (:meth:`EvalService.evaluate_many`) that deduplicates
+  a batch, prices the misses — optionally on a process pool when
+  ``workers > 1`` — and returns results in request order;
+- **hit/miss/timing statistics** (:class:`EvalServiceStats`) surfaced
+  through :class:`repro.core.results.SearchResult` and the CLI.
+
+Determinism: the hardware path is RNG-free, so cached, serial and
+parallel evaluations of the same pair are bit-identical — asserted by
+``tests/test_evalservice.py`` and exploited by the golden search test.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.accel.accelerator import HeterogeneousAccelerator
+from repro.arch.network import NetworkArch
+from repro.core.evaluator import Evaluator, HardwareEvaluation
+from repro.cost.model import CostModel
+from repro.cost.params import CostModelParams
+from repro.utils.hashing import stable_hash
+from repro.workloads.workload import Workload
+
+__all__ = ["EvalService", "EvalServiceStats", "design_content",
+           "design_digest"]
+
+#: Pairs submitted to :meth:`EvalService.evaluate_many`.
+_Pair = tuple[tuple[NetworkArch, ...], HeterogeneousAccelerator]
+
+
+def design_content(networks: tuple[NetworkArch, ...],
+                   accelerator: HeterogeneousAccelerator) -> tuple:
+    """Canonical content tuple of one (networks, accelerator) pair.
+
+    Networks are represented by
+    :meth:`~repro.arch.network.NetworkArch.identity` (backbone, dataset,
+    genotype) — decoding is deterministic, so the identity pins the
+    exact layer chain.  The accelerator contributes its full slot tuple
+    (inactive slots included: they affect nothing today, but keeping
+    them in the key costs one tuple and removes a class of aliasing
+    bugs) plus the resource budget.  This tuple is the cache key — using
+    the content itself rather than a hash of it makes lookups exact,
+    with no digest-collision failure mode.
+    """
+    return (
+        tuple(net.identity() for net in networks),
+        tuple((sub.dataflow.value, sub.num_pes, sub.bandwidth_gbps)
+              for sub in accelerator.subaccs),
+        (accelerator.budget.max_pes, accelerator.budget.max_bandwidth_gbps),
+    )
+
+
+def design_digest(networks: tuple[NetworkArch, ...],
+                  accelerator: HeterogeneousAccelerator,
+                  *, salt: str = "") -> str:
+    """Stable 64-bit hex digest of one (networks, accelerator) pair.
+
+    A compact, process-stable rendering of :func:`design_content` for
+    fixtures, reports and cross-run comparison — not the cache key.
+    """
+    return format(stable_hash(design_content(networks, accelerator),
+                              salt=salt), "016x")
+
+
+def _context_salt(workload: Workload, params: CostModelParams,
+                  rho: float) -> str:
+    """Digest of everything besides the pair that shapes an evaluation."""
+    specs, bounds = workload.specs, workload.bounds
+    payload = (
+        (specs.latency_cycles, specs.energy_nj, specs.area_um2),
+        (bounds.latency_cycles, bounds.energy_nj, bounds.area_um2),
+        workload.num_tasks,
+        repr(params),
+        rho,
+    )
+    return format(stable_hash(payload, salt="eval-context"), "016x")
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+#: Per-worker hardware-path evaluator, built once by the pool initializer.
+_WORKER_EVALUATOR: Evaluator | None = None
+
+
+def _init_worker(workload: Workload, params: CostModelParams,
+                 rho: float) -> None:
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = Evaluator(workload, CostModel(params),
+                                  trainer=None, rho=rho)
+
+
+def _eval_in_worker(pair: _Pair) -> HardwareEvaluation:
+    assert _WORKER_EVALUATOR is not None, "pool initializer did not run"
+    networks, accelerator = pair
+    return _WORKER_EVALUATOR.evaluate_hardware(networks, accelerator)
+
+
+@dataclass
+class EvalServiceStats:
+    """Cache and timing accounting for one :class:`EvalService`.
+
+    Attributes:
+        hits: Requests answered from the cache.
+        misses: Requests that ran the cost model + HAP solver.
+        evictions: Entries dropped by the LRU policy.
+        batches: ``evaluate_many`` invocations.
+        parallel_evaluations: Misses priced on the process pool.
+        miss_seconds: Wall-clock spent computing misses.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    batches: int = 0
+    parallel_evaluations: int = 0
+    miss_seconds: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        """Total evaluation requests served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests answered from the cache."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def seconds_saved(self) -> float:
+        """Estimated wall-clock avoided: hits priced at the mean miss."""
+        if not self.misses:
+            return 0.0
+        return self.hits * (self.miss_seconds / self.misses)
+
+    def summary(self) -> str:
+        """One-line human-readable account."""
+        return (f"evaluation cache: {self.hits} hits / {self.misses} misses "
+                f"({self.hit_rate:.1%} hit rate, "
+                f"~{self.seconds_saved:.2f}s saved, "
+                f"{self.miss_seconds:.2f}s computing)")
+
+
+class EvalService:
+    """Caching, batching front-end to the evaluator's hardware path.
+
+    Args:
+        evaluator: The wrapped evaluator (its training path is untouched;
+            only ``evaluate_hardware`` goes through the service).
+        cache_size: Maximum LRU entries; 0 disables caching entirely.
+        workers: Process-pool width for :meth:`evaluate_many` misses.
+            ``0``/``1`` price misses serially in-process (default — the
+            right choice on single-core machines and for short batches).
+        parallel_threshold: Minimum number of *distinct* misses in one
+            batch before the pool is used; smaller batches stay serial
+            to avoid IPC overhead.
+    """
+
+    def __init__(self, evaluator: Evaluator, *, cache_size: int = 4096,
+                 workers: int = 0, parallel_threshold: int = 4) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.evaluator = evaluator
+        self.cache_size = cache_size
+        self.workers = workers
+        self.parallel_threshold = max(1, parallel_threshold)
+        self.stats = EvalServiceStats()
+        self._cache: OrderedDict[tuple, HardwareEvaluation] = OrderedDict()
+        self._salt = _context_salt(evaluator.workload,
+                                   evaluator.cost_model.params,
+                                   evaluator.rho)
+        self._pool: Executor | None = None
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def digest(self, networks: tuple[NetworkArch, ...],
+               accelerator: HeterogeneousAccelerator) -> str:
+        """Digest of one pair under this service's evaluation context.
+
+        For reporting and fixtures; the cache is keyed by the exact
+        content tuple (:func:`design_content`), not this digest.
+        """
+        return design_digest(networks, accelerator, salt=self._salt)
+
+    # ------------------------------------------------------------------
+    # Single evaluation
+    # ------------------------------------------------------------------
+    def evaluate_hardware(
+        self,
+        networks: tuple[NetworkArch, ...],
+        accelerator: HeterogeneousAccelerator,
+    ) -> HardwareEvaluation:
+        """Cached drop-in for ``Evaluator.evaluate_hardware``."""
+        key = design_content(networks, accelerator)
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        started = time.perf_counter()
+        evaluation = self.evaluator.evaluate_hardware(networks, accelerator)
+        self.stats.miss_seconds += time.perf_counter() - started
+        self.stats.misses += 1
+        self._store(key, evaluation)
+        return evaluation
+
+    # ------------------------------------------------------------------
+    # Batch evaluation
+    # ------------------------------------------------------------------
+    def evaluate_many(self, pairs: list[_Pair]) -> list[HardwareEvaluation]:
+        """Evaluate a batch, pricing distinct misses (possibly) in parallel.
+
+        Results come back in request order; duplicate pairs within one
+        batch are priced once (the first occurrence is the miss, the
+        rest are hits).  Equality with the serial path is exact.  With
+        ``cache_size=0`` no reuse happens at all — every request is
+        priced, including intra-batch duplicates.
+        """
+        self.stats.batches += 1
+        if self.cache_size == 0:
+            self.stats.misses += len(pairs)
+            started = time.perf_counter()
+            evaluations = self._compute_batch(list(pairs))
+            self.stats.miss_seconds += time.perf_counter() - started
+            return evaluations
+        keys = [design_content(nets, accel) for nets, accel in pairs]
+        results: dict[tuple, HardwareEvaluation] = {}
+        miss_keys: list[tuple] = []
+        miss_pairs: list[_Pair] = []
+        for key, pair in zip(keys, pairs):
+            if key in results:
+                self.stats.hits += 1
+                continue
+            cached = self._lookup(key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                self.stats.misses += 1
+                results[key] = None  # type: ignore[assignment]
+                miss_keys.append(key)
+                miss_pairs.append(pair)
+        if miss_pairs:
+            started = time.perf_counter()
+            evaluations = self._compute_batch(miss_pairs)
+            self.stats.miss_seconds += time.perf_counter() - started
+            for key, evaluation in zip(miss_keys, evaluations):
+                results[key] = evaluation
+                self._store(key, evaluation)
+        return [results[key] for key in keys]
+
+    def _compute_batch(self, pairs: list[_Pair]) -> list[HardwareEvaluation]:
+        if self.workers > 1 and len(pairs) >= self.parallel_threshold:
+            pool = self._ensure_pool()
+            # Chunk to amortise per-item pickling on large sweeps.
+            chunksize = max(1, len(pairs) // (self.workers * 4))
+            evaluations = list(pool.map(_eval_in_worker, pairs,
+                                        chunksize=chunksize))
+            # Workers run their own cost models; mirror the invocation
+            # count so `Evaluator.hardware_evaluations` stays truthful.
+            self.evaluator.hardware_evaluations += len(pairs)
+            self.stats.parallel_evaluations += len(pairs)
+            return evaluations
+        return [self.evaluator.evaluate_hardware(nets, accel)
+                for nets, accel in pairs]
+
+    # ------------------------------------------------------------------
+    # LRU mechanics
+    # ------------------------------------------------------------------
+    def _lookup(self, key: tuple) -> HardwareEvaluation | None:
+        cached = self._cache.get(key)
+        if cached is None:
+            return None
+        self._cache.move_to_end(key)
+        self.stats.hits += 1
+        return cached
+
+    def _store(self, key: tuple, evaluation: HardwareEvaluation) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[key] = evaluation
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+
+    @property
+    def cache_len(self) -> int:
+        """Entries currently cached."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop every cached evaluation (statistics are kept)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            import multiprocessing
+
+            # Fork keeps worker start-up cheap and inherits loaded
+            # modules; fall back to the platform default elsewhere.
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                ctx = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(self.evaluator.workload,
+                          self.evaluator.cost_model.params,
+                          self.evaluator.rho))
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "EvalService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -64,12 +64,15 @@ class Evaluator:
     Args:
         workload: Tasks, specs and penalty bounds.
         cost_model: The MAESTRO-substitute oracle.
-        trainer: The (surrogate) training path.
+        trainer: The (surrogate) training path.  ``None`` builds a
+            hardware-path-only evaluator (used by
+            :mod:`repro.core.evalservice` worker processes, which never
+            touch the training path).
         rho: Penalty coefficient of Eq. 4 (paper: 10).
     """
 
     def __init__(self, workload: Workload, cost_model: CostModel,
-                 trainer: SurrogateTrainer, rho: float = 10.0) -> None:
+                 trainer: SurrogateTrainer | None, rho: float = 10.0) -> None:
         self.workload = workload
         self.cost_model = cost_model
         self.trainer = trainer
@@ -118,6 +121,10 @@ class Evaluator:
         self, networks: tuple[NetworkArch, ...]
     ) -> tuple[float, ...]:
         """Train/validate every task network; returns display-unit metrics."""
+        if self.trainer is None:
+            raise RuntimeError(
+                "this evaluator was built without a trainer (hardware "
+                "path only); the training path is unavailable")
         return tuple(
             self.trainer.train_and_validate(net).accuracy
             for net in networks)
@@ -129,9 +136,21 @@ class Evaluator:
         self,
         networks: tuple[NetworkArch, ...],
         accelerator: HeterogeneousAccelerator,
+        *,
+        hardware: HardwareEvaluation | None = None,
     ) -> SolutionEvaluation:
-        """Hardware + training paths combined into the Eq. 4 reward."""
-        hardware = self.evaluate_hardware(networks, accelerator)
+        """Hardware + training paths combined into the Eq. 4 reward.
+
+        Args:
+            networks: One network per task.
+            accelerator: The candidate design.
+            hardware: Optional precomputed hardware evaluation for this
+                exact pair (e.g. from the caching
+                :class:`~repro.core.evalservice.EvalService`), so reward
+                assembly stays in one place without re-pricing hardware.
+        """
+        if hardware is None:
+            hardware = self.evaluate_hardware(networks, accelerator)
         accuracies = self.train_networks(networks)
         weighted = weighted_normalised_accuracy(self.workload, accuracies)
         reward = episode_reward(weighted, hardware.penalty, self.rho)

@@ -16,6 +16,17 @@ Genome layout and repair:
   slot's PE/bandwidth allocation to the remaining budget (the same
   invariant the controller enforces with masks), so every individual
   decodes to a valid accelerator.
+
+Hardware pricing goes through the shared
+:class:`repro.core.evalservice.EvalService`: each generation's offspring
+are bred first (tournament selection reads only the previous
+generation's fitness, and breeding never consults evaluation results)
+and then priced as one cached/parallel batch — the RNG stream and every
+fitness value are identical to the one-at-a-time formulation.
+
+Seeding contract: all randomness derives from ``config.seed`` through a
+single generator; evaluation is RNG-free, so batching cannot reorder
+draws.
 """
 
 from __future__ import annotations
@@ -27,7 +38,8 @@ import numpy as np
 from repro.accel.allocation import AllocationSpace
 from repro.core.bounds_calibration import calibrate_penalty_bounds
 from repro.core.choices import JointSearchSpace
-from repro.core.evaluator import Evaluator
+from repro.core.evaluator import Evaluator, HardwareEvaluation
+from repro.core.evalservice import EvalService
 from repro.core.results import ExploredSolution, SearchResult
 from repro.core.reward import episode_reward, weighted_normalised_accuracy
 from repro.cost.model import CostModel
@@ -53,6 +65,9 @@ class EvolutionConfig:
         seed: Master seed.
         calibrate_bounds: Use the paper-faithful exploration penalty
             bounds (see :mod:`repro.core.bounds_calibration`).
+        cache_size: LRU capacity of the hardware evaluation cache.
+        eval_workers: Process-pool width for generation batches
+            (0/1 = serial).
     """
 
     population: int = 40
@@ -63,6 +78,8 @@ class EvolutionConfig:
     rho: float = 10.0
     seed: int = 7
     calibrate_bounds: bool = True
+    cache_size: int = 4096
+    eval_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.population < 2:
@@ -114,6 +131,9 @@ class EvolutionarySearch:
         self.trainer = SurrogateTrainer(surrogate)
         self.evaluator = Evaluator(workload, self.cost_model, self.trainer,
                                    rho=self.config.rho)
+        self.evalservice = EvalService(self.evaluator,
+                                       cache_size=self.config.cache_size,
+                                       workers=self.config.eval_workers)
         self.space = JointSearchSpace(workload, self.allocation)
         self._rng = new_rng(self.config.seed)
 
@@ -167,11 +187,24 @@ class EvolutionarySearch:
     # ------------------------------------------------------------------
     # Fitness
     # ------------------------------------------------------------------
-    def _evaluate(self, individual: _Individual,
-                  result: SearchResult) -> None:
-        joint = self.space.decode(individual.genes)
-        hardware = self.evaluator.evaluate_hardware(joint.networks,
-                                                    joint.accelerator)
+    def _evaluate_batch(self, individuals: list[_Individual],
+                        result: SearchResult) -> None:
+        """Price a cohort's hardware as one batch, then finish fitness.
+
+        The training path stays serial (it is memoised per architecture),
+        but every fitness value is identical to the one-at-a-time
+        formulation because the hardware path is deterministic.
+        """
+        joints = [self.space.decode(ind.genes) for ind in individuals]
+        evaluations = self.evalservice.evaluate_many(
+            [(joint.networks, joint.accelerator) for joint in joints])
+        for individual, joint, hardware in zip(individuals, joints,
+                                               evaluations):
+            self._finish_fitness(individual, joint, hardware, result)
+
+    def _finish_fitness(self, individual: _Individual, joint,
+                        hardware: HardwareEvaluation,
+                        result: SearchResult) -> None:
         accuracies = self.evaluator.train_networks(joint.networks)
         weighted = weighted_normalised_accuracy(self.workload, accuracies)
         individual.fitness = episode_reward(weighted, hardware.penalty,
@@ -204,21 +237,40 @@ class EvolutionarySearch:
         result = SearchResult(name=f"EA[{self.workload.name}]")
         population = [_Individual(self._random_genes())
                       for _ in range(cfg.population)]
-        for individual in population:
-            self._evaluate(individual, result)
+        self._evaluate_batch(population, result)
         for _ in range(cfg.generations - 1):
             population.sort(key=lambda ind: ind.fitness, reverse=True)
             next_gen = [
                 _Individual(list(ind.genes), ind.fitness, ind.solution)
                 for ind in population[:cfg.elite]]
-            while len(next_gen) < cfg.population:
+            # Breed the whole cohort first: selection reads only the
+            # previous generation, so evaluation can happen in one batch.
+            offspring = []
+            while len(next_gen) + len(offspring) < cfg.population:
                 parent_a = self._tournament(population)
                 parent_b = self._tournament(population)
-                child = _Individual(self._mutate(
-                    self._crossover(parent_a.genes, parent_b.genes)))
-                self._evaluate(child, result)
-                next_gen.append(child)
-            population = next_gen
+                offspring.append(_Individual(self._mutate(
+                    self._crossover(parent_a.genes, parent_b.genes))))
+            self._evaluate_batch(offspring, result)
+            population = next_gen + offspring
         result.trainings_run = self.trainer.trainings_run
-        result.hardware_evaluations = self.evaluator.hardware_evaluations
+        stats = self.evalservice.stats
+        result.hardware_evaluations = stats.requests
+        result.cache_hits = stats.hits
+        result.cache_misses = stats.misses
+        result.eval_seconds = stats.miss_seconds
         return result
+
+    def close(self) -> None:
+        """Release evaluation-service resources (worker pool, if any).
+
+        Only needed with ``eval_workers > 1``; use the search as a
+        context manager to get it automatically.
+        """
+        self.evalservice.close()
+
+    def __enter__(self) -> "EvolutionarySearch":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -68,7 +68,11 @@ class SearchResult:
             (``None`` if nothing feasible was ever found).
         trainings_run / trainings_skipped: Training-path accounting
             (early-pruning effectiveness, §IV-②).
-        hardware_evaluations: Cost-model invocation count.
+        hardware_evaluations: Hardware-path requests (cache hits included,
+            so the count stays comparable across cached and uncached runs).
+        cache_hits / cache_misses: Evaluation-service cache accounting
+            (both zero when the run bypassed the service).
+        eval_seconds: Wall-clock spent computing hardware-path misses.
     """
 
     name: str
@@ -78,6 +82,9 @@ class SearchResult:
     trainings_run: int = 0
     trainings_skipped: int = 0
     hardware_evaluations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    eval_seconds: float = 0.0
 
     def record(self, solution: ExploredSolution) -> None:
         """Add a solution and refresh the incumbent best."""
@@ -100,6 +107,13 @@ class SearchResult:
             f"{self.trainings_skipped} skipped, "
             f"{self.hardware_evaluations} hardware evaluations",
         ]
+        if self.cache_hits or self.cache_misses:
+            total = self.cache_hits + self.cache_misses
+            lines.append(
+                f"evaluation cache: {self.cache_hits} hits / "
+                f"{self.cache_misses} misses "
+                f"({self.cache_hits / total:.1%} hit rate, "
+                f"{self.eval_seconds:.2f}s computing)")
         if self.best is not None:
             lines.append("best: " + self.best.describe())
         else:

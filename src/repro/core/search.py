@@ -18,19 +18,29 @@ One episode follows the optimizer selector's schedule (§IV-②):
 The joint and hardware reward streams have different scales, so each gets
 its own REINFORCE trainer (separate reward baselines and RMSProp moments)
 over the *shared* controller parameters.
+
+Hardware evaluations route through :class:`repro.core.evalservice.EvalService`
+— the ``phi`` hardware-only designs of each episode are sampled first and
+priced as one (cached, optionally parallel) batch, which changes neither
+the sampling RNG stream nor any evaluation result (the hardware path is
+deterministic); the golden regression test pins this.
+
+Seeding contract: every random draw in a NASAIC run derives from
+``config.seed`` alone — controller initialisation uses sub-stream 0 and
+sampling uses sub-stream 1 of the master generator (see
+:mod:`repro.utils.rng`).  No component may fall back to OS entropy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.accel.allocation import AllocationSpace
 from repro.core.bounds_calibration import calibrate_penalty_bounds
 from repro.core.choices import JointSearchSpace
 from repro.core.controller import ControllerConfig, RNNController
 from repro.core.evaluator import Evaluator, HardwareEvaluation
+from repro.core.evalservice import EvalService
 from repro.core.reinforce import ReinforceConfig, ReinforceTrainer
 from repro.core.results import EpisodeRecord, ExploredSolution, SearchResult
 from repro.core.reward import episode_reward, weighted_normalised_accuracy
@@ -64,6 +74,10 @@ class NASAICConfig:
             paper-faithful exploration bounds (largest networks on
             maximal designs, see
             :mod:`repro.core.bounds_calibration`) before searching.
+        cache_size: LRU capacity of the hardware evaluation cache
+            (0 disables caching).
+        eval_workers: Process-pool width for batched hardware
+            evaluations; 0/1 keeps the batch serial in-process.
         controller: RNN controller hyperparameters.
         reinforce: Policy-gradient hyperparameters.
     """
@@ -75,6 +89,8 @@ class NASAICConfig:
     joint_batch: int = 5
     prune_infeasible: bool = True
     calibrate_bounds: bool = True
+    cache_size: int = 4096
+    eval_workers: int = 0
     controller: ControllerConfig = field(default_factory=ControllerConfig)
     reinforce: ReinforceConfig = field(default_factory=ReinforceConfig)
 
@@ -85,6 +101,10 @@ class NASAICConfig:
             raise ValueError("hw_steps must be >= 0")
         if self.joint_batch < 1:
             raise ValueError("joint_batch must be >= 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if self.eval_workers < 0:
+            raise ValueError("eval_workers must be >= 0")
 
 
 class NASAIC:
@@ -124,6 +144,9 @@ class NASAIC:
         self.trainer = SurrogateTrainer(surrogate)
         self.evaluator = Evaluator(workload, self.cost_model, self.trainer,
                                    rho=self.config.rho)
+        self.evalservice = EvalService(self.evaluator,
+                                       cache_size=self.config.cache_size,
+                                       workers=self.config.eval_workers)
         self.space = JointSearchSpace(workload, self.allocation)
         master = new_rng(self.config.seed)
         self._init_rng = spawn_rng(master, 0)
@@ -155,7 +178,11 @@ class NASAIC:
                       f"reward={record.reward:+.3f} best={best}")
         result.trainings_run = self.trainer.trainings_run
         result.trainings_skipped = self.trainer.trainings_skipped
-        result.hardware_evaluations = self.evaluator.hardware_evaluations
+        stats = self.evalservice.stats
+        result.hardware_evaluations = stats.requests
+        result.cache_hits = stats.hits
+        result.cache_misses = stats.misses
+        result.eval_seconds = stats.miss_seconds
         return result
 
     def _run_episode(self, episode: int,
@@ -165,19 +192,24 @@ class NASAIC:
         joint_sample = self.controller.sample(
             self._sample_rng, mask_fn=self.space.mask_for)
         joint = self.space.decode(joint_sample.actions)
-        best_hw = self.evaluator.evaluate_hardware(
+        best_hw = self.evalservice.evaluate_hardware(
             joint.networks, joint.accelerator)
         # -- hardware-only steps (SA = 0, SH = 1) ----------------------
+        # All phi designs are sampled up front (the controller is only
+        # updated after the batch), so the misses can be priced as one
+        # cached/parallel batch without perturbing the RNG stream.
         forced = {pos: joint_sample.actions[pos]
                   for pos in self.space.arch_positions}
-        hw_batch = []
-        for _ in range(self.config.hw_steps):
-            hw_sample = self.controller.sample(
+        hw_samples = [
+            self.controller.sample(
                 self._sample_rng, mask_fn=self.space.mask_for,
                 forced_actions=forced)
-            hw_design = self.space.decode(hw_sample.actions).accelerator
-            hw_eval = self.evaluator.evaluate_hardware(
-                joint.networks, hw_design)
+            for _ in range(self.config.hw_steps)]
+        hw_evals = self.evalservice.evaluate_many([
+            (joint.networks, self.space.decode(sample.actions).accelerator)
+            for sample in hw_samples])
+        hw_batch = []
+        for hw_sample, hw_eval in zip(hw_samples, hw_evals):
             hw_batch.append((hw_sample, -rho * hw_eval.penalty))
             if self._better_hw(hw_eval, best_hw):
                 best_hw = hw_eval
@@ -222,6 +254,20 @@ class NASAIC:
             hardware_steps=self.config.hw_steps,
         )
 
+    def close(self) -> None:
+        """Release evaluation-service resources (worker pool, if any).
+
+        Only needed with ``eval_workers > 1``; use the search as a
+        context manager to get it automatically.
+        """
+        self.evalservice.close()
+
+    def __enter__(self) -> "NASAIC":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     @staticmethod
     def _better_hw(candidate: HardwareEvaluation,
                    incumbent: HardwareEvaluation) -> bool:
@@ -236,12 +282,15 @@ class NASAIC:
     # ------------------------------------------------------------------
     def greedy_solution(self) -> ExploredSolution:
         """Evaluate the controller's current argmax sample."""
-        rng = np.random.default_rng(0)  # unused under greedy decoding
+        rng = new_rng(0)  # unused under greedy decoding
         sample = self.controller.sample(
             rng, mask_fn=self.space.mask_for, greedy=True)
         joint = self.space.decode(sample.actions)
+        hardware = self.evalservice.evaluate_hardware(joint.networks,
+                                                      joint.accelerator)
         evaluation = self.evaluator.evaluate(joint.networks,
-                                             joint.accelerator)
+                                             joint.accelerator,
+                                             hardware=hardware)
         return ExploredSolution(
             networks=joint.networks,
             accelerator=joint.accelerator,

@@ -61,6 +61,9 @@ def result_to_dict(result: SearchResult) -> dict[str, Any]:
         "trainings_run": result.trainings_run,
         "trainings_skipped": result.trainings_skipped,
         "hardware_evaluations": result.hardware_evaluations,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "eval_seconds": result.eval_seconds,
         "num_feasible": len(result.feasible_solutions),
     }
 

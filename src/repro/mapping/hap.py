@@ -17,16 +17,31 @@ two-phase ratio-greedy scheme:
 The result reports the achieved makespan and energy even when infeasible,
 so the evaluator can compute the paper's graded penalty (Eq. 3) instead of
 rejecting outright.
+
+Hot-path note: both phases evaluate ``num_layers * (num_slots - 1)``
+single-layer moves per iteration, and this solver runs for every sampled
+design of the search loop.  By default the moves are priced through
+:class:`~repro.mapping.schedule.MakespanEvaluator` — an incremental,
+allocation-free, memoised replay of the list scheduler with certified
+early exit — instead of full ``list_schedule`` reschedules.  Passing
+``incremental=False`` restores the full-reschedule path, kept as the
+reference oracle: both paths choose identical moves and produce
+bit-identical :class:`HAPResult`\\ s (``tests/test_hap_properties.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.mapping.problem import MappingProblem
-from repro.mapping.schedule import Schedule, list_schedule
+from repro.mapping.schedule import MakespanEvaluator, Schedule, list_schedule
 
 __all__ = ["HAPResult", "solve_hap"]
+
+#: Signature of a makespan pricer: (assignment, cutoff) -> makespan, where
+#: the result is exact whenever it is <= cutoff (or cutoff is None).
+_MakespanFn = Callable[..., int]
 
 
 @dataclass(frozen=True)
@@ -40,6 +55,9 @@ class HAPResult:
         energy_nj: Achieved energy ``re``, nJ.
         feasible: Whether ``makespan <= latency_constraint``.
         latency_constraint: The ``LS`` the solver targeted.
+        refinement_energies: Total energy after the feasibility phase and
+            after every accepted refinement move, in order — monotone
+            non-increasing by construction (property-tested).
     """
 
     assignment: tuple[int, ...]
@@ -48,46 +66,47 @@ class HAPResult:
     energy_nj: float
     feasible: bool
     latency_constraint: int
-
-
-def _evaluate(problem: MappingProblem,
-              assignment: tuple[int, ...]) -> tuple[Schedule, float]:
-    schedule = list_schedule(problem, assignment)
-    return schedule, problem.assignment_energy(assignment)
+    refinement_energies: tuple[float, ...] = ()
 
 
 def _improve_makespan(problem: MappingProblem,
                       assignment: list[int],
-                      latency_constraint: int) -> tuple[list[int], Schedule]:
+                      latency_constraint: int,
+                      makespan_of: _MakespanFn) -> tuple[list[int], int]:
     """Hill-climb single-layer moves until the makespan fits or stalls."""
-    schedule = list_schedule(problem, tuple(assignment))
-    while schedule.makespan > latency_constraint:
+    makespan = makespan_of(tuple(assignment))
+    while makespan > latency_constraint:
         best_move: tuple[int, int] | None = None
-        best_makespan = schedule.makespan
+        best_makespan = makespan
         for flat_id in range(problem.num_layers):
             current = assignment[flat_id]
             for pos in range(problem.num_slots):
                 if pos == current:
                     continue
                 assignment[flat_id] = pos
-                trial = list_schedule(problem, tuple(assignment))
-                if trial.makespan < best_makespan:
-                    best_makespan = trial.makespan
-                    best_move = (flat_id, pos)
+                trial = makespan_of(tuple(assignment),
+                                    cutoff=best_makespan - 1)
                 assignment[flat_id] = current
+                if trial < best_makespan:
+                    best_makespan = trial
+                    best_move = (flat_id, pos)
         if best_move is None:
             break  # stuck: no single move shrinks the makespan
         flat_id, pos = best_move
         assignment[flat_id] = pos
-        schedule = list_schedule(problem, tuple(assignment))
-    return assignment, schedule
+        makespan = best_makespan
+    return assignment, makespan
 
 
 def _refine_energy(problem: MappingProblem,
                    assignment: list[int],
-                   latency_constraint: int) -> tuple[list[int], Schedule]:
+                   latency_constraint: int,
+                   makespan_of: _MakespanFn,
+                   energies: list[list[float]]) -> tuple[list[int], int,
+                                                         list[float]]:
     """Greedy best-saving moves while staying within the constraint."""
-    schedule = list_schedule(problem, tuple(assignment))
+    makespan = makespan_of(tuple(assignment))
+    trajectory = [problem.assignment_energy(tuple(assignment))]
     improved = True
     while improved:
         improved = False
@@ -95,33 +114,44 @@ def _refine_energy(problem: MappingProblem,
         best_key: tuple[float, int] | None = None
         for flat_id in range(problem.num_layers):
             current = assignment[flat_id]
+            row = energies[flat_id]
             for pos in range(problem.num_slots):
                 if pos == current:
                     continue
-                saving = float(problem.energies[flat_id, current]
-                               - problem.energies[flat_id, pos])
+                saving = row[current] - row[pos]
                 if saving <= 0:
                     continue
                 assignment[flat_id] = pos
-                trial = list_schedule(problem, tuple(assignment))
+                trial = makespan_of(tuple(assignment),
+                                    cutoff=latency_constraint)
                 assignment[flat_id] = current
-                if trial.makespan > latency_constraint:
+                if trial > latency_constraint:
                     continue
-                key = (-saving, trial.makespan)
+                key = (-saving, trial)
                 if best_key is None or key < best_key:
                     best_key = key
                     best_move = (flat_id, pos)
         if best_move is not None:
             flat_id, pos = best_move
             assignment[flat_id] = pos
-            schedule = list_schedule(problem, tuple(assignment))
+            makespan = makespan_of(tuple(assignment))
+            trajectory.append(problem.assignment_energy(tuple(assignment)))
             improved = True
-    return assignment, schedule
+    return assignment, makespan, trajectory
 
 
 def solve_hap(problem: MappingProblem,
-              latency_constraint: int) -> HAPResult:
+              latency_constraint: int,
+              *, incremental: bool = True) -> HAPResult:
     """Minimise energy subject to makespan <= ``latency_constraint``.
+
+    Args:
+        problem: The HAP instance to solve.
+        latency_constraint: Makespan budget ``LS``, cycles.
+        incremental: Price single-layer moves through the incremental
+            :class:`~repro.mapping.schedule.MakespanEvaluator` (default).
+            ``False`` falls back to a full ``list_schedule`` per trial —
+            the slow reference oracle used to lock the fast path down.
 
     Raises:
         ValueError: If ``latency_constraint`` is not positive.
@@ -129,12 +159,23 @@ def solve_hap(problem: MappingProblem,
     if latency_constraint <= 0:
         raise ValueError(
             f"latency constraint must be positive, got {latency_constraint}")
+    if incremental:
+        makespan_of: _MakespanFn = MakespanEvaluator(problem).makespan
+    else:
+        def makespan_of(a: tuple[int, ...], *, cutoff: int | None = None,
+                        _p: MappingProblem = problem) -> int:
+            return list_schedule(_p, a).makespan
+    energies = [[float(problem.energies[fid, pos])
+                 for pos in range(problem.num_slots)]
+                for fid in range(problem.num_layers)]
     assignment = list(problem.min_latency_assignment())
-    assignment, schedule = _improve_makespan(problem, assignment,
-                                             latency_constraint)
-    if schedule.makespan <= latency_constraint:
-        assignment, schedule = _refine_energy(problem, assignment,
-                                              latency_constraint)
+    assignment, makespan = _improve_makespan(problem, assignment,
+                                             latency_constraint, makespan_of)
+    trajectory: list[float] = []
+    if makespan <= latency_constraint:
+        assignment, makespan, trajectory = _refine_energy(
+            problem, assignment, latency_constraint, makespan_of, energies)
+    schedule = list_schedule(problem, tuple(assignment))
     energy = problem.assignment_energy(tuple(assignment))
     return HAPResult(
         assignment=tuple(assignment),
@@ -143,4 +184,5 @@ def solve_hap(problem: MappingProblem,
         energy_nj=energy,
         feasible=schedule.makespan <= latency_constraint,
         latency_constraint=latency_constraint,
+        refinement_energies=tuple(trajectory),
     )

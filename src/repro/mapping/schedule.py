@@ -32,7 +32,8 @@ import numpy as np
 
 from repro.mapping.problem import MappingProblem
 
-__all__ = ["ScheduledLayer", "Schedule", "list_schedule", "POLICIES"]
+__all__ = ["MakespanEvaluator", "ScheduledLayer", "Schedule",
+           "list_schedule", "POLICIES"]
 
 #: Valid priority policies for :func:`list_schedule`.
 POLICIES = ("earliest_start", "lpt", "critical_path")
@@ -66,6 +67,93 @@ class Schedule:
         """Total busy time of one sub-accelerator."""
         return sum(e.finish - e.start for e in self.entries
                    if e.slot_pos == slot_pos)
+
+
+class MakespanEvaluator:
+    """Fast makespan evaluation for the HAP solver's single-move trials.
+
+    The HAP inner loop evaluates thousands of single-layer moves per
+    solve, and each move only needs the *makespan* of the trial
+    assignment — not the full per-layer schedule.  This evaluator replays
+    the exact ``"earliest_start"`` simulation of :func:`list_schedule`
+    (same priority key, same tie-breaking) but
+
+    - reads durations from pre-extracted Python ``int`` tables instead of
+      per-element NumPy indexing,
+    - allocates no :class:`ScheduledLayer`/:class:`Schedule` objects,
+    - memoises exact makespans per assignment (hill-climbing revisits
+      the same trial assignments across iterations), and
+    - supports a ``cutoff`` for early exit: as soon as the partial
+      simulation proves ``makespan > cutoff`` it returns ``cutoff + 1``
+      (a certified lower bound) without finishing the replay.
+
+    Exactness contract: for any assignment, ``makespan(a)`` (no cutoff)
+    equals ``list_schedule(problem, a).makespan`` bit-for-bit, and
+    ``makespan(a, cutoff=c) <= c`` implies the returned value is exact.
+    ``tests/test_hap_properties.py`` holds this against the full
+    rescheduling oracle on random instances.
+    """
+
+    def __init__(self, problem: MappingProblem) -> None:
+        self._durations: list[list[int]] = [
+            [int(problem.durations[fid, pos])
+             for pos in range(problem.num_slots)]
+            for fid in range(problem.num_layers)]
+        self._chains = tuple(tuple(c) for c in problem.chains)
+        self._num_slots = problem.num_slots
+        self._num_layers = problem.num_layers
+        self._memo: dict[tuple[int, ...], int] = {}
+        self.evaluations = 0
+        self.memo_hits = 0
+
+    def makespan(self, assignment: tuple[int, ...],
+                 *, cutoff: int | None = None) -> int:
+        """Makespan of ``assignment``; exact whenever the result <= cutoff."""
+        exact = self._memo.get(assignment)
+        if exact is not None:
+            self.memo_hits += 1
+            return exact
+        self.evaluations += 1
+        chains = self._chains
+        durations = self._durations
+        num_nets = len(chains)
+        next_idx = [0] * num_nets
+        net_ready = [0] * num_nets
+        slot_free = [0] * self._num_slots
+        remaining = self._num_layers
+        max_finish = 0
+        while remaining:
+            best_start = -1
+            best_net = -1
+            for net in range(num_nets):
+                idx = next_idx[net]
+                chain = chains[net]
+                if idx >= len(chain):
+                    continue
+                ready = net_ready[net]
+                free = slot_free[assignment[chain[idx]]]
+                start = ready if ready >= free else free
+                if best_net < 0 or start < best_start:
+                    best_start = start
+                    best_net = net
+            # Certified bound: every remaining layer starts at or after
+            # best_start, so the final makespan is at least best_start.
+            if cutoff is not None and best_start > cutoff:
+                return cutoff + 1
+            chain = chains[best_net]
+            flat_id = chain[next_idx[best_net]]
+            slot = assignment[flat_id]
+            finish = best_start + durations[flat_id][slot]
+            net_ready[best_net] = finish
+            slot_free[slot] = finish
+            if finish > max_finish:
+                max_finish = finish
+                if cutoff is not None and max_finish > cutoff:
+                    return cutoff + 1
+            next_idx[best_net] += 1
+            remaining -= 1
+        self._memo[assignment] = max_finish
+        return max_finish
 
 
 def _remaining_chain_work(problem: MappingProblem) -> list[int]:

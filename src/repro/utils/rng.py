@@ -4,6 +4,24 @@ Every stochastic component in the reproduction (controller sampling,
 Monte-Carlo baselines, surrogate jitter) draws from a
 :class:`numpy.random.Generator` created through this module so that full
 experiment runs are reproducible from a single integer seed.
+
+Seeding contract (relied on by ``tests/test_golden_search.py``):
+
+1. Every public entry point that draws randomness takes an explicit
+   integer ``seed`` and derives *all* of its generators from it — either
+   directly (:func:`new_rng`) or as named sub-streams
+   (:func:`spawn_rng`), so adding draws to one component never perturbs
+   another.
+2. ``new_rng(None)`` (OS entropy) is reserved for interactive
+   experimentation; no library code path may reach it implicitly.
+   Components with an optional ``rng`` argument must default to a
+   *fixed* documented seed (e.g. ``RNNController`` uses seed 0), never
+   to an unseeded generator.
+3. Evaluation is RNG-free: the hardware path (cost model + HAP) and the
+   surrogate accuracy landscape (:func:`repro.utils.hashing.stable_hash`
+   jitter) are pure functions of their inputs.  This is what lets the
+   evaluation service cache, batch and parallelise evaluations without
+   changing search trajectories.
 """
 
 from __future__ import annotations

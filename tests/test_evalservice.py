@@ -1,0 +1,214 @@
+"""EvalService: cache-key soundness, accounting, parallel equality.
+
+These tests lock down the evaluation service so future optimisation of
+the hardware hot path cannot silently change results: cached, uncached,
+serial and process-pool evaluations of the same design must stay
+bit-identical (`HardwareEvaluation` is a nest of frozen dataclasses, so
+`==` is full structural equality).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.accel import AllocationSpace
+from repro.core import EvalService, Evaluator, design_digest
+from repro.cost import CostModel
+from repro.train import SurrogateTrainer, default_surrogate
+from repro.utils.rng import new_rng
+from repro.workloads import w1
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return w1()
+
+
+@pytest.fixture(scope="module")
+def alloc():
+    return AllocationSpace()
+
+
+def make_evaluator(workload):
+    surrogate = default_surrogate([t.space for t in workload.tasks])
+    return Evaluator(workload, CostModel(), SurrogateTrainer(surrogate))
+
+
+def sample_pairs(workload, alloc, n, seed=3):
+    rng = new_rng(seed)
+    pairs = []
+    for _ in range(n):
+        nets = tuple(t.space.decode(t.space.random_indices(rng))
+                     for t in workload.tasks)
+        pairs.append((nets, alloc.random_design(rng)))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def pairs(workload, alloc):
+    return sample_pairs(workload, alloc, 6)
+
+
+class TestCacheKeys:
+    def test_same_design_same_digest(self, workload, alloc):
+        a = sample_pairs(workload, alloc, 1, seed=9)[0]
+        b = sample_pairs(workload, alloc, 1, seed=9)[0]
+        assert a[0] is not b[0]  # distinct objects, equal content
+        assert design_digest(*a) == design_digest(*b)
+
+    def test_perturbed_network_changes_digest(self, workload, alloc, pairs):
+        nets, accel = pairs[0]
+        base = design_digest(nets, accel)
+        task = workload.tasks[0]
+        for other_seed in range(20):
+            other = task.space.decode(
+                task.space.random_indices(new_rng(100 + other_seed)))
+            if other.genotype != nets[0].genotype:
+                perturbed = (other,) + nets[1:]
+                assert design_digest(perturbed, accel) != base
+                return
+        pytest.fail("could not sample a different architecture")
+
+    def test_perturbed_accelerator_changes_digest(self, alloc, pairs):
+        nets, accel = pairs[0]
+        base = design_digest(nets, accel)
+        for other_seed in range(20):
+            other = alloc.random_design(new_rng(200 + other_seed))
+            if other != accel:
+                assert design_digest(nets, other) != base
+                return
+        pytest.fail("could not sample a different design")
+
+    def test_context_salt_separates_workloads(self, workload, pairs):
+        from repro.workloads import w2
+
+        nets, accel = pairs[0]
+        svc1 = EvalService(make_evaluator(workload))
+        svc2 = EvalService(make_evaluator(w2()))
+        assert svc1.digest(nets, accel) != svc2.digest(nets, accel)
+
+
+class TestAccounting:
+    def test_hit_miss_counts(self, workload, pairs):
+        service = EvalService(make_evaluator(workload))
+        trace = [pairs[i % len(pairs)] for i in range(4 * len(pairs))]
+        service.evaluate_many(trace)
+        assert service.stats.misses == len(pairs)
+        assert service.stats.hits == len(trace) - len(pairs)
+        assert service.stats.requests == len(trace)
+        assert service.cache_len == len(pairs)
+        assert 0.0 < service.stats.hit_rate < 1.0
+
+    def test_single_path_counts(self, workload, pairs):
+        service = EvalService(make_evaluator(workload))
+        service.evaluate_hardware(*pairs[0])
+        service.evaluate_hardware(*pairs[0])
+        assert (service.stats.hits, service.stats.misses) == (1, 1)
+
+    def test_evaluator_counts_only_misses(self, workload, pairs):
+        evaluator = make_evaluator(workload)
+        service = EvalService(evaluator)
+        service.evaluate_many([pairs[0], pairs[0], pairs[1]])
+        assert evaluator.hardware_evaluations == 2
+        assert service.stats.requests == 3
+
+    def test_lru_eviction(self, workload, pairs):
+        service = EvalService(make_evaluator(workload), cache_size=2)
+        for pair in pairs[:4]:
+            service.evaluate_hardware(*pair)
+        assert service.cache_len == 2
+        assert service.stats.evictions == 2
+        # The most recent entries survive.
+        service.evaluate_hardware(*pairs[3])
+        assert service.stats.hits == 1
+
+    def test_cache_disabled(self, workload, pairs):
+        service = EvalService(make_evaluator(workload), cache_size=0)
+        service.evaluate_hardware(*pairs[0])
+        service.evaluate_hardware(*pairs[0])
+        assert service.stats.misses == 2
+        assert service.cache_len == 0
+
+    def test_cache_disabled_prices_intra_batch_duplicates(self, workload,
+                                                          pairs):
+        """cache_size=0 means *no* reuse: batch dedup is off too."""
+        evaluator = make_evaluator(workload)
+        service = EvalService(evaluator, cache_size=0)
+        got = service.evaluate_many([pairs[0], pairs[0], pairs[1]])
+        assert (service.stats.misses, service.stats.hits) == (3, 0)
+        assert evaluator.hardware_evaluations == 3
+        assert got[0] == got[1]
+
+    def test_summary_renders(self, workload, pairs):
+        service = EvalService(make_evaluator(workload))
+        service.evaluate_many([pairs[0], pairs[0]])
+        text = service.stats.summary()
+        assert "1 hits" in text and "1 misses" in text
+
+
+class TestBitIdentity:
+    def test_cached_equals_uncached(self, workload, pairs):
+        """Acceptance criterion: cached results are bit-identical."""
+        reference = make_evaluator(workload)
+        service = EvalService(make_evaluator(workload))
+        trace = [pairs[i % len(pairs)] for i in range(3 * len(pairs))]
+        expected = [reference.evaluate_hardware(*p) for p in trace]
+        got = service.evaluate_many(trace)
+        assert got == expected
+        # And via the single-evaluation path too.
+        for pair, want in zip(trace, expected):
+            assert service.evaluate_hardware(*pair) == want
+
+    def test_hardware_evaluation_fields_compare(self, workload, pairs):
+        """Guard: HardwareEvaluation must stay an equality-comparable
+        dataclass nest (no NumPy arrays), or the identity assertions
+        above would degrade to identity checks."""
+        evaluation = make_evaluator(workload).evaluate_hardware(*pairs[0])
+        assert dataclasses.is_dataclass(evaluation)
+        assert evaluation == dataclasses.replace(evaluation)
+
+
+class TestParallel:
+    def test_parallel_equals_serial(self, workload, pairs):
+        serial = EvalService(make_evaluator(workload))
+        expected = serial.evaluate_many(pairs)
+        with EvalService(make_evaluator(workload), workers=2,
+                         parallel_threshold=2) as parallel:
+            got = parallel.evaluate_many(pairs)
+            assert parallel.stats.parallel_evaluations == len(pairs)
+        assert got == expected
+
+    def test_parallel_counts_mirrored(self, workload, pairs):
+        evaluator = make_evaluator(workload)
+        with EvalService(evaluator, workers=2,
+                         parallel_threshold=2) as service:
+            service.evaluate_many(pairs)
+        assert evaluator.hardware_evaluations == len(pairs)
+
+    def test_small_batches_stay_serial(self, workload, pairs):
+        with EvalService(make_evaluator(workload), workers=2,
+                         parallel_threshold=64) as service:
+            service.evaluate_many(pairs)
+            assert service.stats.parallel_evaluations == 0
+
+    def test_close_is_idempotent(self, workload):
+        service = EvalService(make_evaluator(workload), workers=2)
+        service.close()
+        service.close()
+
+
+class TestValidation:
+    def test_negative_cache_size_rejected(self, workload):
+        with pytest.raises(ValueError, match="cache_size"):
+            EvalService(make_evaluator(workload), cache_size=-1)
+
+    def test_negative_workers_rejected(self, workload):
+        with pytest.raises(ValueError, match="workers"):
+            EvalService(make_evaluator(workload), workers=-1)
+
+    def test_trainerless_evaluator_guards_training_path(self, workload):
+        evaluator = Evaluator(workload, CostModel(), trainer=None)
+        with pytest.raises(RuntimeError, match="without a trainer"):
+            evaluator.train_networks(())

@@ -1,0 +1,184 @@
+"""Property-based tests pinning the HAP solver's invariants.
+
+The incremental makespan evaluator (`MakespanEvaluator`) and the
+cutoff-based early exits in `solve_hap` are aggressive hot-path
+optimisations; these properties hold them to the slow reference oracle
+on randomly generated instances:
+
+- the incremental makespan of any assignment equals the full
+  ``list_schedule`` recompute, bit for bit, and single-move deltas agree;
+- ``solve_hap(..., incremental=True)`` and ``incremental=False`` return
+  identical results (same moves chosen, same schedule);
+- whenever the solver reports feasible, the makespan fits ``LS``;
+- the energy trajectory across refinement iterations is monotone
+  non-increasing (the refinement phase only ever accepts savings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mapping import list_schedule, solve_hap
+from repro.mapping.schedule import MakespanEvaluator
+from tests.test_schedule import tiny_problem
+
+
+# ----------------------------------------------------------------------
+# Random instance generation
+# ----------------------------------------------------------------------
+def random_problem(seed: int, max_layers: int = 10, max_slots: int = 3,
+                   max_nets: int = 3, zero_durations: bool = False):
+    """A random HAP instance; deterministic in ``seed``."""
+    rng = np.random.default_rng(seed)
+    layers = int(rng.integers(2, max_layers + 1))
+    slots = int(rng.integers(1, max_slots + 1))
+    nets = int(rng.integers(1, min(max_nets, layers) + 1))
+    low = 0 if zero_durations else 1
+    durations = rng.integers(low, 60, size=(layers, slots))
+    energies = rng.uniform(0.5, 25.0, size=(layers, slots))
+    # Random contiguous partition of the flat ids into `nets` chains.
+    cuts = sorted(rng.choice(np.arange(1, layers), size=nets - 1,
+                             replace=False).tolist()) if nets > 1 else []
+    edges = [0] + cuts + [layers]
+    chains = [tuple(range(a, b)) for a, b in zip(edges, edges[1:])]
+    return tiny_problem(durations.tolist(), chains, energies.tolist())
+
+
+def random_assignment(problem, rng):
+    return tuple(int(x) for x in
+                 rng.integers(0, problem.num_slots, size=problem.num_layers))
+
+
+def budget_for(problem, rng) -> int:
+    """A constraint between 'very tight' and 'loose'."""
+    base = int(problem.durations.min(axis=1).sum())
+    return max(1, int(base * float(rng.uniform(0.3, 1.8))))
+
+
+_SETTINGS = settings(max_examples=60, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------------
+# Incremental evaluator vs the full-reschedule oracle
+# ----------------------------------------------------------------------
+class TestMakespanEvaluator:
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_matches_list_schedule(self, seed):
+        problem = random_problem(seed)
+        evaluator = MakespanEvaluator(problem)
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(5):
+            assignment = random_assignment(problem, rng)
+            assert (evaluator.makespan(assignment)
+                    == list_schedule(problem, assignment).makespan)
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_single_move_deltas_match_oracle(self, seed):
+        """Every single-layer move from a random base assignment prices
+        identically through the incremental path and a full reschedule."""
+        problem = random_problem(seed)
+        evaluator = MakespanEvaluator(problem)
+        rng = np.random.default_rng(seed + 2)
+        base = list(random_assignment(problem, rng))
+        base_makespan = list_schedule(problem, tuple(base)).makespan
+        for flat_id in range(problem.num_layers):
+            current = base[flat_id]
+            for pos in range(problem.num_slots):
+                if pos == current:
+                    continue
+                base[flat_id] = pos
+                oracle = list_schedule(problem, tuple(base)).makespan
+                fast = evaluator.makespan(tuple(base))
+                base[flat_id] = current
+                assert fast == oracle
+                assert fast - base_makespan == oracle - base_makespan
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000), cutoff_frac=st.floats(0.2, 1.5))
+    def test_cutoff_is_certified(self, seed, cutoff_frac):
+        """With a cutoff, the result is exact when <= cutoff and a true
+        lower-bound certificate (> cutoff implies makespan > cutoff)."""
+        problem = random_problem(seed, zero_durations=True)
+        evaluator = MakespanEvaluator(problem)
+        rng = np.random.default_rng(seed + 3)
+        assignment = random_assignment(problem, rng)
+        truth = list_schedule(problem, assignment).makespan
+        cutoff = max(0, int(truth * cutoff_frac))
+        got = evaluator.makespan(assignment, cutoff=cutoff)
+        if got <= cutoff:
+            assert got == truth
+        else:
+            assert truth > cutoff
+
+    def test_memoisation_counts(self):
+        problem = random_problem(7)
+        evaluator = MakespanEvaluator(problem)
+        rng = np.random.default_rng(0)
+        assignment = random_assignment(problem, rng)
+        first = evaluator.makespan(assignment)
+        second = evaluator.makespan(assignment)
+        assert first == second
+        assert evaluator.evaluations == 1
+        assert evaluator.memo_hits == 1
+
+
+# ----------------------------------------------------------------------
+# solve_hap invariants
+# ----------------------------------------------------------------------
+class TestSolverProperties:
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_incremental_equals_oracle_solver(self, seed):
+        problem = random_problem(seed)
+        rng = np.random.default_rng(seed + 4)
+        budget = budget_for(problem, rng)
+        fast = solve_hap(problem, budget)
+        slow = solve_hap(problem, budget, incremental=False)
+        assert fast == slow
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_feasible_implies_makespan_within_ls(self, seed):
+        problem = random_problem(seed)
+        rng = np.random.default_rng(seed + 5)
+        budget = budget_for(problem, rng)
+        result = solve_hap(problem, budget)
+        if result.feasible:
+            assert result.makespan <= budget
+        else:
+            assert result.makespan > budget
+        # The reported makespan always matches the reported schedule.
+        assert result.makespan == result.schedule.makespan
+        assert (result.makespan
+                == list_schedule(problem, result.assignment).makespan)
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_energy_monotone_across_refinement(self, seed):
+        problem = random_problem(seed)
+        rng = np.random.default_rng(seed + 6)
+        budget = budget_for(problem, rng)
+        result = solve_hap(problem, budget)
+        trajectory = result.refinement_energies
+        if not result.feasible:
+            assert trajectory == ()
+            return
+        assert trajectory, "feasible solves record the refinement start"
+        for before, after in zip(trajectory, trajectory[1:]):
+            assert after <= before + 1e-9
+        assert result.energy_nj == trajectory[-1]
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_energy_matches_assignment(self, seed):
+        problem = random_problem(seed)
+        rng = np.random.default_rng(seed + 7)
+        budget = budget_for(problem, rng)
+        result = solve_hap(problem, budget)
+        assert result.energy_nj == problem.assignment_energy(
+            result.assignment)
