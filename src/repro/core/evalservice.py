@@ -125,6 +125,17 @@ class EvalServiceStats:
         batches: ``evaluate_many`` invocations.
         parallel_evaluations: Misses priced on the process pool.
         miss_seconds: Wall-clock spent computing misses.
+        cost_memo_hits / cost_memo_misses: Cross-design cost-table memo
+            accounting (``CostModel.memo_hits`` / ``memo_misses``),
+            mirrored after every miss computation.
+        hap_moves_priced / hap_moves_pruned / hap_moves_resumed /
+        hap_memo_hits / hap_steps_saved / hap_steps_replayed:
+            HAP single-move pricing counters aggregated across every
+            solve this service ran (see
+            :class:`repro.mapping.schedule.MoveStats`).  Misses priced
+            on a worker pool run their own solvers, so their inner-loop
+            counters are not reflected here (the cache accounting still
+            is).
     """
 
     hits: int = 0
@@ -133,6 +144,14 @@ class EvalServiceStats:
     batches: int = 0
     parallel_evaluations: int = 0
     miss_seconds: float = 0.0
+    cost_memo_hits: int = 0
+    cost_memo_misses: int = 0
+    hap_moves_priced: int = 0
+    hap_moves_pruned: int = 0
+    hap_moves_resumed: int = 0
+    hap_memo_hits: int = 0
+    hap_steps_saved: int = 0
+    hap_steps_replayed: int = 0
 
     @property
     def requests(self) -> int:
@@ -151,12 +170,32 @@ class EvalServiceStats:
             return 0.0
         return self.hits * (self.miss_seconds / self.misses)
 
+    @property
+    def cost_memo_rate(self) -> float:
+        """Fraction of cost-table lookups answered from the memo."""
+        total = self.cost_memo_hits + self.cost_memo_misses
+        return self.cost_memo_hits / total if total else 0.0
+
     def summary(self) -> str:
         """One-line human-readable account."""
         return (f"evaluation cache: {self.hits} hits / {self.misses} misses "
                 f"({self.hit_rate:.1%} hit rate, "
                 f"~{self.seconds_saved:.2f}s saved, "
                 f"{self.miss_seconds:.2f}s computing)")
+
+    def pricing_summary(self) -> str:
+        """One-line account of the uncached-pricing fast paths."""
+        moves = self.hap_moves_priced
+        pruned_pct = self.hap_moves_pruned / moves if moves else 0.0
+        steps = self.hap_steps_saved + self.hap_steps_replayed
+        saved_pct = self.hap_steps_saved / steps if steps else 0.0
+        return (f"pricing: cost memo {self.cost_memo_hits} hits / "
+                f"{self.cost_memo_misses} misses "
+                f"({self.cost_memo_rate:.1%} reuse); "
+                f"HAP moves {moves} priced, "
+                f"{self.hap_moves_pruned} pruned ({pruned_pct:.1%}), "
+                f"{self.hap_moves_resumed} resumed "
+                f"({saved_pct:.1%} steps skipped)")
 
 
 class EvalService:
@@ -220,6 +259,7 @@ class EvalService:
         evaluation = self.evaluator.evaluate_hardware(networks, accelerator)
         self.stats.miss_seconds += time.perf_counter() - started
         self.stats.misses += 1
+        self._sync_pricing()
         self._store(key, evaluation)
         return evaluation
 
@@ -241,6 +281,7 @@ class EvalService:
             started = time.perf_counter()
             evaluations = self._compute_batch(list(pairs))
             self.stats.miss_seconds += time.perf_counter() - started
+            self._sync_pricing()
             return evaluations
         keys = [design_content(nets, accel) for nets, accel in pairs]
         results: dict[tuple, HardwareEvaluation] = {}
@@ -262,6 +303,7 @@ class EvalService:
             started = time.perf_counter()
             evaluations = self._compute_batch(miss_pairs)
             self.stats.miss_seconds += time.perf_counter() - started
+            self._sync_pricing()
             for key, evaluation in zip(miss_keys, evaluations):
                 results[key] = evaluation
                 self._store(key, evaluation)
@@ -281,6 +323,28 @@ class EvalService:
             return evaluations
         return [self.evaluator.evaluate_hardware(nets, accel)
                 for nets, accel in pairs]
+
+    def _sync_pricing(self) -> None:
+        """Mirror the evaluator's cumulative uncached-pricing counters
+        (cost-table memo, HAP move pricing) into :attr:`stats`.
+
+        The wrapped evaluator and cost model are exclusive to this
+        service on the search paths, so mirroring their running totals
+        after each miss keeps the stats consistent without double
+        bookkeeping.  Pool workers hold their own evaluators; their
+        inner-loop counters stay in the worker processes.
+        """
+        stats = self.stats
+        moves = self.evaluator.move_stats
+        stats.hap_moves_priced = moves.moves_priced
+        stats.hap_moves_pruned = moves.pruned
+        stats.hap_moves_resumed = moves.resumed
+        stats.hap_memo_hits = moves.memo_hits
+        stats.hap_steps_saved = moves.steps_saved
+        stats.hap_steps_replayed = moves.steps_replayed
+        cost_model = self.evaluator.cost_model
+        stats.cost_memo_hits = cost_model.memo_hits
+        stats.cost_memo_misses = cost_model.memo_misses
 
     # ------------------------------------------------------------------
     # LRU mechanics

@@ -23,6 +23,7 @@ from repro.core.reward import (
 )
 from repro.mapping.hap import HAPResult, solve_hap
 from repro.mapping.problem import MappingProblem
+from repro.mapping.schedule import MoveStats
 from repro.train.trainer import SurrogateTrainer
 from repro.workloads.workload import Workload
 
@@ -78,6 +79,11 @@ class Evaluator:
         self.trainer = trainer
         self.rho = rho
         self.hardware_evaluations = 0
+        #: Aggregated HAP move-pricing counters across every hardware
+        #: evaluation run by this evaluator (memo hits, certified prunes,
+        #: delta-resumes); cost-table memo counters live on
+        #: ``cost_model.memo_hits`` / ``memo_misses``.
+        self.move_stats = MoveStats()
 
     # ------------------------------------------------------------------
     # Hardware path
@@ -95,7 +101,8 @@ class Evaluator:
         specs = self.workload.specs
         problem = MappingProblem.build(networks, accelerator,
                                        self.cost_model)
-        hap = solve_hap(problem, specs.latency_cycles)
+        hap = solve_hap(problem, specs.latency_cycles,
+                        stats=self.move_stats)
         area = self.cost_model.area_um2(
             accelerator,
             mapped_layers=problem.mapped_layers_by_slot(hap.assignment))

@@ -254,11 +254,7 @@ class EvolutionarySearch:
             self._evaluate_batch(offspring, result)
             population = next_gen + offspring
         result.trainings_run = self.trainer.trainings_run
-        stats = self.evalservice.stats
-        result.hardware_evaluations = stats.requests
-        result.cache_hits = stats.hits
-        result.cache_misses = stats.misses
-        result.eval_seconds = stats.miss_seconds
+        result.absorb_eval_stats(self.evalservice.stats)
         return result
 
     def close(self) -> None:

@@ -73,6 +73,14 @@ class SearchResult:
         cache_hits / cache_misses: Evaluation-service cache accounting
             (both zero when the run bypassed the service).
         eval_seconds: Wall-clock spent computing hardware-path misses.
+        cost_memo_hits / cost_memo_misses: Cross-design cost-table memo
+            accounting — how many (layer, sub-accelerator) pair prices
+            were reused across the run's sampled designs.
+        hap_moves_priced / hap_moves_pruned / hap_moves_resumed /
+        hap_steps_saved / hap_steps_replayed: HAP move-pricing
+            accounting — certified-bound prunes and delta-resume reuse
+            inside the uncached solves (zero on worker-pool misses,
+            whose counters stay in the worker processes).
     """
 
     name: str
@@ -85,6 +93,29 @@ class SearchResult:
     cache_hits: int = 0
     cache_misses: int = 0
     eval_seconds: float = 0.0
+    cost_memo_hits: int = 0
+    cost_memo_misses: int = 0
+    hap_moves_priced: int = 0
+    hap_moves_pruned: int = 0
+    hap_moves_resumed: int = 0
+    hap_steps_saved: int = 0
+    hap_steps_replayed: int = 0
+
+    def absorb_eval_stats(self, stats) -> None:
+        """Copy an :class:`~repro.core.evalservice.EvalServiceStats`
+        snapshot into this result (cache, timing and pricing counters) —
+        the one call every search loop makes when it finishes."""
+        self.hardware_evaluations = stats.requests
+        self.cache_hits = stats.hits
+        self.cache_misses = stats.misses
+        self.eval_seconds = stats.miss_seconds
+        self.cost_memo_hits = stats.cost_memo_hits
+        self.cost_memo_misses = stats.cost_memo_misses
+        self.hap_moves_priced = stats.hap_moves_priced
+        self.hap_moves_pruned = stats.hap_moves_pruned
+        self.hap_moves_resumed = stats.hap_moves_resumed
+        self.hap_steps_saved = stats.hap_steps_saved
+        self.hap_steps_replayed = stats.hap_steps_replayed
 
     def record(self, solution: ExploredSolution) -> None:
         """Add a solution and refresh the incumbent best."""
@@ -114,6 +145,21 @@ class SearchResult:
                 f"{self.cache_misses} misses "
                 f"({self.cache_hits / total:.1%} hit rate, "
                 f"{self.eval_seconds:.2f}s computing)")
+        if self.cost_memo_hits or self.cost_memo_misses:
+            memo_total = self.cost_memo_hits + self.cost_memo_misses
+            lines.append(
+                f"cost-table memo: {self.cost_memo_hits} hits / "
+                f"{self.cost_memo_misses} misses "
+                f"({self.cost_memo_hits / memo_total:.1%} cross-design "
+                f"reuse)")
+        if self.hap_moves_priced:
+            steps = self.hap_steps_saved + self.hap_steps_replayed
+            saved = self.hap_steps_saved / steps if steps else 0.0
+            lines.append(
+                f"HAP move pricing: {self.hap_moves_priced} moves, "
+                f"{self.hap_moves_pruned} pruned by certified bounds, "
+                f"{self.hap_moves_resumed} delta-resumed "
+                f"({saved:.1%} simulation steps skipped)")
         if self.best is not None:
             lines.append("best: " + self.best.describe())
         else:

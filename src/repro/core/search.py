@@ -178,11 +178,7 @@ class NASAIC:
                       f"reward={record.reward:+.3f} best={best}")
         result.trainings_run = self.trainer.trainings_run
         result.trainings_skipped = self.trainer.trainings_skipped
-        stats = self.evalservice.stats
-        result.hardware_evaluations = stats.requests
-        result.cache_hits = stats.hits
-        result.cache_misses = stats.misses
-        result.eval_seconds = stats.miss_seconds
+        result.absorb_eval_stats(self.evalservice.stats)
         return result
 
     def _run_episode(self, episode: int,

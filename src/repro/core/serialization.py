@@ -52,7 +52,13 @@ def solution_to_dict(solution: ExploredSolution) -> dict[str, Any]:
 
 
 def result_to_dict(result: SearchResult) -> dict[str, Any]:
-    """Flatten a whole search run (explored set + accounting)."""
+    """Flatten a whole search run (explored set + accounting).
+
+    The ``pricing`` block mirrors the run's uncached-pricing counters
+    (cross-design cost-table memo reuse and HAP move pricing — certified
+    prunes, delta-resumes, simulation steps skipped), so JSON outputs
+    track the fast-path effectiveness per run.
+    """
     return {
         "name": result.name,
         "best": (solution_to_dict(result.best)
@@ -65,6 +71,15 @@ def result_to_dict(result: SearchResult) -> dict[str, Any]:
         "cache_misses": result.cache_misses,
         "eval_seconds": result.eval_seconds,
         "num_feasible": len(result.feasible_solutions),
+        "pricing": {
+            "cost_memo_hits": result.cost_memo_hits,
+            "cost_memo_misses": result.cost_memo_misses,
+            "hap_moves_priced": result.hap_moves_priced,
+            "hap_moves_pruned": result.hap_moves_pruned,
+            "hap_moves_resumed": result.hap_moves_resumed,
+            "hap_steps_saved": result.hap_steps_saved,
+            "hap_steps_replayed": result.hap_steps_replayed,
+        },
     }
 
 

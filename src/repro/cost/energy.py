@@ -13,11 +13,15 @@ published accelerator evaluation (Eyeriss, MAESTRO) uses:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.arch.layers import ConvLayer
 from repro.cost.params import CostModelParams
-from repro.cost.reuse import TilingAnalysis
+from repro.cost.reuse import (LayerGeometryBatch, TilingAnalysis,
+                              TilingAnalysisBatch)
 
-__all__ = ["dram_bytes", "layer_energy_nj"]
+__all__ = ["dram_bytes", "dram_bytes_batch", "layer_energy_nj",
+           "layer_energy_nj_batch"]
 
 
 def dram_bytes(layer: ConvLayer, params: CostModelParams) -> int:
@@ -33,4 +37,29 @@ def layer_energy_nj(layer: ConvLayer, analysis: TilingAnalysis,
     noc = (analysis.total_fetches * params.elem_bytes
            * params.noc_energy_nj_per_byte)
     dram = dram_bytes(layer, params) * params.dram_energy_nj_per_byte
+    return mac + noc + dram
+
+
+def dram_bytes_batch(geometry: LayerGeometryBatch,
+                     params: CostModelParams) -> np.ndarray:
+    """Vector twin of :func:`dram_bytes`."""
+    elems = (geometry.weight_elems + geometry.ifmap_elems
+             + geometry.ofmap_elems)
+    return elems * params.elem_bytes
+
+
+def layer_energy_nj_batch(geometry: LayerGeometryBatch,
+                          analysis: TilingAnalysisBatch,
+                          params: CostModelParams) -> np.ndarray:
+    """Vector twin of :func:`layer_energy_nj`.
+
+    Bit-identical per element: the expressions below use the same operand
+    order as the scalar path, and every integer operand is exactly
+    representable in float64 (well below 2**53), so each elementwise
+    product and sum rounds identically.
+    """
+    mac = geometry.macs * params.mac_energy_nj
+    noc = (analysis.total_fetches * params.elem_bytes
+           * params.noc_energy_nj_per_byte)
+    dram = dram_bytes_batch(geometry, params) * params.dram_energy_nj_per_byte
     return mac + noc + dram

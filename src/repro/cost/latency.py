@@ -11,11 +11,14 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.cost.params import CostModelParams
-from repro.cost.reuse import TilingAnalysis
+from repro.cost.reuse import TilingAnalysis, TilingAnalysisBatch
 from repro.utils.units import gbps_to_bytes_per_cycle
 
-__all__ = ["memory_cycles", "roofline_latency"]
+__all__ = ["memory_cycles", "memory_cycles_batch", "roofline_latency",
+           "roofline_latency_batch"]
 
 
 def memory_cycles(analysis: TilingAnalysis, bandwidth_gbps: int,
@@ -34,3 +37,25 @@ def roofline_latency(analysis: TilingAnalysis, bandwidth_gbps: int,
     """Roofline latency: max(compute, memory) + launch overhead, cycles."""
     mem = memory_cycles(analysis, bandwidth_gbps, params)
     return max(analysis.compute_cycles, mem) + params.layer_launch_cycles
+
+
+def memory_cycles_batch(analysis: TilingAnalysisBatch, bandwidth_gbps: int,
+                        params: CostModelParams) -> np.ndarray:
+    """Vector twin of :func:`memory_cycles` (bit-identical per element:
+    byte counts stay below 2**52, where ``np.ceil`` of a correctly
+    rounded float64 division matches ``math.ceil``)."""
+    if bandwidth_gbps <= 0:
+        raise ValueError(
+            f"bandwidth must be positive, got {bandwidth_gbps} GB/s")
+    bytes_per_cycle = gbps_to_bytes_per_cycle(bandwidth_gbps)
+    noc_bytes = analysis.total_fetches * params.elem_bytes
+    return np.ceil(noc_bytes / bytes_per_cycle).astype(np.int64)
+
+
+def roofline_latency_batch(analysis: TilingAnalysisBatch,
+                           bandwidth_gbps: int,
+                           params: CostModelParams) -> np.ndarray:
+    """Vector twin of :func:`roofline_latency`."""
+    mem = memory_cycles_batch(analysis, bandwidth_gbps, params)
+    return (np.maximum(analysis.compute_cycles, mem)
+            + params.layer_launch_cycles)

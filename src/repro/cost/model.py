@@ -11,18 +11,34 @@ of episodes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.accel.accelerator import HeterogeneousAccelerator
 from repro.accel.subaccelerator import SubAccelerator
 from repro.arch.layers import ConvLayer
 from repro.arch.network import NetworkArch
 from repro.cost.area import accelerator_area_um2
-from repro.cost.energy import dram_bytes, layer_energy_nj
-from repro.cost.latency import memory_cycles, roofline_latency
+from repro.cost.energy import dram_bytes, dram_bytes_batch, layer_energy_nj
+from repro.cost.latency import (memory_cycles, memory_cycles_batch,
+                                roofline_latency)
 from repro.cost.params import DEFAULT_PARAMS, CostModelParams
-from repro.cost.reuse import analyze
+from repro.cost.reuse import LayerGeometryBatch, analyze, analyze_batch
 
-__all__ = ["CostModel", "LayerCost"]
+__all__ = ["CostModel", "LayerCost", "layer_identity"]
+
+
+def layer_identity(layer: ConvLayer) -> tuple:
+    """Content key of a layer for cost purposes: its geometry, not its name.
+
+    Two layers with identical geometry price identically on any
+    sub-accelerator, so memoising by geometry lets repeated blocks within
+    one network — and unchanged layers across consecutively sampled
+    designs — share a single evaluation.
+    """
+    return (layer.in_channels, layer.out_channels, layer.kernel,
+            layer.stride, layer.in_height, layer.in_width, layer.transposed)
 
 
 @dataclass(frozen=True)
@@ -59,6 +75,13 @@ class LayerCost:
 class CostModel:
     """Memoising analytic cost oracle.
 
+    The memo is **content-keyed and cross-design**: entries are keyed by
+    :func:`layer_identity` (geometry, not name) plus the sub-accelerator
+    configuration triple.  The template space is tiny and the search
+    mutates one field at a time, so consecutively sampled designs share
+    almost all (layer, sub-accelerator) pairs; ``memo_hits`` /
+    ``memo_misses`` expose the reuse rate.
+
     Args:
         params: Model constants; defaults to the calibrated set in
             :data:`repro.cost.params.DEFAULT_PARAMS`.
@@ -67,6 +90,8 @@ class CostModel:
     def __init__(self, params: CostModelParams | None = None) -> None:
         self.params = params or DEFAULT_PARAMS
         self._layer_cache: dict[tuple, LayerCost] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     # ------------------------------------------------------------------
     # Per-layer oracle
@@ -77,10 +102,15 @@ class CostModel:
         if not subacc.is_active:
             raise ValueError(
                 f"layer {layer.name!r} mapped to an inactive sub-accelerator")
-        key = (layer, subacc.dataflow, subacc.num_pes, subacc.bandwidth_gbps)
+        # dataflow.value (a str) hashes much faster than the Enum member —
+        # this key is built once per grid cell on the hot path.
+        key = (layer_identity(layer), subacc.dataflow.value, subacc.num_pes,
+               subacc.bandwidth_gbps)
         cached = self._layer_cache.get(key)
         if cached is not None:
+            self.memo_hits += 1
             return cached
+        self.memo_misses += 1
         analysis = analyze(layer, subacc.dataflow, subacc.num_pes,
                            self.params)
         mem = memory_cycles(analysis, subacc.bandwidth_gbps, self.params)
@@ -100,6 +130,123 @@ class CostModel:
         )
         self._layer_cache[key] = cost
         return cost
+
+    # ------------------------------------------------------------------
+    # Batch oracle
+    # ------------------------------------------------------------------
+    def cost_table(self, layers: Sequence[ConvLayer],
+                   subaccs: Sequence[SubAccelerator],
+                   ) -> list[list[LayerCost]]:
+        """Price the whole ``layers x subaccs`` grid; returns a row-major
+        nested list with ``grid[i][j] == layer_cost(layers[i], subaccs[j])``
+        bit for bit.
+
+        Memo hits are answered from the cross-design cache; the distinct
+        misses of each column are priced in one vectorised NumPy pass
+        (deduplicated by :func:`layer_identity`, so repeated blocks cost
+        one evaluation).  This is the fast path behind
+        :meth:`repro.mapping.problem.MappingProblem.build`.
+        """
+        layers = list(layers)
+        layer_keys = [layer_identity(layer) for layer in layers]
+        grid: list[list[LayerCost]] = [[] for _ in layers]
+        cache = self._layer_cache
+        # Distinct geometries of the batch, with their position in the
+        # shared arrays; the dataflow-independent terms (geometry, DRAM
+        # bytes, MAC/DRAM energy) are computed once and shared by every
+        # column, each column pricing only its own misses.
+        distinct_pos: dict[tuple, int] = {}
+        representatives: list[ConvLayer] = []
+        for row, lkey in enumerate(layer_keys):
+            if lkey not in distinct_pos:
+                distinct_pos[lkey] = len(representatives)
+                representatives.append(layers[row])
+        shared: tuple | None = None
+        for subacc in subaccs:
+            if not subacc.is_active:
+                raise ValueError(
+                    "cost table requested for an inactive sub-accelerator")
+            sub_key = (subacc.dataflow.value, subacc.num_pes,
+                       subacc.bandwidth_gbps)
+            column_keys = [(lkey,) + sub_key for lkey in layer_keys]
+            miss_lkeys: dict[tuple, None] = {}
+            hits = 0
+            for lkey, key in zip(layer_keys, column_keys):
+                if key in cache:
+                    hits += 1
+                elif lkey not in miss_lkeys:
+                    miss_lkeys[lkey] = None
+                else:
+                    hits += 1
+            self.memo_hits += hits
+            self.memo_misses += len(miss_lkeys)
+            if miss_lkeys:
+                if shared is None:
+                    shared = self._shared_terms(representatives)
+                if len(miss_lkeys) == len(distinct_pos):
+                    terms = shared  # cold column: avoid the subset copy
+                else:
+                    terms = self._subset_terms(
+                        shared, [distinct_pos[lkey] for lkey in miss_lkeys])
+                self._price_column(list(miss_lkeys), terms, subacc)
+            for row, key in enumerate(column_keys):
+                grid[row].append(cache[key])
+        return grid
+
+    def _shared_terms(self, layers: list[ConvLayer]) -> tuple:
+        """Dataflow-independent arrays of a distinct-layer batch."""
+        params = self.params
+        geometry = LayerGeometryBatch.from_layers(layers)
+        dram = dram_bytes_batch(geometry, params)
+        mac_energy = geometry.macs * params.mac_energy_nj
+        dram_energy = dram * params.dram_energy_nj_per_byte
+        return geometry, dram, mac_energy, dram_energy
+
+    @staticmethod
+    def _subset_terms(shared: tuple, rows: list[int]) -> tuple:
+        """Row-subset of :meth:`_shared_terms` output (elementwise terms,
+        so subsetting before or after pricing is bit-identical)."""
+        geometry, dram, mac_energy, dram_energy = shared
+        idx = np.array(rows)
+        return (geometry.take(idx), dram[idx], mac_energy[idx],
+                dram_energy[idx])
+
+    def _price_column(self, keys: list[tuple], shared: tuple,
+                      subacc: SubAccelerator) -> None:
+        """Vectorised pricing of the distinct layers on one
+        sub-accelerator; fills the memo (bit-identical to the scalar
+        path — same operand order, every integer exactly representable
+        in float64)."""
+        params = self.params
+        geometry, dram, mac_energy, dram_energy = shared
+        analysis = analyze_batch(geometry, subacc.dataflow, subacc.num_pes,
+                                 params)
+        mem = memory_cycles_batch(analysis, subacc.bandwidth_gbps, params)
+        latency = (np.maximum(analysis.compute_cycles, mem)
+                   + params.layer_launch_cycles)
+        noc_bytes = analysis.total_fetches * params.elem_bytes
+        energy = (mac_energy
+                  + noc_bytes * params.noc_energy_nj_per_byte
+                  + dram_energy)
+        working_set = analysis.working_set_elems * params.elem_bytes
+        cache = self._layer_cache
+        sub_key = (subacc.dataflow.value, subacc.num_pes,
+                   subacc.bandwidth_gbps)
+        for lkey, lat, e, comp, m, util, noc, dr, ws in zip(
+                keys, latency.tolist(), energy.tolist(),
+                analysis.compute_cycles.tolist(), mem.tolist(),
+                analysis.utilization.tolist(), noc_bytes.tolist(),
+                dram.tolist(), working_set.tolist()):
+            cache[(lkey,) + sub_key] = LayerCost(
+                latency_cycles=lat,
+                energy_nj=e,
+                compute_cycles=comp,
+                memory_cycles=m,
+                utilization=util,
+                noc_bytes=noc,
+                dram_bytes=dr,
+                working_set_bytes=ws,
+            )
 
     def network_cost_on(self, network: NetworkArch,
                         subacc: SubAccelerator) -> tuple[int, float]:

@@ -25,12 +25,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.accel.dataflow import Dataflow
 from repro.arch.layers import ConvLayer
 from repro.cost.params import CostModelParams
 
-__all__ = ["TilingAnalysis", "analyze"]
+__all__ = ["LayerGeometryBatch", "TilingAnalysis", "TilingAnalysisBatch",
+           "analyze", "analyze_batch"]
 
 
 @dataclass(frozen=True)
@@ -148,6 +152,198 @@ _ANALYZERS = {
     Dataflow.SHIDIANNAO: _analyze_shidiannao,
     Dataflow.ROW_STATIONARY: _analyze_row_stationary,
 }
+
+
+# ----------------------------------------------------------------------
+# Batched (array-native) analysis
+# ----------------------------------------------------------------------
+# The batch path below vectorises the scalar analyzers over a set of
+# layers for one (dataflow, PE count) pair.  Bit-identity with the scalar
+# path is part of the contract (tests/test_cost_model.py): every quantity
+# involved stays far below 2**52, where int64 -> float64 conversion is
+# exact and float64 division is correctly rounded, so ``np.ceil(a / b)``
+# equals ``math.ceil(a / b)`` element for element, and the float energy
+# expressions are evaluated with the same operand order as the scalar
+# code.
+
+
+@dataclass(frozen=True)
+class LayerGeometryBatch:
+    """Struct-of-arrays geometry for a batch of layers (all ``int64``).
+
+    The batch captures exactly the :class:`~repro.arch.layers.ConvLayer`
+    quantities the analyzers read, so a whole cost-table column can be
+    priced with a handful of NumPy expressions instead of one Python
+    call per layer.
+    """
+
+    in_channels: np.ndarray
+    out_channels: np.ndarray
+    kernel: np.ndarray
+    out_height: np.ndarray
+    out_width: np.ndarray
+    out_pixels: np.ndarray
+    macs: np.ndarray
+    ifmap_elems: np.ndarray
+    ofmap_elems: np.ndarray
+    weight_elems: np.ndarray
+
+    @classmethod
+    def from_layers(cls, layers: Sequence[ConvLayer]) -> "LayerGeometryBatch":
+        """Gather the geometry arrays for ``layers`` (one pass)."""
+        raw = np.array(
+            [(l.in_channels, l.out_channels, l.kernel, l.stride,
+              l.in_height, l.in_width, l.transposed) for l in layers],
+            dtype=np.int64).reshape(len(layers), 7)
+        c = raw[:, 0]
+        k = raw[:, 1]
+        kernel = raw[:, 2]
+        stride = raw[:, 3]
+        h = raw[:, 4]
+        w = raw[:, 5]
+        transposed = raw[:, 6].astype(bool)
+        # Same-padding convention, mirroring ConvLayer.out_height/out_width:
+        # transposed upsamples by the stride, otherwise ceil-divide.
+        out_h = np.where(transposed, h * stride,
+                         np.ceil(h / stride).astype(np.int64))
+        out_w = np.where(transposed, w * stride,
+                         np.ceil(w / stride).astype(np.int64))
+        out_pixels = out_h * out_w
+        weight_elems = k * c * kernel * kernel
+        return cls(
+            in_channels=c,
+            out_channels=k,
+            kernel=kernel,
+            out_height=out_h,
+            out_width=out_w,
+            out_pixels=out_pixels,
+            macs=weight_elems * out_pixels,
+            ifmap_elems=c * h * w,
+            ofmap_elems=k * out_pixels,
+            weight_elems=weight_elems,
+        )
+
+    def __len__(self) -> int:
+        return int(self.in_channels.shape[0])
+
+    def take(self, indices: np.ndarray) -> "LayerGeometryBatch":
+        """Row-subset of the batch (same field order, fancy-indexed)."""
+        from dataclasses import fields
+
+        return LayerGeometryBatch(**{
+            f.name: getattr(self, f.name)[indices] for f in fields(self)})
+
+
+@dataclass(frozen=True)
+class TilingAnalysisBatch:
+    """Vectorised counterpart of :class:`TilingAnalysis` (parallel arrays)."""
+
+    compute_cycles: np.ndarray
+    weight_fetches: np.ndarray
+    input_fetches: np.ndarray
+    output_fetches: np.ndarray
+    utilization: np.ndarray
+    working_set_elems: np.ndarray
+
+    @property
+    def total_fetches(self) -> np.ndarray:
+        """All elements crossing the NoC, per layer."""
+        return self.weight_fetches + self.input_fetches + self.output_fetches
+
+
+def _ceil_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vector twin of ``math.ceil(a / b)`` for the magnitudes used here."""
+    return np.ceil(a / b).astype(np.int64)
+
+
+def _cap_arr(count: np.ndarray, cap: int) -> np.ndarray:
+    """Vector twin of :func:`_cap`."""
+    return np.minimum(count, cap)
+
+
+def _batch_nvdla(g: LayerGeometryBatch, pes: int,
+                 cap: int) -> TilingAnalysisBatch:
+    c, k = g.in_channels, g.out_channels
+    ct = np.minimum(c, pes)
+    kt = np.minimum(k, np.maximum(1, pes // ct))
+    passes_c = _ceil_div(c, ct)
+    passes_k = _ceil_div(k, kt)
+    taps = g.kernel * g.kernel
+    compute = passes_c * passes_k * taps * g.out_pixels
+    utilization = np.minimum(1.0, (ct * kt) / pes)
+    return TilingAnalysisBatch(
+        compute_cycles=compute,
+        weight_fetches=g.weight_elems,
+        input_fetches=g.ifmap_elems * _cap_arr(passes_k, cap),
+        output_fetches=g.ofmap_elems * _cap_arr(passes_c, cap),
+        utilization=utilization,
+        working_set_elems=g.ifmap_elems + g.ofmap_elems + ct * kt * taps,
+    )
+
+
+def _batch_shidiannao(g: LayerGeometryBatch, pes: int,
+                      cap: int) -> TilingAnalysisBatch:
+    pixels = g.out_pixels
+    pt = np.minimum(pixels, pes)
+    tiles = _ceil_div(pixels, pt)
+    taps = g.kernel * g.kernel
+    compute = tiles * g.out_channels * g.in_channels * taps
+    utilization = np.minimum(1.0, pixels / (tiles * pes))
+    return TilingAnalysisBatch(
+        compute_cycles=compute,
+        weight_fetches=g.weight_elems * _cap_arr(tiles, cap),
+        input_fetches=g.ifmap_elems,
+        output_fetches=g.ofmap_elems,
+        utilization=utilization,
+        working_set_elems=g.ifmap_elems + g.ofmap_elems + g.weight_elems,
+    )
+
+
+def _batch_row_stationary(g: LayerGeometryBatch, pes: int,
+                          cap: int) -> TilingAnalysisBatch:
+    r = g.kernel
+    yo = g.out_height
+    k, c = g.out_channels, g.in_channels
+    r_t = np.minimum(r, pes)
+    yo_t = np.minimum(yo, np.maximum(1, pes // r_t))
+    kt = np.minimum(k, np.maximum(1, pes // (r_t * yo_t)))
+    passes_r = _ceil_div(r, r_t)
+    passes_y = _ceil_div(yo, yo_t)
+    passes_k = _ceil_div(k, kt)
+    compute = (passes_r * passes_y * passes_k
+               * c * g.kernel * g.out_width)
+    utilization = np.minimum(1.0, (r_t * yo_t * kt) / pes)
+    return TilingAnalysisBatch(
+        compute_cycles=compute,
+        weight_fetches=g.weight_elems * _cap_arr(passes_y, cap),
+        input_fetches=g.ifmap_elems * _cap_arr(passes_k, cap),
+        output_fetches=g.ofmap_elems,
+        utilization=utilization,
+        working_set_elems=g.ifmap_elems + g.ofmap_elems + g.weight_elems,
+    )
+
+
+_BATCH_ANALYZERS = {
+    Dataflow.NVDLA: _batch_nvdla,
+    Dataflow.SHIDIANNAO: _batch_shidiannao,
+    Dataflow.ROW_STATIONARY: _batch_row_stationary,
+}
+
+
+def analyze_batch(geometry: LayerGeometryBatch, dataflow: Dataflow,
+                  pes: int, params: CostModelParams) -> TilingAnalysisBatch:
+    """Map a whole batch of layers onto ``pes`` PEs of ``dataflow`` style.
+
+    Bit-identical to calling :func:`analyze` per layer (property held by
+    ``tests/test_cost_model.py``), but priced with a handful of
+    vectorised NumPy expressions.
+
+    Raises:
+        ValueError: If ``pes`` is not positive.
+    """
+    if pes <= 0:
+        raise ValueError(f"cannot map layers onto {pes} PEs")
+    return _BATCH_ANALYZERS[dataflow](geometry, pes, params.refetch_cap)
 
 
 def analyze(layer: ConvLayer, dataflow: Dataflow, pes: int,

@@ -6,6 +6,8 @@ from repro.mapping.hap import HAPResult, solve_hap
 from repro.mapping.problem import MappingProblem
 from repro.mapping.schedule import (
     POLICIES,
+    MakespanEvaluator,
+    MoveStats,
     Schedule,
     ScheduledLayer,
     list_schedule,
@@ -15,7 +17,9 @@ __all__ = [
     "ExactResult",
     "HAPResult",
     "IlpBound",
+    "MakespanEvaluator",
     "MappingProblem",
+    "MoveStats",
     "POLICIES",
     "Schedule",
     "ScheduledLayer",

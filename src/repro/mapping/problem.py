@@ -55,8 +55,20 @@ class MappingProblem:
         networks: tuple[NetworkArch, ...] | list[NetworkArch],
         accelerator: HeterogeneousAccelerator,
         cost_model: CostModel,
+        *,
+        batched: bool = True,
     ) -> "MappingProblem":
-        """Query the cost oracle and assemble the HAP tables."""
+        """Query the cost oracle and assemble the HAP tables.
+
+        Args:
+            batched: Price the whole ``layers x active-slot`` grid through
+                :meth:`repro.cost.model.CostModel.cost_table` — one
+                vectorised pass over the memo misses — instead of one
+                scalar oracle call per cell.  Both paths produce
+                bit-identical tables (``tests/test_cost_model.py``);
+                ``False`` keeps the scalar reference around for
+                benchmarking the batch win.
+        """
         networks = tuple(networks)
         if not networks:
             raise ValueError("a mapping problem needs at least one network")
@@ -73,14 +85,24 @@ class MappingProblem:
                 layer_net.append(net_idx)
             chains.append(tuple(chain))
         num_layers = len(flat_layers)
-        durations = np.zeros((num_layers, len(active)), dtype=np.int64)
-        energies = np.zeros((num_layers, len(active)), dtype=np.float64)
-        for flat_id, layer in enumerate(flat_layers):
-            for pos, slot in enumerate(active):
-                cost = cost_model.layer_cost(layer,
-                                             accelerator.subaccs[slot])
-                durations[flat_id, pos] = cost.latency_cycles
-                energies[flat_id, pos] = cost.energy_nj
+        if batched:
+            grid = cost_model.cost_table(
+                flat_layers, [accelerator.subaccs[slot] for slot in active])
+            durations = np.array(
+                [[cost.latency_cycles for cost in row] for row in grid],
+                dtype=np.int64).reshape(num_layers, len(active))
+            energies = np.array(
+                [[cost.energy_nj for cost in row] for row in grid],
+                dtype=np.float64).reshape(num_layers, len(active))
+        else:
+            durations = np.zeros((num_layers, len(active)), dtype=np.int64)
+            energies = np.zeros((num_layers, len(active)), dtype=np.float64)
+            for flat_id, layer in enumerate(flat_layers):
+                for pos, slot in enumerate(active):
+                    cost = cost_model.layer_cost(layer,
+                                                 accelerator.subaccs[slot])
+                    durations[flat_id, pos] = cost.latency_cycles
+                    energies[flat_id, pos] = cost.energy_nj
         return cls(
             networks=networks,
             accelerator=accelerator,
@@ -104,11 +126,28 @@ class MappingProblem:
         """Number of *active* sub-accelerators."""
         return len(self.active_slots)
 
-    def assignment_energy(self, assignment: tuple[int, ...]) -> float:
-        """Total energy of an assignment (makespan-independent)."""
-        self.validate_assignment(assignment)
-        return float(self.energies[np.arange(self.num_layers),
-                                   list(assignment)].sum())
+    @property
+    def _row_index(self) -> np.ndarray:
+        """Cached ``arange(num_layers)`` for fancy-indexed table reads."""
+        # Frozen dataclass: stash via __dict__ (bypasses the frozen guard)
+        # so repeated energy reads stop allocating a fresh arange.
+        cached = self.__dict__.get("_row_index_cache")
+        if cached is None:
+            cached = np.arange(self.num_layers)
+            self.__dict__["_row_index_cache"] = cached
+        return cached
+
+    def assignment_energy(self, assignment: tuple[int, ...],
+                          *, validate: bool = True) -> float:
+        """Total energy of an assignment (makespan-independent).
+
+        ``validate=False`` skips the entry check for callers that produced
+        the assignment themselves (the HAP solver); public callers keep
+        the default.
+        """
+        if validate:
+            self.validate_assignment(assignment)
+        return float(self.energies[self._row_index, list(assignment)].sum())
 
     def validate_assignment(self, assignment: tuple[int, ...]) -> None:
         """Raise ``ValueError`` unless every layer maps to an active slot."""
@@ -116,11 +155,15 @@ class MappingProblem:
             raise ValueError(
                 f"assignment covers {len(assignment)} layers, expected "
                 f"{self.num_layers}")
-        for flat_id, pos in enumerate(assignment):
-            if not 0 <= pos < self.num_slots:
-                raise ValueError(
-                    f"layer {flat_id} assigned to slot position {pos}, "
-                    f"valid range [0, {self.num_slots})")
+        if not self.num_layers:
+            return
+        positions = np.asarray(assignment, dtype=np.int64)
+        bad = (positions < 0) | (positions >= self.num_slots)
+        if bad.any():
+            flat_id = int(np.argmax(bad))
+            raise ValueError(
+                f"layer {flat_id} assigned to slot position "
+                f"{assignment[flat_id]}, valid range [0, {self.num_slots})")
 
     def mapped_layers_by_slot(
         self, assignment: tuple[int, ...]

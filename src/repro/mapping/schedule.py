@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.mapping.problem import MappingProblem
 
-__all__ = ["MakespanEvaluator", "ScheduledLayer", "Schedule",
+__all__ = ["MakespanEvaluator", "MoveStats", "ScheduledLayer", "Schedule",
            "list_schedule", "POLICIES"]
 
 #: Valid priority policies for :func:`list_schedule`.
@@ -69,6 +69,78 @@ class Schedule:
                    if e.slot_pos == slot_pos)
 
 
+@dataclass
+class MoveStats:
+    """Counters for HAP single-move pricing (observability, not logic).
+
+    Attributes:
+        moves_priced: ``trial_move`` requests.
+        memo_hits: Trials answered from the exact-makespan memo.
+        pruned: Trials skipped outright because a certified lower bound
+            (per-slot load or per-chain serial work) already exceeded the
+            cutoff — no simulation ran at all.
+        resumed: Replays — trial moves and single-move rebases — that
+            restarted from a recorded snapshot (the event where the moved
+            layer first becomes schedulable) instead of from cycle 0.
+        full_replays: Replays from cycle 0 (scratch rebases and
+            ``makespan()``).
+        steps_replayed: Simulation steps actually executed (cutoff
+            early-exits stop counting where they stop simulating).
+        steps_saved: Simulation steps skipped by delta-resume prefixes.
+    """
+
+    moves_priced: int = 0
+    memo_hits: int = 0
+    pruned: int = 0
+    resumed: int = 0  # trials AND rebases that resumed mid-replay
+    full_replays: int = 0
+    steps_replayed: int = 0  # simulation steps actually executed
+    steps_saved: int = 0
+
+    def absorb(self, other: "MoveStats") -> None:
+        """Accumulate ``other`` into this instance (for run aggregates)."""
+        self.moves_priced += other.moves_priced
+        self.memo_hits += other.memo_hits
+        self.pruned += other.pruned
+        self.resumed += other.resumed
+        self.full_replays += other.full_replays
+        self.steps_replayed += other.steps_replayed
+        self.steps_saved += other.steps_saved
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict rendering for JSON reports."""
+        return {
+            "moves_priced": self.moves_priced,
+            "memo_hits": self.memo_hits,
+            "pruned": self.pruned,
+            "resumed": self.resumed,
+            "full_replays": self.full_replays,
+            "steps_replayed": self.steps_replayed,
+            "steps_saved": self.steps_saved,
+        }
+
+
+def _exclusive_max(values: list[int]) -> list[int]:
+    """``out[i] = max(values[j] for j != i)`` (0 for a single element).
+
+    O(n) via the top-two values: the exclusive max is the second-best for
+    the (first) argmax and the best for everyone else — correct under
+    ties, where the second-best equals the best.
+    """
+    if len(values) == 1:
+        return [0]
+    best = second = -1
+    best_idx = -1
+    for i, value in enumerate(values):
+        if value > best:
+            second = best
+            best = value
+            best_idx = i
+        elif value > second:
+            second = value
+    return [second if i == best_idx else best for i in range(len(values))]
+
+
 class MakespanEvaluator:
     """Fast makespan evaluation for the HAP solver's single-move trials.
 
@@ -82,29 +154,60 @@ class MakespanEvaluator:
       per-element NumPy indexing,
     - allocates no :class:`ScheduledLayer`/:class:`Schedule` objects,
     - memoises exact makespans per assignment (hill-climbing revisits
-      the same trial assignments across iterations), and
+      the same trial assignments across iterations),
     - supports a ``cutoff`` for early exit: as soon as the partial
       simulation proves ``makespan > cutoff`` it returns ``cutoff + 1``
-      (a certified lower bound) without finishing the replay.
+      (a certified lower bound) without finishing the replay, and
+    - (``resume=True``) prices single-layer moves from an incumbent base
+      assignment by **delta-resume**: :meth:`rebase` records a snapshot
+      of the simulator state before every event of the base replay, and
+      :meth:`trial_move` replays only from the first event at which the
+      moved layer becomes schedulable (its chain predecessor's event) —
+      the prefix is provably identical because a layer's slot is never
+      read before it is its chain's head.  Trials are additionally
+      pre-filtered by two certified lower bounds (per-slot load and
+      per-chain serial work): a move whose bound already exceeds the
+      cutoff is skipped without simulating at all.
 
     Exactness contract: for any assignment, ``makespan(a)`` (no cutoff)
-    equals ``list_schedule(problem, a).makespan`` bit-for-bit, and
-    ``makespan(a, cutoff=c) <= c`` implies the returned value is exact.
-    ``tests/test_hap_properties.py`` holds this against the full
+    equals ``list_schedule(problem, a).makespan`` bit-for-bit; for any
+    cutoff, a returned value ``<= cutoff`` is exact and a returned value
+    ``> cutoff`` certifies the true makespan exceeds the cutoff.  The
+    same contract holds for :meth:`trial_move` (including pruned moves —
+    the lower bounds hold for *any* schedule, since a sub-accelerator
+    runs one layer at a time and a chain is serial).
+    ``tests/test_hap_properties.py`` holds all of this against the full
     rescheduling oracle on random instances.
     """
 
-    def __init__(self, problem: MappingProblem) -> None:
-        self._durations: list[list[int]] = [
-            [int(problem.durations[fid, pos])
-             for pos in range(problem.num_slots)]
-            for fid in range(problem.num_layers)]
+    def __init__(self, problem: MappingProblem, *,
+                 resume: bool = True) -> None:
+        self._durations: list[list[int]] = problem.durations.tolist()
         self._chains = tuple(tuple(c) for c in problem.chains)
+        self._chain_lens = tuple(len(c) for c in problem.chains)
+        self._chain_of = tuple(problem.layer_net)
         self._num_slots = problem.num_slots
         self._num_layers = problem.num_layers
+        self._resume = resume
         self._memo: dict[tuple[int, ...], int] = {}
         self.evaluations = 0
         self.memo_hits = 0
+        self.stats = MoveStats()
+        # Base-assignment state (populated by rebase).  Snapshots are flat
+        # per-step slabs: step t's simulator state lives at
+        # [t*num_nets : (t+1)*num_nets] of _snap_next/_snap_ready and
+        # [t*num_slots : (t+1)*num_slots] of _snap_free.
+        self._base: list[int] | None = None
+        self._base_tuple: tuple[int, ...] | None = None
+        self._base_makespan = 0
+        self._snap_next: list[int] = []
+        self._snap_ready: list[int] = []
+        self._snap_free: list[int] = []
+        self._snap_maxfin: list[int] = []
+        self._resume_step: list[int] = [0] * problem.num_layers
+        self._slot_loads: list[int] = []
+        self._chain_work: list[int] = []
+        self._chain_excl: list[int] = []
 
     def makespan(self, assignment: tuple[int, ...],
                  *, cutoff: int | None = None) -> int:
@@ -112,8 +215,10 @@ class MakespanEvaluator:
         exact = self._memo.get(assignment)
         if exact is not None:
             self.memo_hits += 1
+            self.stats.memo_hits += 1
             return exact
         self.evaluations += 1
+        self.stats.full_replays += 1
         chains = self._chains
         durations = self._durations
         num_nets = len(chains)
@@ -122,6 +227,7 @@ class MakespanEvaluator:
         slot_free = [0] * self._num_slots
         remaining = self._num_layers
         max_finish = 0
+        stats = self.stats
         while remaining:
             best_start = -1
             best_net = -1
@@ -152,7 +258,283 @@ class MakespanEvaluator:
                     return cutoff + 1
             next_idx[best_net] += 1
             remaining -= 1
+            stats.steps_replayed += 1
         self._memo[assignment] = max_finish
+        return max_finish
+
+    # ------------------------------------------------------------------
+    # Delta-resume move pricing
+    # ------------------------------------------------------------------
+    def rebase(self, assignment: tuple[int, ...]) -> int:
+        """Adopt ``assignment`` as the incumbent base and return its exact
+        makespan.
+
+        Records, along the replay, per-event simulator snapshots (for
+        :meth:`trial_move` resumption), each layer's first-schedulable
+        event index, per-slot loads and per-chain serial works (for the
+        certified prune bounds).  Rebasing onto a single-layer move of
+        the current base resumes the recording from the moved layer's
+        snapshot instead of replaying from cycle 0 (the prefix is
+        provably unchanged), which is the common case after the solver
+        accepts a move.
+        """
+        if not self._resume:
+            # PR-1 baseline mode: no recording — the re-evaluation is a
+            # memo hit whenever the adopted assignment was priced exactly.
+            self._base = list(assignment)
+            self._base_tuple = tuple(assignment)
+            return self.makespan(assignment)
+        old = self._base_tuple
+        if old == assignment:
+            return self._base_makespan
+        start_step = 0
+        if old is not None:
+            moved = [f for f, (a, b) in enumerate(zip(old, assignment))
+                     if a != b]
+            if len(moved) == 1:
+                flat_id = moved[0]
+                start_step = self._resume_step[flat_id]
+                # O(1) updates of the prune-bound tables for the move.
+                row = self._durations[flat_id]
+                d_u = row[old[flat_id]]
+                d_v = row[assignment[flat_id]]
+                self._slot_loads[old[flat_id]] -= d_u
+                self._slot_loads[assignment[flat_id]] += d_v
+                chain_id = self._chain_of[flat_id]
+                works = self._chain_work
+                works[chain_id] += d_v - d_u
+                self._chain_excl = _exclusive_max(works)
+        makespan = self._recorded_replay(assignment, start_step)
+        if start_step == 0:
+            durations = self._durations
+            loads = [0] * self._num_slots
+            for flat_id in range(self._num_layers):
+                loads[assignment[flat_id]] += (
+                    durations[flat_id][assignment[flat_id]])
+            works = [sum(durations[f][assignment[f]] for f in chain)
+                     for chain in self._chains]
+            self._chain_excl = _exclusive_max(works)
+            self._chain_work = works
+            self._slot_loads = loads
+        self._base = list(assignment)
+        self._base_tuple = tuple(assignment)
+        self._base_makespan = makespan
+        self._memo[self._base_tuple] = makespan
+        return makespan
+
+    def _recorded_replay(self, assignment: tuple[int, ...],
+                         start_step: int) -> int:
+        """Replay ``assignment`` from snapshot ``start_step`` (0 = from
+        scratch), re-recording snapshots and resume steps for the suffix.
+
+        Valid only when the simulation prefix ``[0, start_step)`` under
+        ``assignment`` matches the recorded one (guaranteed by the
+        caller: either ``start_step == 0``, or ``assignment`` differs
+        from the recorded base by one layer whose first-schedulable event
+        is ``start_step``).  Prefix snapshots and the resume steps of
+        layers whose predecessors were scheduled in the prefix stay
+        valid verbatim.
+        """
+        chains = self._chains
+        chain_lens = self._chain_lens
+        durations = self._durations
+        num_nets = len(chains)
+        num_layers = self._num_layers
+        num_slots = self._num_slots
+        snap_next = self._snap_next
+        snap_ready = self._snap_ready
+        snap_free = self._snap_free
+        snap_maxfin = self._snap_maxfin
+        if start_step == 0:
+            next_idx = [0] * num_nets
+            net_ready = [0] * num_nets
+            slot_free = [0] * num_slots
+            max_finish = 0
+            del snap_next[:], snap_ready[:], snap_free[:], snap_maxfin[:]
+        else:
+            net_base = start_step * num_nets
+            slot_base = start_step * num_slots
+            next_idx = snap_next[net_base:net_base + num_nets]
+            net_ready = snap_ready[net_base:net_base + num_nets]
+            slot_free = snap_free[slot_base:slot_base + num_slots]
+            max_finish = snap_maxfin[start_step]
+            del snap_next[net_base:]
+            del snap_ready[net_base:]
+            del snap_free[slot_base:]
+            del snap_maxfin[start_step:]
+        resume_step = self._resume_step
+        self.evaluations += 1
+        if start_step == 0:
+            self.stats.full_replays += 1
+        else:
+            self.stats.resumed += 1
+            self.stats.steps_saved += start_step
+        self.stats.steps_replayed += num_layers - start_step
+        for step in range(start_step, num_layers):
+            snap_next.extend(next_idx)
+            snap_ready.extend(net_ready)
+            snap_free.extend(slot_free)
+            snap_maxfin.append(max_finish)
+            best_start = -1
+            best_net = -1
+            for net in range(num_nets):
+                idx = next_idx[net]
+                if idx >= chain_lens[net]:
+                    continue
+                ready = net_ready[net]
+                free = slot_free[assignment[chains[net][idx]]]
+                start = ready if ready >= free else free
+                if best_net < 0 or start < best_start:
+                    best_start = start
+                    best_net = net
+            chain = chains[best_net]
+            flat_id = chain[next_idx[best_net]]
+            slot = assignment[flat_id]
+            finish = best_start + durations[flat_id][slot]
+            net_ready[best_net] = finish
+            slot_free[slot] = finish
+            if finish > max_finish:
+                max_finish = finish
+            next_idx[best_net] += 1
+            # The successor becomes consultable only after this event, so
+            # a move of it leaves the replay prefix [0, step] untouched.
+            nxt = next_idx[best_net]
+            if nxt < chain_lens[best_net]:
+                resume_step[chain[nxt]] = step + 1
+        return max_finish
+
+    def move_lower_bound(self, flat_id: int, pos: int) -> int:
+        """Certified lower bound on the makespan of the base assignment
+        with ``flat_id`` moved to slot position ``pos``.
+
+        The maximum of the trial's per-slot loads and per-chain serial
+        works — every schedule runs one layer per sub-accelerator at a
+        time and a chain serially, so any schedule's makespan is at
+        least this bound.  O(slots + chains); requires a prior
+        :meth:`rebase`.
+        """
+        base = self._base
+        if base is None:
+            raise RuntimeError("move_lower_bound requires a prior rebase()")
+        row = self._durations[flat_id]
+        u = base[flat_id]
+        d_u = row[u]
+        d_v = row[pos]
+        chain_id = self._chain_of[flat_id]
+        lb = self._chain_work[chain_id] - d_u + d_v
+        excl = self._chain_excl[chain_id]
+        if excl > lb:
+            lb = excl
+        for j, load in enumerate(self._slot_loads):
+            if j == u:
+                load -= d_u
+            elif j == pos:
+                load += d_v
+            if load > lb:
+                lb = load
+        return lb
+
+    def trial_move(self, flat_id: int, pos: int,
+                   *, cutoff: int | None = None,
+                   lower_bound: int | None = None) -> int:
+        """Makespan of the base assignment with ``flat_id`` moved to slot
+        position ``pos``; same cutoff/exactness contract as
+        :meth:`makespan`.  Requires a prior :meth:`rebase`.
+
+        ``lower_bound`` lets a caller that already ran
+        :meth:`move_lower_bound` for this move (the sorted feasibility
+        scan) skip the redundant recompute; it must be that method's
+        value for the same ``(flat_id, pos)`` under the current base.
+        """
+        base = self._base
+        if base is None:
+            raise RuntimeError("trial_move requires a prior rebase()")
+        row = self._durations[flat_id]
+        u = base[flat_id]
+        d_u = row[u]
+        d_v = row[pos]
+        stats = self.stats
+        stats.moves_priced += 1
+        if not self._resume:
+            base_tuple = self._base_tuple
+            trial = base_tuple[:flat_id] + (pos,) + base_tuple[flat_id + 1:]
+            return self.makespan(trial, cutoff=cutoff)
+        if cutoff is not None:
+            # Certified lower bounds on the trial makespan: a slot's total
+            # load and a chain's serial work both fit inside any schedule.
+            if lower_bound is not None:
+                lb = lower_bound
+            else:
+                chain_id = self._chain_of[flat_id]
+                lb = self._chain_work[chain_id] - d_u + d_v
+                excl = self._chain_excl[chain_id]
+                if excl > lb:
+                    lb = excl
+                if lb <= cutoff:
+                    for j, load in enumerate(self._slot_loads):
+                        if j == u:
+                            load -= d_u
+                        elif j == pos:
+                            load += d_v
+                        if load > lb:
+                            lb = load
+            if lb > cutoff:
+                stats.pruned += 1
+                return cutoff + 1
+        # Delta-resume: restart the recorded base replay at the first
+        # event where the moved layer is consultable.
+        start_step = self._resume_step[flat_id]
+        num_nets = len(self._chains)
+        num_slots = self._num_slots
+        net_base = start_step * num_nets
+        slot_base = start_step * num_slots
+        next_idx = self._snap_next[net_base:net_base + num_nets]
+        net_ready = self._snap_ready[net_base:net_base + num_nets]
+        slot_free = self._snap_free[slot_base:slot_base + num_slots]
+        max_finish = self._snap_maxfin[start_step]
+        suffix = self._num_layers - start_step
+        remaining = suffix
+        stats.resumed += 1
+        stats.steps_saved += start_step
+        self.evaluations += 1
+        chains = self._chains
+        chain_lens = self._chain_lens
+        durations = self._durations
+        assignment = base
+        assignment[flat_id] = pos
+        try:
+            while remaining:
+                best_start = -1
+                best_net = -1
+                for net in range(num_nets):
+                    idx = next_idx[net]
+                    if idx >= chain_lens[net]:
+                        continue
+                    ready = net_ready[net]
+                    free = slot_free[assignment[chains[net][idx]]]
+                    start = ready if ready >= free else free
+                    if best_net < 0 or start < best_start:
+                        best_start = start
+                        best_net = net
+                if cutoff is not None and best_start > cutoff:
+                    return cutoff + 1
+                chain = chains[best_net]
+                fid = chain[next_idx[best_net]]
+                slot = assignment[fid]
+                finish = best_start + durations[fid][slot]
+                net_ready[best_net] = finish
+                slot_free[slot] = finish
+                if finish > max_finish:
+                    max_finish = finish
+                    if cutoff is not None and max_finish > cutoff:
+                        return cutoff + 1
+                next_idx[best_net] += 1
+                remaining -= 1
+        finally:
+            assignment[flat_id] = u
+            # Count completed steps only (cutoff exits leave remaining > 0),
+            # matching makespan()'s per-step accounting.
+            stats.steps_replayed += suffix - remaining
         return max_finish
 
 
@@ -170,13 +552,22 @@ def _remaining_chain_work(problem: MappingProblem) -> list[int]:
 
 def list_schedule(problem: MappingProblem,
                   assignment: tuple[int, ...],
-                  *, policy: str = "earliest_start") -> Schedule:
-    """Schedule ``assignment`` under the chosen list-scheduling policy."""
+                  *, policy: str = "earliest_start",
+                  validate: bool = True) -> Schedule:
+    """Schedule ``assignment`` under the chosen list-scheduling policy.
+
+    ``validate=False`` skips the assignment check for callers that
+    produced the assignment themselves (the HAP solver); public callers
+    keep the default.
+    """
     if policy not in POLICIES:
         raise ValueError(
             f"unknown policy {policy!r}; expected one of {POLICIES}")
-    problem.validate_assignment(assignment)
+    if validate:
+        problem.validate_assignment(assignment)
     num_nets = len(problem.chains)
+    durations = problem.durations.tolist()  # bulk convert: no per-step
+    chains = problem.chains                 # NumPy scalar boxing below
     next_idx = [0] * num_nets           # next chain position per network
     net_ready = [0] * num_nets          # finish time of previous layer
     slot_free = [0] * problem.num_slots
@@ -187,14 +578,14 @@ def list_schedule(problem: MappingProblem,
     while remaining:
         best: tuple | None = None       # (start, tiebreak..., net, flat_id)
         for net in range(num_nets):
-            chain = problem.chains[net]
+            chain = chains[net]
             if next_idx[net] >= len(chain):
                 continue
             flat_id = chain[next_idx[net]]
             slot_pos = assignment[flat_id]
             start = max(net_ready[net], slot_free[slot_pos])
             if policy == "lpt":
-                tiebreak = -int(problem.durations[flat_id, slot_pos])
+                tiebreak = -durations[flat_id][slot_pos]
             elif policy == "critical_path":
                 tiebreak = -remaining_work[flat_id]
             else:
@@ -205,8 +596,7 @@ def list_schedule(problem: MappingProblem,
         assert best is not None, "unscheduled layers but none ready"
         start, _, net, flat_id = best
         slot_pos = assignment[flat_id]
-        duration = int(problem.durations[flat_id, slot_pos])
-        finish = start + duration
+        finish = start + durations[flat_id][slot_pos]
         entries.append(ScheduledLayer(flat_id, net, slot_pos, start, finish))
         net_ready[net] = finish
         slot_free[slot_pos] = finish

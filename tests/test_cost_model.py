@@ -169,6 +169,90 @@ class TestLayerCost:
             sum(c.energy_nj for c in per_layer))
 
 
+class TestBatchCostTable:
+    """The array-native batch path and its cross-design memo (PR 2)."""
+
+    def _layers(self, cifar_net_small, unet_net_mid):
+        return tuple(cifar_net_small.layers) + tuple(unet_net_mid.layers)
+
+    def test_cost_table_bit_identical_to_scalar_oracle(
+            self, cifar_net_small, unet_net_mid):
+        """Every LayerCost field of the vectorised grid equals the scalar
+        per-pair oracle exactly — computed on separate fresh models so
+        neither path can lean on the other's memo."""
+        layers = self._layers(cifar_net_small, unet_net_mid)
+        subaccs = [SubAccelerator(Dataflow.NVDLA, 2048, 32),
+                   SubAccelerator(Dataflow.SHIDIANNAO, 1024, 16),
+                   SubAccelerator(Dataflow.ROW_STATIONARY, 777, 13)]
+        grid = CostModel().cost_table(layers, subaccs)
+        scalar = CostModel()
+        for i, layer in enumerate(layers):
+            for j, sub in enumerate(subaccs):
+                assert grid[i][j] == scalar.layer_cost(layer, sub), (i, j)
+
+    def test_memo_shared_across_designs(self, cifar_net_small):
+        """Consecutive designs that share sub-accelerator configs reprice
+        nothing: the memo is keyed by content, not by design."""
+        layers = tuple(cifar_net_small.layers)
+        model = CostModel()
+        sub_a = SubAccelerator(Dataflow.NVDLA, 2048, 32)
+        sub_b = SubAccelerator(Dataflow.SHIDIANNAO, 1024, 16)
+        model.cost_table(layers, [sub_a, sub_b])
+        misses_after_first = model.memo_misses
+        # Second "design" mutates one slot; the other column is all hits.
+        sub_c = SubAccelerator(Dataflow.SHIDIANNAO, 512, 16)
+        model.cost_table(layers, [sub_a, sub_c])
+        assert model.memo_misses <= misses_after_first + len(layers)
+        # Third design repeats the first: zero new misses.
+        before = model.memo_misses
+        model.cost_table(layers, [sub_a, sub_b])
+        assert model.memo_misses == before
+
+    def test_memo_shared_between_scalar_and_batch_paths(
+            self, cifar_net_small):
+        """layer_cost and cost_table fill the same memo (same keys), so
+        mixing the paths never reprices a pair."""
+        layers = tuple(cifar_net_small.layers)
+        sub = SubAccelerator(Dataflow.NVDLA, 1024, 32)
+        model = CostModel()
+        model.cost_table(layers, [sub])
+        before = model.memo_misses
+        for layer in layers:
+            model.layer_cost(layer, sub)
+        assert model.memo_misses == before
+
+    def test_memo_keyed_by_geometry_not_name(self):
+        """Two layers with identical geometry but different names share
+        one memo entry (layer identity is content, not label)."""
+        a = conv(c=64, k=64, hw=8)
+        b = ConvLayer(name="other-name", in_channels=64, out_channels=64,
+                      kernel=3, stride=1, in_height=8, in_width=8)
+        sub = SubAccelerator(Dataflow.NVDLA, 1024, 32)
+        model = CostModel()
+        cost_a = model.layer_cost(a, sub)
+        cost_b = model.layer_cost(b, sub)
+        assert cost_a == cost_b
+        assert (model.memo_hits, model.memo_misses) == (1, 1)
+
+    def test_batched_problem_build_matches_scalar(
+            self, cifar_net_small, unet_net_mid, small_accel):
+        """MappingProblem.build's default batched tables equal the scalar
+        reference path bit for bit."""
+        from repro.mapping import MappingProblem
+        nets = (cifar_net_small, unet_net_mid)
+        batched = MappingProblem.build(nets, small_accel, CostModel())
+        scalar = MappingProblem.build(nets, small_accel, CostModel(),
+                                      batched=False)
+        assert (batched.durations == scalar.durations).all()
+        assert (batched.energies == scalar.energies).all()
+
+    def test_inactive_subacc_rejected(self, cifar_net_small):
+        with pytest.raises(ValueError, match="inactive"):
+            CostModel().cost_table(
+                tuple(cifar_net_small.layers),
+                [SubAccelerator(Dataflow.NVDLA, 0, 0)])
+
+
 class TestAreaModel:
     def test_area_scales_with_pes(self, cost_model):
         from repro.accel import HeterogeneousAccelerator

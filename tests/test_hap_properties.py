@@ -17,6 +17,7 @@ on randomly generated instances:
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -128,18 +129,128 @@ class TestMakespanEvaluator:
 
 
 # ----------------------------------------------------------------------
+# Delta-resume move pricing vs the full-replay oracle
+# ----------------------------------------------------------------------
+class TestDeltaResume:
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_trial_move_matches_full_replay_bit_for_bit(self, seed):
+        """Every single-layer move priced by delta-resume equals the full
+        ``list_schedule`` recompute exactly, including across a walk of
+        single-move rebases (the solver's accept pattern)."""
+        problem = random_problem(seed, zero_durations=(seed % 4 == 0))
+        evaluator = MakespanEvaluator(problem)
+        rng = np.random.default_rng(seed + 21)
+        base = list(random_assignment(problem, rng))
+        evaluator.rebase(tuple(base))
+        for _ in range(3):
+            for flat_id in range(problem.num_layers):
+                current = base[flat_id]
+                for pos in range(problem.num_slots):
+                    if pos == current:
+                        continue
+                    base[flat_id] = pos
+                    oracle = list_schedule(problem, tuple(base)).makespan
+                    base[flat_id] = current
+                    assert evaluator.trial_move(flat_id, pos) == oracle
+            # Accept a random move: exercises the resume-rebase path.
+            flat_id = int(rng.integers(0, problem.num_layers))
+            base[flat_id] = int(rng.integers(0, problem.num_slots))
+            assert (evaluator.rebase(tuple(base))
+                    == list_schedule(problem, tuple(base)).makespan)
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000), cutoff_frac=st.floats(0.0, 1.5))
+    def test_trial_move_cutoff_is_certified(self, seed, cutoff_frac):
+        """With a cutoff, ``trial_move`` is exact when the result fits it
+        and certifies ``truth > cutoff`` otherwise — including when the
+        trial was pruned by the lower bounds without simulating."""
+        problem = random_problem(seed, zero_durations=(seed % 4 == 0))
+        evaluator = MakespanEvaluator(problem)
+        rng = np.random.default_rng(seed + 22)
+        base = list(random_assignment(problem, rng))
+        evaluator.rebase(tuple(base))
+        for flat_id in range(problem.num_layers):
+            current = base[flat_id]
+            for pos in range(problem.num_slots):
+                if pos == current:
+                    continue
+                base[flat_id] = pos
+                truth = list_schedule(problem, tuple(base)).makespan
+                base[flat_id] = current
+                cutoff = int(truth * cutoff_frac)
+                got = evaluator.trial_move(flat_id, pos, cutoff=cutoff)
+                if got <= cutoff:
+                    assert got == truth
+                else:
+                    assert truth > cutoff
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_pruned_move_bounds_are_sound(self, seed):
+        """Every certified lower bound really bounds the true makespan
+        from below — so any move pruned via ``bound > cutoff`` genuinely
+        exceeds the cutoff."""
+        problem = random_problem(seed)
+        evaluator = MakespanEvaluator(problem)
+        rng = np.random.default_rng(seed + 23)
+        base = list(random_assignment(problem, rng))
+        evaluator.rebase(tuple(base))
+        for flat_id in range(problem.num_layers):
+            current = base[flat_id]
+            for pos in range(problem.num_slots):
+                if pos == current:
+                    continue
+                bound = evaluator.move_lower_bound(flat_id, pos)
+                base[flat_id] = pos
+                truth = list_schedule(problem, tuple(base)).makespan
+                base[flat_id] = current
+                assert bound <= truth
+
+    def test_prune_counter_moves_skip_simulation(self):
+        """A trial pruned by the lower bound is counted and returns the
+        certified ``cutoff + 1`` without replaying any steps."""
+        # One chain, two slots: moving the only layer to a slow slot is
+        # provably over any cutoff below its duration.
+        problem = tiny_problem([[10, 1000]], [(0,)])
+        evaluator = MakespanEvaluator(problem)
+        evaluator.rebase((0,))
+        steps_before = evaluator.stats.steps_replayed
+        got = evaluator.trial_move(0, 1, cutoff=500)
+        assert got == 501
+        assert evaluator.stats.pruned == 1
+        assert evaluator.stats.steps_replayed == steps_before
+
+
+# ----------------------------------------------------------------------
 # solve_hap invariants
 # ----------------------------------------------------------------------
 class TestSolverProperties:
     @_SETTINGS
     @given(seed=st.integers(0, 10_000))
     def test_incremental_equals_oracle_solver(self, seed):
+        """All three pricing modes — delta-resume (default), the PR-1
+        full-replay path (``resume=False``) and the full-reschedule
+        oracle — return bit-identical results."""
         problem = random_problem(seed)
         rng = np.random.default_rng(seed + 4)
         budget = budget_for(problem, rng)
         fast = solve_hap(problem, budget)
+        replay = solve_hap(problem, budget, resume=False)
         slow = solve_hap(problem, budget, incremental=False)
+        assert fast == replay
         assert fast == slow
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000), frac=st.floats(0.15, 0.9))
+    def test_solver_modes_agree_under_tight_budgets(self, seed, frac):
+        """Tight constraints exercise the feasibility phase's sorted
+        lower-bound scan; the accepted moves must still match the oracle
+        exactly."""
+        problem = random_problem(seed)
+        budget = max(1, int(problem.durations.min(axis=1).sum() * frac))
+        assert (solve_hap(problem, budget)
+                == solve_hap(problem, budget, incremental=False))
 
     @_SETTINGS
     @given(seed=st.integers(0, 10_000))
@@ -169,9 +280,39 @@ class TestSolverProperties:
             assert trajectory == ()
             return
         assert trajectory, "feasible solves record the refinement start"
+        # Accepted moves add strictly negative deltas; float addition is
+        # monotone, so the delta-summed trajectory never increases.
         for before, after in zip(trajectory, trajectory[1:]):
-            assert after <= before + 1e-9
-        assert result.energy_nj == trajectory[-1]
+            assert after <= before
+        # The trajectory is delta-summed (one float add per accepted
+        # move); energy_nj is a fresh table sum — they agree to float
+        # rounding, not necessarily bit-for-bit (see HAPResult docs).
+        assert trajectory[-1] == pytest.approx(result.energy_nj,
+                                               rel=1e-12, abs=0.0)
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_trajectory_steps_are_exact_single_move_deltas(self, seed):
+        """Every refinement step's energy drop is exactly one accepted
+        single-layer move's energy-table delta (the delta bookkeeping
+        adds table differences, nothing else)."""
+        problem = random_problem(seed)
+        rng = np.random.default_rng(seed + 13)
+        budget = budget_for(problem, rng)
+        result = solve_hap(problem, budget)
+        trajectory = result.refinement_energies
+        if len(trajectory) < 2:
+            return
+        deltas = set()
+        for flat_id in range(problem.num_layers):
+            row = problem.energies[flat_id]
+            for a in range(problem.num_slots):
+                for b in range(problem.num_slots):
+                    if a != b:
+                        deltas.add(float(row[b]) - float(row[a]))
+        for before, after in zip(trajectory, trajectory[1:]):
+            # after == before + d for some single-move table delta d.
+            assert any(after == before + d for d in deltas)
 
     @_SETTINGS
     @given(seed=st.integers(0, 10_000))
