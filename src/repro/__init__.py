@@ -37,6 +37,9 @@ from repro.arch import (
 )
 from repro.core import (
     NASAIC,
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
     EvalService,
     EvalServiceStats,
     Evaluator,
@@ -44,10 +47,14 @@ from repro.core import (
     JointSearchSpace,
     NASAICConfig,
     RNNController,
+    Scenario,
+    SearchDriver,
     SearchResult,
+    SearchStrategy,
     asic_then_hw_nas,
     hardware_aware_nas,
     monte_carlo_search,
+    run_campaign,
     run_nas,
     successive_nas_then_asic,
 )
@@ -70,6 +77,9 @@ __all__ = [
     "AccuracySurrogate",
     "AllocationSpace",
     "ArchitectureSpace",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
     "Choice",
     "ConvLayer",
     "CostModel",
@@ -90,7 +100,10 @@ __all__ = [
     "RNNController",
     "ResNetSpace",
     "ResourceBudget",
+    "Scenario",
+    "SearchDriver",
     "SearchResult",
+    "SearchStrategy",
     "SubAccelerator",
     "SurrogateTrainer",
     "Task",
@@ -104,6 +117,7 @@ __all__ = [
     "list_schedule",
     "monte_carlo_search",
     "nuclei_unet_space",
+    "run_campaign",
     "run_nas",
     "solve_exact",
     "solve_hap",

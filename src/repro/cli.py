@@ -6,10 +6,15 @@ Commands:
 - ``evolve``      — run the evolutionary optimiser on a preset workload
 - ``nas``         — accuracy-only NAS (per-task, the paper's baseline)
 - ``mc``          — joint Monte-Carlo search
+- ``campaign``    — a workload x strategy x budget grid over one shared
+  evaluation cache (consolidated JSON/table output)
 - ``experiments`` — regenerate one or all of the paper's tables/figures
 
 Every command prints a human-readable report and can persist the raw
-outcome as JSON (``--out``).
+outcome as JSON (``--out``).  All search commands accept ``--seed`` and
+thread it verbatim as the run's master seed (see
+:mod:`repro.utils.rng`); ``search``/``evolve`` additionally support
+``--checkpoint``/``--resume`` for interruptible runs.
 """
 
 from __future__ import annotations
@@ -25,10 +30,20 @@ from repro.core import (
     monte_carlo_search,
     run_nas_per_task,
 )
+from repro.core.campaign import (
+    CampaignConfig,
+    Scenario,
+    format_campaign,
+    run_campaign,
+    save_campaign,
+)
 from repro.core.serialization import save_result
 from repro.workloads import workload_by_name
 
 __all__ = ["build_parser", "main"]
+
+_WORKLOAD_CHOICES = ["W1", "W2", "W3", "Fig1"]
+_STRATEGY_CHOICES = ["nasaic", "evolution", "mc", "nas"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,9 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workload", default="W3",
-                       choices=["W1", "W2", "W3", "Fig1"],
+                       choices=_WORKLOAD_CHOICES,
                        help="preset workload (default: W3)")
-        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--seed", type=int, default=7,
+                       help="master seed of the run; every draw derives "
+                            "from it (default: 7)")
         p.add_argument("--out", default=None,
                        help="write the run as JSON to this path")
 
@@ -55,9 +72,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool width for batched hardware "
                             "evaluations (0/1 = serial; default: 0)")
 
+    def add_checkpointing(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--checkpoint", default=None,
+                       help="write a resumable checkpoint to this path "
+                            "during the run")
+        p.add_argument("--checkpoint-every", type=int, default=10,
+                       help="rounds between checkpoints when "
+                            "--checkpoint is set (default: 10)")
+        p.add_argument("--resume", default=None,
+                       help="resume bit-identically from a checkpoint "
+                            "written by an identically configured run")
+
     p_search = sub.add_parser("search", help="run NASAIC")
     add_common(p_search)
     add_eval_service(p_search)
+    add_checkpointing(p_search)
     p_search.add_argument("--episodes", type=int, default=200)
     p_search.add_argument("--hw-steps", type=int, default=10)
     p_search.add_argument("--progress", type=int, default=50,
@@ -66,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_evolve = sub.add_parser("evolve", help="run the evolutionary search")
     add_common(p_evolve)
     add_eval_service(p_evolve)
+    add_checkpointing(p_evolve)
     p_evolve.add_argument("--population", type=int, default=30)
     p_evolve.add_argument("--generations", type=int, default=15)
 
@@ -76,6 +106,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc = sub.add_parser("mc", help="joint Monte-Carlo search")
     add_common(p_mc)
     p_mc.add_argument("--runs", type=int, default=2000)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="run a workload x strategy x budget grid over one shared "
+             "evaluation cache")
+    p_campaign.add_argument("--workloads", default="W3",
+                            help="comma-separated presets "
+                                 "(default: W3)")
+    p_campaign.add_argument("--strategies", default="nasaic,mc",
+                            help="comma-separated strategies from "
+                                 f"{_STRATEGY_CHOICES} "
+                                 "(default: nasaic,mc)")
+    p_campaign.add_argument("--budgets", default="50",
+                            help="comma-separated budgets (episodes / "
+                                 "generations / runs; default: 50)")
+    p_campaign.add_argument("--seed", type=int, default=7)
+    p_campaign.add_argument("--rho", type=float, default=10.0)
+    p_campaign.add_argument("--cache-size", type=int, default=4096)
+    p_campaign.add_argument("--eval-workers", type=int, default=0,
+                            help="pool width inside each evaluation "
+                                 "service (default: 0)")
+    p_campaign.add_argument("--workers", type=int, default=0,
+                            help="scenario-level pool width; > 1 runs "
+                                 "scenarios in parallel with isolated "
+                                 "caches (default: 0 = sequential, "
+                                 "shared cache)")
+    p_campaign.add_argument("--out", default=None,
+                            help="write the consolidated campaign JSON "
+                                 "to this path")
 
     p_exp = sub.add_parser("experiments",
                            help="regenerate paper tables/figures")
@@ -94,7 +153,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
         cache_size=args.cache_size, eval_workers=args.workers))
     try:
         result = search.run(
-            progress_every=args.progress if args.progress > 0 else None)
+            progress_every=args.progress if args.progress > 0 else None,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=(args.checkpoint_every
+                              if args.checkpoint else 0),
+            resume_from=args.resume)
     finally:
         search.close()
     print(result.summary())
@@ -110,13 +173,49 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
         seed=args.seed, cache_size=args.cache_size,
         eval_workers=args.workers))
     try:
-        result = search.run()
+        result = search.run(
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=(args.checkpoint_every
+                              if args.checkpoint else 0),
+            resume_from=args.resume)
     finally:
         search.close()
     print(result.summary())
     if args.out:
         print(f"saved to {save_result(result, args.out)}")
     return 0 if result.best is not None else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    strategies = [s.strip() for s in args.strategies.split(",")
+                  if s.strip()]
+    budgets = [int(b) for b in args.budgets.split(",") if b.strip()]
+    for workload in workloads:
+        if workload not in _WORKLOAD_CHOICES:
+            raise SystemExit(f"unknown workload {workload!r} "
+                             f"(choose from {_WORKLOAD_CHOICES})")
+    for strategy in strategies:
+        if strategy not in _STRATEGY_CHOICES:
+            raise SystemExit(f"unknown strategy {strategy!r} "
+                             f"(choose from {_STRATEGY_CHOICES})")
+    scenarios = tuple(
+        Scenario(workload=workload, strategy=strategy, budget=budget,
+                 seed=args.seed, rho=args.rho)
+        for workload in workloads
+        for strategy in strategies
+        for budget in budgets)
+    result = run_campaign(CampaignConfig(
+        scenarios=scenarios, cache_size=args.cache_size,
+        eval_workers=args.eval_workers, workers=args.workers))
+    print(format_campaign(result))
+    if args.out:
+        print(f"saved to {save_campaign(result, args.out)}")
+    ok = all(
+        outcome.result.best is not None
+        for outcome in result.outcomes
+        if hasattr(outcome.result, "best"))
+    return 0 if ok else 1
 
 
 def _cmd_nas(args: argparse.Namespace) -> int:
@@ -174,6 +273,7 @@ _COMMANDS = {
     "evolve": _cmd_evolve,
     "nas": _cmd_nas,
     "mc": _cmd_mc,
+    "campaign": _cmd_campaign,
     "experiments": _cmd_experiments,
 }
 

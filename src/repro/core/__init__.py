@@ -16,12 +16,24 @@ from repro.core.baselines import (
     successive_nas_then_asic,
 )
 from repro.core.bounds_calibration import calibrate_penalty_bounds
+from repro.core.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    Scenario,
+    ScenarioOutcome,
+    campaign_to_dict,
+    format_campaign,
+    run_campaign,
+    save_campaign,
+)
 from repro.core.choices import Decision, JointSample, JointSearchSpace
 from repro.core.controller import (
     ControllerConfig,
     ControllerSample,
     RNNController,
 )
+from repro.core.driver import RoundLog, SearchDriver, SearchStrategy
 from repro.core.evaluator import (
     Evaluator,
     HardwareEvaluation,
@@ -32,6 +44,7 @@ from repro.core.evalservice import (
     EvalServiceStats,
     design_content,
     design_digest,
+    evaluation_context_salt,
 )
 from repro.core.evolution import EvolutionConfig, EvolutionarySearch
 from repro.core.herald import herald_allocate
@@ -48,6 +61,9 @@ from repro.core.search import NASAIC, NASAICConfig
 __all__ = [
     "NASAIC",
     "NASAICConfig",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
     "ControllerConfig",
     "ControllerSample",
     "Decision",
@@ -66,24 +82,34 @@ __all__ = [
     "RNNController",
     "ReinforceConfig",
     "ReinforceTrainer",
+    "RoundLog",
+    "Scenario",
+    "ScenarioOutcome",
+    "SearchDriver",
     "SearchResult",
+    "SearchStrategy",
     "SolutionEvaluation",
     "asic_then_hw_nas",
     "brute_force_designs",
     "calibrate_penalty_bounds",
+    "campaign_to_dict",
     "closest_to_spec_design",
     "closest_to_spec_solution",
     "design_content",
     "design_digest",
     "episode_reward",
+    "evaluation_context_salt",
+    "format_campaign",
     "hardware_aware_nas",
     "hardware_penalty",
     "herald_allocate",
     "monte_carlo_designs",
     "monte_carlo_search",
     "normalised_accuracy",
+    "run_campaign",
     "run_nas",
     "run_nas_per_task",
+    "save_campaign",
     "spec_distance",
     "successive_nas_then_asic",
     "weighted_normalised_accuracy",

@@ -16,6 +16,17 @@
   paper shows to be sub-optimal.
 - :func:`successive_nas_then_asic` / :func:`asic_then_hw_nas` — the two
   composite pipelines of Table I.
+
+Every baseline loop runs through the unified
+:class:`repro.core.driver.SearchDriver` (sample-then-batch-price,
+checkpointable strategy state, per-run stats deltas), with evaluation
+services held in context-managed lifetimes so worker pools are never
+leaked on exceptions.  The chunked batching is choice-identical to the
+historical one-at-a-time loops: sampling happens entirely in
+``propose`` (before pricing) and the hardware path is RNG-free.
+:func:`hardware_aware_nas` and :func:`monte_carlo_search` additionally
+accept an injected shared service (campaign caches), like
+:class:`~repro.core.search.NASAIC`.
 """
 
 from __future__ import annotations
@@ -28,15 +39,16 @@ from repro.accel.allocation import AllocationSpace
 from repro.arch.network import NetworkArch
 from repro.core.choices import JointSearchSpace
 from repro.core.controller import ControllerConfig, RNNController
+from repro.core.driver import RoundLog, SearchDriver
 from repro.core.evaluator import Evaluator, HardwareEvaluation
-from repro.core.evalservice import EvalService
+from repro.core.evalservice import EvalService, verify_injected_service
 from repro.core.reinforce import ReinforceConfig, ReinforceTrainer
 from repro.core.results import ExploredSolution, SearchResult
 from repro.core.reward import episode_reward, weighted_normalised_accuracy
 from repro.cost.model import CostModel
 from repro.train.surrogate import AccuracySurrogate, default_surrogate
 from repro.train.trainer import SurrogateTrainer
-from repro.utils.rng import new_rng, spawn_rng
+from repro.utils.rng import new_rng, restore_rng, rng_state, spawn_rng
 from repro.workloads.workload import DesignSpecs, Task, Workload
 
 __all__ = [
@@ -93,9 +105,8 @@ def _build_search_parts(
         surrogate = default_surrogate([t.space for t in workload.tasks])
     trainer = SurrogateTrainer(surrogate)
     evaluator = Evaluator(workload, cost_model, trainer, rho=rho)
-    service = EvalService(evaluator)
     space = JointSearchSpace(workload, allocation)
-    return allocation, cost_model, surrogate, evaluator, service, space
+    return allocation, cost_model, surrogate, evaluator, space
 
 
 def _solution_from_eval(networks, hw: HardwareEvaluation, accuracies,
@@ -127,6 +138,120 @@ _NAS_REINFORCE_DEFAULT = ReinforceConfig(entropy_beta=0.02,
                                          learning_rate=0.08)
 
 
+class _ControllerEpisodeStrategy:
+    """Shared plumbing for the single-controller RL baselines.
+
+    Owns the controller, its REINFORCE trainer and the sampling stream;
+    subclasses define what one episode proposes and observes.
+    """
+
+    def __init__(self, workload: Workload, space: JointSearchSpace,
+                 evaluator: Evaluator, forced: dict[int, int],
+                 episodes: int, seed: int,
+                 controller_config: ControllerConfig | None,
+                 reinforce_config: ReinforceConfig | None) -> None:
+        self.workload = workload
+        self.space = space
+        self.evaluator = evaluator
+        self.forced = forced
+        self.episodes = episodes
+        master = new_rng(seed)
+        self.controller = RNNController(space.decisions, controller_config,
+                                        rng=spawn_rng(master, 0))
+        self.updates = ReinforceTrainer(self.controller, reinforce_config)
+        self.sample_rng = spawn_rng(master, 1)
+        self._episode = 0
+        self._pending: tuple | None = None
+
+    @property
+    def total_rounds(self) -> int:
+        return self.episodes
+
+    def _sample_episode(self):
+        sample = self.controller.sample(self.sample_rng,
+                                        mask_fn=self.space.mask_for,
+                                        forced_actions=self.forced)
+        joint = self.space.decode(sample.actions)
+        self._pending = (sample, joint)
+        return sample, joint
+
+    def state(self) -> dict:
+        return {
+            "episode": self._episode,
+            "controller_params": self.controller.clone_params(),
+            "updates": self.updates.state(),
+            "sample_rng": rng_state(self.sample_rng),
+            "trainer": self.evaluator.trainer.state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._episode = state["episode"]
+        self.controller.load_params(state["controller_params"])
+        self.updates.load_state(state["updates"])
+        self.sample_rng = restore_rng(state["sample_rng"])
+        self.evaluator.trainer.load_state(state["trainer"])
+        self._pending = None
+
+
+class _NASOnlyStrategy(_ControllerEpisodeStrategy):
+    """Accuracy-only NAS: proposes nothing to the hardware path."""
+
+    strategy_name = "nas"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.history: list[tuple[tuple[tuple[int, ...], ...], float]] = []
+        self.best: tuple[float, tuple, tuple] | None = None
+
+    def propose(self, k: int | None = None) -> list:
+        self._sample_episode()
+        return []
+
+    def observe(self, evaluations) -> RoundLog:
+        sample, joint = self._pending
+        self._pending = None
+        accuracies = self.evaluator.train_networks(joint.networks)
+        weighted = weighted_normalised_accuracy(self.workload, accuracies)
+        self.updates.apply_episodes([(sample, weighted)])
+        self.history.append((tuple(n.genotype for n in joint.networks),
+                             weighted))
+        if self.best is None or weighted > self.best[0]:
+            self.best = (weighted, joint.networks, accuracies)
+        self._episode += 1
+        return RoundLog(
+            self._episode - 1,
+            f"episode {self._episode}/{self.episodes} "
+            f"weighted={weighted:.4f}")
+
+    def finish(self) -> NASOnlyResult:
+        best = self.best
+        assert best is not None
+        # Final greedy read-out: the converged policy's argmax sample
+        # often beats the best stochastic draw; keep whichever is better.
+        greedy = self.controller.sample(
+            self.sample_rng, mask_fn=self.space.mask_for,
+            forced_actions=self.forced, greedy=True)
+        joint = self.space.decode(greedy.actions)
+        accuracies = self.evaluator.train_networks(joint.networks)
+        weighted = weighted_normalised_accuracy(self.workload, accuracies)
+        if weighted > best[0]:
+            best = (weighted, joint.networks, accuracies)
+        return NASOnlyResult(
+            best_networks=best[1], best_accuracies=best[2],
+            best_weighted=best[0], history=self.history,
+            trainings_run=self.evaluator.trainer.trainings_run)
+
+    def state(self) -> dict:
+        state = super().state()
+        state.update(history=list(self.history), best=self.best)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.history = list(state["history"])
+        self.best = state["best"]
+
+
 def run_nas(
     workload: Workload,
     *,
@@ -140,40 +265,14 @@ def run_nas(
     """Conventional NAS [1]: maximise Eq. 2, no hardware in the loop."""
     if reinforce_config is None:
         reinforce_config = _NAS_REINFORCE_DEFAULT
-    allocation, _, surrogate, evaluator, _, space = _build_search_parts(
+    allocation, _, surrogate, evaluator, space = _build_search_parts(
         workload, allocation, None, surrogate, rho=0.0)
     forced = space.encode_design(_reference_design(allocation))
-    master = new_rng(seed)
-    controller = RNNController(space.decisions, controller_config,
-                               rng=spawn_rng(master, 0))
-    updates = ReinforceTrainer(controller, reinforce_config)
-    sample_rng = spawn_rng(master, 1)
-    best: tuple[float, tuple, tuple] | None = None
-    history: list[tuple[tuple[tuple[int, ...], ...], float]] = []
-    for _ in range(episodes):
-        sample = controller.sample(sample_rng, mask_fn=space.mask_for,
-                                   forced_actions=forced)
-        joint = space.decode(sample.actions)
-        accuracies = evaluator.train_networks(joint.networks)
-        weighted = weighted_normalised_accuracy(workload, accuracies)
-        updates.apply_episodes([(sample, weighted)])
-        history.append((tuple(n.genotype for n in joint.networks), weighted))
-        if best is None or weighted > best[0]:
-            best = (weighted, joint.networks, accuracies)
-    assert best is not None
-    # Final greedy read-out: the converged policy's argmax sample often
-    # beats the best stochastic draw; keep whichever is better.
-    greedy = controller.sample(sample_rng, mask_fn=space.mask_for,
-                               forced_actions=forced, greedy=True)
-    joint = space.decode(greedy.actions)
-    accuracies = evaluator.train_networks(joint.networks)
-    weighted = weighted_normalised_accuracy(workload, accuracies)
-    if weighted > best[0]:
-        best = (weighted, joint.networks, accuracies)
-    return NASOnlyResult(
-        best_networks=best[1], best_accuracies=best[2],
-        best_weighted=best[0], history=history,
-        trainings_run=evaluator.trainer.trainings_run)
+    strategy = _NASOnlyStrategy(workload, space, evaluator, forced,
+                                episodes, seed, controller_config,
+                                reinforce_config)
+    # No hardware in the loop: the driver runs without a service.
+    return SearchDriver(strategy, None).run()
 
 
 def run_nas_per_task(
@@ -227,6 +326,63 @@ def run_nas_per_task(
 # ----------------------------------------------------------------------
 # Hardware searches for fixed networks
 # ----------------------------------------------------------------------
+class _DesignSweepStrategy:
+    """Streams a precomputed design list through the driver in chunks.
+
+    Chunking is stats-identical to one giant batch: within a chunk the
+    batch API deduplicates, and across chunks the first chunk's misses
+    are already cached — either way every repeated design is a hit.
+    """
+
+    strategy_name = "design-sweep"
+
+    #: Default pairs per round; bounds peak memory on 10k-run sweeps
+    #: while keeping per-round batches large enough to amortise pool IPC.
+    DEFAULT_CHUNK = 256
+
+    def __init__(self, networks: tuple[NetworkArch, ...],
+                 designs: list[HeterogeneousAccelerator],
+                 chunk: int = DEFAULT_CHUNK) -> None:
+        self.networks = networks
+        self.designs = designs
+        self.chunk = max(1, chunk)
+        self.evaluations: list[HardwareEvaluation] = []
+        self._offset = 0
+
+    @property
+    def total_rounds(self) -> int:
+        return math.ceil(len(self.designs) / self.chunk)
+
+    def propose(self, k: int | None = None) -> list:
+        # A smaller driver batch-size hint lowers the chunk *for the
+        # whole run* so total_rounds grows to cover the full design
+        # list — honouring k per-round only would end the schedule
+        # early and silently drop the sweep's tail.
+        if k is not None:
+            self.chunk = max(1, min(k, self.chunk))
+        batch = self.designs[self._offset:self._offset + self.chunk]
+        self._offset += len(batch)
+        return [(self.networks, design) for design in batch]
+
+    def observe(self, evaluations) -> RoundLog:
+        self.evaluations.extend(evaluations)
+        return RoundLog(
+            self._offset // self.chunk,
+            f"designs {len(self.evaluations)}/{len(self.designs)}")
+
+    def finish(self) -> list[HardwareEvaluation]:
+        return list(self.evaluations)
+
+    def state(self) -> dict:
+        return {"offset": self._offset, "chunk": self.chunk,
+                "evaluations": list(self.evaluations)}
+
+    def load_state(self, state: dict) -> None:
+        self._offset = state["offset"]
+        self.chunk = state["chunk"]
+        self.evaluations = list(state["evaluations"])
+
+
 def brute_force_designs(
     networks: tuple[NetworkArch, ...],
     workload: Workload,
@@ -242,11 +398,11 @@ def brute_force_designs(
     allocation = allocation or AllocationSpace()
     cost_model = cost_model or CostModel()
     evaluator = Evaluator(workload, cost_model, trainer=None, rho=rho)
+    designs = list(allocation.enumerate_designs(
+        pe_stride=pe_stride, bw_stride=bw_stride))
     with EvalService(evaluator, workers=eval_workers) as service:
-        return service.evaluate_many([
-            (networks, design)
-            for design in allocation.enumerate_designs(
-                pe_stride=pe_stride, bw_stride=bw_stride)])
+        return SearchDriver(_DesignSweepStrategy(networks, designs),
+                            service).run()
 
 
 def monte_carlo_designs(
@@ -270,7 +426,8 @@ def monte_carlo_designs(
     rng = new_rng(seed)
     designs = [allocation.random_design(rng) for _ in range(runs)]
     with EvalService(evaluator, workers=eval_workers) as service:
-        return service.evaluate_many([(networks, d) for d in designs])
+        return SearchDriver(_DesignSweepStrategy(networks, designs),
+                            service).run()
 
 
 def closest_to_spec_design(
@@ -299,6 +456,56 @@ def closest_to_spec_design(
 # ----------------------------------------------------------------------
 # Hardware-aware NAS on a fixed design
 # ----------------------------------------------------------------------
+class _HardwareAwareNASStrategy(_ControllerEpisodeStrategy):
+    """MNASNet-style NAS: one pair per episode, fixed hardware genes."""
+
+    strategy_name = "hw-nas"
+
+    def __init__(self, workload: Workload, space: JointSearchSpace,
+                 evaluator: Evaluator, forced: dict[int, int],
+                 episodes: int, seed: int,
+                 controller_config: ControllerConfig | None,
+                 reinforce_config: ReinforceConfig | None,
+                 rho: float) -> None:
+        super().__init__(workload, space, evaluator, forced, episodes,
+                         seed, controller_config, reinforce_config)
+        self.rho = rho
+        self._result = SearchResult(name=f"ASIC->HW-NAS[{workload.name}]")
+
+    def propose(self, k: int | None = None) -> list:
+        _, joint = self._sample_episode()
+        return [(joint.networks, joint.accelerator)]
+
+    def observe(self, evaluations) -> RoundLog:
+        sample, joint = self._pending
+        self._pending = None
+        hw = evaluations[0]
+        accuracies = self.evaluator.train_networks(joint.networks)
+        weighted = weighted_normalised_accuracy(self.workload, accuracies)
+        reward = episode_reward(weighted, hw.penalty, self.rho)
+        self.updates.apply_episodes([(sample, reward)])
+        self._result.record(_solution_from_eval(joint.networks, hw,
+                                                accuracies, weighted))
+        self._episode += 1
+        return RoundLog(
+            self._episode - 1,
+            f"episode {self._episode}/{self.episodes} "
+            f"reward={reward:+.3f}")
+
+    def finish(self) -> SearchResult:
+        self._result.trainings_run = self.evaluator.trainer.trainings_run
+        return self._result
+
+    def state(self) -> dict:
+        state = super().state()
+        state["result"] = self._result
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._result = state["result"]
+
+
 def hardware_aware_nas(
     workload: Workload,
     design: HeterogeneousAccelerator,
@@ -311,41 +518,118 @@ def hardware_aware_nas(
     rho: float = 10.0,
     controller_config: ControllerConfig | None = None,
     reinforce_config: ReinforceConfig | None = None,
+    evalservice: EvalService | None = None,
 ) -> SearchResult:
     """Hardware-aware NAS [30] for one fixed ASIC design.
 
     The controller searches architectures only; every sample is evaluated
-    against ``design`` with the full Eq. 4 reward.
+    against ``design`` with the full Eq. 4 reward.  ``evalservice``
+    optionally injects a shared (campaign) cache — it must price under
+    this search's exact evaluation context and stays open afterwards.
     """
-    allocation, cost_model, surrogate, evaluator, service, space = \
+    allocation, cost_model, surrogate, evaluator, space = \
         _build_search_parts(workload, allocation, cost_model, surrogate,
                             rho=rho)
-    forced = space.encode_design(design)
-    master = new_rng(seed)
-    controller = RNNController(space.decisions, controller_config,
-                               rng=spawn_rng(master, 0))
-    updates = ReinforceTrainer(controller, reinforce_config)
-    sample_rng = spawn_rng(master, 1)
-    result = SearchResult(name=f"ASIC->HW-NAS[{workload.name}]")
-    for _ in range(episodes):
-        sample = controller.sample(sample_rng, mask_fn=space.mask_for,
-                                   forced_actions=forced)
-        joint = space.decode(sample.actions)
-        hw = service.evaluate_hardware(joint.networks, joint.accelerator)
-        accuracies = evaluator.train_networks(joint.networks)
-        weighted = weighted_normalised_accuracy(workload, accuracies)
-        reward = episode_reward(weighted, hw.penalty, rho)
-        updates.apply_episodes([(sample, reward)])
-        result.record(_solution_from_eval(joint.networks, hw, accuracies,
-                                          weighted))
-    result.trainings_run = evaluator.trainer.trainings_run
-    result.absorb_eval_stats(service.stats)
-    return result
+    strategy = _HardwareAwareNASStrategy(
+        workload, space, evaluator, space.encode_design(design),
+        episodes, seed, controller_config, reinforce_config, rho)
+    if evalservice is not None:
+        verify_injected_service(evalservice, workload,
+                                cost_model.params, rho)
+        return SearchDriver(strategy, evalservice).run()
+    with EvalService(evaluator) as service:
+        return SearchDriver(strategy, service).run()
 
 
 # ----------------------------------------------------------------------
 # Joint Monte-Carlo search and the closest-to-spec heuristic
 # ----------------------------------------------------------------------
+class _MonteCarloStrategy:
+    """Joint random sampling, streamed through the driver in chunks.
+
+    Each round samples a chunk of complete (networks, design) pairs —
+    the per-pair draw order is exactly the historical loop's, pricing is
+    RNG-free, and the training path runs in request order, so the
+    explored trajectory is identical to the one-at-a-time formulation.
+    """
+
+    strategy_name = "mc"
+
+    #: Pairs per round: large enough to amortise batch pricing, small
+    #: enough that checkpoints land frequently on 10k-run searches.
+    DEFAULT_CHUNK = 64
+
+    def __init__(self, workload: Workload, allocation: AllocationSpace,
+                 evaluator: Evaluator, runs: int, seed: int,
+                 chunk: int = DEFAULT_CHUNK) -> None:
+        if runs < 1:
+            raise ValueError("runs must be >= 1")
+        self.workload = workload
+        self.allocation = allocation
+        self.evaluator = evaluator
+        self.runs = runs
+        self.chunk = max(1, chunk)
+        self._rng = new_rng(seed)
+        self._sampled = 0
+        self._result = SearchResult(name=f"MC[{workload.name}]")
+        self._pending: list | None = None
+
+    @property
+    def total_rounds(self) -> int:
+        return math.ceil(self.runs / self.chunk)
+
+    def propose(self, k: int | None = None) -> list:
+        # Like _DesignSweepStrategy: a batch-size hint lowers the chunk
+        # permanently so total_rounds still covers every run.
+        if k is not None:
+            self.chunk = max(1, min(k, self.chunk))
+        count = min(self.chunk, self.runs - self._sampled)
+        pending = []
+        for _ in range(count):
+            networks = tuple(
+                task.space.decode(task.space.random_indices(self._rng))
+                for task in self.workload.tasks)
+            pending.append((networks,
+                            self.allocation.random_design(self._rng)))
+        self._pending = pending
+        self._sampled += count
+        return list(pending)
+
+    def observe(self, evaluations) -> RoundLog:
+        pending = self._pending
+        self._pending = None
+        for (networks, _), hw in zip(pending, evaluations):
+            accuracies = self.evaluator.train_networks(networks)
+            weighted = weighted_normalised_accuracy(self.workload,
+                                                    accuracies)
+            self._result.record(_solution_from_eval(networks, hw,
+                                                    accuracies, weighted))
+        return RoundLog(
+            self._sampled // self.chunk,
+            f"samples {self._sampled}/{self.runs}")
+
+    def finish(self) -> SearchResult:
+        self._result.trainings_run = self.evaluator.trainer.trainings_run
+        return self._result
+
+    def state(self) -> dict:
+        return {
+            "rng": rng_state(self._rng),
+            "sampled": self._sampled,
+            "chunk": self.chunk,
+            "result": self._result,
+            "trainer": self.evaluator.trainer.state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._rng = restore_rng(state["rng"])
+        self._sampled = state["sampled"]
+        self.chunk = state["chunk"]
+        self._result = state["result"]
+        self.evaluator.trainer.load_state(state["trainer"])
+        self._pending = None
+
+
 def monte_carlo_search(
     workload: Workload,
     *,
@@ -355,30 +639,26 @@ def monte_carlo_search(
     runs: int = 10_000,
     seed: int = 19,
     rho: float = 10.0,
+    evalservice: EvalService | None = None,
 ) -> SearchResult:
     """Joint random sampling of (architectures, design) pairs.
 
     The paper's Fig. 1 "optimal solution" is the best feasible outcome of
-    10,000 such runs.
+    10,000 such runs.  ``evalservice`` optionally injects a shared
+    (campaign) cache — it must price under this search's exact
+    evaluation context and stays open afterwards.
     """
-    allocation, cost_model, surrogate, evaluator, service, space = \
+    allocation, cost_model, surrogate, evaluator, space = \
         _build_search_parts(workload, allocation, cost_model, surrogate,
                             rho=rho)
-    rng = new_rng(seed)
-    result = SearchResult(name=f"MC[{workload.name}]")
-    for _ in range(runs):
-        networks = tuple(
-            task.space.decode(task.space.random_indices(rng))
-            for task in workload.tasks)
-        design = allocation.random_design(rng)
-        hw = service.evaluate_hardware(networks, design)
-        accuracies = evaluator.train_networks(networks)
-        weighted = weighted_normalised_accuracy(workload, accuracies)
-        result.record(_solution_from_eval(networks, hw, accuracies,
-                                          weighted))
-    result.trainings_run = evaluator.trainer.trainings_run
-    result.absorb_eval_stats(service.stats)
-    return result
+    strategy = _MonteCarloStrategy(workload, allocation, evaluator,
+                                   runs, seed)
+    if evalservice is not None:
+        verify_injected_service(evalservice, workload,
+                                cost_model.params, rho)
+        return SearchDriver(strategy, evalservice).run()
+    with EvalService(evaluator) as service:
+        return SearchDriver(strategy, service).run()
 
 
 def closest_to_spec_solution(

@@ -1,0 +1,502 @@
+"""Campaign runner: grids of search scenarios over shared caches.
+
+The paper's results are campaigns, not runs: Tables 1-2 and Fig. 6 each
+need several searches (different workloads, different optimisers,
+different budgets) whose outcomes are compared side by side.  This
+module executes such a grid through the unified
+:class:`repro.core.driver.SearchDriver` machinery:
+
+- a :class:`Scenario` names one run: workload preset x strategy x
+  budget (plus seed/rho and optional overrides);
+- a :class:`Campaign` executes the grid **sequentially over shared
+  evaluation services** — scenarios with the same evaluation context
+  (same workload specs/bounds, cost parameters and rho) reuse one
+  :class:`~repro.core.evalservice.EvalService`, so designs priced by an
+  earlier scenario are cache hits for later ones
+  (``stats.shared_hits``), and one cross-design cost-table memo spans
+  the whole campaign — or **on a process pool** (``workers > 1``),
+  where scenarios run isolated (own service each; no cross-scenario
+  cache, but true parallelism on multi-core machines);
+- the outcome is a consolidated :class:`CampaignResult` with one entry
+  per scenario (result + per-scenario eval-stats delta + wall-clock)
+  that serialises to a single campaign JSON consumed by the experiment
+  harnesses and the CLI.
+
+Campaign JSON schema (``campaign_to_dict``)::
+
+    {"format": "repro-campaign", "version": 1,
+     "wall_seconds": ...,
+     "cache": {"services": n, "requests": ..., "hits": ...,
+               "misses": ..., "shared_hits": ..., "hit_rate": ...,
+               "shared_hit_rate": ..., "entries": ...},
+     "scenarios": [
+        {"name": "W1/nasaic/b4/s7", "workload": "W1",
+         "strategy": "nasaic", "budget": 4, "seed": 7, "rho": 10.0,
+         "wall_seconds": ...,
+         "eval": {"requests": ..., "hits": ..., "misses": ...,
+                  "shared_hits": ..., "miss_seconds": ...},
+         "result": {... run JSON (result_to_dict) or NAS summary ...}},
+        ...]}
+
+Correctness: sharing a service cannot change any scenario's outcome —
+services are keyed by the exact evaluation-context salt and the
+hardware path is deterministic, so a shared cache only changes *when*
+a pair is priced, never its value.  ``tests/test_campaign.py`` asserts
+shared-vs-isolated bit-identity.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from repro.accel.allocation import AllocationSpace
+from repro.core.baselines import (
+    NASOnlyResult,
+    monte_carlo_search,
+    run_nas_per_task,
+)
+from repro.core.bounds_calibration import calibrate_penalty_bounds
+from repro.core.evaluator import Evaluator
+from repro.core.evalservice import (
+    EvalService,
+    EvalServiceStats,
+    evaluation_context_salt,
+)
+from repro.core.evolution import EvolutionConfig, EvolutionarySearch
+from repro.core.results import SearchResult
+from repro.core.search import NASAIC, NASAICConfig
+from repro.core.serialization import result_to_dict
+from repro.cost.model import CostModel
+from repro.utils.tables import format_table
+from repro.workloads import workload_by_name
+from repro.workloads.workload import Workload
+
+__all__ = ["Campaign", "CampaignConfig", "CampaignResult", "Scenario",
+           "ScenarioOutcome", "campaign_to_dict", "format_campaign",
+           "run_campaign", "save_campaign"]
+
+#: Strategy kinds a scenario may name.
+STRATEGIES = ("nasaic", "evolution", "mc", "nas")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of the campaign grid.
+
+    Attributes:
+        workload: Preset name (``"W1"``...) or a :class:`Workload`
+            object (experiment harnesses pass derived workloads).
+        strategy: One of :data:`STRATEGIES`.
+        budget: Strategy-native budget — NASAIC episodes, EA
+            generations, MC runs, NAS episodes.
+        seed: Master seed of the run (threaded verbatim, see
+            :mod:`repro.utils.rng`).
+        rho: Eq. 4 penalty coefficient (part of the evaluation context,
+            hence of the cache-sharing key).
+        label: Optional display name; defaults to
+            ``workload/strategy/b<budget>/s<seed>``.
+        options: Expert overrides — ``config`` (full strategy config
+            object; wins over budget/seed/rho), ``allocation``
+            (:class:`AllocationSpace`), ``surrogate`` (shared accuracy
+            oracle).  Objects, so campaigns built programmatically can
+            reuse experiment fixtures; CLI campaigns leave it empty.
+    """
+
+    workload: str | Workload
+    strategy: str
+    budget: int
+    seed: int = 7
+    rho: float = 10.0
+    label: str = ""
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; expected one of "
+                f"{STRATEGIES}")
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+
+    @property
+    def workload_name(self) -> str:
+        return (self.workload if isinstance(self.workload, str)
+                else self.workload.name)
+
+    @property
+    def name(self) -> str:
+        if self.label:
+            return self.label
+        name = (f"{self.workload_name}/{self.strategy}"
+                f"/b{self.budget}/s{self.seed}")
+        # Non-default rho is part of the grid cell's identity, so a rho
+        # sweep gets distinct names without needing explicit labels.
+        if self.rho != 10.0:
+            name += f"/rho{self.rho:g}"
+        return name
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Campaign-wide execution knobs.
+
+    Attributes:
+        scenarios: The grid, executed in order (sequential mode).
+        cache_size: LRU capacity of every shared evaluation service.
+        eval_workers: Process-pool width *inside* each service (batched
+            hardware pricing); independent of ``workers``.
+        workers: Scenario-level process-pool width.  ``0``/``1`` runs
+            sequentially with shared caches (the default, and the right
+            choice whenever cross-scenario reuse matters more than
+            parallelism); ``> 1`` runs scenarios in worker processes,
+            each with an isolated service.
+    """
+
+    scenarios: tuple[Scenario, ...]
+    cache_size: int = 4096
+    eval_workers: int = 0
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("campaign needs at least one scenario")
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"scenario names are not unique: {names}")
+        if self.cache_size < 0 or self.eval_workers < 0 or self.workers < 0:
+            raise ValueError("cache_size/eval_workers/workers must be >= 0")
+
+
+@dataclass
+class ScenarioOutcome:
+    """One scenario's result plus its attributed accounting."""
+
+    scenario: Scenario
+    result: Any  # SearchResult | NASOnlyResult
+    wall_seconds: float
+    eval_stats: EvalServiceStats | None  # per-scenario delta; None = no hw
+
+    def to_dict(self) -> dict[str, Any]:
+        scenario = self.scenario
+        eval_block = None
+        if self.eval_stats is not None:
+            stats = self.eval_stats
+            eval_block = {
+                "requests": stats.requests,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "shared_hits": stats.shared_hits,
+                "miss_seconds": stats.miss_seconds,
+            }
+        return {
+            "name": scenario.name,
+            "workload": scenario.workload_name,
+            "strategy": scenario.strategy,
+            "budget": scenario.budget,
+            "seed": scenario.seed,
+            "rho": scenario.rho,
+            "wall_seconds": self.wall_seconds,
+            "eval": eval_block,
+            "result": _result_payload(self.result),
+        }
+
+
+def _result_payload(result: Any) -> dict[str, Any]:
+    if isinstance(result, SearchResult):
+        return result_to_dict(result)
+    if isinstance(result, NASOnlyResult):
+        return {
+            "best_weighted": result.best_weighted,
+            "best_accuracies": list(result.best_accuracies),
+            "best_genotypes": [list(n.genotype)
+                               for n in result.best_networks],
+            "trainings_run": result.trainings_run,
+            "episodes": len(result.history),
+        }
+    raise TypeError(f"cannot serialise result of type {type(result)!r}")
+
+
+@dataclass
+class CampaignResult:
+    """Consolidated outcome of one campaign run."""
+
+    outcomes: list[ScenarioOutcome]
+    wall_seconds: float
+    cache: dict[str, Any]
+
+    def outcome(self, name: str) -> ScenarioOutcome:
+        for outcome in self.outcomes:
+            if outcome.scenario.name == name:
+                return outcome
+        raise KeyError(f"no scenario named {name!r}")
+
+    @property
+    def shared_hit_rate(self) -> float:
+        """Fraction of hardware requests answered from an earlier
+        scenario's cache entries (0 in isolated/pool mode)."""
+        return self.cache["shared_hit_rate"]
+
+
+class Campaign:
+    """Executes a scenario grid (see module docstring).
+
+    Args:
+        config: The grid and execution knobs.
+        cost_model: Optional campaign-wide cost oracle; one instance is
+            shared across every service so the cross-design cost-table
+            memo spans the whole campaign.  A fresh one by default.
+    """
+
+    def __init__(self, config: CampaignConfig,
+                 *, cost_model: CostModel | None = None) -> None:
+        self.config = config
+        self.cost_model = cost_model or CostModel()
+        #: Shared services keyed by evaluation-context salt (sequential
+        #: mode only); inspectable after :meth:`run`.
+        self.services: dict[str, EvalService] = {}
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        """Execute every scenario and consolidate the outcomes."""
+        started = time.perf_counter()
+        if self.config.workers > 1 and len(self.config.scenarios) > 1:
+            outcomes = self._run_pool()
+        else:
+            outcomes = [self._run_one(scenario)
+                        for scenario in self.config.scenarios]
+        return CampaignResult(
+            outcomes=outcomes,
+            wall_seconds=time.perf_counter() - started,
+            cache=self._cache_totals(outcomes))
+
+    def _run_one(self, scenario: Scenario) -> ScenarioOutcome:
+        workload = self._resolve_workload(scenario)
+        options = scenario.options
+        surrogate = options.get("surrogate")
+        started = time.perf_counter()
+        if scenario.strategy == "nas":
+            result: Any = run_nas_per_task(
+                workload, surrogate=surrogate,
+                episodes=scenario.budget, seed=scenario.seed)
+            return ScenarioOutcome(scenario, result,
+                                   time.perf_counter() - started, None)
+        allocation = options.get("allocation") or AllocationSpace()
+        config = self._strategy_config(scenario)
+        rho = config.rho if config is not None else scenario.rho
+        eval_workload = self._evaluation_workload(workload, allocation,
+                                                  config)
+        service = self._service_for(eval_workload, rho)
+        service.bump_generation()
+        before = service.stats.snapshot()
+        # The campaign already calibrated the penalty bounds (they key
+        # the service); hand the search the calibrated workload with
+        # calibration switched off so the sweep is not paid twice.
+        if config is not None and getattr(config, "calibrate_bounds",
+                                          False):
+            config = replace(config, calibrate_bounds=False)
+        if scenario.strategy == "nasaic":
+            result = NASAIC(
+                eval_workload, allocation=allocation,
+                cost_model=self.cost_model, surrogate=surrogate,
+                config=config, evalservice=service).run()
+        elif scenario.strategy == "evolution":
+            result = EvolutionarySearch(
+                eval_workload, allocation=allocation,
+                cost_model=self.cost_model, surrogate=surrogate,
+                config=config, evalservice=service).run()
+        else:  # "mc"
+            result = monte_carlo_search(
+                eval_workload, allocation=allocation,
+                cost_model=self.cost_model, surrogate=surrogate,
+                runs=scenario.budget, seed=scenario.seed, rho=rho,
+                evalservice=service)
+        return ScenarioOutcome(scenario, result,
+                               time.perf_counter() - started,
+                               service.stats.delta(before))
+
+    def _run_pool(self) -> list[ScenarioOutcome]:
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        # Each worker rebuilds the campaign's cost oracle from its
+        # parameters, so pooled scenarios price exactly like sequential
+        # ones (only the cache sharing is lost).
+        jobs = [(scenario, self.config.cache_size,
+                 self.config.eval_workers, self.cost_model.params)
+                for scenario in self.config.scenarios]
+        with ProcessPoolExecutor(max_workers=self.config.workers,
+                                 mp_context=ctx) as pool:
+            return list(pool.map(_run_scenario_isolated, jobs))
+
+    # ------------------------------------------------------------------
+    # Shared-service pool
+    # ------------------------------------------------------------------
+    def _strategy_config(self, scenario: Scenario):
+        explicit = scenario.options.get("config")
+        if explicit is not None:
+            return explicit
+        if scenario.strategy == "nasaic":
+            return NASAICConfig(episodes=scenario.budget,
+                                seed=scenario.seed, rho=scenario.rho)
+        if scenario.strategy == "evolution":
+            return EvolutionConfig(generations=scenario.budget,
+                                   seed=scenario.seed, rho=scenario.rho)
+        return None  # "mc": no config object
+
+    def _evaluation_workload(self, workload: Workload,
+                             allocation: AllocationSpace,
+                             config) -> Workload:
+        """The workload a scenario's evaluator actually prices against
+        (penalty bounds calibrated exactly as the strategy will)."""
+        if config is not None and getattr(config, "calibrate_bounds",
+                                          False):
+            bounds = calibrate_penalty_bounds(workload, self.cost_model,
+                                              allocation)
+            return workload.with_specs(workload.specs, bounds=bounds)
+        return workload
+
+    def _service_for(self, eval_workload: Workload,
+                     rho: float) -> EvalService:
+        """Get or create the shared service for an evaluation context."""
+        salt = evaluation_context_salt(eval_workload,
+                                       self.cost_model.params, rho)
+        service = self.services.get(salt)
+        if service is None:
+            evaluator = Evaluator(eval_workload, self.cost_model,
+                                  trainer=None, rho=rho)
+            service = EvalService(evaluator,
+                                  cache_size=self.config.cache_size,
+                                  workers=self.config.eval_workers)
+            self.services[salt] = service
+        return service
+
+    def _resolve_workload(self, scenario: Scenario) -> Workload:
+        if isinstance(scenario.workload, str):
+            return workload_by_name(scenario.workload)
+        return scenario.workload
+
+    def _cache_totals(self,
+                      outcomes: list[ScenarioOutcome]) -> dict[str, Any]:
+        if self.services:
+            stats = [service.stats for service in self.services.values()]
+            entries = sum(s.cache_len for s in self.services.values())
+        else:  # pool mode: aggregate the per-scenario deltas
+            stats = [o.eval_stats for o in outcomes
+                     if o.eval_stats is not None]
+            entries = 0
+        requests = sum(s.requests for s in stats)
+        hits = sum(s.hits for s in stats)
+        shared = sum(s.shared_hits for s in stats)
+        return {
+            "services": len(self.services),
+            "requests": requests,
+            "hits": hits,
+            "misses": sum(s.misses for s in stats),
+            "shared_hits": shared,
+            "hit_rate": hits / requests if requests else 0.0,
+            "shared_hit_rate": shared / requests if requests else 0.0,
+            "entries": entries,
+            "cost_memo_hits": self.cost_model.memo_hits,
+            "cost_memo_misses": self.cost_model.memo_misses,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every shared service (idempotent)."""
+        for service in self.services.values():
+            service.close()
+
+    def __enter__(self) -> "Campaign":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _run_scenario_isolated(job: tuple) -> ScenarioOutcome:
+    """Pool worker: one scenario, one private service (module-level so
+    the fork-based executor can pickle the callable)."""
+    scenario, cache_size, eval_workers, cost_params = job
+    with Campaign(CampaignConfig(scenarios=(scenario,),
+                                 cache_size=cache_size,
+                                 eval_workers=eval_workers),
+                  cost_model=CostModel(cost_params)) as campaign:
+        return campaign.run().outcomes[0]
+
+
+def run_campaign(config: CampaignConfig,
+                 *, cost_model: CostModel | None = None) -> CampaignResult:
+    """Execute a campaign and release its services."""
+    with Campaign(config, cost_model=cost_model) as campaign:
+        return campaign.run()
+
+
+# ----------------------------------------------------------------------
+# Serialisation / reporting
+# ----------------------------------------------------------------------
+def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
+    """Flatten a campaign into the consolidated JSON schema (see the
+    module docstring)."""
+    return {
+        "format": "repro-campaign",
+        "version": 1,
+        "wall_seconds": result.wall_seconds,
+        "cache": dict(result.cache),
+        "scenarios": [outcome.to_dict() for outcome in result.outcomes],
+    }
+
+
+def save_campaign(result: CampaignResult, path: str | Path) -> Path:
+    """Write the consolidated campaign JSON to ``path``."""
+    import json
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(campaign_to_dict(result), indent=2),
+                    encoding="utf-8")
+    return path
+
+
+def format_campaign(result: CampaignResult) -> str:
+    """Render the campaign as a comparison table."""
+    rows: list[list[object]] = []
+    for outcome in result.outcomes:
+        res = outcome.result
+        if isinstance(res, SearchResult):
+            best = (f"{res.best.weighted_accuracy:.4f}"
+                    if res.best else "none")
+            feasible = len(res.feasible_solutions)
+            explored = len(res.explored)
+        else:  # NASOnlyResult
+            best = f"{res.best_weighted:.4f}"
+            feasible = "-"
+            explored = len(res.history)
+        stats = outcome.eval_stats
+        rows.append([
+            outcome.scenario.name, best, feasible, explored,
+            stats.requests if stats else 0,
+            stats.hits if stats else 0,
+            stats.shared_hits if stats else 0,
+            f"{outcome.wall_seconds:.2f}",
+        ])
+    cache = result.cache
+    title = (f"Campaign: {len(result.outcomes)} scenarios, "
+             f"{cache['requests']} hardware requests, "
+             f"{cache['hit_rate']:.1%} cache hits "
+             f"({cache['shared_hit_rate']:.1%} cross-scenario), "
+             f"{result.wall_seconds:.2f}s")
+    return format_table(
+        ["scenario", "best", "feasible", "explored", "hw reqs", "hits",
+         "shared", "wall/s"],
+        rows, title=title)

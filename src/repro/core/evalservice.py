@@ -29,7 +29,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 
 from repro.accel.accelerator import HeterogeneousAccelerator
 from repro.arch.network import NetworkArch
@@ -40,7 +40,8 @@ from repro.utils.hashing import stable_hash
 from repro.workloads.workload import Workload
 
 __all__ = ["EvalService", "EvalServiceStats", "design_content",
-           "design_digest"]
+           "design_digest", "evaluation_context_salt",
+           "verify_injected_service"]
 
 #: Pairs submitted to :meth:`EvalService.evaluate_many`.
 _Pair = tuple[tuple[NetworkArch, ...], HeterogeneousAccelerator]
@@ -94,6 +95,39 @@ def _context_salt(workload: Workload, params: CostModelParams,
     return format(stable_hash(payload, salt="eval-context"), "016x")
 
 
+def evaluation_context_salt(workload: Workload, params: CostModelParams,
+                            rho: float) -> str:
+    """Public digest of an evaluation context.
+
+    Searches that accept an *injected* (shared) service compare this
+    against :attr:`EvalService.context_salt` before using it: equal
+    salts guarantee the service prices any pair exactly as a private
+    service would (same specs/bounds, cost parameters and rho), so a
+    campaign-wide cache cannot change results.
+    """
+    return _context_salt(workload, params, rho)
+
+
+def verify_injected_service(service: "EvalService", workload: Workload,
+                            params: CostModelParams, rho: float) -> None:
+    """Refuse an injected (shared) service whose context differs.
+
+    The single gate every search calls before borrowing a service; see
+    :func:`evaluation_context_salt` for why equal salts make sharing
+    sound.
+
+    Raises:
+        ValueError: If the service prices under a different evaluation
+            context.
+    """
+    if service.context_salt != evaluation_context_salt(workload, params,
+                                                       rho):
+        raise ValueError(
+            "injected evaluation service does not match this search's "
+            "evaluation context (workload specs/bounds, cost-model "
+            "parameters or rho differ)")
+
+
 # ----------------------------------------------------------------------
 # Worker-process plumbing
 # ----------------------------------------------------------------------
@@ -128,6 +162,9 @@ class EvalServiceStats:
         cost_memo_hits / cost_memo_misses: Cross-design cost-table memo
             accounting (``CostModel.memo_hits`` / ``memo_misses``),
             mirrored after every miss computation.
+        shared_hits: Hits served from entries inserted in an *earlier*
+            service generation (see :meth:`EvalService.bump_generation`)
+            — the cross-run reuse a shared campaign cache provides.
         hap_moves_priced / hap_moves_pruned / hap_moves_resumed /
         hap_memo_hits / hap_steps_saved / hap_steps_replayed:
             HAP single-move pricing counters aggregated across every
@@ -143,6 +180,7 @@ class EvalServiceStats:
     evictions: int = 0
     batches: int = 0
     parallel_evaluations: int = 0
+    shared_hits: int = 0
     miss_seconds: float = 0.0
     cost_memo_hits: int = 0
     cost_memo_misses: int = 0
@@ -175,6 +213,22 @@ class EvalServiceStats:
         """Fraction of cost-table lookups answered from the memo."""
         total = self.cost_memo_hits + self.cost_memo_misses
         return self.cost_memo_hits / total if total else 0.0
+
+    def snapshot(self) -> "EvalServiceStats":
+        """Value copy of the current counters."""
+        return replace(self)
+
+    def delta(self, since: "EvalServiceStats") -> "EvalServiceStats":
+        """Counter-wise difference ``self - since``.
+
+        Used by :class:`repro.core.driver.SearchDriver` to attribute a
+        *shared* service's accounting to one run: the driver snapshots
+        the stats when it starts and absorbs only the delta, so campaign
+        scenarios sharing one cache still report per-run numbers.
+        """
+        return EvalServiceStats(**{
+            f.name: getattr(self, f.name) - getattr(since, f.name)
+            for f in fields(self)})
 
     def summary(self) -> str:
         """One-line human-readable account."""
@@ -225,6 +279,10 @@ class EvalService:
         self.parallel_threshold = max(1, parallel_threshold)
         self.stats = EvalServiceStats()
         self._cache: OrderedDict[tuple, HardwareEvaluation] = OrderedDict()
+        #: Generation an entry was inserted in (for shared-cache
+        #: accounting across campaign scenarios).
+        self._entry_generation: dict[tuple, int] = {}
+        self._generation = 0
         self._salt = _context_salt(evaluator.workload,
                                    evaluator.cost_model.params,
                                    evaluator.rho)
@@ -233,6 +291,14 @@ class EvalService:
     # ------------------------------------------------------------------
     # Keys
     # ------------------------------------------------------------------
+    @property
+    def context_salt(self) -> str:
+        """Digest of the evaluation context (workload specs/bounds, cost
+        parameters, rho).  Two services with equal salts price any pair
+        identically, so a cache may be shared between them — the driver
+        and campaign runner verify this before reusing a service."""
+        return self._salt
+
     def digest(self, networks: tuple[NetworkArch, ...],
                accelerator: HeterogeneousAccelerator) -> str:
         """Digest of one pair under this service's evaluation context.
@@ -355,6 +421,9 @@ class EvalService:
             return None
         self._cache.move_to_end(key)
         self.stats.hits += 1
+        if self._entry_generation.get(key, self._generation) \
+                < self._generation:
+            self.stats.shared_hits += 1
         return cached
 
     def _store(self, key: tuple, evaluation: HardwareEvaluation) -> None:
@@ -362,8 +431,10 @@ class EvalService:
             return
         self._cache[key] = evaluation
         self._cache.move_to_end(key)
+        self._entry_generation.setdefault(key, self._generation)
         while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+            evicted, _ = self._cache.popitem(last=False)
+            self._entry_generation.pop(evicted, None)
             self.stats.evictions += 1
 
     @property
@@ -374,6 +445,52 @@ class EvalService:
     def clear_cache(self) -> None:
         """Drop every cached evaluation (statistics are kept)."""
         self._cache.clear()
+        self._entry_generation.clear()
+
+    def bump_generation(self) -> None:
+        """Open a new cache generation.
+
+        Entries stored before the bump count as *shared* when hit
+        afterwards (``stats.shared_hits``).  The campaign runner bumps
+        between scenarios so cross-scenario reuse of one cache is
+        measurable; bumping changes no evaluation result.
+        """
+        self._generation += 1
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Value snapshot of everything a resumed run must restore.
+
+        Covers the LRU cache, generation tags, service statistics and
+        the wrapped evaluator's cumulative counters (hardware-evaluation
+        count, HAP move stats, cost-table memo).  Restoring the snapshot
+        makes a killed-and-resumed run's cache behaviour — hence its
+        ``pricing`` block and hit/miss accounting — identical to the
+        uninterrupted run.  Values are shared (entries are immutable);
+        the checkpoint writer pickles the snapshot, which deep-copies.
+        """
+        cost_model = self.evaluator.cost_model
+        return {
+            "cache": OrderedDict(self._cache),
+            "entry_generation": dict(self._entry_generation),
+            "generation": self._generation,
+            "stats": self.stats.snapshot(),
+            "hardware_evaluations": self.evaluator.hardware_evaluations,
+            "move_stats": replace(self.evaluator.move_stats),
+            "cost_memo": cost_model.memo_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state_snapshot` (inverse operation)."""
+        self._cache = OrderedDict(state["cache"])
+        self._entry_generation = dict(state["entry_generation"])
+        self._generation = state["generation"]
+        self.stats = state["stats"].snapshot()
+        self.evaluator.hardware_evaluations = state["hardware_evaluations"]
+        self.evaluator.move_stats = replace(state["move_stats"])
+        self.evaluator.cost_model.load_memo_state(state["cost_memo"])
 
     # ------------------------------------------------------------------
     # Pool lifecycle

@@ -17,12 +17,15 @@ Genome layout and repair:
   invariant the controller enforces with masks), so every individual
   decodes to a valid accelerator.
 
-Hardware pricing goes through the shared
-:class:`repro.core.evalservice.EvalService`: each generation's offspring
-are bred first (tournament selection reads only the previous
-generation's fitness, and breeding never consults evaluation results)
-and then priced as one cached/parallel batch — the RNG stream and every
-fitness value are identical to the one-at-a-time formulation.
+The generation loop is owned by :class:`repro.core.driver.SearchDriver`:
+the search implements the :class:`~repro.core.driver.SearchStrategy`
+protocol — one round is one generation, :meth:`EvolutionarySearch.propose`
+breeds the whole cohort first (tournament selection reads only the
+previous generation's fitness, and breeding never consults evaluation
+results), the driver prices it as one cached/parallel batch and
+:meth:`EvolutionarySearch.observe` finishes the fitness assignment — the
+RNG stream and every fitness value are identical to the one-at-a-time
+formulation.  The driver adds checkpoint/resume on top.
 
 Seeding contract: all randomness derives from ``config.seed`` through a
 single generator; evaluation is RNG-free, so batching cannot reorder
@@ -32,20 +35,22 @@ draws.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.accel.allocation import AllocationSpace
 from repro.core.bounds_calibration import calibrate_penalty_bounds
 from repro.core.choices import JointSearchSpace
+from repro.core.driver import RoundLog, SearchDriver
 from repro.core.evaluator import Evaluator, HardwareEvaluation
-from repro.core.evalservice import EvalService
+from repro.core.evalservice import EvalService, verify_injected_service
 from repro.core.results import ExploredSolution, SearchResult
 from repro.core.reward import episode_reward, weighted_normalised_accuracy
 from repro.cost.model import CostModel
 from repro.train.surrogate import AccuracySurrogate, default_surrogate
 from repro.train.trainer import SurrogateTrainer
-from repro.utils.rng import new_rng
+from repro.utils.rng import new_rng, restore_rng, rng_state
 from repro.workloads.workload import Workload
 
 __all__ = ["EvolutionConfig", "EvolutionarySearch"]
@@ -105,8 +110,11 @@ class EvolutionarySearch:
     """GA over the joint (architectures, accelerator) genome.
 
     Args mirror :class:`repro.core.search.NASAIC` so the two optimisers
-    are drop-in interchangeable.
+    are drop-in interchangeable (including ``evalservice`` injection for
+    campaign-shared caches).
     """
+
+    strategy_name = "evolution"
 
     def __init__(
         self,
@@ -116,6 +124,7 @@ class EvolutionarySearch:
         cost_model: CostModel | None = None,
         surrogate: AccuracySurrogate | None = None,
         config: EvolutionConfig | None = None,
+        evalservice: EvalService | None = None,
     ) -> None:
         self.allocation = allocation or AllocationSpace()
         self.config = config or EvolutionConfig()
@@ -131,11 +140,25 @@ class EvolutionarySearch:
         self.trainer = SurrogateTrainer(surrogate)
         self.evaluator = Evaluator(workload, self.cost_model, self.trainer,
                                    rho=self.config.rho)
-        self.evalservice = EvalService(self.evaluator,
-                                       cache_size=self.config.cache_size,
-                                       workers=self.config.eval_workers)
+        if evalservice is None:
+            self.evalservice = EvalService(
+                self.evaluator, cache_size=self.config.cache_size,
+                workers=self.config.eval_workers)
+            self._owns_service = True
+        else:
+            verify_injected_service(evalservice, workload,
+                                    self.cost_model.params,
+                                    self.config.rho)
+            self.evalservice = evalservice
+            self._owns_service = False
         self.space = JointSearchSpace(workload, self.allocation)
         self._rng = new_rng(self.config.seed)
+        # -- run state (one trajectory per instance) -------------------
+        self._result = SearchResult(name=f"EA[{self.workload.name}]")
+        self._population: list[_Individual] = []
+        self._generation = 0
+        self._pending_round: tuple | None = None
+        self._pending_elites: list[_Individual] = []
 
     # ------------------------------------------------------------------
     # Genome operations
@@ -187,21 +210,6 @@ class EvolutionarySearch:
     # ------------------------------------------------------------------
     # Fitness
     # ------------------------------------------------------------------
-    def _evaluate_batch(self, individuals: list[_Individual],
-                        result: SearchResult) -> None:
-        """Price a cohort's hardware as one batch, then finish fitness.
-
-        The training path stays serial (it is memoised per architecture),
-        but every fitness value is identical to the one-at-a-time
-        formulation because the hardware path is deterministic.
-        """
-        joints = [self.space.decode(ind.genes) for ind in individuals]
-        evaluations = self.evalservice.evaluate_many(
-            [(joint.networks, joint.accelerator) for joint in joints])
-        for individual, joint, hardware in zip(individuals, joints,
-                                               evaluations):
-            self._finish_fitness(individual, joint, hardware, result)
-
     def _finish_fitness(self, individual: _Individual, joint,
                         hardware: HardwareEvaluation,
                         result: SearchResult) -> None:
@@ -229,41 +237,122 @@ class EvolutionarySearch:
                    key=lambda ind: ind.fitness)
 
     # ------------------------------------------------------------------
-    # Main loop
+    # SearchStrategy protocol (one round = one generation)
     # ------------------------------------------------------------------
-    def run(self) -> SearchResult:
-        """Evolve and return the full exploration record."""
+    @property
+    def total_rounds(self) -> int:
+        """Generations a complete run executes."""
+        return self.config.generations
+
+    def propose(self, k: int | None = None) -> list:
+        """Breed one generation's cohort (initial population in round 0)
+        and hand its decoded designs to the driver for batch pricing.
+
+        Selection reads only the previous generation's fitness and
+        breeding never consults evaluation results, so sampling the
+        whole cohort before pricing is RNG-stream-identical to the
+        one-at-a-time formulation.  ``k`` is ignored: the cohort size is
+        fixed by the configuration.
+        """
         cfg = self.config
-        result = SearchResult(name=f"EA[{self.workload.name}]")
-        population = [_Individual(self._random_genes())
+        if self._generation == 0:
+            cohort = [_Individual(self._random_genes())
                       for _ in range(cfg.population)]
-        self._evaluate_batch(population, result)
-        for _ in range(cfg.generations - 1):
+            self._pending_elites = []
+        else:
+            population = self._population
             population.sort(key=lambda ind: ind.fitness, reverse=True)
-            next_gen = [
+            self._pending_elites = [
                 _Individual(list(ind.genes), ind.fitness, ind.solution)
                 for ind in population[:cfg.elite]]
-            # Breed the whole cohort first: selection reads only the
-            # previous generation, so evaluation can happen in one batch.
-            offspring = []
-            while len(next_gen) + len(offspring) < cfg.population:
+            cohort = []
+            while len(self._pending_elites) + len(cohort) < cfg.population:
                 parent_a = self._tournament(population)
                 parent_b = self._tournament(population)
-                offspring.append(_Individual(self._mutate(
+                cohort.append(_Individual(self._mutate(
                     self._crossover(parent_a.genes, parent_b.genes))))
-            self._evaluate_batch(offspring, result)
-            population = next_gen + offspring
+        joints = [self.space.decode(ind.genes) for ind in cohort]
+        self._pending_round = (cohort, joints)
+        return [(joint.networks, joint.accelerator) for joint in joints]
+
+    def observe(self, evaluations) -> RoundLog:
+        """Finish the cohort's fitness (training path + Eq. 4 reward)
+        and promote it, with the elites, to the next generation."""
+        assert self._pending_round is not None, "observe() before propose()"
+        cohort, joints = self._pending_round
+        self._pending_round = None
+        for individual, joint, hardware in zip(cohort, joints,
+                                               evaluations):
+            self._finish_fitness(individual, joint, hardware,
+                                 self._result)
+        self._population = self._pending_elites + cohort
+        self._pending_elites = []
+        self._generation += 1
+        best = (f"{self._result.best.weighted_accuracy:.4f}"
+                if self._result.best else "none")
+        return RoundLog(
+            self._generation - 1,
+            f"generation {self._generation}/{self.total_rounds} "
+            f"best={best}")
+
+    def finish(self) -> SearchResult:
+        """Assemble the run record (the driver absorbs eval stats)."""
+        result = self._result
         result.trainings_run = self.trainer.trainings_run
-        result.absorb_eval_stats(self.evalservice.stats)
         return result
+
+    def state(self) -> dict:
+        """Snapshot every mutable piece of run state (see
+        :meth:`repro.core.driver.SearchStrategy.state`)."""
+        return {
+            "generation": self._generation,
+            "rng": rng_state(self._rng),
+            "population": self._population,
+            "result": self._result,
+            "trainer": self.trainer.state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state` snapshot (resume support)."""
+        self._generation = state["generation"]
+        self._rng = restore_rng(state["rng"])
+        self._population = list(state["population"])
+        self._result = state["result"]
+        self.trainer.load_state(state["trainer"])
+        self._pending_round = None
+        self._pending_elites = []
+
+    # ------------------------------------------------------------------
+    # Main loop (driver facade)
+    # ------------------------------------------------------------------
+    def run(self, *, progress_every: int | None = None,
+            checkpoint_path: str | Path | None = None,
+            checkpoint_every: int = 0,
+            resume_from: str | Path | None = None) -> SearchResult:
+        """Evolve and return the full exploration record.
+
+        One trajectory per instance, like :meth:`NASAIC.run`:
+        ``resume_from`` restores a checkpoint written by a previous
+        process and continues it bit-identically.
+        """
+        driver = SearchDriver(
+            self, self.evalservice,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            progress_every=progress_every)
+        if resume_from is not None:
+            driver.restore(resume_from)
+        return driver.run()
 
     def close(self) -> None:
         """Release evaluation-service resources (worker pool, if any).
 
         Only needed with ``eval_workers > 1``; use the search as a
-        context manager to get it automatically.
+        context manager to get it automatically.  Injected (shared)
+        services are left alive — their owner closes them.
         """
-        self.evalservice.close()
+        if self._owns_service:
+            self.evalservice.close()
 
     def __enter__(self) -> "EvolutionarySearch":
         return self

@@ -162,6 +162,30 @@ class ReinforceTrainer:
         self.updates_applied += 1
         return float(np.mean(advantages))
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Picklable snapshot of the optimiser's mutable state (RMSProp
+        second moments, reward baseline, update count) — everything a
+        resumed run needs to continue the parameter trajectory
+        bit-identically (the controller's weights are checkpointed by
+        their owner)."""
+        return {
+            "rms": {k: v.copy() for k, v in self._rms.items()},
+            "baseline": self.baseline,
+            "updates_applied": self.updates_applied,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state` snapshot."""
+        if set(state["rms"]) != set(self._rms):
+            raise ValueError("RMSProp state keys do not match this "
+                             "trainer's controller")
+        self._rms = {k: v.copy() for k, v in state["rms"].items()}
+        self.baseline = state["baseline"]
+        self.updates_applied = state["updates_applied"]
+
     def _clip(self, grads: dict[str, np.ndarray]) -> None:
         total = float(np.sqrt(sum(
             float((g * g).sum()) for g in grads.values())))

@@ -19,11 +19,16 @@ The joint and hardware reward streams have different scales, so each gets
 its own REINFORCE trainer (separate reward baselines and RMSProp moments)
 over the *shared* controller parameters.
 
-Hardware evaluations route through :class:`repro.core.evalservice.EvalService`
-— the ``phi`` hardware-only designs of each episode are sampled first and
-priced as one (cached, optionally parallel) batch, which changes neither
-the sampling RNG stream nor any evaluation result (the hardware path is
-deterministic); the golden regression test pins this.
+The loop itself is owned by :class:`repro.core.driver.SearchDriver`:
+NASAIC implements the :class:`~repro.core.driver.SearchStrategy`
+protocol — one round is one episode, :meth:`NASAIC.propose` samples the
+joint design plus the ``phi`` hardware-only designs up front, the driver
+prices them as one (cached, optionally parallel) batch and
+:meth:`NASAIC.observe` applies the controller updates and the training
+path.  This changes neither the sampling RNG stream nor any evaluation
+result (the hardware path is deterministic); the golden regression test
+pins this.  The driver also provides checkpoint/resume: every mutable
+piece of run state is covered by :meth:`NASAIC.state`.
 
 Seeding contract: every random draw in a NASAIC run derives from
 ``config.seed`` alone — controller initialisation uses sub-stream 0 and
@@ -34,20 +39,22 @@ sampling uses sub-stream 1 of the master generator (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.accel.allocation import AllocationSpace
 from repro.core.bounds_calibration import calibrate_penalty_bounds
 from repro.core.choices import JointSearchSpace
 from repro.core.controller import ControllerConfig, RNNController
+from repro.core.driver import RoundLog, SearchDriver
 from repro.core.evaluator import Evaluator, HardwareEvaluation
-from repro.core.evalservice import EvalService
+from repro.core.evalservice import EvalService, verify_injected_service
 from repro.core.reinforce import ReinforceConfig, ReinforceTrainer
 from repro.core.results import EpisodeRecord, ExploredSolution, SearchResult
 from repro.core.reward import episode_reward, weighted_normalised_accuracy
 from repro.cost.model import CostModel
 from repro.train.surrogate import AccuracySurrogate, default_surrogate
 from repro.train.trainer import SurrogateTrainer
-from repro.utils.rng import new_rng, spawn_rng
+from repro.utils.rng import new_rng, restore_rng, rng_state, spawn_rng
 from repro.workloads.workload import Workload
 
 __all__ = ["NASAIC", "NASAICConfig"]
@@ -118,7 +125,14 @@ class NASAIC:
         surrogate: Accuracy oracle; defaults to the paper-calibrated
             surrogate with the workload's spaces registered.
         config: Exploration parameters.
+        evalservice: Optional *injected* hardware-evaluation service —
+            e.g. a campaign-wide shared cache.  Must price under the
+            exact same evaluation context (verified via its salt); the
+            search then does not own it (``close`` leaves it alive) and
+            ``config.cache_size``/``config.eval_workers`` are ignored.
     """
+
+    strategy_name = "nasaic"
 
     def __init__(
         self,
@@ -128,6 +142,7 @@ class NASAIC:
         cost_model: CostModel | None = None,
         surrogate: AccuracySurrogate | None = None,
         config: NASAICConfig | None = None,
+        evalservice: EvalService | None = None,
     ) -> None:
         self.allocation = allocation or AllocationSpace()
         self.config = config or NASAICConfig()
@@ -144,9 +159,17 @@ class NASAIC:
         self.trainer = SurrogateTrainer(surrogate)
         self.evaluator = Evaluator(workload, self.cost_model, self.trainer,
                                    rho=self.config.rho)
-        self.evalservice = EvalService(self.evaluator,
-                                       cache_size=self.config.cache_size,
-                                       workers=self.config.eval_workers)
+        if evalservice is None:
+            self.evalservice = EvalService(
+                self.evaluator, cache_size=self.config.cache_size,
+                workers=self.config.eval_workers)
+            self._owns_service = True
+        else:
+            verify_injected_service(evalservice, workload,
+                                    self.cost_model.params,
+                                    self.config.rho)
+            self.evalservice = evalservice
+            self._owns_service = False
         self.space = JointSearchSpace(workload, self.allocation)
         master = new_rng(self.config.seed)
         self._init_rng = spawn_rng(master, 0)
@@ -159,41 +182,34 @@ class NASAIC:
         self._hw_updates = ReinforceTrainer(self.controller,
                                             self.config.reinforce)
         self._pending_joint: list = []
+        # -- run state (one trajectory per instance) -------------------
+        self._result = SearchResult(name=f"NASAIC[{self.workload.name}]")
+        self._episode = 0
+        self._target_episodes: int | None = None
+        self._pending_round: tuple | None = None
 
     # ------------------------------------------------------------------
-    # Main loop
+    # SearchStrategy protocol (one round = one episode)
     # ------------------------------------------------------------------
-    def run(self, episodes: int | None = None,
-            *, progress_every: int | None = None) -> SearchResult:
-        """Run the search and return the full exploration record."""
-        episodes = episodes or self.config.episodes
-        result = SearchResult(name=f"NASAIC[{self.workload.name}]")
-        for episode in range(episodes):
-            record = self._run_episode(episode, result)
-            result.episodes.append(record)
-            if progress_every and (episode + 1) % progress_every == 0:
-                best = (f"{result.best.weighted_accuracy:.4f}"
-                        if result.best else "none")
-                print(f"episode {episode + 1}/{episodes} "
-                      f"reward={record.reward:+.3f} best={best}")
-        result.trainings_run = self.trainer.trainings_run
-        result.trainings_skipped = self.trainer.trainings_skipped
-        result.absorb_eval_stats(self.evalservice.stats)
-        return result
+    @property
+    def total_rounds(self) -> int:
+        """Episodes a complete run executes (run-arg override wins)."""
+        return self._target_episodes or self.config.episodes
 
-    def _run_episode(self, episode: int,
-                     result: SearchResult) -> EpisodeRecord:
-        rho = self.config.rho
+    def propose(self, k: int | None = None) -> list:
+        """Sample one episode's candidates: the joint design plus the
+        ``phi`` hardware-only designs (SA/SH switch schedule of §IV-②).
+
+        Everything is sampled before anything is priced — the controller
+        is only updated in :meth:`observe`, so batching the pricing
+        changes neither the RNG stream nor any controller update.  ``k``
+        is ignored: the episode structure is fixed.
+        """
         # -- joint step (SA = SH = 1) ----------------------------------
         joint_sample = self.controller.sample(
             self._sample_rng, mask_fn=self.space.mask_for)
         joint = self.space.decode(joint_sample.actions)
-        best_hw = self.evalservice.evaluate_hardware(
-            joint.networks, joint.accelerator)
         # -- hardware-only steps (SA = 0, SH = 1) ----------------------
-        # All phi designs are sampled up front (the controller is only
-        # updated after the batch), so the misses can be priced as one
-        # cached/parallel batch without perturbing the RNG stream.
         forced = {pos: joint_sample.actions[pos]
                   for pos in self.space.arch_positions}
         hw_samples = [
@@ -201,11 +217,22 @@ class NASAIC:
                 self._sample_rng, mask_fn=self.space.mask_for,
                 forced_actions=forced)
             for _ in range(self.config.hw_steps)]
-        hw_evals = self.evalservice.evaluate_many([
+        self._pending_round = (joint_sample, joint, hw_samples)
+        return [(joint.networks, joint.accelerator)] + [
             (joint.networks, self.space.decode(sample.actions).accelerator)
-            for sample in hw_samples])
+            for sample in hw_samples]
+
+    def observe(self, evaluations) -> RoundLog:
+        """Consume the episode's priced designs: policy updates, early
+        pruning, the training path and the episode record."""
+        assert self._pending_round is not None, "observe() before propose()"
+        joint_sample, joint, hw_samples = self._pending_round
+        self._pending_round = None
+        rho = self.config.rho
+        result = self._result
+        best_hw: HardwareEvaluation = evaluations[0]
         hw_batch = []
-        for hw_sample, hw_eval in zip(hw_samples, hw_evals):
+        for hw_sample, hw_eval in zip(hw_samples, evaluations[1:]):
             hw_batch.append((hw_sample, -rho * hw_eval.penalty))
             if self._better_hw(hw_eval, best_hw):
                 best_hw = hw_eval
@@ -241,22 +268,117 @@ class NASAIC:
                 weighted_accuracy=weighted,
             )
             result.record(solution)
-        return EpisodeRecord(
-            episode=episode,
+        record = EpisodeRecord(
+            episode=self._episode,
             solution=solution,
             reward=reward,
             penalty=best_hw.penalty,
             trained=trained,
             hardware_steps=self.config.hw_steps,
         )
+        result.episodes.append(record)
+        self._episode += 1
+        best = (f"{result.best.weighted_accuracy:.4f}"
+                if result.best else "none")
+        return RoundLog(
+            record.episode,
+            f"episode {self._episode}/{self.total_rounds} "
+            f"reward={record.reward:+.3f} best={best}")
+
+    def finish(self) -> SearchResult:
+        """Assemble the run record (the driver absorbs eval stats)."""
+        result = self._result
+        result.trainings_run = self.trainer.trainings_run
+        result.trainings_skipped = self.trainer.trainings_skipped
+        return result
+
+    def state(self) -> dict:
+        """Snapshot every mutable piece of run state (see
+        :meth:`repro.core.driver.SearchStrategy.state`)."""
+        return {
+            "episode": self._episode,
+            "target_episodes": self._target_episodes,
+            "controller_params": self.controller.clone_params(),
+            "joint_updates": self._joint_updates.state(),
+            "hw_updates": self._hw_updates.state(),
+            "sample_rng": rng_state(self._sample_rng),
+            "pending_joint": list(self._pending_joint),
+            "result": self._result,
+            "trainer": self.trainer.state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state` snapshot (resume support)."""
+        self._episode = state["episode"]
+        self._target_episodes = state["target_episodes"]
+        self.controller.load_params(state["controller_params"])
+        self._joint_updates.load_state(state["joint_updates"])
+        self._hw_updates.load_state(state["hw_updates"])
+        self._sample_rng = restore_rng(state["sample_rng"])
+        self._pending_joint = [
+            (self._realias(sample), reward)
+            for sample, reward in state["pending_joint"]]
+        self._result = state["result"]
+        self.trainer.load_state(state["trainer"])
+        self._pending_round = None
+
+    def _realias(self, sample):
+        """Re-bind a restored sample's input caches to the live weights.
+
+        A sampled trajectory's per-step input ``x`` is a *view* of the
+        controller's parameters (``x0`` or an embedding row), so a
+        joint-batch flush backpropagates through the weights as of
+        flush time — mutated in place by every policy update since the
+        sample was drawn.  Serialisation freezes those views into
+        copies; re-aliasing them to the restored parameter arrays makes
+        the resumed flush use exactly the values the uninterrupted run
+        would, keeping the trajectory bit-identical.
+        """
+        params = self.controller.params
+        for t, step in enumerate(sample.steps):
+            if t == 0:
+                step.x = params["x0"]
+            else:
+                prev = sample.steps[t - 1].action
+                step.x = params[f"emb{t - 1}"][prev]
+        return sample
+
+    # ------------------------------------------------------------------
+    # Main loop (driver facade)
+    # ------------------------------------------------------------------
+    def run(self, episodes: int | None = None,
+            *, progress_every: int | None = None,
+            checkpoint_path: str | Path | None = None,
+            checkpoint_every: int = 0,
+            resume_from: str | Path | None = None) -> SearchResult:
+        """Run the search and return the full exploration record.
+
+        One trajectory per instance: the run state lives on the search
+        object, so ``run`` continues where a previous (partial) run or a
+        restored checkpoint left off.  ``resume_from`` restores a
+        checkpoint written by a previous process first; the episode
+        budget of the resumed run must match.
+        """
+        if episodes:
+            self._target_episodes = episodes
+        driver = SearchDriver(
+            self, self.evalservice,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            progress_every=progress_every)
+        if resume_from is not None:
+            driver.restore(resume_from)
+        return driver.run()
 
     def close(self) -> None:
         """Release evaluation-service resources (worker pool, if any).
 
         Only needed with ``eval_workers > 1``; use the search as a
-        context manager to get it automatically.
+        context manager to get it automatically.  Injected (shared)
+        services are left alive — their owner closes them.
         """
-        self.evalservice.close()
+        if self._owns_service:
+            self.evalservice.close()
 
     def __enter__(self) -> "NASAIC":
         return self

@@ -1,24 +1,48 @@
-"""JSON serialisation of search results.
+"""Serialisation of search results (JSON) and run checkpoints (pickle).
 
 Lives in ``repro.core`` (not ``repro.utils``) because it consumes the
 search-result types; ``repro.utils`` sits below every other subpackage.
 
-Experiment harnesses persist their outcomes so EXPERIMENTS.md numbers
-can be regenerated and diffed.  Solutions serialise to plain dictionaries
-(genotypes, accelerator triples, metrics) — enough to reproduce every
-table row without pickling live objects.
+Two artefact families with different contracts:
+
+- **Run/campaign JSON** (:func:`save_result`, the campaign runner's
+  consolidated output): plain dictionaries — genotypes, accelerator
+  triples, metrics — enough to reproduce every table row without
+  pickling live objects.  Diff-friendly, cross-version stable.
+- **Checkpoints** (:func:`save_checkpoint` / :func:`load_checkpoint`):
+  written by :class:`repro.core.driver.SearchDriver` mid-run so an
+  interrupted search can resume *bit-identically*.  They must round-trip
+  controller weight arrays, RMSProp moments, RNG bit-generator states
+  and cached :class:`~repro.core.evaluator.HardwareEvaluation` records
+  exactly, so they use pickle — same trade-off as ``torch.save``.  A
+  checkpoint is a versioned envelope::
+
+      {"format": "repro-checkpoint", "version": 1,
+       "strategy_name": ..., "round": ..., "total_rounds": ...,
+       "context_salt": ...,        # evaluation context of the service
+       "stats_start": ...,         # driver's stats baseline (delta absorption)
+       "strategy_state": {...},    # SearchStrategy.state()
+       "service_state": {...}}     # EvalService.state_snapshot()
+
+  Only load checkpoints you wrote yourself (standard pickle caveat).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import pickle
 from pathlib import Path
 from typing import Any
 
 from repro.core.results import ExploredSolution, SearchResult
 
-__all__ = ["load_result", "result_to_dict", "save_result",
-           "solution_to_dict"]
+__all__ = ["CHECKPOINT_FORMAT", "CHECKPOINT_VERSION", "load_checkpoint",
+           "load_result", "result_to_dict", "save_checkpoint",
+           "save_result", "solution_to_dict"]
+
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
 
 
 def solution_to_dict(solution: ExploredSolution) -> dict[str, Any]:
@@ -95,3 +119,43 @@ def save_result(result: SearchResult, path: str | Path) -> Path:
 def load_result(path: str | Path) -> dict[str, Any]:
     """Read back a serialised run as a plain dictionary."""
     return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+def save_checkpoint(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Atomically write a mid-run checkpoint.
+
+    The payload is pickled immediately (snapshot semantics: later
+    mutations of live objects cannot leak into the file) and the file is
+    replaced atomically, so a crash during checkpointing never corrupts
+    the previous checkpoint.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record = {"format": CHECKPOINT_FORMAT,
+              "version": CHECKPOINT_VERSION, **payload}
+    blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(blob)
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(path: str | Path) -> dict[str, Any]:
+    """Read back a checkpoint written by :func:`save_checkpoint`.
+
+    Raises:
+        ValueError: If the file is not a repro checkpoint or was written
+            by an incompatible checkpoint-format version.
+    """
+    record = pickle.loads(Path(path).read_bytes())
+    if (not isinstance(record, dict)
+            or record.get("format") != CHECKPOINT_FORMAT):
+        raise ValueError(f"{path} is not a repro run checkpoint")
+    if record.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint version {record.get('version')!r} is not "
+            f"supported (expected {CHECKPOINT_VERSION})")
+    return record

@@ -301,3 +301,21 @@ class CostModel:
     def clear_cache(self) -> None:
         """Drop all memoised evaluations."""
         self._layer_cache.clear()
+
+    def memo_state(self) -> dict:
+        """Value snapshot of the cross-design memo (for checkpoints).
+
+        Entries are immutable :class:`LayerCost` records, so a shallow
+        dict copy plus the hit/miss counters captures the memo exactly;
+        restoring it makes a resumed run's memo accounting identical to
+        the uninterrupted run.
+        """
+        return {"cache": dict(self._layer_cache),
+                "hits": self.memo_hits,
+                "misses": self.memo_misses}
+
+    def load_memo_state(self, state: dict) -> None:
+        """Restore a :meth:`memo_state` snapshot."""
+        self._layer_cache = dict(state["cache"])
+        self.memo_hits = state["hits"]
+        self.memo_misses = state["misses"]

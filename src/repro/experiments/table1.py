@@ -24,8 +24,14 @@ from repro.core.baselines import (
     asic_then_hw_nas,
     successive_nas_then_asic,
 )
+from repro.core.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    Scenario,
+)
 from repro.core.results import ExploredSolution
-from repro.core.search import NASAIC, NASAICConfig
+from repro.core.search import NASAICConfig
 from repro.cost.model import CostModel
 from repro.train.datasets import dataset_spec
 from repro.train.surrogate import default_surrogate
@@ -55,6 +61,8 @@ class Table1Result:
     nas_asic: Table1Row
     asic_hw_nas: Table1Row
     nasaic: Table1Row
+    #: Consolidated campaign record of the NASAIC run.
+    campaign: CampaignResult | None = None
 
     def reductions_vs_nas_asic(self) -> tuple[float, float, float]:
         """NASAIC's (latency, energy, area) reduction vs NAS->ASIC.
@@ -102,9 +110,18 @@ def run_table1(
     if nasaic_config is None:
         nasaic_config = NASAICConfig(episodes=nasaic_episodes,
                                      seed=seed + 2)
-    search = NASAIC(workload, allocation=allocation, cost_model=cost_model,
-                    surrogate=surrogate, config=nasaic_config)
-    result = search.run()
+    # The NASAIC row runs as a one-scenario campaign over the shared
+    # cost model, and the table consumes its consolidated outcome.
+    scenario = Scenario(
+        workload=workload, strategy="nasaic",
+        budget=nasaic_config.episodes, seed=nasaic_config.seed,
+        rho=nasaic_config.rho,
+        options={"config": nasaic_config, "allocation": allocation,
+                 "surrogate": surrogate})
+    with Campaign(CampaignConfig(scenarios=(scenario,)),
+                  cost_model=cost_model) as campaign:
+        campaign_result = campaign.run()
+    result = campaign_result.outcomes[0].result
     if result.best is None:
         raise RuntimeError(
             f"NASAIC found no feasible solution on {workload.name}; "
@@ -114,6 +131,7 @@ def run_table1(
         nas_asic=_row_from_pipeline(nas_asic),
         asic_hw_nas=_row_from_pipeline(hw_nas),
         nasaic=Table1Row(approach="NASAIC", solution=result.best),
+        campaign=campaign_result,
     )
 
 

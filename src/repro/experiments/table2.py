@@ -27,9 +27,15 @@ from repro.accel.allocation import AllocationSpace
 from repro.accel.dataflow import Dataflow
 from repro.accel.subaccelerator import SubAccelerator
 from repro.core.baselines import run_nas
+from repro.core.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    Scenario,
+)
 from repro.core.evaluator import Evaluator
 from repro.core.results import ExploredSolution
-from repro.core.search import NASAIC, NASAICConfig
+from repro.core.search import NASAICConfig
 from repro.cost.model import CostModel
 from repro.train.surrogate import default_surrogate
 from repro.train.trainer import SurrogateTrainer
@@ -70,6 +76,8 @@ class Table2Result:
 
     workload: Workload
     rows: list[Table2Row]
+    #: Consolidated campaign record of the three constrained searches.
+    campaign: CampaignResult | None = None
 
     def row(self, approach: str) -> Table2Row:
         for row in self.rows:
@@ -136,7 +144,11 @@ def run_table2(
         energy_nj=nas_eval.energy_nj, area_um2=nas_eval.area_um2,
         meets_specs=nas_eval.feasible))
 
-    # -- Single Acc.: one network executed twice sequentially ----------
+    # -- The three constrained searches run as one campaign ------------
+    # Scenarios share the table's cost model (one cross-design memo for
+    # all rows) and the heterogeneous restarts share one evaluation
+    # cache (same workload, same context); outcomes are consumed from
+    # the consolidated campaign record.
     single_specs = DesignSpecs(
         latency_cycles=specs.latency_cycles // 2,
         energy_nj=specs.energy_nj / 2,
@@ -144,13 +156,7 @@ def run_table2(
     single_wl = _single_task_workload(workload, "W3-single", single_specs)
     single_alloc = AllocationSpace(num_slots=1, allow_empty_slots=False)
     single_cfg = _scaled_config(nasaic_config, nasaic_episodes, seed + 1)
-    single = NASAIC(single_wl, allocation=single_alloc,
-                    cost_model=cost_model, surrogate=surrogate,
-                    config=single_cfg).run()
-    rows.append(_degenerate_row("Single Acc.", single.best, sequential=True,
-                                specs=specs))
 
-    # -- Homo. Acc.: two identical sub-accelerators, same network ------
     homo_specs = DesignSpecs(
         latency_cycles=specs.latency_cycles,
         energy_nj=specs.energy_nj / 2,
@@ -160,22 +166,44 @@ def run_table2(
         num_slots=1, allow_empty_slots=False,
         budget=ResourceBudget(max_pes=2048, max_bandwidth_gbps=32))
     homo_cfg = _scaled_config(nasaic_config, nasaic_episodes, seed + 2)
-    homo = NASAIC(homo_wl, allocation=homo_alloc, cost_model=cost_model,
-                  surrogate=surrogate, config=homo_cfg).run()
-    rows.append(_degenerate_row("Homo. Acc.", homo.best, sequential=False,
-                                specs=specs))
 
-    # -- Hetero. Acc.: full NASAIC co-exploration -----------------------
+    def _scenario(label: str, wl: Workload, cfg: NASAICConfig,
+                  allocation: AllocationSpace | None) -> Scenario:
+        options = {"config": cfg, "surrogate": surrogate}
+        if allocation is not None:
+            options["allocation"] = allocation
+        return Scenario(workload=wl, strategy="nasaic",
+                        budget=cfg.episodes, seed=cfg.seed, rho=cfg.rho,
+                        label=label, options=options)
+
+    scenarios = [
+        _scenario("single", single_wl, single_cfg, single_alloc),
+        _scenario("homo", homo_wl, homo_cfg, homo_alloc),
+    ]
     # The heterogeneous search space is the product of two architecture
     # spaces and two hardware slots; give it an episode budget
     # proportional to the task count, and restart from several seeds.
-    best = None
+    hetero_labels = []
     for restart in range(max(1, hetero_restarts)):
         hetero_cfg = _scaled_config(
             nasaic_config, nasaic_episodes, seed + 3 + restart,
             episode_factor=workload.num_tasks)
-        hetero = NASAIC(workload, cost_model=cost_model,
-                        surrogate=surrogate, config=hetero_cfg).run()
+        label = f"hetero/r{restart}"
+        hetero_labels.append(label)
+        scenarios.append(_scenario(label, workload, hetero_cfg, None))
+    with Campaign(CampaignConfig(scenarios=tuple(scenarios)),
+                  cost_model=cost_model) as campaign:
+        campaign_result = campaign.run()
+
+    single = campaign_result.outcome("single").result
+    rows.append(_degenerate_row("Single Acc.", single.best, sequential=True,
+                                specs=specs))
+    homo = campaign_result.outcome("homo").result
+    rows.append(_degenerate_row("Homo. Acc.", homo.best, sequential=False,
+                                specs=specs))
+    best = None
+    for label in hetero_labels:
+        hetero = campaign_result.outcome(label).result
         if hetero.best is None:
             continue
         if (best is None
@@ -192,7 +220,8 @@ def run_table2(
         latency_cycles=best.latency_cycles,
         energy_nj=best.energy_nj, area_um2=best.area_um2,
         meets_specs=best.feasible))
-    return Table2Result(workload=workload, rows=rows)
+    return Table2Result(workload=workload, rows=rows,
+                        campaign=campaign_result)
 
 
 def _scaled_config(base: NASAICConfig | None, episodes: int,

@@ -60,6 +60,24 @@ class SurrogateTrainer:
         """Record a training avoided by early pruning (§IV-②)."""
         self.trainings_skipped += 1
 
+    def state(self) -> dict:
+        """Picklable snapshot of the training-path memo and counters.
+
+        Restoring it on resume keeps ``trainings_run`` /
+        ``trainings_skipped`` identical to an uninterrupted run — an
+        architecture trained before the interruption stays memoised
+        instead of being recounted as a fresh training.
+        """
+        return {"trained": dict(self._trained),
+                "trainings_run": self.trainings_run,
+                "trainings_skipped": self.trainings_skipped}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state` snapshot."""
+        self._trained = dict(state["trained"])
+        self.trainings_run = state["trainings_run"]
+        self.trainings_skipped = state["trainings_skipped"]
+
     @property
     def unique_architectures_trained(self) -> int:
         """Number of distinct architectures that were actually trained."""

@@ -22,13 +22,25 @@ Seeding contract (relied on by ``tests/test_golden_search.py``):
    jitter) are pure functions of their inputs.  This is what lets the
    evaluation service cache, batch and parallelise evaluations without
    changing search trajectories.
+4. Checkpoint/resume never re-seeds.  The unified search driver
+   (:mod:`repro.core.driver`) snapshots every live generator's exact
+   stream position with :func:`rng_state` and restores it with
+   :func:`restore_rng`, so a killed-and-resumed run continues the same
+   stream bit-identically.  Strategies must checkpoint *every* generator
+   they own; creating a fresh generator on resume — even from the same
+   seed — would replay draws and desynchronise the trajectory.
+
+CLI seed plumbing: every search subcommand (``search``, ``evolve``,
+``nas``, ``mc``, ``campaign``) exposes ``--seed`` and passes it verbatim
+as the master seed of the underlying strategy; per-strategy sub-streams
+are derived inside the strategy (rule 1), never in the CLI.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["new_rng", "spawn_rng"]
+__all__ = ["new_rng", "restore_rng", "rng_state", "spawn_rng"]
 
 
 def new_rng(seed: int | None) -> np.random.Generator:
@@ -51,3 +63,19 @@ def spawn_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
         raise ValueError(f"stream must be non-negative, got {stream}")
     seed = int(rng.bit_generator.seed_seq.generate_state(1)[0])  # type: ignore[union-attr]
     return np.random.default_rng((seed, stream))
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """Picklable snapshot of a generator's exact stream position.
+
+    Unlike re-seeding, restoring this state resumes the stream at the
+    very next draw — the property checkpoint/resume relies on.
+    """
+    return rng.bit_generator.state
+
+
+def restore_rng(state: dict) -> np.random.Generator:
+    """Rebuild a generator from a :func:`rng_state` snapshot."""
+    bit_generator = getattr(np.random, state["bit_generator"])()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)

@@ -1,0 +1,206 @@
+"""Campaign runner: shared caches cannot change results, and reuse is
+measurable.
+
+The load-bearing contract: running scenarios over one shared evaluation
+service yields exactly the outcomes the same scenarios produce in
+isolation — the cache only changes *when* a pair is priced.  The bonus
+the campaign buys — cross-scenario cache hits — is asserted via the
+``shared_hits`` accounting and the consolidated JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    NASAIC,
+    NASAICConfig,
+    EvolutionConfig,
+    EvolutionarySearch,
+    monte_carlo_search,
+)
+from repro.core.campaign import (
+    Campaign,
+    CampaignConfig,
+    Scenario,
+    campaign_to_dict,
+    format_campaign,
+    run_campaign,
+    save_campaign,
+)
+from repro.core.serialization import result_to_dict
+from repro.workloads import w1
+
+NASAIC_SMALL = NASAICConfig(episodes=3, hw_steps=3, seed=5)
+NASAIC_LARGE = NASAICConfig(episodes=5, hw_steps=3, seed=5)
+
+
+def grid() -> tuple[Scenario, ...]:
+    """W1 x {nasaic, evolution, mc} x budgets — nasaic twice with the
+    same seed so the larger budget replays the smaller one's prefix."""
+    return (
+        Scenario("W1", "nasaic", 3, seed=5,
+                 options={"config": NASAIC_SMALL}),
+        Scenario("W1", "nasaic", 5, seed=5,
+                 options={"config": NASAIC_LARGE}),
+        Scenario("W1", "evolution", 2, seed=5,
+                 options={"config": EvolutionConfig(
+                     population=8, generations=2, elite=1, seed=5)}),
+        Scenario("W1", "mc", 30, seed=5),
+    )
+
+
+def run_shape(result) -> dict:
+    """The outcome facts that must not depend on cache sharing."""
+    payload = result_to_dict(result)
+    # Cache accounting legitimately differs between shared and private
+    # services (that is the point); everything else must be identical.
+    for key in ("cache_hits", "cache_misses", "eval_seconds", "pricing"):
+        payload.pop(key)
+    return payload
+
+
+@pytest.fixture(scope="module")
+def campaign_run():
+    with Campaign(CampaignConfig(scenarios=grid())) as campaign:
+        yield campaign, campaign.run()
+
+
+class TestSharingIsSound:
+    def test_results_match_standalone_runs(self, campaign_run):
+        _, result = campaign_run
+        standalone = [
+            NASAIC(w1(), config=NASAIC_SMALL).run(),
+            NASAIC(w1(), config=NASAIC_LARGE).run(),
+            EvolutionarySearch(w1(), config=EvolutionConfig(
+                population=8, generations=2, elite=1, seed=5)).run(),
+            monte_carlo_search(w1(), runs=30, seed=5),
+        ]
+        for outcome, reference in zip(result.outcomes, standalone):
+            assert run_shape(outcome.result) == run_shape(reference), \
+                outcome.scenario.name
+
+    def test_cross_scenario_hits_observed(self, campaign_run):
+        _, result = campaign_run
+        # The b5 nasaic run replays the b3 run's episodes: its first
+        # 3 * (1 + hw_steps) requests are all cross-scenario hits.
+        replay = result.outcome("W1/nasaic/b5/s5")
+        assert replay.eval_stats.shared_hits >= 12
+        assert result.shared_hit_rate > 0.0
+
+    def test_per_scenario_accounting_is_a_delta(self, campaign_run):
+        _, result = campaign_run
+        for outcome in result.outcomes:
+            if outcome.eval_stats is None:
+                continue
+            # Each scenario reports its own budget, not cache lifetime
+            # totals: requests equal what the run itself submitted.
+            assert outcome.result.hardware_evaluations \
+                == outcome.eval_stats.requests
+
+    def test_services_keyed_by_context(self, campaign_run):
+        campaign, _ = campaign_run
+        # nasaic+evolution calibrate bounds (one context); mc prices
+        # against the raw workload (another).
+        assert len(campaign.services) == 2
+
+
+class TestCampaignJson:
+    def test_schema(self, campaign_run, tmp_path):
+        _, result = campaign_run
+        payload = campaign_to_dict(result)
+        assert payload["format"] == "repro-campaign"
+        assert payload["version"] == 1
+        assert set(payload["cache"]) >= {
+            "requests", "hits", "misses", "shared_hits", "hit_rate",
+            "shared_hit_rate", "services"}
+        assert len(payload["scenarios"]) == 4
+        entry = payload["scenarios"][0]
+        assert set(entry) >= {"name", "workload", "strategy", "budget",
+                              "seed", "rho", "wall_seconds", "eval",
+                              "result"}
+        path = save_campaign(result, tmp_path / "campaign.json")
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(payload))
+
+    def test_format_renders(self, campaign_run):
+        _, result = campaign_run
+        text = format_campaign(result)
+        assert "W1/nasaic/b5/s5" in text
+        assert "cross-scenario" in text
+
+
+class TestStrategies:
+    def test_nas_scenario_runs_without_service(self):
+        result = run_campaign(CampaignConfig(scenarios=(
+            Scenario("W3", "nas", 4, seed=11),)))
+        outcome = result.outcomes[0]
+        assert outcome.eval_stats is None
+        assert outcome.result.best_weighted > 0
+        assert campaign_to_dict(result)["scenarios"][0]["eval"] is None
+
+    def test_pool_mode_matches_sequential(self):
+        scenarios = (
+            Scenario("W1", "mc", 10, seed=5),
+            Scenario("W1", "mc", 10, seed=7),
+        )
+        sequential = run_campaign(CampaignConfig(scenarios=scenarios))
+        pooled = run_campaign(CampaignConfig(scenarios=scenarios,
+                                             workers=2))
+        for a, b in zip(sequential.outcomes, pooled.outcomes):
+            assert run_shape(a.result) == run_shape(b.result)
+
+    def test_pool_mode_keeps_custom_cost_model(self):
+        """Worker processes must price under the campaign's cost
+        parameters, not rebuild defaults."""
+        from dataclasses import replace as dc_replace
+
+        from repro.cost.model import CostModel
+        from repro.cost.params import DEFAULT_PARAMS
+
+        params = dc_replace(DEFAULT_PARAMS,
+                            mac_energy_nj=DEFAULT_PARAMS.mac_energy_nj * 3)
+        scenarios = (Scenario("W1", "mc", 6, seed=5),
+                     Scenario("W1", "mc", 6, seed=7))
+        sequential = run_campaign(CampaignConfig(scenarios=scenarios),
+                                  cost_model=CostModel(params))
+        pooled = run_campaign(CampaignConfig(scenarios=scenarios,
+                                             workers=2),
+                              cost_model=CostModel(params))
+        for a, b in zip(sequential.outcomes, pooled.outcomes):
+            assert run_shape(a.result) == run_shape(b.result)
+
+    def test_rho_sweep_gets_distinct_names(self):
+        config = CampaignConfig(scenarios=(
+            Scenario("W1", "mc", 5, rho=5.0),
+            Scenario("W1", "mc", 5, rho=10.0)))
+        names = [s.name for s in config.scenarios]
+        assert names == ["W1/mc/b5/s7/rho5", "W1/mc/b5/s7"]
+
+
+class TestValidation:
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            Scenario("W1", "annealing", 5)
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            Scenario("W1", "mc", 0)
+
+    def test_empty_grid(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CampaignConfig(scenarios=())
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError, match="not unique"):
+            CampaignConfig(scenarios=(
+                Scenario("W1", "mc", 5), Scenario("W1", "mc", 5)))
+
+    def test_injected_service_context_checked(self, campaign_run):
+        campaign, _ = campaign_run
+        service = next(iter(campaign.services.values()))
+        with pytest.raises(ValueError, match="context"):
+            NASAIC(w1(), config=NASAICConfig(episodes=2, rho=3.0),
+                   evalservice=service)

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -65,3 +67,46 @@ class TestCommands:
         assert code == 0
         captured = capsys.readouterr().out
         assert "Table II" in captured
+
+    def test_campaign_command(self, capsys, tmp_path):
+        out = tmp_path / "campaign.json"
+        code = main(["campaign", "--workloads", "W1",
+                     "--strategies", "nasaic,mc", "--budgets", "2,4",
+                     "--seed", "5", "--out", str(out)])
+        captured = capsys.readouterr().out
+        assert "Campaign: 4 scenarios" in captured
+        assert "W1/mc/b4/s5" in captured
+        assert out.exists()
+        assert code in (0, 1)
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro-campaign"
+        assert len(payload["scenarios"]) == 4
+
+    def test_campaign_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit, match="annealing"):
+            main(["campaign", "--strategies", "annealing"])
+
+    def test_campaign_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit, match="W9"):
+            main(["campaign", "--workloads", "W9"])
+
+    def test_search_checkpoint_resume_matches_straight_run(
+            self, capsys, tmp_path):
+        ckpt = tmp_path / "run.ckpt"
+        straight = tmp_path / "straight.json"
+        resumed = tmp_path / "resumed.json"
+        base = ["search", "--workload", "W1", "--episodes", "4",
+                "--seed", "5", "--progress", "0"]
+        main(base + ["--out", str(straight)])
+        # A run that checkpoints every episode, then a fresh process
+        # resuming from the latest mid-run checkpoint.
+        main(base + ["--checkpoint", str(ckpt),
+                     "--checkpoint-every", "2"])
+        assert ckpt.exists()
+        code = main(base + ["--resume", str(ckpt), "--out", str(resumed)])
+        capsys.readouterr()
+        assert code in (0, 1)
+        a = json.loads(straight.read_text())
+        b = json.loads(resumed.read_text())
+        a["eval_seconds"] = b["eval_seconds"] = 0.0
+        assert a == b

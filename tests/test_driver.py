@@ -1,0 +1,240 @@
+"""Unified SearchDriver: protocol conformance and checkpoint/resume.
+
+The resume contract is the strong one: a run interrupted after *any*
+round and resumed from its checkpoint must be **bit-identical** to the
+uninterrupted run — same trajectory (per-episode rewards/penalties,
+explored solutions in order), same ``pricing`` block and same summary.
+Wall-clock timings (``eval_seconds``) are the single documented
+exception: they measure real time, so the comparison zeroes them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    NASAIC,
+    NASAICConfig,
+    EvolutionConfig,
+    EvolutionarySearch,
+    SearchDriver,
+    SearchStrategy,
+    monte_carlo_search,
+)
+from repro.core.baselines import _MonteCarloStrategy
+from repro.core.evalservice import EvalService
+from repro.core.evaluator import Evaluator
+from repro.core.serialization import (
+    load_checkpoint,
+    result_to_dict,
+    save_checkpoint,
+)
+from repro.cost.model import CostModel
+from repro.train import SurrogateTrainer, default_surrogate
+from repro.workloads import w1, w3
+
+NASAIC_CONFIG = dict(episodes=5, hw_steps=3, seed=123, joint_batch=2)
+EA_CONFIG = dict(population=8, generations=4, elite=1, seed=13)
+
+
+def normalised(result) -> dict:
+    """Run record with the wall-clock measurement zeroed."""
+    result.eval_seconds = 0.0
+    payload = result_to_dict(result)
+    payload["episodes"] = [
+        (e.episode, e.reward, e.penalty, e.trained, e.hardware_steps,
+         e.solution is not None)
+        for e in result.episodes]
+    payload["summary"] = result.summary()
+    return payload
+
+
+def fresh_nasaic() -> NASAIC:
+    return NASAIC(w1(), config=NASAICConfig(**NASAIC_CONFIG))
+
+
+def fresh_ea() -> EvolutionarySearch:
+    return EvolutionarySearch(w3(), config=EvolutionConfig(**EA_CONFIG))
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("factory", [fresh_nasaic, fresh_ea])
+    def test_searches_satisfy_protocol(self, factory):
+        assert isinstance(factory(), SearchStrategy)
+
+    def test_driver_requires_service_for_proposals(self):
+        search = fresh_nasaic()
+        driver = SearchDriver(search, None)
+        with pytest.raises(RuntimeError, match="no evaluation service"):
+            driver.step()
+
+    def test_partial_run_returns_none_then_result(self):
+        search = fresh_nasaic()
+        driver = SearchDriver(search, search.evalservice)
+        assert driver.run(max_rounds=2) is None
+        assert driver.round == 2
+        result = driver.run()
+        assert len(result.episodes) == NASAIC_CONFIG["episodes"]
+
+    def test_batch_size_hint_never_drops_stream_tail(self):
+        """A driver batch-size smaller than a stream strategy's chunk
+        must stretch the round schedule, not truncate the sweep."""
+        reference = monte_carlo_search(w3(), runs=40, seed=19)
+        workload = w3()
+        surrogate = default_surrogate([t.space for t in workload.tasks])
+        evaluator = Evaluator(workload, CostModel(),
+                              SurrogateTrainer(surrogate))
+        from repro.accel import AllocationSpace
+
+        strategy = _MonteCarloStrategy(workload, AllocationSpace(),
+                                       evaluator, runs=40, seed=19,
+                                       chunk=16)
+        with EvalService(evaluator) as service:
+            result = SearchDriver(strategy, service, batch_size=4).run()
+        assert len(result.explored) == 40
+        assert normalised(result) == normalised(reference)
+
+    def test_progress_messages_emitted(self):
+        search = fresh_nasaic()
+        lines: list[str] = []
+        SearchDriver(search, search.evalservice, progress_every=2,
+                     progress=lines.append).run()
+        assert len(lines) == NASAIC_CONFIG["episodes"] // 2
+        assert "episode 2/5" in lines[0]
+
+
+class TestCheckpointResume:
+    """Interrupt at every possible round; resume must be bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def nasaic_reference(self):
+        return normalised(fresh_nasaic().run())
+
+    @pytest.fixture(scope="class")
+    def ea_reference(self):
+        return normalised(fresh_ea().run())
+
+    @pytest.mark.parametrize("interrupt_after",
+                             range(1, NASAIC_CONFIG["episodes"]))
+    def test_nasaic_resume_bit_identical(self, tmp_path, interrupt_after,
+                                         nasaic_reference):
+        path = tmp_path / "run.ckpt"
+        partial = fresh_nasaic()
+        driver = SearchDriver(partial, partial.evalservice,
+                              checkpoint_path=path)
+        assert driver.run(max_rounds=interrupt_after) is None
+        driver.save_checkpoint()
+        # "Kill" the process: everything is rebuilt from scratch.
+        resumed = fresh_nasaic()
+        result = resumed.run(resume_from=path)
+        assert normalised(result) == nasaic_reference
+
+    @pytest.mark.parametrize("interrupt_after",
+                             range(1, EA_CONFIG["generations"]))
+    def test_ea_resume_bit_identical(self, tmp_path, interrupt_after,
+                                     ea_reference):
+        path = tmp_path / "run.ckpt"
+        partial = fresh_ea()
+        driver = SearchDriver(partial, partial.evalservice,
+                              checkpoint_path=path)
+        assert driver.run(max_rounds=interrupt_after) is None
+        driver.save_checkpoint()
+        resumed = fresh_ea()
+        result = resumed.run(resume_from=path)
+        assert normalised(result) == ea_reference
+
+    def test_mc_resume_bit_identical(self, tmp_path):
+        reference = normalised(monte_carlo_search(w3(), runs=60, seed=19))
+
+        def parts():
+            workload = w3()
+            surrogate = default_surrogate(
+                [t.space for t in workload.tasks])
+            evaluator = Evaluator(workload, CostModel(),
+                                  SurrogateTrainer(surrogate))
+            from repro.accel import AllocationSpace
+            strategy = _MonteCarloStrategy(
+                workload, AllocationSpace(), evaluator, runs=60, seed=19,
+                chunk=16)
+            return strategy, EvalService(evaluator)
+
+        path = tmp_path / "mc.ckpt"
+        strategy, service = parts()
+        driver = SearchDriver(strategy, service, checkpoint_path=path)
+        assert driver.run(max_rounds=2) is None
+        driver.save_checkpoint()
+        strategy2, service2 = parts()
+        driver2 = SearchDriver(strategy2, service2).restore(path)
+        assert normalised(driver2.run()) == reference
+
+    def test_periodic_checkpoints_written(self, tmp_path):
+        path = tmp_path / "periodic.ckpt"
+        search = fresh_nasaic()
+        SearchDriver(search, search.evalservice, checkpoint_path=path,
+                     checkpoint_every=2).run()
+        payload = load_checkpoint(path)
+        # The last periodic write lands on the latest mid-run boundary.
+        assert payload["round"] == 4
+        assert payload["strategy_name"] == "nasaic"
+
+
+class TestCheckpointValidation:
+    def test_wrong_strategy_rejected(self, tmp_path):
+        path = tmp_path / "ck.ckpt"
+        search = fresh_nasaic()
+        driver = SearchDriver(search, search.evalservice,
+                              checkpoint_path=path)
+        driver.run(max_rounds=1)
+        driver.save_checkpoint()
+        ea = fresh_ea()
+        with pytest.raises(ValueError, match="strategy"):
+            SearchDriver(ea, ea.evalservice).restore(path)
+
+    def test_wrong_budget_rejected(self, tmp_path):
+        path = tmp_path / "ck.ckpt"
+        search = fresh_nasaic()
+        driver = SearchDriver(search, search.evalservice,
+                              checkpoint_path=path)
+        driver.run(max_rounds=1)
+        driver.save_checkpoint()
+        other = NASAIC(w1(), config=NASAICConfig(
+            **{**NASAIC_CONFIG, "episodes": 9}))
+        with pytest.raises(ValueError, match="budget"):
+            SearchDriver(other, other.evalservice).restore(path)
+
+    def test_wrong_context_rejected(self, tmp_path):
+        path = tmp_path / "ck.ckpt"
+        search = fresh_nasaic()
+        driver = SearchDriver(search, search.evalservice,
+                              checkpoint_path=path)
+        driver.run(max_rounds=1)
+        driver.save_checkpoint()
+        other = NASAIC(w1(), config=NASAICConfig(
+            **{**NASAIC_CONFIG, "rho": 5.0}))
+        with pytest.raises(ValueError, match="context"):
+            SearchDriver(other, other.evalservice).restore(path)
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(pickle.dumps({"nonsense": True}))
+        with pytest.raises(ValueError, match="not a repro"):
+            load_checkpoint(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "old.ckpt"
+        path.write_bytes(pickle.dumps(
+            {"format": "repro-checkpoint", "version": 999}))
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+    def test_save_checkpoint_is_atomic(self, tmp_path):
+        path = tmp_path / "atomic.ckpt"
+        save_checkpoint(path, {"strategy_name": "x"})
+        first = path.read_bytes()
+        save_checkpoint(path, {"strategy_name": "y"})
+        assert path.read_bytes() != first
+        assert not (tmp_path / "atomic.ckpt.tmp").exists()

@@ -212,3 +212,48 @@ class TestValidation:
         evaluator = Evaluator(workload, CostModel(), trainer=None)
         with pytest.raises(RuntimeError, match="without a trainer"):
             evaluator.train_networks(())
+
+
+class TestGenerations:
+    """Cross-generation (campaign) accounting and state snapshots."""
+
+    def test_shared_hits_only_across_generations(self, workload, pairs):
+        service = EvalService(make_evaluator(workload))
+        service.evaluate_many(pairs)
+        service.evaluate_many(pairs)  # same-generation hits
+        assert service.stats.shared_hits == 0
+        service.bump_generation()
+        service.evaluate_many(pairs)  # all served from generation 0
+        assert service.stats.shared_hits == len(pairs)
+
+    def test_bump_changes_no_result(self, workload, pairs):
+        service = EvalService(make_evaluator(workload))
+        before = service.evaluate_many(pairs)
+        service.bump_generation()
+        assert service.evaluate_many(pairs) == before
+
+    def test_stats_delta(self, workload, pairs):
+        service = EvalService(make_evaluator(workload))
+        service.evaluate_many(pairs)
+        start = service.stats.snapshot()
+        service.evaluate_many(pairs)
+        delta = service.stats.delta(start)
+        assert delta.misses == 0
+        assert delta.hits == len(pairs)
+        assert service.stats.hits == delta.hits + start.hits
+
+    def test_snapshot_restore_roundtrip(self, workload, pairs):
+        service = EvalService(make_evaluator(workload))
+        expected = service.evaluate_many(pairs)
+        state = service.state_snapshot()
+        fresh = EvalService(make_evaluator(workload))
+        fresh.restore_state(state)
+        stats_before = fresh.stats.snapshot()
+        got = fresh.evaluate_many(pairs)
+        assert got == expected
+        # Everything was restored into the cache: zero new misses, and
+        # the pre-snapshot counters carried over.
+        assert fresh.stats.misses == stats_before.misses
+        assert stats_before.misses == service.stats.misses
+        assert fresh.evaluator.cost_model.memo_misses \
+            == service.evaluator.cost_model.memo_misses

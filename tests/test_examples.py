@@ -65,3 +65,9 @@ def test_example_has_docstring_and_main(script):
     text = (EXAMPLES / script).read_text(encoding="utf-8")
     assert text.lstrip().startswith(('#!/usr/bin/env python\n"""', '"""'))
     assert 'if __name__ == "__main__":' in text
+
+
+def test_campaign_sweep(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "campaign_sweep.py", ["3"])
+    assert "cross-scenario reuse" in out
+    assert "consolidated campaign JSON" in out
