@@ -15,6 +15,9 @@ outcome as JSON (``--out``).  All search commands accept ``--seed`` and
 thread it verbatim as the run's master seed (see
 :mod:`repro.utils.rng`); ``search``/``evolve`` additionally support
 ``--checkpoint``/``--resume`` for interruptible runs.
+``search``/``evolve``/``campaign``/``experiments`` accept ``--store
+PATH``: a persistent cross-run evaluation store — repeat invocations
+warm-start from every design the store has already priced.
 """
 
 from __future__ import annotations
@@ -46,6 +49,17 @@ _WORKLOAD_CHOICES = ["W1", "W2", "W3", "Fig1"]
 _STRATEGY_CHOICES = ["nasaic", "evolution", "mc", "nas"]
 
 
+def _nonnegative_int(text: str) -> int:
+    """Argparse type for counts/capacities: rejects negatives at parse
+    time (a negative ``--cache-size`` must die in the parser, not as a
+    traceback deep inside the evaluation service)."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -65,12 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the run as JSON to this path")
 
     def add_eval_service(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--cache-size", type=int, default=4096,
+        p.add_argument("--cache-size", type=_nonnegative_int, default=4096,
                        help="hardware evaluation LRU capacity "
                             "(0 disables caching; default: 4096)")
-        p.add_argument("--workers", type=int, default=0,
+        p.add_argument("--workers", type=_nonnegative_int, default=0,
                        help="process-pool width for batched hardware "
                             "evaluations (0/1 = serial; default: 0)")
+        p.add_argument("--store", default=None,
+                       help="persistent evaluation store: warm-start "
+                            "from designs priced by earlier runs and "
+                            "append this run's pricing durably")
 
     def add_checkpointing(p: argparse.ArgumentParser) -> None:
         p.add_argument("--checkpoint", default=None,
@@ -123,15 +141,21 @@ def build_parser() -> argparse.ArgumentParser:
                                  "generations / runs; default: 50)")
     p_campaign.add_argument("--seed", type=int, default=7)
     p_campaign.add_argument("--rho", type=float, default=10.0)
-    p_campaign.add_argument("--cache-size", type=int, default=4096)
-    p_campaign.add_argument("--eval-workers", type=int, default=0,
+    p_campaign.add_argument("--cache-size", type=_nonnegative_int,
+                            default=4096)
+    p_campaign.add_argument("--eval-workers", type=_nonnegative_int,
+                            default=0,
                             help="pool width inside each evaluation "
                                  "service (default: 0)")
-    p_campaign.add_argument("--workers", type=int, default=0,
+    p_campaign.add_argument("--workers", type=_nonnegative_int, default=0,
                             help="scenario-level pool width; > 1 runs "
                                  "scenarios in parallel with isolated "
                                  "caches (default: 0 = sequential, "
                                  "shared cache)")
+    p_campaign.add_argument("--store", default=None,
+                            help="persistent evaluation store spanning "
+                                 "the grid (and any earlier runs that "
+                                 "used it)")
     p_campaign.add_argument("--out", default=None,
                             help="write the consolidated campaign JSON "
                                  "to this path")
@@ -143,14 +167,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--episodes", type=int, default=200)
     p_exp.add_argument("--mc-runs", type=int, default=1500)
     p_exp.add_argument("--seed", type=int, default=41)
+    p_exp.add_argument("--store", default=None,
+                       help="persistent evaluation store shared by the "
+                            "regenerated experiments (fig6/table1/"
+                            "table2): repeat regenerations warm-start "
+                            "from prior pricing")
     return parser
+
+
+def _open_store(args: argparse.Namespace):
+    """The run's persistent evaluation store, if requested (CLI-owned)."""
+    if not getattr(args, "store", None):
+        return None
+    from repro.core.store import EvalStore
+
+    return EvalStore(args.store)
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload)
+    store = _open_store(args)
     search = NASAIC(workload, config=NASAICConfig(
         episodes=args.episodes, hw_steps=args.hw_steps, seed=args.seed,
-        cache_size=args.cache_size, eval_workers=args.workers))
+        cache_size=args.cache_size, eval_workers=args.workers),
+        store=store)
     try:
         result = search.run(
             progress_every=args.progress if args.progress > 0 else None,
@@ -160,6 +200,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             resume_from=args.resume)
     finally:
         search.close()
+        if store is not None:
+            store.close()
     print(result.summary())
     if args.out:
         print(f"saved to {save_result(result, args.out)}")
@@ -168,10 +210,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 def _cmd_evolve(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload)
+    store = _open_store(args)
     search = EvolutionarySearch(workload, config=EvolutionConfig(
         population=args.population, generations=args.generations,
         seed=args.seed, cache_size=args.cache_size,
-        eval_workers=args.workers))
+        eval_workers=args.workers), store=store)
     try:
         result = search.run(
             checkpoint_path=args.checkpoint,
@@ -180,6 +223,8 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
             resume_from=args.resume)
     finally:
         search.close()
+        if store is not None:
+            store.close()
     print(result.summary())
     if args.out:
         print(f"saved to {save_result(result, args.out)}")
@@ -207,7 +252,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         for budget in budgets)
     result = run_campaign(CampaignConfig(
         scenarios=scenarios, cache_size=args.cache_size,
-        eval_workers=args.eval_workers, workers=args.workers))
+        eval_workers=args.eval_workers, workers=args.workers,
+        store_path=args.store))
     print(format_campaign(result))
     if args.out:
         print(f"saved to {save_campaign(result, args.out)}")
@@ -246,6 +292,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.workloads import w1, w2, w3
 
     target = args.target
+    store = getattr(args, "store", None)
     if target in ("fig1", "all"):
         print(format_fig1(run_fig1(
             nas_episodes=args.episodes, hw_nas_episodes=args.episodes,
@@ -253,18 +300,21 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if target in ("fig6", "all"):
         for wl in (w1(), w2(), w3()):
             print(format_fig6(run_fig6(
-                wl, episodes=args.episodes, seed=args.seed)))
+                wl, episodes=args.episodes, seed=args.seed,
+                store_path=store)))
     if target in ("table1", "all"):
         results = [run_table1(
             wl, nas_episodes=args.episodes, mc_runs=args.mc_runs,
             seed=args.seed,
-            nasaic_config=Cfg(episodes=args.episodes, seed=args.seed))
+            nasaic_config=Cfg(episodes=args.episodes, seed=args.seed),
+            store_path=store)
             for wl in (w1(), w2())]
         print(format_table1(results))
     if target in ("table2", "all"):
         print(format_table2(run_table2(
             w3(), nas_episodes=args.episodes, seed=args.seed,
-            nasaic_config=Cfg(episodes=args.episodes, seed=args.seed))))
+            nasaic_config=Cfg(episodes=args.episodes, seed=args.seed),
+            store_path=store)))
     return 0
 
 

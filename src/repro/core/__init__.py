@@ -57,6 +57,7 @@ from repro.core.reward import (
     weighted_normalised_accuracy,
 )
 from repro.core.search import NASAIC, NASAICConfig
+from repro.core.store import EvalStore, cost_params_digest
 
 __all__ = [
     "NASAIC",
@@ -70,6 +71,7 @@ __all__ = [
     "EpisodeRecord",
     "EvalService",
     "EvalServiceStats",
+    "EvalStore",
     "Evaluator",
     "EvolutionConfig",
     "EvolutionarySearch",
@@ -95,6 +97,7 @@ __all__ = [
     "campaign_to_dict",
     "closest_to_spec_design",
     "closest_to_spec_solution",
+    "cost_params_digest",
     "design_content",
     "design_digest",
     "episode_reward",

@@ -17,6 +17,12 @@ module executes such a grid through the unified
   the whole campaign — or **on a process pool** (``workers > 1``),
   where scenarios run isolated (own service each; no cross-scenario
   cache, but true parallelism on multi-core machines);
+- with ``store_path`` set, one persistent
+  :class:`~repro.core.store.EvalStore` spans the whole grid in **both**
+  modes — sequential scenarios share it directly; pool workers read it
+  and append to per-worker shards merged afterwards — so a campaign
+  also warm-starts from every *earlier* campaign that used the store
+  (``stats.store_hits``);
 - the outcome is a consolidated :class:`CampaignResult` with one entry
   per scenario (result + per-scenario eval-stats delta + wall-clock)
   that serialises to a single campaign JSON consumed by the experiment
@@ -27,14 +33,17 @@ Campaign JSON schema (``campaign_to_dict``)::
     {"format": "repro-campaign", "version": 1,
      "wall_seconds": ...,
      "cache": {"services": n, "requests": ..., "hits": ...,
-               "misses": ..., "shared_hits": ..., "hit_rate": ...,
-               "shared_hit_rate": ..., "entries": ...},
+               "misses": ..., "shared_hits": ..., "store_hits": ...,
+               "hit_rate": ..., "shared_hit_rate": ...,
+               "store_hit_rate": ..., "entries": ...,
+               "store_entries": ...},
      "scenarios": [
         {"name": "W1/nasaic/b4/s7", "workload": "W1",
          "strategy": "nasaic", "budget": 4, "seed": 7, "rho": 10.0,
          "wall_seconds": ...,
          "eval": {"requests": ..., "hits": ..., "misses": ...,
-                  "shared_hits": ..., "miss_seconds": ...},
+                  "shared_hits": ..., "store_hits": ...,
+                  "miss_seconds": ...},
          "result": {... run JSON (result_to_dict) or NAS summary ...}},
         ...]}
 
@@ -53,6 +62,8 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
+from repro.utils.pool import pool_context
+
 from repro.accel.allocation import AllocationSpace
 from repro.core.baselines import (
     NASOnlyResult,
@@ -70,6 +81,7 @@ from repro.core.evolution import EvolutionConfig, EvolutionarySearch
 from repro.core.results import SearchResult
 from repro.core.search import NASAIC, NASAICConfig
 from repro.core.serialization import result_to_dict
+from repro.core.store import EvalStore
 from repro.cost.model import CostModel
 from repro.utils.tables import format_table
 from repro.workloads import workload_by_name
@@ -154,12 +166,22 @@ class CampaignConfig:
             choice whenever cross-scenario reuse matters more than
             parallelism); ``> 1`` runs scenarios in worker processes,
             each with an isolated service.
+        store_path: Optional persistent evaluation store
+            (:class:`repro.core.store.EvalStore`) spanning the whole
+            grid: scenarios warm-start from designs priced by earlier
+            runs *and* earlier campaigns, and computed misses are
+            appended durably.  One store serves both execution modes —
+            sequentially every service shares it; on a process pool
+            each worker reads it and appends to a private shard that is
+            merged back after the pool completes (single-writer safety
+            without cross-process locks).
     """
 
     scenarios: tuple[Scenario, ...]
     cache_size: int = 4096
     eval_workers: int = 0
     workers: int = 0
+    store_path: str | Path | None = None
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -190,6 +212,7 @@ class ScenarioOutcome:
                 "hits": stats.hits,
                 "misses": stats.misses,
                 "shared_hits": stats.shared_hits,
+                "store_hits": stats.store_hits,
                 "miss_seconds": stats.miss_seconds,
             }
         return {
@@ -249,12 +272,20 @@ class Campaign:
         cost_model: Optional campaign-wide cost oracle; one instance is
             shared across every service so the cross-design cost-table
             memo spans the whole campaign.  A fresh one by default.
+        store: Optional already-open persistent evaluation store; wins
+            over ``config.store_path`` and stays owned by the caller
+            (pool workers inject their shard store this way).
     """
 
     def __init__(self, config: CampaignConfig,
-                 *, cost_model: CostModel | None = None) -> None:
+                 *, cost_model: CostModel | None = None,
+                 store: EvalStore | None = None) -> None:
         self.config = config
         self.cost_model = cost_model or CostModel()
+        self._owns_store = store is None and config.store_path is not None
+        self.store = (store if store is not None
+                      else EvalStore(Path(config.store_path))
+                      if config.store_path is not None else None)
         #: Shared services keyed by evaluation-context salt (sequential
         #: mode only); inspectable after :meth:`run`.
         self.services: dict[str, EvalService] = {}
@@ -321,21 +352,32 @@ class Campaign:
                                service.stats.delta(before))
 
     def _run_pool(self) -> list[ScenarioOutcome]:
-        import multiprocessing
-
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            ctx = multiprocessing.get_context()
         # Each worker rebuilds the campaign's cost oracle from its
         # parameters, so pooled scenarios price exactly like sequential
-        # ones (only the cache sharing is lost).
+        # ones (only the in-memory cache sharing is lost).  With a
+        # persistent store, workers read the main file and append to a
+        # private shard each (index = scenario position) — merged back
+        # below, so the pool stays single-writer per file.
+        main_path = (str(self.store.path)
+                     if self.store is not None else None)
         jobs = [(scenario, self.config.cache_size,
-                 self.config.eval_workers, self.cost_model.params)
-                for scenario in self.config.scenarios]
+                 self.config.eval_workers, self.cost_model.params,
+                 main_path,
+                 f"{main_path}.shard{index}" if main_path else None)
+                for index, scenario in enumerate(self.config.scenarios)]
+        ctx = pool_context(
+            require_picklable=(_run_scenario_isolated, *jobs))
         with ProcessPoolExecutor(max_workers=self.config.workers,
                                  mp_context=ctx) as pool:
-            return list(pool.map(_run_scenario_isolated, jobs))
+            outcomes = list(pool.map(_run_scenario_isolated, jobs))
+        if self.store is not None:
+            for _, _, _, _, _, shard_path in jobs:
+                shard = Path(shard_path)
+                if shard.exists():
+                    self.store.merge_from(
+                        EvalStore(shard, read_only=True))
+                    shard.unlink()
+        return outcomes
 
     # ------------------------------------------------------------------
     # Shared-service pool
@@ -375,7 +417,8 @@ class Campaign:
                                   trainer=None, rho=rho)
             service = EvalService(evaluator,
                                   cache_size=self.config.cache_size,
-                                  workers=self.config.eval_workers)
+                                  workers=self.config.eval_workers,
+                                  store=self.store)
             self.services[salt] = service
         return service
 
@@ -396,15 +439,20 @@ class Campaign:
         requests = sum(s.requests for s in stats)
         hits = sum(s.hits for s in stats)
         shared = sum(s.shared_hits for s in stats)
+        store_hits = sum(s.store_hits for s in stats)
         return {
             "services": len(self.services),
             "requests": requests,
             "hits": hits,
             "misses": sum(s.misses for s in stats),
             "shared_hits": shared,
+            "store_hits": store_hits,
             "hit_rate": hits / requests if requests else 0.0,
             "shared_hit_rate": shared / requests if requests else 0.0,
+            "store_hit_rate": store_hits / requests if requests else 0.0,
             "entries": entries,
+            "store_entries": (len(self.store)
+                              if self.store is not None else 0),
             "cost_memo_hits": self.cost_model.memo_hits,
             "cost_memo_misses": self.cost_model.memo_misses,
         }
@@ -413,9 +461,12 @@ class Campaign:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Close every shared service (idempotent)."""
+        """Close every shared service — flushing their store-tier memo
+        — and any campaign-owned store (idempotent)."""
         for service in self.services.values():
             service.close()
+        if self.store is not None and self._owns_store:
+            self.store.close()
 
     def __enter__(self) -> "Campaign":
         return self
@@ -426,13 +477,30 @@ class Campaign:
 
 def _run_scenario_isolated(job: tuple) -> ScenarioOutcome:
     """Pool worker: one scenario, one private service (module-level so
-    the fork-based executor can pickle the callable)."""
-    scenario, cache_size, eval_workers, cost_params = job
-    with Campaign(CampaignConfig(scenarios=(scenario,),
-                                 cache_size=cache_size,
-                                 eval_workers=eval_workers),
-                  cost_model=CostModel(cost_params)) as campaign:
-        return campaign.run().outcomes[0]
+    the executor can pickle the callable under any start method).
+
+    With a persistent store, the worker layers a writable private shard
+    over the main store file (read-only): warm-starts see everything
+    priced before the pool launched, while appends never race another
+    writer.  The parent merges the shards afterwards.
+    """
+    (scenario, cache_size, eval_workers, cost_params,
+     store_path, shard_path) = job
+    store = None
+    if store_path is not None:
+        parent = (EvalStore(store_path, read_only=True)
+                  if Path(store_path).exists() else None)
+        store = EvalStore(shard_path, parent=parent)
+    try:
+        with Campaign(CampaignConfig(scenarios=(scenario,),
+                                     cache_size=cache_size,
+                                     eval_workers=eval_workers),
+                      cost_model=CostModel(cost_params),
+                      store=store) as campaign:
+            return campaign.run().outcomes[0]
+    finally:
+        if store is not None:
+            store.close()
 
 
 def run_campaign(config: CampaignConfig,

@@ -255,18 +255,29 @@ class SearchDriver:
         target = Path(path) if path is not None else self.checkpoint_path
         if target is None:
             raise ValueError("no checkpoint path configured")
+        if self.service is not None and self.service.store is not None:
+            # Make the persistent store consistent with the checkpoint:
+            # a resume sees every memo entry the checkpointed run held.
+            self.service.flush_store()
         payload = {
             "strategy_name": self.strategy.strategy_name,
             "round": self._round,
             "total_rounds": self.strategy.total_rounds,
             "context_salt": (self.service.context_salt
                              if self.service is not None else None),
+            "store_path": self._store_path(),
             "stats_start": self._stats_start,
             "strategy_state": self.strategy.state(),
             "service_state": (self.service.state_snapshot()
                               if self.service is not None else None),
         }
         return save_checkpoint(target, payload)
+
+    def _store_path(self) -> str | None:
+        """Resolved path of the service's persistent store, if any."""
+        if self.service is None or self.service.store is None:
+            return None
+        return str(self.service.store.path.resolve())
 
     def restore(self, path: str | Path) -> "SearchDriver":
         """Resume a checkpointed run into this (freshly built) driver.
@@ -295,6 +306,12 @@ class SearchDriver:
             raise ValueError(
                 "checkpoint evaluation context (workload specs/bounds, "
                 "cost parameters, rho) does not match this run")
+        if payload.get("store_path") != self._store_path():
+            raise ValueError(
+                f"checkpoint was written against evaluation store "
+                f"{payload.get('store_path')!r}, but this run uses "
+                f"{self._store_path()!r} — resume with the same store "
+                f"(or the same absence of one)")
         self.strategy.load_state(payload["strategy_state"])
         if self.service is not None and payload["service_state"] is not None:
             self.service.restore_state(payload["service_state"])

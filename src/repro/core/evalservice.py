@@ -16,12 +16,20 @@ DANCE, which both amortise the evaluator to make co-search tractable):
 - a **batch API** (:meth:`EvalService.evaluate_many`) that deduplicates
   a batch, prices the misses — optionally on a process pool when
   ``workers > 1`` — and returns results in request order;
+- a **persistent second tier** (:class:`repro.core.store.EvalStore`,
+  optional): misses in the in-memory LRU fall through to the disk
+  store, and computed misses are appended durably, so a later run —
+  same process or a fresh session — warm-starts from prior pricing
+  (``stats.store_hits``).  Store entries are salt-namespaced and
+  key-checked, so reuse is sound exactly like campaign cache sharing;
 - **hit/miss/timing statistics** (:class:`EvalServiceStats`) surfaced
   through :class:`repro.core.results.SearchResult` and the CLI.
 
-Determinism: the hardware path is RNG-free, so cached, serial and
-parallel evaluations of the same pair are bit-identical — asserted by
-``tests/test_evalservice.py`` and exploited by the golden search test.
+Determinism: the hardware path is RNG-free and store records round-trip
+through pickle exactly, so cached, serial, parallel and warm-started
+evaluations of the same pair are bit-identical — asserted by
+``tests/test_evalservice.py`` / ``tests/test_store.py`` and exploited
+by the golden search test.
 """
 
 from __future__ import annotations
@@ -34,9 +42,11 @@ from dataclasses import dataclass, fields, replace
 from repro.accel.accelerator import HeterogeneousAccelerator
 from repro.arch.network import NetworkArch
 from repro.core.evaluator import Evaluator, HardwareEvaluation
+from repro.core.store import EvalStore, cost_params_digest
 from repro.cost.model import CostModel
 from repro.cost.params import CostModelParams
 from repro.utils.hashing import stable_hash
+from repro.utils.pool import pool_context
 from repro.workloads.workload import Workload
 
 __all__ = ["EvalService", "EvalServiceStats", "design_content",
@@ -162,9 +172,16 @@ class EvalServiceStats:
         cost_memo_hits / cost_memo_misses: Cross-design cost-table memo
             accounting (``CostModel.memo_hits`` / ``memo_misses``),
             mirrored after every miss computation.
+        cost_memo_entries: Memo occupancy (entries held) at the last
+            mirror — in a stats *delta* this is net entries added.
         shared_hits: Hits served from entries inserted in an *earlier*
             service generation (see :meth:`EvalService.bump_generation`)
             — the cross-run reuse a shared campaign cache provides.
+            Entries seeded from the persistent store predate every
+            generation, so their LRU re-hits count here too.
+        store_hits: Requests answered from the persistent store tier
+            (they count toward ``hits`` as well — the breakdown says
+            *which* tier answered).
         hap_moves_priced / hap_moves_pruned / hap_moves_resumed /
         hap_memo_hits / hap_steps_saved / hap_steps_replayed:
             HAP single-move pricing counters aggregated across every
@@ -181,9 +198,11 @@ class EvalServiceStats:
     batches: int = 0
     parallel_evaluations: int = 0
     shared_hits: int = 0
+    store_hits: int = 0
     miss_seconds: float = 0.0
     cost_memo_hits: int = 0
     cost_memo_misses: int = 0
+    cost_memo_entries: int = 0
     hap_moves_priced: int = 0
     hap_moves_pruned: int = 0
     hap_moves_resumed: int = 0
@@ -232,8 +251,10 @@ class EvalServiceStats:
 
     def summary(self) -> str:
         """One-line human-readable account."""
+        store = (f", {self.store_hits} from store"
+                 if self.store_hits else "")
         return (f"evaluation cache: {self.hits} hits / {self.misses} misses "
-                f"({self.hit_rate:.1%} hit rate, "
+                f"({self.hit_rate:.1%} hit rate{store}, "
                 f"~{self.seconds_saved:.2f}s saved, "
                 f"{self.miss_seconds:.2f}s computing)")
 
@@ -245,7 +266,8 @@ class EvalServiceStats:
         saved_pct = self.hap_steps_saved / steps if steps else 0.0
         return (f"pricing: cost memo {self.cost_memo_hits} hits / "
                 f"{self.cost_memo_misses} misses "
-                f"({self.cost_memo_rate:.1%} reuse); "
+                f"({self.cost_memo_rate:.1%} reuse, "
+                f"{self.cost_memo_entries} entries held); "
                 f"HAP moves {moves} priced, "
                 f"{self.hap_moves_pruned} pruned ({pruned_pct:.1%}), "
                 f"{self.hap_moves_resumed} resumed "
@@ -265,10 +287,17 @@ class EvalService:
         parallel_threshold: Minimum number of *distinct* misses in one
             batch before the pool is used; smaller batches stay serial
             to avoid IPC overhead.
+        store: Optional persistent second tier
+            (:class:`repro.core.store.EvalStore`).  LRU misses fall
+            through to it and computed misses are appended durably.
+            The service never closes the store — ownership stays with
+            the caller (CLI, campaign), so one store can span many
+            services and runs.
     """
 
     def __init__(self, evaluator: Evaluator, *, cache_size: int = 4096,
-                 workers: int = 0, parallel_threshold: int = 4) -> None:
+                 workers: int = 0, parallel_threshold: int = 4,
+                 store: EvalStore | None = None) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
         if workers < 0:
@@ -287,6 +316,9 @@ class EvalService:
                                    evaluator.cost_model.params,
                                    evaluator.rho)
         self._pool: Executor | None = None
+        self.store: EvalStore | None = None
+        if store is not None:
+            self.attach_store(store)
 
     # ------------------------------------------------------------------
     # Keys
@@ -321,12 +353,16 @@ class EvalService:
         cached = self._lookup(key)
         if cached is not None:
             return cached
+        cached = self._lookup_store(key)
+        if cached is not None:
+            return cached
         started = time.perf_counter()
         evaluation = self.evaluator.evaluate_hardware(networks, accelerator)
         self.stats.miss_seconds += time.perf_counter() - started
         self.stats.misses += 1
         self._sync_pricing()
         self._store(key, evaluation)
+        self._persist([(key, (networks, accelerator), evaluation)])
         return evaluation
 
     # ------------------------------------------------------------------
@@ -338,17 +374,13 @@ class EvalService:
         Results come back in request order; duplicate pairs within one
         batch are priced once (the first occurrence is the miss, the
         rest are hits).  Equality with the serial path is exact.  With
-        ``cache_size=0`` no reuse happens at all — every request is
-        priced, including intra-batch duplicates.
+        ``cache_size=0`` no in-memory reuse happens — every request not
+        answered by the persistent store is priced, including
+        intra-batch duplicates.
         """
         self.stats.batches += 1
         if self.cache_size == 0:
-            self.stats.misses += len(pairs)
-            started = time.perf_counter()
-            evaluations = self._compute_batch(list(pairs))
-            self.stats.miss_seconds += time.perf_counter() - started
-            self._sync_pricing()
-            return evaluations
+            return self._evaluate_many_uncached(list(pairs))
         keys = [design_content(nets, accel) for nets, accel in pairs]
         results: dict[tuple, HardwareEvaluation] = {}
         miss_keys: list[tuple] = []
@@ -358,6 +390,8 @@ class EvalService:
                 self.stats.hits += 1
                 continue
             cached = self._lookup(key)
+            if cached is None:
+                cached = self._lookup_store(key)
             if cached is not None:
                 results[key] = cached
             else:
@@ -373,7 +407,41 @@ class EvalService:
             for key, evaluation in zip(miss_keys, evaluations):
                 results[key] = evaluation
                 self._store(key, evaluation)
+            self._persist(zip(miss_keys, miss_pairs, evaluations))
         return [results[key] for key in keys]
+
+    def _evaluate_many_uncached(self,
+                                pairs: list[_Pair]
+                                ) -> list[HardwareEvaluation]:
+        """The ``cache_size=0`` batch path: no LRU, store tier only."""
+        results: list[HardwareEvaluation | None] = [None] * len(pairs)
+        miss_slots: list[int] = []
+        miss_keys: list[tuple] = []
+        miss_pairs: list[_Pair] = []
+        for slot, pair in enumerate(pairs):
+            found = None
+            if self.store is not None:
+                key = design_content(*pair)
+                found = self._lookup_store(key)
+            else:
+                key = None
+            if found is not None:
+                results[slot] = found
+            else:
+                self.stats.misses += 1
+                miss_slots.append(slot)
+                miss_keys.append(key)
+                miss_pairs.append(pair)
+        if miss_pairs:
+            started = time.perf_counter()
+            evaluations = self._compute_batch(miss_pairs)
+            self.stats.miss_seconds += time.perf_counter() - started
+            self._sync_pricing()
+            for slot, evaluation in zip(miss_slots, evaluations):
+                results[slot] = evaluation
+            if self.store is not None:
+                self._persist(zip(miss_keys, miss_pairs, evaluations))
+        return results  # type: ignore[return-value]
 
     def _compute_batch(self, pairs: list[_Pair]) -> list[HardwareEvaluation]:
         if self.workers > 1 and len(pairs) >= self.parallel_threshold:
@@ -411,6 +479,75 @@ class EvalService:
         cost_model = self.evaluator.cost_model
         stats.cost_memo_hits = cost_model.memo_hits
         stats.cost_memo_misses = cost_model.memo_misses
+        stats.cost_memo_entries = cost_model.cache_size
+
+    # ------------------------------------------------------------------
+    # Persistent store tier
+    # ------------------------------------------------------------------
+    def attach_store(self, store: EvalStore) -> None:
+        """Attach the persistent second tier.
+
+        No context verification is needed — store entries are
+        namespaced by the exact context salt, so a store shared across
+        arbitrary services can only ever answer a request priced under
+        an identical context.  Attaching also preloads the persisted
+        cross-design cost-table memo for this cost model's parameters,
+        so uncached pricing warm-starts too.
+        """
+        self.store = store
+        cost_model = self.evaluator.cost_model
+        persisted = store.get_memo(cost_params_digest(cost_model.params))
+        if persisted:
+            cost_model.preload_memo(persisted)
+
+    def flush_store(self) -> int:
+        """Persist cost-memo entries accumulated since the last flush.
+
+        Evaluations are appended durably as they are priced; the memo
+        (far cheaper to recompute, far chattier to write) is flushed in
+        batches — at checkpoints and on :meth:`close`.  Returns how many
+        entries were newly persisted.
+        """
+        if self.store is None or self.store.read_only:
+            return 0
+        cost_model = self.evaluator.cost_model
+        return self.store.put_memo(cost_params_digest(cost_model.params),
+                                   cost_model.memo_state()["cache"])
+
+    def _lookup_store(self, key: tuple) -> HardwareEvaluation | None:
+        """Second-tier lookup: LRU missed, ask the persistent store."""
+        if self.store is None:
+            return None
+        evaluation = self.store.get(self._salt, self._key_digest(key), key)
+        if evaluation is None:
+            return None
+        self.stats.hits += 1
+        self.stats.store_hits += 1
+        if self.cache_size:
+            self._cache[key] = evaluation
+            self._cache.move_to_end(key)
+            # Store entries predate every generation, so LRU re-hits of
+            # this entry count as shared (cross-run) reuse.
+            self._entry_generation[key] = -1
+            self._evict()
+        return evaluation
+
+    def _key_digest(self, key: tuple) -> str:
+        """Store-bucket digest of an already-built content tuple.
+
+        Identical to ``design_digest(networks, accelerator,
+        salt=self._salt)`` — the key *is* ``design_content`` of the pair
+        — without re-canonicalising the pair on the store hot path.
+        """
+        return format(stable_hash(key, salt=self._salt), "016x")
+
+    def _persist(self, triples) -> None:
+        """Append computed misses to the store (one fsync per batch)."""
+        if self.store is None or self.store.read_only:
+            return
+        self.store.put_many(
+            (self._salt, self._key_digest(key), key, evaluation)
+            for key, _pair, evaluation in triples)
 
     # ------------------------------------------------------------------
     # LRU mechanics
@@ -432,7 +569,13 @@ class EvalService:
         self._cache[key] = evaluation
         self._cache.move_to_end(key)
         self._entry_generation.setdefault(key, self._generation)
-        while len(self._cache) > self.cache_size:
+        self._evict()
+
+    def _evict(self) -> None:
+        # The emptiness guard keeps a (mistakenly) negative capacity
+        # from popping past an empty dict; the constructor rejects one,
+        # but a KeyError here is the wrong way to find out.
+        while self._cache and len(self._cache) > self.cache_size:
             evicted, _ = self._cache.popitem(last=False)
             self._entry_generation.pop(evicted, None)
             self.stats.evictions += 1
@@ -497,25 +640,28 @@ class EvalService:
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> Executor:
         if self._pool is None:
-            import multiprocessing
-
+            initargs = (self.evaluator.workload,
+                        self.evaluator.cost_model.params,
+                        self.evaluator.rho)
             # Fork keeps worker start-up cheap and inherits loaded
-            # modules; fall back to the platform default elsewhere.
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                ctx = multiprocessing.get_context()
+            # modules; platforms without it get the default start
+            # method after a picklability check (spawn ships state by
+            # pickling), failing with a clear message rather than an
+            # opaque PicklingError inside the pool.
+            ctx = pool_context(
+                require_picklable=(_init_worker, _eval_in_worker,
+                                   *initargs))
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=ctx,
                 initializer=_init_worker,
-                initargs=(self.evaluator.workload,
-                          self.evaluator.cost_model.params,
-                          self.evaluator.rho))
+                initargs=initargs)
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Flush the store tier and shut the worker pool down
+        (idempotent; the store itself stays open for its owner)."""
+        self.flush_store()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

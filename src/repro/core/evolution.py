@@ -46,6 +46,7 @@ from repro.core.driver import RoundLog, SearchDriver
 from repro.core.evaluator import Evaluator, HardwareEvaluation
 from repro.core.evalservice import EvalService, verify_injected_service
 from repro.core.results import ExploredSolution, SearchResult
+from repro.core.store import EvalStore
 from repro.core.reward import episode_reward, weighted_normalised_accuracy
 from repro.cost.model import CostModel
 from repro.train.surrogate import AccuracySurrogate, default_surrogate
@@ -125,6 +126,7 @@ class EvolutionarySearch:
         surrogate: AccuracySurrogate | None = None,
         config: EvolutionConfig | None = None,
         evalservice: EvalService | None = None,
+        store: "EvalStore | None" = None,
     ) -> None:
         self.allocation = allocation or AllocationSpace()
         self.config = config or EvolutionConfig()
@@ -143,7 +145,7 @@ class EvolutionarySearch:
         if evalservice is None:
             self.evalservice = EvalService(
                 self.evaluator, cache_size=self.config.cache_size,
-                workers=self.config.eval_workers)
+                workers=self.config.eval_workers, store=store)
             self._owns_service = True
         else:
             verify_injected_service(evalservice, workload,

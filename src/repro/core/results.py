@@ -72,6 +72,9 @@ class SearchResult:
             so the count stays comparable across cached and uncached runs).
         cache_hits / cache_misses: Evaluation-service cache accounting
             (both zero when the run bypassed the service).
+        store_hits: Requests answered from the persistent evaluation
+            store (a subset of ``cache_hits``) — the cross-run
+            warm-start reuse.
         eval_seconds: Wall-clock spent computing hardware-path misses.
         cost_memo_hits / cost_memo_misses: Cross-design cost-table memo
             accounting — how many (layer, sub-accelerator) pair prices
@@ -92,6 +95,7 @@ class SearchResult:
     hardware_evaluations: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    store_hits: int = 0
     eval_seconds: float = 0.0
     cost_memo_hits: int = 0
     cost_memo_misses: int = 0
@@ -108,6 +112,7 @@ class SearchResult:
         self.hardware_evaluations = stats.requests
         self.cache_hits = stats.hits
         self.cache_misses = stats.misses
+        self.store_hits = stats.store_hits
         self.eval_seconds = stats.miss_seconds
         self.cost_memo_hits = stats.cost_memo_hits
         self.cost_memo_misses = stats.cost_memo_misses
@@ -140,10 +145,12 @@ class SearchResult:
         ]
         if self.cache_hits or self.cache_misses:
             total = self.cache_hits + self.cache_misses
+            store = (f", {self.store_hits} from store"
+                     if self.store_hits else "")
             lines.append(
                 f"evaluation cache: {self.cache_hits} hits / "
                 f"{self.cache_misses} misses "
-                f"({self.cache_hits / total:.1%} hit rate, "
+                f"({self.cache_hits / total:.1%} hit rate{store}, "
                 f"{self.eval_seconds:.2f}s computing)")
         if self.cost_memo_hits or self.cost_memo_misses:
             memo_total = self.cost_memo_hits + self.cost_memo_misses

@@ -48,6 +48,7 @@ from repro.core.controller import ControllerConfig, RNNController
 from repro.core.driver import RoundLog, SearchDriver
 from repro.core.evaluator import Evaluator, HardwareEvaluation
 from repro.core.evalservice import EvalService, verify_injected_service
+from repro.core.store import EvalStore
 from repro.core.reinforce import ReinforceConfig, ReinforceTrainer
 from repro.core.results import EpisodeRecord, ExploredSolution, SearchResult
 from repro.core.reward import episode_reward, weighted_normalised_accuracy
@@ -130,6 +131,12 @@ class NASAIC:
             exact same evaluation context (verified via its salt); the
             search then does not own it (``close`` leaves it alive) and
             ``config.cache_size``/``config.eval_workers`` are ignored.
+        store: Optional persistent evaluation store
+            (:class:`repro.core.store.EvalStore`) attached to the
+            search's own service — the run warm-starts from designs
+            priced by earlier runs and appends its own durably.  The
+            caller owns the store.  Ignored when ``evalservice`` is
+            injected (the injected service decides its own tiers).
     """
 
     strategy_name = "nasaic"
@@ -143,6 +150,7 @@ class NASAIC:
         surrogate: AccuracySurrogate | None = None,
         config: NASAICConfig | None = None,
         evalservice: EvalService | None = None,
+        store: "EvalStore | None" = None,
     ) -> None:
         self.allocation = allocation or AllocationSpace()
         self.config = config or NASAICConfig()
@@ -162,7 +170,7 @@ class NASAIC:
         if evalservice is None:
             self.evalservice = EvalService(
                 self.evaluator, cache_size=self.config.cache_size,
-                workers=self.config.eval_workers)
+                workers=self.config.eval_workers, store=store)
             self._owns_service = True
         else:
             verify_injected_service(evalservice, workload,

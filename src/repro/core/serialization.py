@@ -20,6 +20,7 @@ Two artefact families with different contracts:
       {"format": "repro-checkpoint", "version": 1,
        "strategy_name": ..., "round": ..., "total_rounds": ...,
        "context_salt": ...,        # evaluation context of the service
+       "store_path": ...,          # persistent store in use (or None)
        "stats_start": ...,         # driver's stats baseline (delta absorption)
        "strategy_state": {...},    # SearchStrategy.state()
        "service_state": {...}}     # EvalService.state_snapshot()
@@ -37,12 +38,75 @@ from typing import Any
 
 from repro.core.results import ExploredSolution, SearchResult
 
-__all__ = ["CHECKPOINT_FORMAT", "CHECKPOINT_VERSION", "load_checkpoint",
-           "load_result", "result_to_dict", "save_checkpoint",
-           "save_result", "solution_to_dict"]
+__all__ = ["CHECKPOINT_FORMAT", "CHECKPOINT_VERSION", "durable_append",
+           "durable_replace", "load_checkpoint", "load_result",
+           "result_to_dict", "save_checkpoint", "save_result",
+           "solution_to_dict"]
 
 CHECKPOINT_FORMAT = "repro-checkpoint"
 CHECKPOINT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Durable writes
+# ----------------------------------------------------------------------
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry to disk (no-op where unsupported).
+
+    After ``os.replace`` the *file* contents are durable only once the
+    containing directory's entry is too; platforms that cannot fsync a
+    directory (e.g. Windows) simply skip this step.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir handles
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_replace(path: str | Path, blob: bytes) -> Path:
+    """Crash-safe atomic write of ``blob`` to ``path``.
+
+    The bytes go to a sibling ``.tmp`` file which is fsynced *before*
+    ``os.replace`` — without the fsync a power loss shortly after the
+    replace can leave a zero-length (yet valid-looking) file, because
+    the rename may reach disk before the data does.  The temp file is
+    removed even when the write or replace fails, so a crash never
+    strands a stale ``.tmp`` beside the target, and the directory entry
+    is fsynced after the replace.  Used by checkpoints; the evaluation
+    store reuses :func:`durable_append` for the same guarantee on its
+    append-only file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    _fsync_directory(path.parent)
+    return path
+
+
+def durable_append(handle, blob: bytes) -> None:
+    """Append ``blob`` to an open binary file handle and fsync it.
+
+    The companion of :func:`durable_replace` for append-only artefacts
+    (the evaluation store): once this returns, the appended record
+    survives a crash or power loss.
+    """
+    handle.write(blob)
+    handle.flush()
+    os.fsync(handle.fileno())
 
 
 def solution_to_dict(solution: ExploredSolution) -> dict[str, Any]:
@@ -96,6 +160,7 @@ def result_to_dict(result: SearchResult) -> dict[str, Any]:
         "eval_seconds": result.eval_seconds,
         "num_feasible": len(result.feasible_solutions),
         "pricing": {
+            "store_hits": result.store_hits,
             "cost_memo_hits": result.cost_memo_hits,
             "cost_memo_misses": result.cost_memo_misses,
             "hap_moves_priced": result.hap_moves_priced,
@@ -128,19 +193,16 @@ def save_checkpoint(path: str | Path, payload: dict[str, Any]) -> Path:
     """Atomically write a mid-run checkpoint.
 
     The payload is pickled immediately (snapshot semantics: later
-    mutations of live objects cannot leak into the file) and the file is
-    replaced atomically, so a crash during checkpointing never corrupts
-    the previous checkpoint.
+    mutations of live objects cannot leak into the file) and written via
+    :func:`durable_replace` — fsynced temp file, atomic replace, temp
+    cleanup, directory fsync — so neither a crash during checkpointing
+    nor a power loss right after it can corrupt or zero out the
+    previous checkpoint.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     record = {"format": CHECKPOINT_FORMAT,
               "version": CHECKPOINT_VERSION, **payload}
     blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_bytes(blob)
-    os.replace(tmp, path)
-    return path
+    return durable_replace(path, blob)
 
 
 def load_checkpoint(path: str | Path) -> dict[str, Any]:

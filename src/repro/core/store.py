@@ -1,0 +1,301 @@
+"""Persistent cross-run evaluation store: the disk tier under EvalService.
+
+PRs 1-3 made repeat pricing cheap *within* a process — the LRU cache,
+the cross-design cost-table memo and campaign-shared services all die
+with the process, so every new session starts cold.  Apollo
+(Yazdanbakhsh et al.) and NAAS both observe that once single-evaluation
+cost is optimised, the next lever is persisting and transferring
+evaluation knowledge across exploration runs.  :class:`EvalStore` is
+that tier: a durable, append-only, content-addressed record of priced
+designs that any later run — same process, pool worker, or a fresh
+session days later — warm-starts from.
+
+Design:
+
+- **Content-addressed, salt-namespaced.**  Entries are indexed by
+  ``(context_salt, design_digest)`` where the digest is the existing
+  context-salted :func:`repro.core.evalservice.design_digest` of the
+  pair.  The full canonical content tuple
+  (:func:`repro.core.evalservice.design_content`) is stored alongside
+  and compared on every read, so a 64-bit digest collision degrades to
+  a store miss, never a wrong answer.  Because the salt captures the
+  whole evaluation context (workload specs/bounds, cost-model
+  parameters, rho), entries are only ever reused under an exactly equal
+  context — the same guarantee PR 3's shared campaign services rely on.
+- **Durable appends.**  The file is a magic header plus length-prefixed
+  pickled records; every append goes through
+  :func:`repro.core.serialization.durable_append` (flush + fsync), so a
+  priced design survives the process that priced it.  A truncated or
+  corrupted file is rejected with a clear error on open — never
+  silently half-loaded.
+- **Cost-memo records.**  The cross-design cost-table memo
+  (:meth:`repro.cost.model.CostModel.memo_state`) persists alongside
+  the evaluations, namespaced by a digest of the cost parameters, so a
+  warm-started run also reprices no (layer, sub-accelerator) pair an
+  earlier run already priced.
+- **Single writer, shard + merge for pools.**  One process appends to
+  one store file.  Campaign process-pool mode gives each worker a
+  private *shard* store layered over the main store read-only
+  (``parent=``), then merges the shards back into the main store
+  afterwards — see :meth:`EvalStore.merge_from`.
+
+The store is infrastructure beneath the exactness contracts: a warm
+start changes *where* an evaluation's bits come from, never what they
+are (pickle round-trips the records exactly), which
+``tests/test_store.py`` and ``benchmarks/bench_store.py`` pin down.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.core.serialization import durable_append
+from repro.utils.hashing import stable_hash
+
+__all__ = ["EvalStore", "STORE_MAGIC", "STORE_VERSION",
+           "cost_params_digest"]
+
+#: File magic; bumping :data:`STORE_VERSION` changes this line.
+STORE_VERSION = 1
+STORE_MAGIC = b"repro-evalstore v1\n"
+
+#: struct format of the record length prefix (little-endian u64).
+_LEN = struct.Struct("<Q")
+
+
+def cost_params_digest(params: Any) -> str:
+    """Stable digest namespacing persisted cost-memo entries.
+
+    Two cost models share memo entries only under bit-equal parameters
+    (mirrors how the evaluation-context salt gates design reuse).
+    """
+    return format(stable_hash(repr(params), salt="cost-params"), "016x")
+
+
+class EvalStore:
+    """Disk-backed, content-addressed store of priced designs.
+
+    Args:
+        path: The store file; created (with parents) on first append.
+            A missing file is an empty store.
+        read_only: Open for lookups only — :meth:`put` and friends
+            refuse.  Used by pool workers layering a writable shard
+            over the main store.
+        parent: Optional fallback store consulted on lookup misses
+            (reads only; appends always go to this store's own file).
+
+    Raises:
+        ValueError: If the file exists but is not a repro evaluation
+            store, has an unsupported version, or is corrupted or
+            truncated.
+    """
+
+    def __init__(self, path: str | Path, *, read_only: bool = False,
+                 parent: "EvalStore | None" = None) -> None:
+        self.path = Path(path)
+        self.read_only = read_only
+        self.parent = parent
+        #: (salt, digest) -> list of (content key, evaluation); a list
+        #: because distinct contents may share a digest (collisions are
+        #: kept side by side and disambiguated by exact key compare).
+        self._evals: dict[tuple[str, str], list[tuple[tuple, Any]]] = {}
+        #: params digest -> memoised {cost key: LayerCost} entries.
+        self._memo: dict[str, dict] = {}
+        self._handle = None
+        self.lookups = 0
+        self.lookup_hits = 0
+        if self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Loading / file format
+    # ------------------------------------------------------------------
+    def _corrupt(self, detail: str) -> ValueError:
+        return ValueError(
+            f"{self.path} is corrupted ({detail}); the evaluation store "
+            f"cannot be trusted — delete or restore it and re-run")
+
+    def _load(self) -> None:
+        data = self.path.read_bytes()
+        if not data:
+            # A crash between creating the file and the first durable
+            # append leaves zero bytes: nothing was promised, so this
+            # is an empty store, not corruption.
+            return
+        if not data.startswith(STORE_MAGIC):
+            raise ValueError(
+                f"{self.path} is not a repro evaluation store "
+                f"(expected header {STORE_MAGIC!r})")
+        offset = len(STORE_MAGIC)
+        total = len(data)
+        while offset < total:
+            if offset + _LEN.size > total:
+                raise self._corrupt("truncated record length prefix")
+            (length,) = _LEN.unpack_from(data, offset)
+            offset += _LEN.size
+            if offset + length > total:
+                raise self._corrupt("truncated record body")
+            try:
+                record = pickle.loads(data[offset:offset + length])
+            except Exception as exc:
+                raise self._corrupt(f"unreadable record: {exc}") from exc
+            offset += length
+            if not isinstance(record, dict) or "kind" not in record:
+                raise self._corrupt("record is not a store record")
+            self._index(record)
+
+    def _index(self, record: dict) -> None:
+        kind = record["kind"]
+        if kind == "eval":
+            bucket = self._evals.setdefault(
+                (record["salt"], record["digest"]), [])
+            key = record["key"]
+            if not any(stored_key == key for stored_key, _ in bucket):
+                bucket.append((key, record["evaluation"]))
+        elif kind == "memo":
+            self._memo.setdefault(record["params"], {}).update(
+                record["entries"])
+        else:
+            raise self._corrupt(f"unknown record kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def get(self, salt: str, digest: str, key: tuple) -> Any | None:
+        """Evaluation stored for ``key`` under ``salt``, else ``None``.
+
+        ``digest`` addresses the bucket; the exact content ``key`` is
+        compared before anything is returned, so digest collisions fall
+        back to a miss (or to the colliding bucket's other entry).
+        """
+        self.lookups += 1
+        for stored_key, evaluation in self._evals.get((salt, digest), ()):
+            if stored_key == key:
+                self.lookup_hits += 1
+                return evaluation
+        if self.parent is not None:
+            found = self.parent.get(salt, digest, key)
+            if found is not None:
+                self.lookup_hits += 1
+            return found
+        return None
+
+    def get_memo(self, params_digest: str) -> dict:
+        """Persisted cost-memo entries for one parameter set (merged
+        with the parent store's, own entries winning)."""
+        merged: dict = {}
+        if self.parent is not None:
+            merged.update(self.parent.get_memo(params_digest))
+        merged.update(self._memo.get(params_digest, {}))
+        return merged
+
+    def __len__(self) -> int:
+        """Distinct evaluations reachable (own entries plus parent's)."""
+        own = sum(len(bucket) for bucket in self._evals.values())
+        return own + (len(self.parent) if self.parent is not None else 0)
+
+    def __contains__(self, addr: tuple[str, str, tuple]) -> bool:
+        salt, digest, key = addr
+        if any(stored == key
+               for stored, _ in self._evals.get((salt, digest), ())):
+            return True
+        return self.parent is not None and addr in self.parent
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def _append_records(self, records: list[dict]) -> None:
+        if self.read_only:
+            raise ValueError(f"evaluation store {self.path} is read-only")
+        if not records:
+            return
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = (not self.path.exists()
+                     or self.path.stat().st_size == 0)
+            self._handle = open(self.path, "ab")
+            if fresh:
+                self._handle.write(STORE_MAGIC)
+        frames = []
+        for record in records:
+            blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+            frames.append(_LEN.pack(len(blob)) + blob)
+        # One flush+fsync per batch: every record is durable on return.
+        durable_append(self._handle, b"".join(frames))
+
+    def put(self, salt: str, digest: str, key: tuple,
+            evaluation: Any) -> bool:
+        """Durably record one priced design; returns whether it was new
+        (already-present exact keys are not rewritten)."""
+        return self.put_many([(salt, digest, key, evaluation)]) == 1
+
+    def put_many(self, entries: Iterable[tuple[str, str, tuple, Any]]
+                 ) -> int:
+        """Durably record a batch with a single fsync; returns how many
+        entries were new.
+
+        The in-memory index is updated only *after* the append
+        succeeds: if the write fails (full disk), the store keeps
+        claiming the entries are absent, so a retry rewrites them
+        instead of silently skipping records that never reached disk.
+        """
+        records = []
+        batch_seen: set[tuple[str, str, tuple]] = set()
+        for salt, digest, key, evaluation in entries:
+            address = (salt, digest, key)
+            if address in batch_seen or address in self:
+                continue
+            batch_seen.add(address)
+            records.append({"kind": "eval", "salt": salt,
+                            "digest": digest, "key": key,
+                            "evaluation": evaluation})
+        self._append_records(records)
+        for record in records:
+            self._index(record)
+        return len(records)
+
+    def put_memo(self, params_digest: str, entries: dict) -> int:
+        """Durably record cost-memo entries not yet persisted for this
+        parameter set; returns how many were new."""
+        known = self.get_memo(params_digest)
+        fresh = {key: value for key, value in entries.items()
+                 if key not in known}
+        if fresh:
+            self._append_records([{"kind": "memo", "params": params_digest,
+                                   "entries": fresh}])
+            self._memo.setdefault(params_digest, {}).update(fresh)
+        return len(fresh)
+
+    def merge_from(self, shard: "EvalStore") -> int:
+        """Fold a shard store's own records into this store (the
+        campaign pool's merge step); returns new evaluations added."""
+        added = self.put_many(
+            (salt, digest, key, evaluation)
+            for (salt, digest), bucket in shard._evals.items()
+            for key, evaluation in bucket)
+        for params_digest, entries in shard._memo.items():
+            self.put_memo(params_digest, entries)
+        return added
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the append handle (idempotent; lookups keep working)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EvalStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        mode = "ro" if self.read_only else "rw"
+        return (f"EvalStore({str(self.path)!r}, {mode}, "
+                f"{len(self)} evaluations)")

@@ -10,6 +10,7 @@ of episodes.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -85,13 +86,24 @@ class CostModel:
     Args:
         params: Model constants; defaults to the calibrated set in
             :data:`repro.cost.params.DEFAULT_PARAMS`.
+        memo_capacity: Optional bound on the cross-design memo.  The
+            default (``None``) keeps it unbounded — bit-compatible with
+            every prior run — but long campaigns over large template
+            spaces can cap memory with an LRU bound; eviction changes
+            only *when* a pair is repriced, never its value.
     """
 
-    def __init__(self, params: CostModelParams | None = None) -> None:
+    def __init__(self, params: CostModelParams | None = None,
+                 *, memo_capacity: int | None = None) -> None:
+        if memo_capacity is not None and memo_capacity < 1:
+            raise ValueError("memo_capacity must be >= 1 (or None)")
         self.params = params or DEFAULT_PARAMS
-        self._layer_cache: dict[tuple, LayerCost] = {}
+        self.memo_capacity = memo_capacity
+        self._layer_cache: dict[tuple, LayerCost] = (
+            {} if memo_capacity is None else OrderedDict())
         self.memo_hits = 0
         self.memo_misses = 0
+        self.memo_evictions = 0
 
     # ------------------------------------------------------------------
     # Per-layer oracle
@@ -109,6 +121,8 @@ class CostModel:
         cached = self._layer_cache.get(key)
         if cached is not None:
             self.memo_hits += 1
+            if self.memo_capacity is not None:  # LRU touch (bounded only)
+                self._layer_cache.move_to_end(key)
             return cached
         self.memo_misses += 1
         analysis = analyze(layer, subacc.dataflow, subacc.num_pes,
@@ -129,6 +143,7 @@ class CostModel:
                                * self.params.elem_bytes),
         )
         self._layer_cache[key] = cost
+        self._evict_excess()
         return cost
 
     # ------------------------------------------------------------------
@@ -151,6 +166,7 @@ class CostModel:
         layer_keys = [layer_identity(layer) for layer in layers]
         grid: list[list[LayerCost]] = [[] for _ in layers]
         cache = self._layer_cache
+        bounded = self.memo_capacity is not None
         # Distinct geometries of the batch, with their position in the
         # shared arrays; the dataflow-independent terms (geometry, DRAM
         # bytes, MAC/DRAM energy) are computed once and shared by every
@@ -168,16 +184,25 @@ class CostModel:
                     "cost table requested for an inactive sub-accelerator")
             sub_key = (subacc.dataflow.value, subacc.num_pes,
                        subacc.bandwidth_gbps)
-            column_keys = [(lkey,) + sub_key for lkey in layer_keys]
+            # Hit values are captured at scan time and misses filled in
+            # from the pricing pass: the grid never re-reads the memo,
+            # so a bounded memo may evict freely underneath.
+            column: dict[tuple, LayerCost | None] = {}
             miss_lkeys: dict[tuple, None] = {}
             hits = 0
-            for lkey, key in zip(layer_keys, column_keys):
-                if key in cache:
+            for lkey in layer_keys:
+                if lkey in column:
                     hits += 1
-                elif lkey not in miss_lkeys:
-                    miss_lkeys[lkey] = None
+                    continue
+                key = (lkey,) + sub_key
+                cached = cache.get(key)
+                if cached is not None:
+                    hits += 1
+                    if bounded:  # LRU touch
+                        cache.move_to_end(key)
                 else:
-                    hits += 1
+                    miss_lkeys[lkey] = None
+                column[lkey] = cached
             self.memo_hits += hits
             self.memo_misses += len(miss_lkeys)
             if miss_lkeys:
@@ -188,9 +213,11 @@ class CostModel:
                 else:
                     terms = self._subset_terms(
                         shared, [distinct_pos[lkey] for lkey in miss_lkeys])
-                self._price_column(list(miss_lkeys), terms, subacc)
-            for row, key in enumerate(column_keys):
-                grid[row].append(cache[key])
+                column.update(
+                    self._price_column(list(miss_lkeys), terms, subacc))
+                self._evict_excess()
+            for row, lkey in enumerate(layer_keys):
+                grid[row].append(column[lkey])
         return grid
 
     def _shared_terms(self, layers: list[ConvLayer]) -> tuple:
@@ -212,11 +239,11 @@ class CostModel:
                 dram_energy[idx])
 
     def _price_column(self, keys: list[tuple], shared: tuple,
-                      subacc: SubAccelerator) -> None:
+                      subacc: SubAccelerator) -> dict[tuple, LayerCost]:
         """Vectorised pricing of the distinct layers on one
-        sub-accelerator; fills the memo (bit-identical to the scalar
-        path — same operand order, every integer exactly representable
-        in float64)."""
+        sub-accelerator; fills the memo and returns ``{layer key:
+        cost}`` (bit-identical to the scalar path — same operand order,
+        every integer exactly representable in float64)."""
         params = self.params
         geometry, dram, mac_energy, dram_energy = shared
         analysis = analyze_batch(geometry, subacc.dataflow, subacc.num_pes,
@@ -232,12 +259,13 @@ class CostModel:
         cache = self._layer_cache
         sub_key = (subacc.dataflow.value, subacc.num_pes,
                    subacc.bandwidth_gbps)
+        priced: dict[tuple, LayerCost] = {}
         for lkey, lat, e, comp, m, util, noc, dr, ws in zip(
                 keys, latency.tolist(), energy.tolist(),
                 analysis.compute_cycles.tolist(), mem.tolist(),
                 analysis.utilization.tolist(), noc_bytes.tolist(),
                 dram.tolist(), working_set.tolist()):
-            cache[(lkey,) + sub_key] = LayerCost(
+            cost = LayerCost(
                 latency_cycles=lat,
                 energy_nj=e,
                 compute_cycles=comp,
@@ -247,6 +275,9 @@ class CostModel:
                 dram_bytes=dr,
                 working_set_bytes=ws,
             )
+            cache[(lkey,) + sub_key] = cost
+            priced[lkey] = cost
+        return priced
 
     def network_cost_on(self, network: NetworkArch,
                         subacc: SubAccelerator) -> tuple[int, float]:
@@ -293,6 +324,15 @@ class CostModel:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    def _evict_excess(self) -> None:
+        """Drop least-recently-used entries above the capacity bound."""
+        if self.memo_capacity is None:
+            return
+        cache = self._layer_cache
+        while len(cache) > self.memo_capacity:
+            cache.popitem(last=False)
+            self.memo_evictions += 1
+
     @property
     def cache_size(self) -> int:
         """Number of memoised (layer, sub-accelerator) evaluations."""
@@ -316,6 +356,24 @@ class CostModel:
 
     def load_memo_state(self, state: dict) -> None:
         """Restore a :meth:`memo_state` snapshot."""
-        self._layer_cache = dict(state["cache"])
+        self._layer_cache = (dict(state["cache"])
+                             if self.memo_capacity is None
+                             else OrderedDict(state["cache"]))
+        self._evict_excess()
         self.memo_hits = state["hits"]
         self.memo_misses = state["misses"]
+
+    def preload_memo(self, entries: dict) -> None:
+        """Seed the memo with persisted entries (no counter changes).
+
+        Used when a persistent :class:`~repro.core.store.EvalStore` is
+        attached: entries priced by earlier runs under bit-equal
+        parameters are loaded so they are hits here, without polluting
+        this run's hit/miss accounting at load time.  Present keys are
+        kept (they are value-identical by construction).
+        """
+        cache = self._layer_cache
+        for key, value in entries.items():
+            if key not in cache:
+                cache[key] = value
+        self._evict_excess()

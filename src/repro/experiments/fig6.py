@@ -85,8 +85,13 @@ def run_fig6(
     lower_bound_designs: int = 200,
     seed: int = 43,
     config: NASAICConfig | None = None,
+    store_path=None,
 ) -> Fig6Result:
-    """Regenerate one Fig. 6 panel for ``workload``."""
+    """Regenerate one Fig. 6 panel for ``workload``.
+
+    ``store_path`` plugs a persistent evaluation store under the NASAIC
+    campaign so repeated regenerations warm-start from prior pricing.
+    """
     allocation = AllocationSpace()
     cost_model = CostModel()
     surrogate = default_surrogate([t.space for t in workload.tasks])
@@ -98,7 +103,8 @@ def run_fig6(
         seed=config.seed, rho=config.rho,
         options={"config": config, "allocation": allocation,
                  "surrogate": surrogate})
-    with Campaign(CampaignConfig(scenarios=(scenario,)),
+    with Campaign(CampaignConfig(scenarios=(scenario,),
+                                 store_path=store_path),
                   cost_model=cost_model) as campaign:
         campaign_result = campaign.run()
     result = campaign_result.outcomes[0].result

@@ -95,8 +95,14 @@ def run_table1(
     mc_runs: int = 2_000,
     seed: int = 47,
     nasaic_config: NASAICConfig | None = None,
+    store_path=None,
 ) -> Table1Result:
-    """Regenerate one workload's rows of Table I."""
+    """Regenerate one workload's rows of Table I.
+
+    ``store_path`` plugs a persistent evaluation store under the NASAIC
+    campaign: regenerating the table after a parameter tweak (or a
+    crash) reprices only designs the store has never seen.
+    """
     allocation = AllocationSpace()
     cost_model = CostModel()
     surrogate = default_surrogate([t.space for t in workload.tasks])
@@ -118,7 +124,8 @@ def run_table1(
         rho=nasaic_config.rho,
         options={"config": nasaic_config, "allocation": allocation,
                  "surrogate": surrogate})
-    with Campaign(CampaignConfig(scenarios=(scenario,)),
+    with Campaign(CampaignConfig(scenarios=(scenario,),
+                                 store_path=store_path),
                   cost_model=cost_model) as campaign:
         campaign_result = campaign.run()
     result = campaign_result.outcomes[0].result

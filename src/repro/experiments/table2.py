@@ -107,6 +107,7 @@ def run_table2(
     nasaic_config: NASAICConfig | None = None,
     hetero_restarts: int = 3,
     nas_restarts: int = 2,
+    store_path=None,
 ) -> Table2Result:
     """Regenerate Table II for the two-CIFAR workload ``workload``.
 
@@ -114,6 +115,8 @@ def run_table2(
     co-exploration and the NAS row from several seeds and keep the best
     outcome — REINFORCE runs have seed variance, and the heterogeneous
     joint space is by far the largest of the four configurations.
+    ``store_path`` plugs a persistent evaluation store under the
+    campaign so regenerations warm-start from prior pricing.
     """
     if workload.num_tasks != 2:
         raise ValueError("Table II expects the two-task W3 workload")
@@ -191,7 +194,8 @@ def run_table2(
         label = f"hetero/r{restart}"
         hetero_labels.append(label)
         scenarios.append(_scenario(label, workload, hetero_cfg, None))
-    with Campaign(CampaignConfig(scenarios=tuple(scenarios)),
+    with Campaign(CampaignConfig(scenarios=tuple(scenarios),
+                                 store_path=store_path),
                   cost_model=cost_model) as campaign:
         campaign_result = campaign.run()
 

@@ -41,9 +41,9 @@ design of the search loop.  Three nested fast paths price those moves
 All three produce bit-identical :class:`HAPResult`\\ s, including the
 ``refinement_energies`` trajectory, which is maintained by *delta
 bookkeeping*: one energy-table read per accepted move instead of an
-O(num_layers) recompute (the float trajectory is therefore delta-summed;
-the final ``energy_nj`` is still a fresh table sum, and the two agree to
-float rounding — see :class:`HAPResult`).
+O(num_layers) recompute.  The float trajectory is therefore delta-summed
+— except its endpoint, which is snapped to the fresh table sum so it
+matches ``energy_nj`` bit for bit (see :class:`HAPResult`).
 """
 
 from __future__ import annotations
@@ -70,11 +70,15 @@ class HAPResult:
         feasible: Whether ``makespan <= latency_constraint``.
         latency_constraint: The ``LS`` the solver targeted.
         refinement_energies: Total energy after the feasibility phase and
-            after every accepted refinement move, in order — monotone
-            non-increasing by construction (property-tested).  The first
-            entry is a table sum; subsequent entries apply the accepted
-            move's energy delta, so the last entry matches ``energy_nj``
-            to float rounding (not necessarily bit-for-bit).
+            after every accepted refinement move, in order.  The first
+            entry is a table sum; intermediate entries apply the
+            accepted move's energy delta; the final entry is snapped to
+            the fresh table sum over the final assignment, so it is
+            **bit-identical** to ``energy_nj``.  Monotone non-increasing
+            by construction at every delta-summed step; the snapped
+            endpoint matches its delta-summed value to float rounding,
+            so the final step is monotone up to ulp-scale rounding only
+            (both property-tested).
     """
 
     assignment: tuple[int, ...]
@@ -396,6 +400,12 @@ def solve_hap(problem: MappingProblem,
         stats.absorb(pricer.stats)
     schedule = list_schedule(problem, tuple(assignment), validate=False)
     energy = problem.assignment_energy(tuple(assignment), validate=False)
+    if trajectory:
+        # The trajectory is delta-summed; its endpoint describes the
+        # same assignment as the fresh table sum above, so snap it to
+        # that sum — the endpoint is then bit-identical to ``energy_nj``
+        # instead of merely equal to float rounding.
+        trajectory[-1] = energy
     return HAPResult(
         assignment=tuple(assignment),
         schedule=schedule,

@@ -5,6 +5,7 @@ import from any of them.
 """
 
 from repro.utils.hashing import stable_hash, stable_unit_float
+from repro.utils.pool import pool_context
 from repro.utils.rng import new_rng, spawn_rng
 from repro.utils.tables import format_table
 from repro.utils.units import (
@@ -18,6 +19,7 @@ __all__ = [
     "format_table",
     "gbps_to_bytes_per_cycle",
     "new_rng",
+    "pool_context",
     "spawn_rng",
     "stable_hash",
     "stable_unit_float",

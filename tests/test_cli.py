@@ -110,3 +110,50 @@ class TestCommands:
         b = json.loads(resumed.read_text())
         a["eval_seconds"] = b["eval_seconds"] = 0.0
         assert a == b
+
+
+class TestNonNegativeArgs:
+    @pytest.mark.parametrize("argv", [
+        ["search", "--cache-size", "-1"],
+        ["search", "--workers", "-2"],
+        ["evolve", "--cache-size", "-1"],
+        ["campaign", "--cache-size", "-1"],
+        ["campaign", "--eval-workers", "-1"],
+        ["campaign", "--workers", "-3"],
+    ])
+    def test_negative_counts_rejected_by_parser(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_zero_cache_size_still_allowed(self):
+        args = build_parser().parse_args(["search", "--cache-size", "0"])
+        assert args.cache_size == 0
+
+
+class TestStoreFlag:
+    def test_search_store_warm_start(self, capsys, tmp_path):
+        store = tmp_path / "evals.store"
+        argv = ["search", "--episodes", "3", "--seed", "5",
+                "--progress", "0", "--store", str(store)]
+        main(argv)
+        assert store.exists()
+        capsys.readouterr()
+        main(argv)
+        # The repeat run answers everything from the persistent store.
+        assert "from store" in capsys.readouterr().out
+
+    def test_campaign_store_flag(self, capsys, tmp_path):
+        store = tmp_path / "campaign.store"
+        out = tmp_path / "campaign.json"
+        argv = ["campaign", "--workloads", "W3", "--strategies", "mc",
+                "--budgets", "30", "--store", str(store),
+                "--out", str(out)]
+        main(argv)
+        assert store.exists()
+        payload = json.loads(out.read_text())
+        assert payload["cache"]["store_hits"] == 0
+        main(argv)
+        payload = json.loads(out.read_text())
+        assert payload["cache"]["store_hits"] > 0
+        assert payload["cache"]["misses"] == 0

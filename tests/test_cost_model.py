@@ -314,3 +314,72 @@ class TestCalibration:
             CostModelParams(mac_energy_nj=-1)
         with pytest.raises(ValueError):
             CostModelParams(refetch_cap=0)
+
+
+class TestMemoBound:
+    """The optional LRU bound on the cross-design memo: bounded and
+    unbounded models price bit-identically; only memory differs."""
+
+    def _layers(self, cifar_net_small, unet_net_mid):
+        return tuple(cifar_net_small.layers) + tuple(unet_net_mid.layers)
+
+    def test_default_is_unbounded(self):
+        assert CostModel().memo_capacity is None
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="memo_capacity"):
+            CostModel(memo_capacity=0)
+        with pytest.raises(ValueError, match="memo_capacity"):
+            CostModel(memo_capacity=-5)
+
+    def test_occupancy_never_exceeds_capacity(self, cifar_net_small,
+                                              unet_net_mid):
+        layers = self._layers(cifar_net_small, unet_net_mid)
+        subaccs = [SubAccelerator(Dataflow.NVDLA, 2048, 32),
+                   SubAccelerator(Dataflow.SHIDIANNAO, 1024, 16),
+                   SubAccelerator(Dataflow.ROW_STATIONARY, 777, 13)]
+        model = CostModel(memo_capacity=5)
+        model.cost_table(layers, subaccs)
+        assert model.cache_size <= 5
+        assert model.memo_evictions > 0
+        for layer in layers:
+            model.layer_cost(layer, subaccs[0])
+        assert model.cache_size <= 5
+
+    def test_bounded_results_bit_identical(self, cifar_net_small,
+                                           unet_net_mid):
+        layers = self._layers(cifar_net_small, unet_net_mid)
+        subaccs = [SubAccelerator(Dataflow.NVDLA, 2048, 32),
+                   SubAccelerator(Dataflow.SHIDIANNAO, 1024, 16)]
+        unbounded = CostModel().cost_table(layers, subaccs)
+        bounded = CostModel(memo_capacity=3).cost_table(layers, subaccs)
+        assert bounded == unbounded
+        # Scalar path under heavy eviction stays exact too.
+        tight = CostModel(memo_capacity=1)
+        scalar = CostModel()
+        for layer in layers:
+            for sub in subaccs:
+                assert tight.layer_cost(layer, sub) == \
+                    scalar.layer_cost(layer, sub)
+
+    def test_lru_policy_keeps_recent_entries(self):
+        a, b, c = (conv(16, 32, 32), conv(32, 64, 16), conv(64, 64, 8))
+        sub = SubAccelerator(Dataflow.NVDLA, 1024, 16)
+        model = CostModel(memo_capacity=2)
+        model.layer_cost(a, sub)
+        model.layer_cost(b, sub)
+        model.layer_cost(a, sub)  # touch a: b is now the LRU entry
+        model.layer_cost(c, sub)  # evicts b
+        hits = model.memo_hits
+        model.layer_cost(a, sub)
+        model.layer_cost(c, sub)
+        assert model.memo_hits == hits + 2  # a and c survived
+        misses = model.memo_misses
+        model.layer_cost(b, sub)
+        assert model.memo_misses == misses + 1  # b was evicted
+
+    def test_occupancy_surfaced_in_pricing_summary(self, cifar_net_small):
+        from repro.core import EvalServiceStats
+
+        stats = EvalServiceStats(cost_memo_entries=7)
+        assert "7 entries held" in stats.pricing_summary()

@@ -238,3 +238,70 @@ class TestCheckpointValidation:
         save_checkpoint(path, {"strategy_name": "y"})
         assert path.read_bytes() != first
         assert not (tmp_path / "atomic.ckpt.tmp").exists()
+
+
+class TestStoreCheckpointCompose:
+    """Persistent store and checkpoint/resume must compose: a run that
+    was appending to a store, killed, and resumed against the same
+    store stays bit-identical to the uninterrupted run."""
+
+    def test_resume_with_store_bit_identical(self, tmp_path):
+        from repro.core import EvalStore
+
+        reference = normalised(fresh_nasaic().run())
+        store_path = tmp_path / "run.store"
+        ckpt = tmp_path / "run.ckpt"
+        with EvalStore(store_path) as store:
+            partial = NASAIC(w1(), config=NASAICConfig(**NASAIC_CONFIG),
+                             store=store)
+            driver = SearchDriver(partial, partial.evalservice,
+                                  checkpoint_path=ckpt)
+            assert driver.run(max_rounds=2) is None
+            driver.save_checkpoint()
+        # "Kill" the process; a fresh session reopens the same store.
+        with EvalStore(store_path) as store:
+            resumed = NASAIC(w1(), config=NASAICConfig(**NASAIC_CONFIG),
+                             store=store)
+            result = resumed.run(resume_from=ckpt)
+            resumed.close()
+        assert normalised(result) == reference
+
+        def trajectory_facts(payload: dict) -> dict:
+            """Drop the which-tier-answered accounting (a warm start
+            legitimately turns misses into store hits)."""
+            return {key: value for key, value in payload.items()
+                    if key not in ("cache_hits", "cache_misses",
+                                   "pricing", "summary")}
+
+        # And a later fresh run warm-starts from everything priced,
+        # with an identical trajectory and zero recomputation.
+        with EvalStore(store_path) as store:
+            warm = NASAIC(w1(), config=NASAICConfig(**NASAIC_CONFIG),
+                          store=store)
+            assert (trajectory_facts(normalised(warm.run()))
+                    == trajectory_facts(reference))
+            warm.close()
+            assert warm.evalservice.stats.misses == 0
+            assert warm.evalservice.stats.store_hits > 0
+
+    def test_checkpoint_records_and_verifies_store_path(self, tmp_path):
+        from repro.core import EvalStore
+        from repro.core.serialization import load_checkpoint
+
+        store_path = tmp_path / "run.store"
+        ckpt = tmp_path / "run.ckpt"
+        with EvalStore(store_path) as store:
+            search = NASAIC(w1(), config=NASAICConfig(**NASAIC_CONFIG),
+                            store=store)
+            driver = SearchDriver(search, search.evalservice,
+                                  checkpoint_path=ckpt)
+            driver.run(max_rounds=1)
+            driver.save_checkpoint()
+            search.close()
+        payload = load_checkpoint(ckpt)
+        assert payload["store_path"] == str(store_path.resolve())
+        # Resuming without the store (or with a different one) is a
+        # configuration mismatch, verified like the context salt.
+        bare = fresh_nasaic()
+        with pytest.raises(ValueError, match="store"):
+            SearchDriver(bare, bare.evalservice).restore(ckpt)

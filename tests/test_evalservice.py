@@ -257,3 +257,71 @@ class TestGenerations:
         assert stats_before.misses == service.stats.misses
         assert fresh.evaluator.cost_model.memo_misses \
             == service.evaluator.cost_model.memo_misses
+
+
+class TestPoolStartMethod:
+    """``--workers > 1`` must not assume fork exists (Windows, macOS
+    spawn default): fall back to an available start method when the
+    closures pickle, otherwise fail with a clear message."""
+
+    @staticmethod
+    def _spawn_only(monkeypatch):
+        """Make this process look like a spawn-default platform: asking
+        for fork raises, the default context is spawn."""
+        import multiprocessing
+
+        real_get_context = multiprocessing.get_context
+
+        def no_fork(method=None):
+            if method == "fork":
+                raise ValueError("cannot find context for 'fork'")
+            return real_get_context(method or "spawn")
+
+        monkeypatch.setattr(multiprocessing, "get_context", no_fork)
+
+    def test_falls_back_when_fork_unavailable(self, monkeypatch):
+        from repro.utils.pool import pool_context
+
+        self._spawn_only(monkeypatch)
+        context = pool_context(require_picklable=(int, "payload"))
+        assert context.get_start_method() == "spawn"
+
+    def test_unpicklable_closure_fails_clearly(self, monkeypatch):
+        from repro.utils.pool import pool_context
+
+        self._spawn_only(monkeypatch)
+        with pytest.raises(RuntimeError, match="not picklable"):
+            pool_context(require_picklable=(lambda: None,))
+
+    def test_fork_preferred_when_available(self):
+        from repro.utils.pool import pool_context
+
+        # The unpicklable closure is irrelevant under fork (state is
+        # inherited, not shipped), so this must not raise on POSIX.
+        context = pool_context(require_picklable=(lambda: None,))
+        assert context.get_start_method() == "fork"
+
+    def test_service_pool_works_without_fork(self, workload, alloc,
+                                             monkeypatch):
+        self._spawn_only(monkeypatch)
+        batch = sample_pairs(workload, alloc, 4, seed=21)
+        reference = [make_evaluator(workload).evaluate_hardware(*pair)
+                     for pair in batch]
+        with EvalService(make_evaluator(workload), workers=2,
+                         parallel_threshold=2) as service:
+            assert service.evaluate_many(batch) == reference
+            assert service.stats.parallel_evaluations == len(batch)
+
+
+class TestEvictionRobustness:
+    def test_mutated_negative_capacity_does_not_crash(self, workload,
+                                                      alloc):
+        """The constructor rejects a negative capacity; if one sneaks in
+        later anyway, eviction must drain the cache, not KeyError."""
+        service = EvalService(make_evaluator(workload), cache_size=4)
+        pair = sample_pairs(workload, alloc, 1, seed=31)[0]
+        service.evaluate_hardware(*pair)
+        service.cache_size = -1
+        other = sample_pairs(workload, alloc, 1, seed=32)[0]
+        service.evaluate_hardware(*other)  # must not raise
+        assert service.cache_len == 0

@@ -71,3 +71,11 @@ def test_campaign_sweep(monkeypatch, capsys):
     out = run_example(monkeypatch, capsys, "campaign_sweep.py", ["3"])
     assert "cross-scenario reuse" in out
     assert "consolidated campaign JSON" in out
+
+
+def test_warm_start(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "warm_start.py", [])
+    assert "cold session" in out
+    assert "warm session" in out
+    # The warm session recomputes nothing.
+    assert "0 computed" in out

@@ -99,3 +99,70 @@ class TestAggregateMin:
             Workload("m", (Task("a", cifar10_resnet_space(), 1.0),),
                      specs, PenaltyBounds.from_specs(specs),
                      aggregate="max")
+
+
+class TestDurableWrites:
+    """Checkpoint writes must survive crashes *and* power loss: fsync
+    before the atomic replace, and never strand a stale ``.tmp``."""
+
+    def test_checkpoint_fsyncs_before_replace(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.core.serialization import save_checkpoint
+
+        events: list[str] = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync",
+            lambda fd: (events.append("fsync"), real_fsync(fd))[1])
+        monkeypatch.setattr(
+            os, "replace",
+            lambda a, b: (events.append("replace"),
+                          real_replace(a, b))[1])
+        save_checkpoint(tmp_path / "ck.ckpt", {"strategy_name": "x"})
+        assert "fsync" in events and "replace" in events
+        # The data fsync lands before the rename becomes visible.
+        assert events.index("fsync") < events.index("replace")
+
+    def test_failed_replace_cleans_up_tmp(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.core.serialization import save_checkpoint
+
+        def exploding_replace(src, dst):
+            raise OSError("disk detached")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        target = tmp_path / "ck.ckpt"
+        with pytest.raises(OSError, match="disk detached"):
+            save_checkpoint(target, {"strategy_name": "x"})
+        assert not target.exists()
+        assert not (tmp_path / "ck.ckpt.tmp").exists(), \
+            "a crashed checkpoint must not strand its temp file"
+
+    def test_failed_write_cleans_up_tmp(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.core.serialization import durable_replace
+
+        monkeypatch.setattr(
+            os, "fsync",
+            lambda fd: (_ for _ in ()).throw(OSError("io error")))
+        with pytest.raises(OSError, match="io error"):
+            durable_replace(tmp_path / "f.bin", b"payload")
+        assert not (tmp_path / "f.bin.tmp").exists()
+
+    def test_store_appends_are_fsynced(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.core.store import EvalStore
+
+        count = {"fsync": 0}
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync",
+            lambda fd: (count.__setitem__("fsync", count["fsync"] + 1),
+                        real_fsync(fd))[1])
+        with EvalStore(tmp_path / "s.bin") as store:
+            store.put("s", "d", ("k",), "v")
+        assert count["fsync"] >= 1

@@ -1,0 +1,377 @@
+"""Persistent evaluation store: durability, addressing, warm-start.
+
+The store's contract mirrors the campaign-sharing one: an entry is only
+ever reused under an exactly equal context salt plus an exact content
+key compare, so warm-starting can change *where* bits come from but
+never what they are.  These tests pin the file format down (truncated
+or corrupted files are rejected loudly), the collision fallback, the
+shard/merge path used by pooled campaigns, and bit-identity of
+warm-started searches against cold ones.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+import pytest
+
+from repro.core import (
+    Campaign,
+    CampaignConfig,
+    EvalService,
+    EvalStore,
+    Evaluator,
+    NASAIC,
+    NASAICConfig,
+    Scenario,
+    cost_params_digest,
+)
+from repro.core.serialization import result_to_dict
+from repro.core.store import STORE_MAGIC
+from repro.cost import CostModel
+from repro.train import SurrogateTrainer, default_surrogate
+from repro.workloads import w1
+
+NASAIC_CONFIG = dict(episodes=3, hw_steps=2, seed=11, joint_batch=2)
+
+
+def make_evaluator(workload):
+    surrogate = default_surrogate([t.space for t in workload.tasks])
+    return Evaluator(workload, CostModel(), SurrogateTrainer(surrogate))
+
+
+def normalised(result) -> dict:
+    """Run record stripped of cache/timing accounting: the facts that
+    must not depend on which tier answered."""
+    payload = result_to_dict(result)
+    for key in ("cache_hits", "cache_misses", "eval_seconds", "pricing"):
+        payload.pop(key)
+    return payload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return w1()
+
+
+# ----------------------------------------------------------------------
+# File format and addressing
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_put_get_reopen(self, tmp_path):
+        path = tmp_path / "store.bin"
+        with EvalStore(path) as store:
+            assert store.put("salt", "d1", ("key1",), {"value": 1})
+            assert store.get("salt", "d1", ("key1",)) == {"value": 1}
+            assert len(store) == 1
+        reopened = EvalStore(path)
+        assert reopened.get("salt", "d1", ("key1",)) == {"value": 1}
+        assert len(reopened) == 1
+
+    def test_duplicate_put_not_rewritten(self, tmp_path):
+        path = tmp_path / "store.bin"
+        with EvalStore(path) as store:
+            assert store.put("salt", "d1", ("key1",), {"value": 1})
+            size = path.stat().st_size
+            assert not store.put("salt", "d1", ("key1",), {"value": 1})
+            assert path.stat().st_size == size
+
+    def test_salt_namespacing(self, tmp_path):
+        with EvalStore(tmp_path / "s.bin") as store:
+            store.put("salt-a", "d1", ("key",), "a-result")
+            assert store.get("salt-b", "d1", ("key",)) is None
+            assert store.get("salt-a", "d1", ("key",)) == "a-result"
+
+    def test_digest_collision_falls_back_to_full_key(self, tmp_path):
+        """Two different contents sharing one digest coexist; the exact
+        key compare disambiguates and unknown keys stay misses."""
+        with EvalStore(tmp_path / "s.bin") as store:
+            store.put("salt", "dd", ("content-a",), "a")
+            store.put("salt", "dd", ("content-b",), "b")
+            assert store.get("salt", "dd", ("content-a",)) == "a"
+            assert store.get("salt", "dd", ("content-b",)) == "b"
+            assert store.get("salt", "dd", ("content-c",)) is None
+        reopened = EvalStore(tmp_path / "s.bin")
+        assert reopened.get("salt", "dd", ("content-b",)) == "b"
+        assert len(reopened) == 2
+
+    def test_memo_roundtrip(self, tmp_path):
+        path = tmp_path / "s.bin"
+        with EvalStore(path) as store:
+            assert store.put_memo("params", {"k1": 1, "k2": 2}) == 2
+            # Already-persisted entries are not appended again.
+            assert store.put_memo("params", {"k1": 1, "k3": 3}) == 1
+        reopened = EvalStore(path)
+        assert reopened.get_memo("params") == {"k1": 1, "k2": 2, "k3": 3}
+        assert reopened.get_memo("other") == {}
+
+    def test_intra_batch_duplicates_written_once(self, tmp_path):
+        with EvalStore(tmp_path / "s.bin") as store:
+            assert store.put_many([("s", "d", ("k",), "v"),
+                                   ("s", "d", ("k",), "v")]) == 1
+        assert len(EvalStore(tmp_path / "s.bin")) == 1
+
+    def test_failed_append_does_not_poison_index(self, tmp_path,
+                                                 monkeypatch):
+        """If the durable append fails, the store must keep reporting
+        the entries as absent so a retry rewrites them — indexing
+        before the write would make the retry silently skip."""
+        import repro.core.store as store_module
+
+        store = EvalStore(tmp_path / "s.bin")
+        monkeypatch.setattr(
+            store_module, "durable_append",
+            lambda handle, blob: (_ for _ in ()).throw(
+                OSError("disk full")))
+        with pytest.raises(OSError, match="disk full"):
+            store.put("s", "d", ("k",), "v")
+        assert store.get("s", "d", ("k",)) is None
+        assert ("s", "d", ("k",)) not in store
+        monkeypatch.undo()
+        assert store.put("s", "d", ("k",), "v")  # retry really writes
+        store.close()
+        assert EvalStore(tmp_path / "s.bin").get("s", "d", ("k",)) == "v"
+
+    def test_missing_file_is_empty_store(self, tmp_path):
+        store = EvalStore(tmp_path / "absent.bin")
+        assert len(store) == 0
+        assert store.get("s", "d", ("k",)) is None
+
+    def test_zero_length_file_is_empty_store(self, tmp_path):
+        """A crash between file creation and the first durable append
+        leaves zero bytes: nothing was promised, so it loads as empty
+        and recovers into a normal store on the next append."""
+        path = tmp_path / "empty.bin"
+        path.touch()
+        with EvalStore(path) as store:
+            assert len(store) == 0
+            store.put("s", "d", ("k",), "v")
+        assert EvalStore(path).get("s", "d", ("k",)) == "v"
+
+
+class TestCorruption:
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"not a store at all\n")
+        with pytest.raises(ValueError, match="not a repro evaluation"):
+            EvalStore(path)
+
+    def test_truncated_length_prefix_rejected(self, tmp_path):
+        path = tmp_path / "trunc.bin"
+        with EvalStore(path) as store:
+            store.put("s", "d", ("k",), "v")
+        path.write_bytes(path.read_bytes()[:len(STORE_MAGIC) + 3])
+        with pytest.raises(ValueError, match="corrupted"):
+            EvalStore(path)
+
+    def test_truncated_record_body_rejected(self, tmp_path):
+        path = tmp_path / "trunc.bin"
+        with EvalStore(path) as store:
+            store.put("s", "d", ("k",), "v")
+        path.write_bytes(path.read_bytes()[:-2])
+        with pytest.raises(ValueError, match="truncated record body"):
+            EvalStore(path)
+
+    def test_garbage_record_rejected(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        blob = b"\x00garbage-not-pickle\xff"
+        path.write_bytes(STORE_MAGIC + struct.pack("<Q", len(blob)) + blob)
+        with pytest.raises(ValueError, match="corrupted"):
+            EvalStore(path)
+
+    def test_non_record_pickle_rejected(self, tmp_path):
+        path = tmp_path / "odd.bin"
+        blob = pickle.dumps([1, 2, 3])
+        path.write_bytes(STORE_MAGIC + struct.pack("<Q", len(blob)) + blob)
+        with pytest.raises(ValueError, match="corrupted"):
+            EvalStore(path)
+
+
+class TestShards:
+    def test_read_only_refuses_appends(self, tmp_path):
+        path = tmp_path / "s.bin"
+        with EvalStore(path) as store:
+            store.put("s", "d", ("k",), "v")
+        frozen = EvalStore(path, read_only=True)
+        with pytest.raises(ValueError, match="read-only"):
+            frozen.put("s", "d2", ("k2",), "v2")
+
+    def test_parent_overlay_and_merge(self, tmp_path):
+        main_path = tmp_path / "main.bin"
+        with EvalStore(main_path) as main:
+            main.put("s", "d1", ("k1",), "from-main")
+        parent = EvalStore(main_path, read_only=True)
+        shard = EvalStore(tmp_path / "main.bin.shard0", parent=parent)
+        # Reads see through to the parent; appends go to the shard only.
+        assert shard.get("s", "d1", ("k1",)) == "from-main"
+        shard.put("s", "d2", ("k2",), "from-shard")
+        shard.close()
+        assert EvalStore(main_path).get("s", "d2", ("k2",)) is None
+        main = EvalStore(main_path)
+        added = main.merge_from(
+            EvalStore(tmp_path / "main.bin.shard0", read_only=True))
+        assert added == 1  # the parent's entry is not re-merged
+        assert main.get("s", "d2", ("k2",)) == "from-shard"
+        main.close()
+
+
+# ----------------------------------------------------------------------
+# EvalService integration
+# ----------------------------------------------------------------------
+class TestServiceTier:
+    def test_warm_service_bit_identical_and_counted(self, tmp_path,
+                                                    workload):
+        from repro.core.evalservice import design_content
+        from repro.utils.rng import new_rng
+        from repro.accel import AllocationSpace
+
+        alloc = AllocationSpace()
+        rng = new_rng(3)
+        pairs = []
+        for _ in range(4):
+            nets = tuple(t.space.decode(t.space.random_indices(rng))
+                         for t in workload.tasks)
+            pairs.append((nets, alloc.random_design(rng)))
+        store = EvalStore(tmp_path / "s.bin")
+        cold_service = EvalService(make_evaluator(workload), store=store)
+        cold = cold_service.evaluate_many(pairs)
+        assert cold_service.stats.store_hits == 0
+        assert len(store) == len({design_content(*p) for p in pairs})
+        warm_service = EvalService(make_evaluator(workload), store=store)
+        warm = warm_service.evaluate_many(pairs)
+        assert warm == cold  # frozen dataclasses: structural equality
+        assert warm_service.stats.misses == 0
+        assert warm_service.stats.store_hits == len(store)
+
+    def test_store_serves_with_cache_disabled(self, tmp_path, workload):
+        from repro.utils.rng import new_rng
+        from repro.accel import AllocationSpace
+
+        alloc = AllocationSpace()
+        rng = new_rng(5)
+        nets = tuple(t.space.decode(t.space.random_indices(rng))
+                     for t in workload.tasks)
+        pair = (nets, alloc.random_design(rng))
+        store = EvalStore(tmp_path / "s.bin")
+        with EvalService(make_evaluator(workload), store=store) as seeder:
+            reference = seeder.evaluate_hardware(*pair)
+        service = EvalService(make_evaluator(workload), cache_size=0,
+                              store=store)
+        assert service.evaluate_many([pair, pair]) == [reference,
+                                                       reference]
+        assert service.stats.store_hits == 2
+        assert service.stats.misses == 0
+
+    def test_digest_collisions_still_price_correctly(self, tmp_path,
+                                                     workload,
+                                                     monkeypatch):
+        """Force every digest to collide: the full-key check must keep
+        every answer exact (collisions degrade to bucket scans)."""
+        import repro.core.evalservice as es
+        from repro.utils.rng import new_rng
+        from repro.accel import AllocationSpace
+
+        monkeypatch.setattr(es.EvalService, "_key_digest",
+                            lambda self, key: "constant")
+        alloc = AllocationSpace()
+        rng = new_rng(7)
+        pairs = []
+        for _ in range(3):
+            nets = tuple(t.space.decode(t.space.random_indices(rng))
+                         for t in workload.tasks)
+            pairs.append((nets, alloc.random_design(rng)))
+        reference_eval = make_evaluator(workload)
+        references = [reference_eval.evaluate_hardware(*p) for p in pairs]
+        store = EvalStore(tmp_path / "s.bin")
+        with EvalService(make_evaluator(workload), store=store) as cold:
+            assert cold.evaluate_many(pairs) == references
+        with EvalService(make_evaluator(workload), store=store) as warm:
+            assert warm.evaluate_many(pairs) == references
+            assert warm.stats.store_hits == len(pairs)
+
+    def test_memo_preloaded_on_attach(self, tmp_path, workload):
+        store = EvalStore(tmp_path / "s.bin")
+        with EvalService(make_evaluator(workload), store=store) as cold:
+            nets = tuple(t.space.decode(t.space.smallest_indices())
+                         for t in workload.tasks)
+            from repro.accel import AllocationSpace
+            from repro.utils.rng import new_rng
+
+            cold.evaluate_hardware(
+                nets, AllocationSpace().random_design(new_rng(1)))
+        digest = cost_params_digest(CostModel().params)
+        assert store.get_memo(digest)  # close() flushed the memo
+        warm = EvalService(make_evaluator(workload), store=store)
+        assert warm.evaluator.cost_model.cache_size == len(
+            store.get_memo(digest))
+
+
+# ----------------------------------------------------------------------
+# Whole-search warm start
+# ----------------------------------------------------------------------
+class TestWarmStartSearch:
+    def test_nasaic_warm_start_bit_identical(self, tmp_path, workload):
+        reference = normalised(
+            NASAIC(workload, config=NASAICConfig(**NASAIC_CONFIG)).run())
+        path = tmp_path / "store.bin"
+        with EvalStore(path) as store:
+            cold = NASAIC(workload, config=NASAICConfig(**NASAIC_CONFIG),
+                          store=store)
+            cold_result = cold.run()
+            cold.close()
+            assert cold.evalservice.stats.store_hits == 0
+        assert normalised(cold_result) == reference
+        # A "fresh session": reopen the file, rebuild everything.
+        with EvalStore(path) as store:
+            warm = NASAIC(workload, config=NASAICConfig(**NASAIC_CONFIG),
+                          store=store)
+            warm_result = warm.run()
+            warm.close()
+            stats = warm.evalservice.stats
+            assert stats.misses == 0
+            assert stats.store_hits > 0
+        assert normalised(warm_result) == reference
+
+
+# ----------------------------------------------------------------------
+# Campaign integration
+# ----------------------------------------------------------------------
+class TestCampaignStore:
+    GRID = tuple(Scenario("W1", "mc", 6, seed=s) for s in (3, 4))
+
+    def test_sequential_campaign_persists_and_warm_starts(self, tmp_path):
+        path = tmp_path / "campaign.bin"
+        config = CampaignConfig(scenarios=self.GRID, store_path=path)
+        with Campaign(CampaignConfig(scenarios=self.GRID)) as baseline:
+            want = [normalised(o.result) for o in baseline.run().outcomes]
+        with Campaign(config) as cold:
+            cold_result = cold.run()
+        assert [normalised(o.result)
+                for o in cold_result.outcomes] == want
+        assert cold_result.cache["store_hits"] == 0
+        assert path.exists()
+        with Campaign(config) as warm:
+            warm_result = warm.run()
+        assert [normalised(o.result)
+                for o in warm_result.outcomes] == want
+        assert warm_result.cache["misses"] == 0
+        assert warm_result.cache["store_hits"] > 0
+
+    def test_pool_campaign_shards_and_merges(self, tmp_path):
+        path = tmp_path / "pool.bin"
+        config = CampaignConfig(scenarios=self.GRID, workers=2,
+                                store_path=path)
+        with Campaign(config) as pooled:
+            pooled.run()
+        assert path.exists()
+        assert not list(tmp_path.glob("*.shard*")), \
+            "shards must be merged and removed"
+        merged = EvalStore(path, read_only=True)
+        assert len(merged) > 0
+        # A later sequential campaign warm-starts from the merged store.
+        with Campaign(CampaignConfig(scenarios=self.GRID,
+                                     store_path=path)) as warm:
+            result = warm.run()
+        assert result.cache["misses"] == 0
+        assert result.cache["store_hits"] > 0
