@@ -63,6 +63,20 @@ class AllocationSpace:
             raise ValueError(
                 f"bw_step {self.bw_step} must divide max bandwidth "
                 f"{self.budget.max_bandwidth_gbps}")
+        if not self.allow_empty_slots:
+            # Every slot must afford at least the minimum active
+            # allocation, or the space contains no design at all.
+            if self.num_slots * self.pe_step > self.budget.max_pes:
+                raise ValueError(
+                    f"{self.num_slots} mandatory-active slots need at "
+                    f"least {self.num_slots * self.pe_step} PEs, budget "
+                    f"is {self.budget.max_pes}")
+            if (self.num_slots * self.bw_step
+                    > self.budget.max_bandwidth_gbps):
+                raise ValueError(
+                    f"{self.num_slots} mandatory-active slots need at "
+                    f"least {self.num_slots * self.bw_step} GB/s, budget "
+                    f"is {self.budget.max_bandwidth_gbps} GB/s")
         start_pe = 0 if self.allow_empty_slots else self.pe_step
         object.__setattr__(self, "_pe_options", tuple(
             range(start_pe, self.budget.max_pes + 1, self.pe_step)))
@@ -139,14 +153,25 @@ class AllocationSpace:
         """Sample a uniformly random *feasible* design.
 
         Slots are filled sequentially under the running budget, and the
-        first slot is forced active so the design always has PEs.
+        first slot is forced active so the design always has PEs.  With
+        ``allow_empty_slots=False`` each slot additionally reserves the
+        minimum active allocation every *later* slot still needs, so a
+        greedy early draw can never starve a mandatory-active slot
+        (found by the differential fuzz harness on generated spaces;
+        draws in ``allow_empty_slots=True`` spaces are unchanged).
         """
         pes_left = self.budget.max_pes
         bw_left = self.budget.max_bandwidth_gbps
         slots: list[tuple[Dataflow, int, int]] = []
         for slot in range(self.num_slots):
+            remaining = self.num_slots - slot - 1
+            reserve_pe = 0 if self.allow_empty_slots \
+                else remaining * self.pe_step
+            reserve_bw = 0 if self.allow_empty_slots \
+                else remaining * self.bw_step
             dataflow = self.dataflows[int(rng.integers(len(self.dataflows)))]
-            pe_candidates = [p for p in self._pe_options if p <= pes_left]
+            pe_candidates = [p for p in self._pe_options
+                             if p <= pes_left - reserve_pe]
             if slot == 0:
                 pe_candidates = [p for p in pe_candidates if p > 0] or [
                     self.pe_step]
@@ -154,7 +179,8 @@ class AllocationSpace:
             if pes == 0:
                 slots.append((dataflow, 0, 0))
                 continue
-            bw_candidates = [b for b in self._bw_options if b <= bw_left]
+            bw_candidates = [b for b in self._bw_options
+                             if b <= bw_left - reserve_bw]
             if not bw_candidates:
                 slots.append((dataflow, 0, 0))
                 continue

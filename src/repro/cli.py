@@ -7,7 +7,11 @@ Commands:
 - ``nas``         — accuracy-only NAS (per-task, the paper's baseline)
 - ``mc``          — joint Monte-Carlo search
 - ``campaign``    — a workload x strategy x budget grid over one shared
-  evaluation cache (consolidated JSON/table output)
+  evaluation cache (consolidated JSON/table output); ``--generated N``
+  adds N generated scenario workloads to the grid
+- ``fuzz``        — differential verification: generated scenarios
+  through every registered oracle pair, failures shrunk to minimal
+  replayable JSON repros
 - ``experiments`` — regenerate one or all of the paper's tables/figures
 
 Every command prints a human-readable report and can persist the raw
@@ -57,6 +61,24 @@ def _nonnegative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(
             f"must be a non-negative integer, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be at least 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for durations that must be strictly positive."""
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {value}")
     return value
 
 
@@ -159,6 +181,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--out", default=None,
                             help="write the consolidated campaign JSON "
                                  "to this path")
+    p_campaign.add_argument("--generated", type=_nonnegative_int,
+                            default=0,
+                            help="add this many generated scenario "
+                                 "workloads to the grid (seeds "
+                                 "--seed .. --seed+N-1; each crosses "
+                                 "every strategy and budget; priced by "
+                                 "the campaign-wide cost model)")
+    p_campaign.add_argument("--generated-classes", default="tiny,small",
+                            help="comma-separated size classes the "
+                                 "generated workloads cycle through "
+                                 "(default: tiny,small)")
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential verification: fuzz every exactness contract "
+             "on generated scenarios")
+    p_fuzz.add_argument("--cases", type=_positive_int, default=None,
+                        help="number of generated scenarios (default: 25 "
+                             "when --minutes is not given)")
+    p_fuzz.add_argument("--minutes", type=_positive_float, default=None,
+                        help="wall-clock box: generate scenarios until "
+                             "this many minutes have elapsed")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="base seed; case i uses seed+i (default: 0)")
+    p_fuzz.add_argument("--pairs", default=None,
+                        help="comma-separated oracle-pair subset "
+                             "(default: all registered pairs)")
+    p_fuzz.add_argument("--report", default=None,
+                        help="write the fuzz report JSON to this path")
+    p_fuzz.add_argument("--repro-dir", default="fuzz-repros",
+                        help="directory for shrunk failing-scenario "
+                             "repro JSONs (default: fuzz-repros)")
+    p_fuzz.add_argument("--quiet", action="store_true",
+                        help="suppress per-case progress lines")
 
     p_exp = sub.add_parser("experiments",
                            help="regenerate paper tables/figures")
@@ -231,6 +287,38 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
     return 0 if result.best is not None else 1
 
 
+def _generated_scenarios(args: argparse.Namespace,
+                         strategies: list[str],
+                         budgets: list[int]) -> tuple[Scenario, ...]:
+    """Cross ``--generated`` workloads with the strategy/budget grid.
+
+    Generated workloads ride the campaign's shared cost model (their
+    spec's cost parameters apply in ``repro fuzz``, not here), so every
+    scenario with an equal evaluation context still shares one service.
+    """
+    from repro.workloads.generator import SIZE_CLASSES, generate_specs
+
+    classes = tuple(c.strip() for c in args.generated_classes.split(",")
+                    if c.strip())
+    for cls in classes:
+        if cls not in SIZE_CLASSES:
+            raise SystemExit(f"unknown size class {cls!r} "
+                             f"(choose from {list(SIZE_CLASSES)})")
+    scenarios = []
+    for spec in generate_specs(args.generated, seed=args.seed,
+                               size_classes=classes or None):
+        generated = spec.materialize()
+        surrogate = generated.build_surrogate()
+        for strategy in strategies:
+            for budget in budgets:
+                scenarios.append(Scenario(
+                    workload=generated.workload, strategy=strategy,
+                    budget=budget, seed=args.seed, rho=generated.rho,
+                    options={"allocation": generated.allocation,
+                             "surrogate": surrogate}))
+    return tuple(scenarios)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
     strategies = [s.strip() for s in args.strategies.split(",")
@@ -250,6 +338,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         for workload in workloads
         for strategy in strategies
         for budget in budgets)
+    if args.generated:
+        scenarios += _generated_scenarios(args, strategies, budgets)
     result = run_campaign(CampaignConfig(
         scenarios=scenarios, cache_size=args.cache_size,
         eval_workers=args.eval_workers, workers=args.workers,
@@ -262,6 +352,38 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         for outcome in result.outcomes
         if hasattr(outcome.result, "best"))
     return 0 if ok else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.core.differential import (
+        registered_pairs,
+        run_fuzz,
+        save_report,
+    )
+
+    pair_names = ([p.strip() for p in args.pairs.split(",") if p.strip()]
+                  if args.pairs else None)
+    try:
+        registered_pairs(pair_names)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+    report = run_fuzz(
+        cases=args.cases,
+        minutes=args.minutes,
+        seed=args.seed,
+        pairs=pair_names,
+        repro_dir=args.repro_dir,
+        progress=None if args.quiet else print,
+    )
+    print(report.summary())
+    for failure in report.failures:
+        print(f"  {failure.pair} (case seed {failure.case_seed}, "
+              f"{failure.size_class}): {failure.detail}")
+        if failure.repro_path is not None:
+            print(f"    repro: {failure.repro_path}")
+    if args.report:
+        print(f"report saved to {save_report(report, args.report)}")
+    return 0 if report.ok else 1
 
 
 def _cmd_nas(args: argparse.Namespace) -> int:
@@ -324,6 +446,7 @@ _COMMANDS = {
     "nas": _cmd_nas,
     "mc": _cmd_mc,
     "campaign": _cmd_campaign,
+    "fuzz": _cmd_fuzz,
     "experiments": _cmd_experiments,
 }
 

@@ -28,6 +28,18 @@ from repro.core.campaign import (
     save_campaign,
 )
 from repro.core.choices import Decision, JointSample, JointSearchSpace
+from repro.core.differential import (
+    FuzzFailure,
+    FuzzReport,
+    OraclePair,
+    register_pair,
+    registered_pairs,
+    replay_repro,
+    run_fuzz,
+    save_report,
+    save_repro,
+    shrink_spec,
+)
 from repro.core.controller import (
     ControllerConfig,
     ControllerSample,
@@ -76,7 +88,10 @@ __all__ = [
     "EvolutionConfig",
     "EvolutionarySearch",
     "ExploredSolution",
+    "FuzzFailure",
+    "FuzzReport",
     "HardwareEvaluation",
+    "OraclePair",
     "JointSample",
     "JointSearchSpace",
     "NASOnlyResult",
@@ -109,10 +124,17 @@ __all__ = [
     "monte_carlo_designs",
     "monte_carlo_search",
     "normalised_accuracy",
+    "register_pair",
+    "registered_pairs",
+    "replay_repro",
     "run_campaign",
+    "run_fuzz",
     "run_nas",
     "run_nas_per_task",
     "save_campaign",
+    "save_report",
+    "save_repro",
+    "shrink_spec",
     "spec_distance",
     "successive_nas_then_asic",
     "weighted_normalised_accuracy",

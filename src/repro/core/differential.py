@@ -1,0 +1,701 @@
+"""Differential verification harness: fuzz every exactness contract.
+
+The repo's performance story rests on a stack of *bit-identity
+contracts*: the batched cost table equals the scalar oracle (PR 2),
+delta-resume HAP equals the full-reschedule oracle (PR 2), cached /
+pooled / store-warmed pricing equals direct pricing (PR 1/4),
+checkpoint-resume equals the uninterrupted run (PR 3), and the HAP
+heuristic never undercuts the exact branch-and-bound solver's optimum.
+Each contract was locked down on the three hand-written presets; this
+module runs all of them — as registered **oracle pairs** — over
+scenarios manufactured by :mod:`repro.workloads.generator`, so the
+contracts are exercised on workloads nobody hand-wrote.
+
+Workflow:
+
+- an :class:`OraclePair` names one contract and a ``check(scenario,
+  rng)`` callable returning ``None`` (contract holds) or a mismatch
+  detail string.  Pairs register into a module registry
+  (:func:`register_pair` / :func:`registered_pairs`); future perf PRs
+  add their fast-path-vs-oracle pair here and inherit the whole
+  generated workload corpus as their correctness gate;
+- :func:`run_fuzz` drives generated scenarios through every selected
+  pair — bounded by ``cases`` or a wall-clock ``minutes`` box — and
+  collects a :class:`FuzzReport`;
+- on mismatch, :func:`shrink_spec` greedily minimises the failing
+  :class:`~repro.workloads.generator.ScenarioSpec` (drop tasks, shrink
+  spaces, collapse slots/options, reset cost params) while the failure
+  reproduces, and the minimal spec is persisted as a **replayable JSON
+  repro** (:func:`save_repro` / :func:`replay_repro`).
+
+Every check builds its oracles from *fresh* cost models so the two
+sides share no memo state — a contamination that could mask real
+divergence.  Checks are deterministic: the per-pair RNG derives from
+``(spec.seed, pair name)`` (:func:`pair_rng`), so a persisted spec
+alone replays the exact failing inputs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import tempfile
+import time
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.driver import SearchDriver
+from repro.core.evaluator import Evaluator
+from repro.core.evalservice import EvalService
+from repro.core.serialization import result_to_dict
+from repro.core.store import EvalStore
+from repro.cost.model import CostModel
+from repro.cost.params import CostModelParams
+from repro.mapping.exact import solve_exact
+from repro.mapping.hap import solve_hap
+from repro.mapping.problem import MappingProblem
+from repro.mapping.schedule import list_schedule
+from repro.train.trainer import SurrogateTrainer
+from repro.utils.hashing import stable_hash
+from repro.utils.rng import new_rng
+from repro.workloads.generator import (
+    GeneratedScenario,
+    ScenarioSpec,
+    generate_spec,
+)
+
+__all__ = ["FuzzFailure", "FuzzReport", "OraclePair", "check_spec",
+           "pair_rng", "registered_pairs", "register_pair",
+           "replay_repro", "run_fuzz", "save_report", "save_repro",
+           "shrink_spec"]
+
+REPRO_FORMAT = "repro-fuzz-repro"
+REPORT_FORMAT = "repro-fuzz-report"
+FUZZ_VERSION = 1
+
+#: Largest branch-and-bound tree the exact-gap pair will solve; bigger
+#: instances skip the pair (the generator's ``tiny`` class stays below).
+EXACT_LEAVES_CAP = 20_000
+
+#: Latency-constraint factors applied to the min-latency makespan, so
+#: checks see infeasible, knife-edge and slack instances alike.
+_CONSTRAINT_FACTORS = (0.7, 0.9, 1.0, 1.2, 1.5)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OraclePair:
+    """One registered exactness contract.
+
+    Attributes:
+        name: Stable identifier (CLI ``--pairs``, reports, repro files).
+        description: One-line account of the contract.
+        check: ``(scenario, rng) -> None | detail`` — builds both sides
+            from the scenario and compares; any mismatch detail string
+            marks the contract broken on that scenario.
+    """
+
+    name: str
+    description: str
+    check: Callable[[GeneratedScenario, np.random.Generator], str | None]
+
+
+_REGISTRY: dict[str, OraclePair] = {}
+
+
+def register_pair(pair: OraclePair, *, replace_existing: bool = False
+                  ) -> OraclePair:
+    """Add a pair to the registry (future PRs register theirs here)."""
+    if pair.name in _REGISTRY and not replace_existing:
+        raise ValueError(f"oracle pair {pair.name!r} is already registered")
+    _REGISTRY[pair.name] = pair
+    return pair
+
+
+def registered_pairs(names: list[str] | tuple[str, ...] | None = None
+                     ) -> tuple[OraclePair, ...]:
+    """The selected pairs (all of them when ``names`` is ``None``)."""
+    if names is None:
+        return tuple(_REGISTRY.values())
+    missing = [name for name in names if name not in _REGISTRY]
+    if missing:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown oracle pair(s) {missing}; registered: {known}")
+    return tuple(_REGISTRY[name] for name in names)
+
+
+def pair_rng(spec: ScenarioSpec, pair_name: str) -> np.random.Generator:
+    """The deterministic RNG one pair uses on one spec.
+
+    Derived from ``(spec.seed, pair name)`` only, so a persisted spec
+    replays the exact inputs regardless of case ordering or which other
+    pairs ran first.
+    """
+    return new_rng(stable_hash((spec.seed, pair_name), salt="fuzz-pair"))
+
+
+def check_spec(pair: OraclePair, spec: ScenarioSpec) -> str | None:
+    """Run one pair on one spec; ``None`` means the contract held.
+
+    A check that *crashes* counts as a failure with the exception as
+    the detail — a fast-path regression that raises (the class of bug
+    :meth:`~repro.accel.allocation.AllocationSpace.random_design` had)
+    must produce a shrunk repro, not abort the campaign.
+    """
+    try:
+        scenario = spec.materialize()
+    except Exception as exc:
+        return f"scenario failed to materialize: {type(exc).__name__}: {exc}"
+    try:
+        return pair.check(scenario, pair_rng(spec, pair.name))
+    except Exception as exc:
+        return f"check crashed: {type(exc).__name__}: {exc}"
+
+
+# ----------------------------------------------------------------------
+# Shared check helpers
+# ----------------------------------------------------------------------
+def _derived_constraint(problem: MappingProblem,
+                        rng: np.random.Generator) -> int:
+    """A latency constraint near the instance's min-latency makespan."""
+    base = list_schedule(problem, problem.min_latency_assignment(),
+                         validate=False).makespan
+    factor = _CONSTRAINT_FACTORS[int(rng.integers(
+        len(_CONSTRAINT_FACTORS)))]
+    return max(1, int(base * factor))
+
+
+def _hap_facts(result) -> tuple:
+    return (result.assignment, result.makespan, result.energy_nj,
+            result.feasible, result.refinement_energies)
+
+
+def _normalised_run(result) -> dict[str, Any]:
+    """Run record with the only wall-clock field zeroed."""
+    result.eval_seconds = 0.0
+    return result_to_dict(result)
+
+
+# ----------------------------------------------------------------------
+# Oracle-pair checks
+# ----------------------------------------------------------------------
+def _check_cost_table(scenario: GeneratedScenario,
+                      rng: np.random.Generator) -> str | None:
+    """Batched cost tables vs the scalar oracle (PR 2 contract)."""
+    for index, (nets, accel) in enumerate(
+            scenario.sample_pairs(rng, scenario.spec.design_samples)):
+        batched = MappingProblem.build(
+            nets, accel, CostModel(scenario.cost_params), batched=True)
+        scalar = MappingProblem.build(
+            nets, accel, CostModel(scenario.cost_params), batched=False)
+        if not np.array_equal(batched.durations, scalar.durations):
+            cell = np.argwhere(batched.durations != scalar.durations)[0]
+            return (f"design {index}: durations[{cell[0]},{cell[1]}] "
+                    f"batched={int(batched.durations[cell[0], cell[1]])} "
+                    f"scalar={int(scalar.durations[cell[0], cell[1]])}")
+        if not np.array_equal(batched.energies, scalar.energies):
+            cell = np.argwhere(batched.energies != scalar.energies)[0]
+            return (f"design {index}: energies[{cell[0]},{cell[1]}] "
+                    f"batched={float(batched.energies[cell[0], cell[1]])!r} "
+                    f"scalar={float(scalar.energies[cell[0], cell[1]])!r}")
+    return None
+
+
+def _check_hap_modes(scenario: GeneratedScenario,
+                     rng: np.random.Generator) -> str | None:
+    """Delta-resume and PR-1 fast paths vs the full-reschedule oracle."""
+    for index, (nets, accel) in enumerate(
+            scenario.sample_pairs(rng, scenario.spec.design_samples)):
+        problem = MappingProblem.build(nets, accel,
+                                       CostModel(scenario.cost_params))
+        constraint = _derived_constraint(problem, rng)
+        resumed = _hap_facts(solve_hap(problem, constraint))
+        replayed = _hap_facts(solve_hap(problem, constraint, resume=False))
+        oracle = _hap_facts(solve_hap(problem, constraint,
+                                      incremental=False))
+        if resumed != oracle:
+            return (f"design {index} (LS={constraint}): delta-resume "
+                    f"{resumed[:3]} != oracle {oracle[:3]}")
+        if replayed != oracle:
+            return (f"design {index} (LS={constraint}): full-replay "
+                    f"{replayed[:3]} != oracle {oracle[:3]}")
+    return None
+
+
+def _check_evalservice(scenario: GeneratedScenario,
+                       rng: np.random.Generator) -> str | None:
+    """Cached and cache-disabled service pricing vs the bare evaluator."""
+    pairs = scenario.sample_pairs(rng, scenario.spec.design_samples)
+    trace = pairs + pairs[::-1]  # repeats exercise the hit path
+
+    def evaluator() -> Evaluator:
+        return Evaluator(scenario.workload, CostModel(scenario.cost_params),
+                         trainer=None, rho=scenario.rho)
+
+    direct_eval = evaluator()
+    direct = [direct_eval.evaluate_hardware(nets, accel)
+              for nets, accel in trace]
+    with EvalService(evaluator()) as cached_service:
+        cached = cached_service.evaluate_many(trace)
+    with EvalService(evaluator(), cache_size=0) as uncached_service:
+        uncached = uncached_service.evaluate_many(trace)
+    for index, (want, got_cached, got_uncached) in enumerate(
+            zip(direct, cached, uncached)):
+        if got_cached != want:
+            return f"request {index}: cached evaluation != direct"
+        if got_uncached != want:
+            return f"request {index}: cache-disabled evaluation != direct"
+    return None
+
+
+def _check_store_warm(scenario: GeneratedScenario,
+                      rng: np.random.Generator) -> str | None:
+    """Store-warmed pricing vs cold pricing, plus full warm coverage."""
+    pairs = scenario.sample_pairs(rng, scenario.spec.design_samples)
+    trace = pairs + pairs  # repeats inside one session too
+    distinct = len({
+        (tuple(n.identity() for n in nets), accel)
+        for nets, accel in pairs})
+
+    def evaluator() -> Evaluator:
+        return Evaluator(scenario.workload, CostModel(scenario.cost_params),
+                         trainer=None, rho=scenario.rho)
+
+    with EvalService(evaluator()) as cold_service:
+        cold = cold_service.evaluate_many(trace)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "store.bin"
+        with EvalStore(path) as store:
+            with EvalService(evaluator(), store=store) as writer:
+                written = writer.evaluate_many(trace)
+        with EvalStore(path) as store:
+            with EvalService(evaluator(), store=store) as warm_service:
+                warm = warm_service.evaluate_many(trace)
+                store_hits = warm_service.stats.store_hits
+                misses = warm_service.stats.misses
+    for index, (want, via_writer, via_store) in enumerate(
+            zip(cold, written, warm)):
+        if via_writer != want:
+            return f"request {index}: store-writing evaluation != cold"
+        if via_store != want:
+            return f"request {index}: store-warmed evaluation != cold"
+    if misses or store_hits != distinct:
+        return (f"warm session recomputed: {misses} misses, "
+                f"{store_hits} store hits for {distinct} distinct designs")
+    return None
+
+
+def _check_checkpoint_resume(scenario: GeneratedScenario,
+                             rng: np.random.Generator) -> str | None:
+    """Kill-and-resume at a random round vs the uninterrupted run."""
+    from repro.core.baselines import _MonteCarloStrategy
+
+    runs, chunk = scenario.spec.mc_runs, 2
+
+    def build() -> tuple[Any, EvalService]:
+        evaluator = Evaluator(
+            scenario.workload, CostModel(scenario.cost_params),
+            SurrogateTrainer(scenario.build_surrogate()), rho=scenario.rho)
+        strategy = _MonteCarloStrategy(
+            scenario.workload, scenario.allocation, evaluator,
+            runs=runs, seed=scenario.spec.seed, chunk=chunk)
+        return strategy, EvalService(evaluator)
+
+    strategy, service = build()
+    with service:
+        reference = SearchDriver(strategy, service).run()
+    total_rounds = math.ceil(runs / chunk)
+    if total_rounds < 2:
+        return None  # nothing to interrupt
+    stop_round = int(rng.integers(1, total_rounds))
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = Path(tmp) / "run.ckpt"
+        strategy, service = build()
+        with service:
+            driver = SearchDriver(strategy, service)
+            for _ in range(stop_round):
+                driver.step()
+            driver.save_checkpoint(ckpt)
+        strategy, service = build()
+        with service:
+            resumed = SearchDriver(strategy, service).restore(ckpt).run()
+    want, got = _normalised_run(reference), _normalised_run(resumed)
+    if want != got:
+        keys = [key for key in want if want[key] != got.get(key)]
+        return (f"resume at round {stop_round}/{total_rounds} diverged "
+                f"in {keys}")
+    return None
+
+
+def _check_exact_gap(scenario: GeneratedScenario,
+                     rng: np.random.Generator) -> str | None:
+    """Heuristic HAP vs the exact branch-and-bound on tiny instances.
+
+    Soundness bounds that must hold whenever the exact solver applies:
+    a feasible heuristic answer implies a feasible optimum, the
+    heuristic's energy never undercuts the optimum, and the optimum
+    respects the constraint.  Oversized instances skip (the generator's
+    ``tiny`` class is built to fit ``EXACT_LEAVES_CAP``; vacuous passes
+    on larger classes are expected —
+    ``tests/test_differential.py::test_exact_gap_engages_on_tiny``
+    pins that tiny scenarios really are solved).
+    """
+    for index, (nets, accel) in enumerate(
+            scenario.sample_pairs(rng, scenario.spec.design_samples)):
+        problem = MappingProblem.build(nets, accel,
+                                       CostModel(scenario.cost_params))
+        if problem.num_slots ** problem.num_layers > EXACT_LEAVES_CAP:
+            continue
+        constraint = _derived_constraint(problem, rng)
+        exact = solve_exact(problem, constraint)
+        heuristic = solve_hap(problem, constraint)
+        if exact.feasible and exact.makespan > constraint:
+            return (f"design {index}: exact 'optimum' violates its own "
+                    f"constraint ({exact.makespan} > {constraint})")
+        if heuristic.feasible and not exact.feasible:
+            return (f"design {index}: heuristic found a feasible "
+                    f"assignment (LS={constraint}) the exact solver "
+                    f"claims cannot exist")
+        if heuristic.feasible and exact.feasible:
+            # The exact optimum is a true lower bound; allow only float
+            # summation noise between the two energy accumulations.
+            slack = 1e-9 * max(1.0, abs(exact.energy_nj))
+            if heuristic.energy_nj < exact.energy_nj - slack:
+                return (f"design {index}: heuristic energy "
+                        f"{heuristic.energy_nj!r} undercuts the exact "
+                        f"optimum {exact.energy_nj!r} (LS={constraint})")
+    return None  # vacuous pass when every instance was oversized
+
+
+for _pair in (
+    OraclePair("cost-table",
+               "batched cost tables == scalar oracle (bit-identical)",
+               _check_cost_table),
+    OraclePair("hap-modes",
+               "delta-resume / full-replay HAP == full-reschedule oracle",
+               _check_hap_modes),
+    OraclePair("evalservice",
+               "cached / cache-disabled service == direct evaluator",
+               _check_evalservice),
+    OraclePair("store-warm",
+               "store-warmed pricing == cold pricing, fully served",
+               _check_store_warm),
+    OraclePair("checkpoint-resume",
+               "resume at any round == uninterrupted run",
+               _check_checkpoint_resume),
+    OraclePair("exact-gap",
+               "heuristic HAP never undercuts the exact optimum (tiny)",
+               _check_exact_gap),
+):
+    register_pair(_pair)
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+def _default_cost_params() -> dict[str, Any]:
+    defaults = CostModelParams()
+    return {f.name: getattr(defaults, f.name)
+            for f in fields(CostModelParams)}
+
+
+def _shrink_task(task) -> list:
+    """Smaller variants of one task spec (most aggressive first)."""
+    candidates = []
+    if task.backbone == "resnet9":
+        if task.num_blocks > 1:
+            candidates.append(replace(task, num_blocks=1))
+        for attr in ("stem_options", "filter_options", "skip_options"):
+            options = getattr(task, attr)
+            if len(options) > 1:
+                candidates.append(replace(task, **{attr: options[:1]}))
+        floor = max(8, 2 ** task.num_blocks)
+        if task.input_hw > floor:
+            candidates.append(replace(task, input_hw=floor))
+    else:  # unet
+        if task.max_height > 1:
+            candidates.append(replace(task, max_height=1))
+        if len(task.base_options) > 1:
+            candidates.append(replace(task,
+                                      base_options=task.base_options[:1]))
+        floor = max(8, 2 ** task.max_height)
+        if task.input_hw > floor:
+            candidates.append(replace(task, input_hw=floor))
+    return candidates
+
+
+def _shrink_candidates(spec: ScenarioSpec):
+    """Yield one-step-smaller specs, most aggressive reductions first."""
+    if len(spec.tasks) > 1:
+        even = 1.0 / (len(spec.tasks) - 1)
+        for drop in range(len(spec.tasks)):
+            kept = tuple(replace(task, weight=even)
+                         for index, task in enumerate(spec.tasks)
+                         if index != drop)
+            yield replace(spec, tasks=kept)
+    if spec.design_samples > 1:
+        yield replace(spec, design_samples=1)
+    if spec.mc_runs > 2:
+        yield replace(spec, mc_runs=2)
+    for index, task in enumerate(spec.tasks):
+        for smaller in _shrink_task(task):
+            tasks = (spec.tasks[:index] + (smaller,)
+                     + spec.tasks[index + 1:])
+            yield replace(spec, tasks=tasks)
+    if spec.num_slots > 1:
+        yield replace(spec, num_slots=spec.num_slots - 1)
+    if len(spec.dataflows) > 1:
+        yield replace(spec, dataflows=spec.dataflows[:1])
+    if spec.cost_params != _default_cost_params():
+        yield replace(spec, cost_params=_default_cost_params())
+    if spec.max_pes > 2 * spec.pe_step:
+        yield replace(spec, max_pes=2 * spec.pe_step)
+    if spec.max_bandwidth_gbps > 2 * spec.bw_step:
+        yield replace(spec, max_bandwidth_gbps=2 * spec.bw_step)
+    if spec.rho != 10.0:
+        yield replace(spec, rho=10.0)
+    if spec.bounds_factor != 2.0:
+        yield replace(spec, bounds_factor=2.0)
+    if spec.aggregate != "avg":
+        yield replace(spec, aggregate="avg")
+
+
+def shrink_spec(spec: ScenarioSpec, pair: OraclePair,
+                *, max_attempts: int = 150
+                ) -> tuple[ScenarioSpec, str]:
+    """Greedily minimise a failing spec while the failure reproduces.
+
+    Each accepted candidate restarts the move scan (a smaller spec may
+    unlock further reductions); the loop stops at a fixed point or after
+    ``max_attempts`` candidate evaluations.  Returns the smallest
+    still-failing spec and its mismatch detail.  A check that crashes
+    counts as failing (see :func:`check_spec`), so crash bugs shrink
+    exactly like mismatch bugs.
+    """
+    detail = check_spec(pair, spec)
+    if detail is None:
+        raise ValueError(
+            f"spec does not fail pair {pair.name!r}; nothing to shrink")
+    current, attempts = spec, 0
+    progressed = True
+    while progressed and attempts < max_attempts:
+        progressed = False
+        for candidate in _shrink_candidates(current):
+            attempts += 1
+            try:
+                scenario = candidate.materialize()
+            except Exception:
+                # A shrink move may produce a spec the pipeline rejects
+                # for unrelated reasons; skip it, keep shrinking.
+                continue
+            try:
+                smaller_detail = pair.check(
+                    scenario, pair_rng(candidate, pair.name))
+            except Exception as exc:
+                smaller_detail = (f"check crashed: "
+                                  f"{type(exc).__name__}: {exc}")
+            if smaller_detail is not None:
+                current, detail = candidate, smaller_detail
+                progressed = True
+                break
+            if attempts >= max_attempts:
+                break
+    return current, detail
+
+
+# ----------------------------------------------------------------------
+# Repro files
+# ----------------------------------------------------------------------
+def save_repro(path: str | Path, pair: OraclePair, spec: ScenarioSpec,
+               detail: str, *, original: ScenarioSpec | None = None
+               ) -> Path:
+    """Persist a (shrunk) failing scenario as a replayable JSON repro."""
+    payload = {
+        "format": REPRO_FORMAT,
+        "version": FUZZ_VERSION,
+        "pair": pair.name,
+        "description": pair.description,
+        "detail": detail,
+        "spec": spec.to_dict(),
+    }
+    if original is not None and original != spec:
+        payload["original_spec"] = original.to_dict()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    return path
+
+
+def replay_repro(path: str | Path) -> str | None:
+    """Re-run a persisted repro; returns the mismatch detail (or
+    ``None`` once the underlying bug is fixed)."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != REPRO_FORMAT:
+        raise ValueError(f"{path} is not a fuzz repro file")
+    if payload.get("version") != FUZZ_VERSION:
+        raise ValueError(
+            f"unsupported repro version {payload.get('version')!r}")
+    (pair,) = registered_pairs([payload["pair"]])
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    return check_spec(pair, spec)
+
+
+# ----------------------------------------------------------------------
+# The fuzz loop
+# ----------------------------------------------------------------------
+@dataclass
+class FuzzFailure:
+    """One broken contract, shrunk and persisted."""
+
+    pair: str
+    case_seed: int
+    size_class: str
+    detail: str
+    spec: ScenarioSpec
+    repro_path: Path | None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pair": self.pair,
+            "case_seed": self.case_seed,
+            "size_class": self.size_class,
+            "detail": self.detail,
+            "spec": self.spec.to_dict(),
+            "repro_path": (str(self.repro_path)
+                           if self.repro_path is not None else None),
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`run_fuzz` campaign."""
+
+    seed: int
+    cases: int
+    checks: int
+    failures: list[FuzzFailure]
+    pair_runs: dict[str, int]
+    wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": REPORT_FORMAT,
+            "version": FUZZ_VERSION,
+            "seed": self.seed,
+            "cases": self.cases,
+            "checks": self.checks,
+            "pair_runs": dict(self.pair_runs),
+            "failures": [failure.to_dict() for failure in self.failures],
+            "wall_seconds": self.wall_seconds,
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        per_pair = ", ".join(
+            f"{name}={count}" for name, count in self.pair_runs.items())
+        return (f"fuzz: {self.cases} scenarios, {self.checks} checks "
+                f"({per_pair}), {self.wall_seconds:.1f}s — {status}")
+
+
+def save_report(report: FuzzReport, path: str | Path) -> Path:
+    """Write the fuzz report JSON to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report.to_dict(), indent=2),
+                    encoding="utf-8")
+    return path
+
+
+def run_fuzz(*, cases: int | None = None, minutes: float | None = None,
+             seed: int = 0, pairs: list[str] | None = None,
+             size_classes: tuple[str, ...] | None = None,
+             repro_dir: str | Path | None = None,
+             progress: Callable[[str], Any] | None = None) -> FuzzReport:
+    """Run generated scenarios through every selected oracle pair.
+
+    Args:
+        cases: Number of scenarios to generate (scenario ``i`` uses seed
+            ``seed + i``).  Mutually completing with ``minutes``: when
+            both are ``None``, 25 cases run.
+        minutes: Wall-clock box — generation stops once exceeded (the
+            scenario in flight completes; at least one case always
+            runs).
+        seed: Base seed; the whole campaign is a pure function of it.
+        pairs: Subset of registered pair names (default: all).
+        size_classes: Explicit size-class cycle; ``None`` lets each
+            case seed pick its own (weighted toward cheap classes).
+        repro_dir: Where failing scenarios are persisted (one JSON per
+            failure).  ``None`` records failures in the report only.
+        progress: Optional sink for per-case progress lines.
+
+    Returns:
+        The consolidated :class:`FuzzReport`.
+    """
+    if cases is None and minutes is None:
+        cases = 25
+    if cases is not None and cases < 1:
+        raise ValueError("cases must be >= 1")
+    if minutes is not None and minutes <= 0:
+        raise ValueError("minutes must be positive")
+    selected = registered_pairs(pairs)
+    if not selected:
+        raise ValueError("no oracle pairs selected")
+    started = time.perf_counter()
+    deadline = (started + minutes * 60.0) if minutes is not None else None
+    failures: list[FuzzFailure] = []
+    pair_runs = {pair.name: 0 for pair in selected}
+    checks = 0
+    index = 0
+    while True:
+        if cases is not None and index >= cases:
+            break
+        if (deadline is not None and index > 0
+                and time.perf_counter() >= deadline):
+            break
+        case_seed = seed + index
+        explicit = (size_classes[index % len(size_classes)]
+                    if size_classes else None)
+        spec = generate_spec(case_seed, size_class=explicit)
+        failures_before = len(failures)
+        for pair in selected:
+            detail = check_spec(pair, spec)
+            pair_runs[pair.name] += 1
+            checks += 1
+            if detail is None:
+                continue
+            shrunk, shrunk_detail = shrink_spec(spec, pair)
+            repro_path = None
+            if repro_dir is not None:
+                repro_path = save_repro(
+                    Path(repro_dir)
+                    / f"repro-{pair.name}-case{case_seed}.json",
+                    pair, shrunk, shrunk_detail, original=spec)
+            failures.append(FuzzFailure(
+                pair=pair.name, case_seed=case_seed,
+                size_class=spec.size_class, detail=shrunk_detail,
+                spec=shrunk, repro_path=repro_path))
+            if progress is not None:
+                progress(f"FAIL {pair.name} on {spec.name}: "
+                         f"{shrunk_detail}")
+        if progress is not None and len(failures) == failures_before:
+            progress(f"case {index + 1} ({spec.name}) ok")
+        index += 1
+    return FuzzReport(
+        seed=seed,
+        cases=index,
+        checks=checks,
+        failures=failures,
+        pair_runs=pair_runs,
+        wall_seconds=time.perf_counter() - started,
+    )

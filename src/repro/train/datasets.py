@@ -12,7 +12,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["DatasetSpec", "DATASETS", "dataset_spec"]
+__all__ = ["DatasetSpec", "DATASETS", "SYNTHETIC_PREFIX", "dataset_spec",
+           "synthetic_dataset_spec"]
+
+#: Dataset keys starting with this prefix denote *generated* datasets
+#: (see :mod:`repro.workloads.generator`): they resolve to a synthetic
+#: descriptor instead of the paper's registry.  The convention is
+#: parse-based rather than a mutable registry so pool workers and fresh
+#: processes resolve generated keys identically without side channels.
+SYNTHETIC_PREFIX = "syn"
 
 
 @dataclass(frozen=True)
@@ -58,11 +66,34 @@ DATASETS: dict[str, DatasetSpec] = {
 }
 
 
+def synthetic_dataset_spec(key: str) -> DatasetSpec:
+    """Descriptor for a generated dataset key (``syn...``).
+
+    ``synseg...`` keys are segmentation tasks reported as IOU fractions;
+    every other ``syn...`` key is classification reported as a
+    percentage — matching the surrogate calibrations the scenario
+    generator emits.  Input geometry lives in the generated search
+    space, not here, so the descriptor carries nominal values.
+    """
+    if not key.startswith(SYNTHETIC_PREFIX):
+        raise ValueError(f"{key!r} is not a synthetic dataset key")
+    segmentation = key.startswith(SYNTHETIC_PREFIX + "seg")
+    if segmentation:
+        return DatasetSpec(
+            key=key, task="segmentation", input_hw=128, in_channels=3,
+            num_classes=1, metric="IOU", metric_is_percent=False)
+    return DatasetSpec(
+        key=key, task="classification", input_hw=32, in_channels=3,
+        num_classes=10, metric="top-1 accuracy", metric_is_percent=True)
+
+
 def dataset_spec(key: str) -> DatasetSpec:
-    """Look up a dataset descriptor by key."""
+    """Look up a dataset descriptor by key (synthetic keys included)."""
     try:
         return DATASETS[key]
     except KeyError:
+        if key.startswith(SYNTHETIC_PREFIX):
+            return synthetic_dataset_spec(key)
         valid = ", ".join(sorted(DATASETS))
         raise KeyError(
             f"unknown dataset {key!r}; expected one of {valid}") from None

@@ -1,6 +1,15 @@
-"""Multi-task workloads, design specs and the paper's presets."""
+"""Multi-task workloads: the paper's presets plus generated scenarios."""
 
+from repro.workloads.generator import (
+    SIZE_CLASSES,
+    GeneratedScenario,
+    ScenarioSpec,
+    TaskSpec,
+    generate_spec,
+    generate_specs,
+)
 from repro.workloads.presets import fig1_workload, w1, w2, w3, workload_by_name
+from repro.workloads.validation import validate_workload
 from repro.workloads.workload import (
     DesignSpecs,
     PenaltyBounds,
@@ -10,10 +19,17 @@ from repro.workloads.workload import (
 
 __all__ = [
     "DesignSpecs",
+    "GeneratedScenario",
     "PenaltyBounds",
+    "SIZE_CLASSES",
+    "ScenarioSpec",
     "Task",
+    "TaskSpec",
     "Workload",
     "fig1_workload",
+    "generate_spec",
+    "generate_specs",
+    "validate_workload",
     "w1",
     "w2",
     "w3",

@@ -1,0 +1,564 @@
+"""Seeded, parametric scenario generator: workloads we never hand-wrote.
+
+The repo's exactness contracts — batched vs scalar cost tables,
+delta-resume vs full-reschedule HAP, cached/pooled/stored vs direct
+pricing, checkpoint-resume — were until now only exercised on the three
+paper presets (W1/W2/W3) and a handful of hypothesis strategies.  Apollo
+(Yazdanbakhsh et al.) shows co-exploration infrastructure pays off when
+it transfers across many design problems, and NAAS stresses that search
+claims only hold if the evaluator is trustworthy across the whole space.
+This module manufactures that space: every knob the presets fix — task
+mixes, layer-spec distributions, accelerator bounds, cost-model
+parameters, rho — is drawn from a seeded distribution, in size classes
+from ``tiny`` (exact-solvable, the optimality-gap oracle applies) to
+``stress``.
+
+Two-layer design, so failures are replayable:
+
+- a :class:`ScenarioSpec` is **plain data** — JSON round-trips exactly
+  (:meth:`ScenarioSpec.to_dict` / :meth:`ScenarioSpec.from_dict`), which
+  is what lets the differential harness
+  (:mod:`repro.core.differential`) persist a shrunk failing scenario as
+  a replayable repro file;
+- :meth:`ScenarioSpec.materialize` deterministically builds the live
+  objects (workload, allocation space, cost parameters, surrogate) and
+  runs the shared schema validator
+  (:func:`repro.workloads.validation.validate_workload`) — the same one
+  the presets pass through — so generated and hand-written workloads
+  satisfy one contract.
+
+``generate_spec(seed)`` is a pure function of its arguments: equal seeds
+give equal specs, and the spec alone (not the generator) is needed to
+reproduce a scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.accel.accelerator import ResourceBudget
+from repro.accel.allocation import AllocationSpace
+from repro.accel.dataflow import Dataflow
+from repro.arch.network import NetworkArch
+from repro.arch.resnet import ResNetSpace
+from repro.arch.unet import UNetSpace
+from repro.cost.params import CostModelParams
+from repro.train.surrogate import AccuracySurrogate, SurrogateCalibration
+from repro.utils.rng import new_rng
+from repro.workloads.validation import validate_workload
+from repro.workloads.workload import (
+    DesignSpecs,
+    PenaltyBounds,
+    Task,
+    Workload,
+)
+
+__all__ = ["GeneratedScenario", "ScenarioSpec", "SIZE_CLASSES", "TaskSpec",
+           "generate_spec", "generate_specs"]
+
+#: Size classes in ascending cost; ``tiny`` instances stay small enough
+#: for the exact HAP reference solver.
+SIZE_CLASSES = ("tiny", "small", "medium", "stress")
+
+#: Auto-pick weights: the fuzz loop should spend most of its budget on
+#: cheap scenarios and still visit stress shapes regularly.
+_CLASS_WEIGHTS = (0.35, 0.35, 0.2, 0.1)
+
+#: Option pools the per-task draws sample (sorted, duplicate-free
+#: subsets of) — wide enough to cover the preset values and beyond.
+_STEM_POOL = (4, 8, 16, 32, 64)
+_FILTER_POOL = (8, 16, 32, 64, 128, 256)
+_SKIP_POOL = (0, 1, 2, 3)
+_UNET_BASE_POOL = (2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class _ClassParams:
+    """Draw ranges for one size class (inclusive bounds)."""
+
+    tasks: tuple[int, int]
+    resnet_blocks: tuple[int, int]
+    resnet_hw: tuple[int, ...]
+    unet_heights: tuple[int, int]  # (0, 0) = class has no U-Net tasks
+    unet_hw: tuple[int, ...]
+    slots: tuple[int, int]
+    options: tuple[int, int]  # options per choice
+    skip_pool: tuple[int, ...]
+    design_samples: int
+    mc_runs: int
+
+
+_CLASS_PARAMS: dict[str, _ClassParams] = {
+    # tiny stays exact-solvable: 1 resnet block, <= 1 skip conv and <= 2
+    # slots keep the largest instance at <= 2 slots ** 4 layers leaves.
+    "tiny": _ClassParams(
+        tasks=(1, 1), resnet_blocks=(1, 1), resnet_hw=(8, 16),
+        unet_heights=(0, 0), unet_hw=(), slots=(1, 2), options=(1, 2),
+        skip_pool=(0, 1), design_samples=2, mc_runs=4),
+    "small": _ClassParams(
+        tasks=(1, 2), resnet_blocks=(1, 2), resnet_hw=(8, 16, 32),
+        unet_heights=(0, 0), unet_hw=(), slots=(2, 2), options=(2, 3),
+        skip_pool=_SKIP_POOL, design_samples=2, mc_runs=6),
+    "medium": _ClassParams(
+        tasks=(2, 3), resnet_blocks=(1, 3), resnet_hw=(16, 32),
+        unet_heights=(1, 2), unet_hw=(32, 64), slots=(2, 3),
+        options=(2, 3), skip_pool=_SKIP_POOL, design_samples=2,
+        mc_runs=6),
+    "stress": _ClassParams(
+        tasks=(2, 4), resnet_blocks=(2, 5), resnet_hw=(32, 64),
+        unet_heights=(2, 4), unet_hw=(64, 128), slots=(2, 4),
+        options=(3, 4), skip_pool=_SKIP_POOL, design_samples=3,
+        mc_runs=8),
+}
+
+
+# ----------------------------------------------------------------------
+# Task specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskSpec:
+    """Plain-data description of one generated task.
+
+    ``backbone`` selects which parameter subset applies: ``resnet9``
+    uses ``num_blocks``/``stem_options``/``filter_options``/
+    ``skip_options``; ``unet`` uses ``max_height``/``base_options``.
+    """
+
+    name: str
+    backbone: str  # "resnet9" | "unet"
+    dataset: str
+    weight: float
+    input_hw: int
+    num_blocks: int = 0
+    stem_options: tuple[int, ...] = ()
+    filter_options: tuple[int, ...] = ()
+    skip_options: tuple[int, ...] = ()
+    num_classes: int = 10
+    max_height: int = 0
+    base_options: tuple[int, ...] = ()
+
+    def build_space(self):
+        """Materialise the task's architecture search space."""
+        if self.backbone == "resnet9":
+            return ResNetSpace(
+                self.dataset,
+                input_hw=self.input_hw,
+                num_classes=self.num_classes,
+                num_blocks=self.num_blocks,
+                stem_options=self.stem_options,
+                filter_options=self.filter_options,
+                skip_options=self.skip_options,
+            )
+        if self.backbone == "unet":
+            return UNetSpace(
+                self.dataset,
+                input_hw=self.input_hw,
+                max_height=self.max_height,
+                base_options=self.base_options,
+            )
+        raise ValueError(f"unknown backbone {self.backbone!r}")
+
+    def calibration(self) -> SurrogateCalibration:
+        """Surrogate accuracy calibration for this generated dataset.
+
+        Deterministic constants: the exactness contracts the generated
+        scenarios exercise concern the hardware path and run
+        determinism, not the accuracy landscape's shape — one monotone
+        saturating law per backbone is all the search consumes.
+        """
+        if self.backbone == "resnet9":
+            return SurrogateCalibration(
+                floor=70.0, peak=94.0, curvature=3.0, jitter=0.2,
+                stem_weight=0.1,
+                block_weights=(0.9 / self.num_blocks,) * self.num_blocks,
+                depth_coupling=0.45)
+        return SurrogateCalibration(
+            floor=0.60, peak=0.85, curvature=2.0, jitter=0.003)
+
+    def max_layers(self) -> int:
+        """Layer count of the largest network in this task's space."""
+        if self.backbone == "resnet9":
+            # stem + per block (down + max skips) + classifier.
+            return 2 + self.num_blocks * (1 + max(self.skip_options))
+        # U-Net at full height: 3 per encoder level, 2 bottleneck,
+        # 3 per decoder level, 1 head.
+        return 6 * self.max_height + 3
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "backbone": self.backbone,
+            "dataset": self.dataset,
+            "weight": self.weight,
+            "input_hw": self.input_hw,
+            "num_blocks": self.num_blocks,
+            "stem_options": list(self.stem_options),
+            "filter_options": list(self.filter_options),
+            "skip_options": list(self.skip_options),
+            "num_classes": self.num_classes,
+            "max_height": self.max_height,
+            "base_options": list(self.base_options),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TaskSpec":
+        return cls(
+            name=payload["name"],
+            backbone=payload["backbone"],
+            dataset=payload["dataset"],
+            weight=payload["weight"],
+            input_hw=payload["input_hw"],
+            num_blocks=payload["num_blocks"],
+            stem_options=tuple(payload["stem_options"]),
+            filter_options=tuple(payload["filter_options"]),
+            skip_options=tuple(payload["skip_options"]),
+            num_classes=payload["num_classes"],
+            max_height=payload["max_height"],
+            base_options=tuple(payload["base_options"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Scenario specs
+# ----------------------------------------------------------------------
+SPEC_FORMAT = "repro-scenario"
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Plain-data description of one generated scenario.
+
+    Everything a differential check needs is here: the workload (tasks,
+    specs, bounds), the hardware allocation bounds, the cost-model
+    parameters, rho, and the per-scenario effort knobs
+    (``design_samples`` sampled designs per check, ``mc_runs`` budget
+    for the checkpoint-resume check).  The spec is the unit the shrinker
+    mutates and the repro files persist.
+    """
+
+    seed: int
+    size_class: str
+    tasks: tuple[TaskSpec, ...]
+    aggregate: str
+    latency_cycles: int
+    energy_nj: float
+    area_um2: float
+    bounds_factor: float
+    max_pes: int
+    max_bandwidth_gbps: int
+    num_slots: int
+    pe_step: int
+    bw_step: int
+    dataflows: tuple[str, ...]
+    allow_empty_slots: bool
+    cost_params: dict = field(default_factory=dict)
+    rho: float = 10.0
+    design_samples: int = 2
+    mc_runs: int = 4
+
+    @property
+    def name(self) -> str:
+        return f"G{self.seed}-{self.size_class}"
+
+    def max_layers(self) -> int:
+        """Layer count of the largest joint network tuple."""
+        return sum(task.max_layers() for task in self.tasks)
+
+    def materialize(self) -> "GeneratedScenario":
+        """Build (and validate) the live objects this spec describes."""
+        tasks = tuple(
+            Task(spec.name, spec.build_space(), weight=spec.weight)
+            for spec in self.tasks)
+        specs = DesignSpecs(latency_cycles=self.latency_cycles,
+                            energy_nj=self.energy_nj,
+                            area_um2=self.area_um2)
+        workload = Workload(
+            name=self.name,
+            tasks=tasks,
+            specs=specs,
+            bounds=PenaltyBounds.from_specs(specs, self.bounds_factor),
+            aggregate=self.aggregate,
+        )
+        validate_workload(workload)
+        allocation = AllocationSpace(
+            budget=ResourceBudget(max_pes=self.max_pes,
+                                  max_bandwidth_gbps=self.max_bandwidth_gbps),
+            num_slots=self.num_slots,
+            dataflows=tuple(Dataflow(value) for value in self.dataflows),
+            pe_step=self.pe_step,
+            bw_step=self.bw_step,
+            allow_empty_slots=self.allow_empty_slots,
+        )
+        return GeneratedScenario(
+            spec=self,
+            workload=workload,
+            allocation=allocation,
+            cost_params=CostModelParams(**self.cost_params),
+            rho=self.rho,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": SPEC_FORMAT,
+            "version": SPEC_VERSION,
+            "seed": self.seed,
+            "size_class": self.size_class,
+            "tasks": [task.to_dict() for task in self.tasks],
+            "aggregate": self.aggregate,
+            "latency_cycles": self.latency_cycles,
+            "energy_nj": self.energy_nj,
+            "area_um2": self.area_um2,
+            "bounds_factor": self.bounds_factor,
+            "max_pes": self.max_pes,
+            "max_bandwidth_gbps": self.max_bandwidth_gbps,
+            "num_slots": self.num_slots,
+            "pe_step": self.pe_step,
+            "bw_step": self.bw_step,
+            "dataflows": list(self.dataflows),
+            "allow_empty_slots": self.allow_empty_slots,
+            "cost_params": dict(self.cost_params),
+            "rho": self.rho,
+            "design_samples": self.design_samples,
+            "mc_runs": self.mc_runs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ScenarioSpec":
+        if payload.get("format") != SPEC_FORMAT:
+            raise ValueError(
+                f"not a scenario spec (format {payload.get('format')!r})")
+        if payload.get("version") != SPEC_VERSION:
+            raise ValueError(
+                f"unsupported scenario-spec version "
+                f"{payload.get('version')!r}")
+        return cls(
+            seed=payload["seed"],
+            size_class=payload["size_class"],
+            tasks=tuple(TaskSpec.from_dict(t) for t in payload["tasks"]),
+            aggregate=payload["aggregate"],
+            latency_cycles=payload["latency_cycles"],
+            energy_nj=payload["energy_nj"],
+            area_um2=payload["area_um2"],
+            bounds_factor=payload["bounds_factor"],
+            max_pes=payload["max_pes"],
+            max_bandwidth_gbps=payload["max_bandwidth_gbps"],
+            num_slots=payload["num_slots"],
+            pe_step=payload["pe_step"],
+            bw_step=payload["bw_step"],
+            dataflows=tuple(payload["dataflows"]),
+            allow_empty_slots=payload["allow_empty_slots"],
+            cost_params=dict(payload["cost_params"]),
+            rho=payload["rho"],
+            design_samples=payload["design_samples"],
+            mc_runs=payload["mc_runs"],
+        )
+
+
+@dataclass(frozen=True)
+class GeneratedScenario:
+    """Materialised scenario: live objects plus the spec that made them."""
+
+    spec: ScenarioSpec
+    workload: Workload
+    allocation: AllocationSpace
+    cost_params: CostModelParams
+    rho: float
+
+    def sample_pairs(self, rng: np.random.Generator,
+                     n: int) -> list[tuple[tuple[NetworkArch, ...], Any]]:
+        """Sample ``n`` (networks, accelerator) pairs for pricing."""
+        pairs = []
+        for _ in range(n):
+            networks = tuple(
+                task.space.decode(task.space.random_indices(rng))
+                for task in self.workload.tasks)
+            pairs.append((networks, self.allocation.random_design(rng)))
+        return pairs
+
+    def build_surrogate(self) -> AccuracySurrogate:
+        """Accuracy surrogate with calibrations for every generated
+        dataset, spaces registered (for search-path checks/campaigns)."""
+        surrogate = AccuracySurrogate(calibrations={
+            task_spec.dataset: task_spec.calibration()
+            for task_spec in self.spec.tasks})
+        for task in self.workload.tasks:
+            surrogate.register_space(task.space)
+        return surrogate
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+def _choice(rng: np.random.Generator, options) -> Any:
+    """rng.choice that keeps python scalar types (no numpy leakage)."""
+    return options[int(rng.integers(len(options)))]
+
+
+def _int_between(rng: np.random.Generator, bounds: tuple[int, int]) -> int:
+    lo, hi = bounds
+    return int(rng.integers(lo, hi + 1))
+
+
+def _option_subset(rng: np.random.Generator, pool: tuple[int, ...],
+                   count: int) -> tuple[int, ...]:
+    """Sorted, duplicate-free subset of ``pool`` with ``count`` entries."""
+    count = min(count, len(pool))
+    picked = rng.choice(len(pool), size=count, replace=False)
+    return tuple(sorted(pool[int(i)] for i in picked))
+
+
+def _log_uniform(rng: np.random.Generator, lo: float, hi: float) -> float:
+    return float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+
+
+def _draw_cost_params(rng: np.random.Generator) -> dict[str, Any]:
+    """Random cost-model parameters within 2x of the calibrated defaults.
+
+    Integer fields stay integers (``CostModelParams`` requirements) and
+    every scale stays small enough that the batched cost table's
+    int64->float64 exactness argument (values < 2**52) keeps holding on
+    generated layer sizes.
+    """
+    defaults = CostModelParams()
+
+    def scaled(value: float) -> float:
+        return float(value * 2.0 ** rng.uniform(-1.0, 1.0))
+
+    return {
+        "elem_bytes": _choice(rng, (1, 2)),
+        "mac_energy_nj": scaled(defaults.mac_energy_nj),
+        "noc_energy_nj_per_byte": scaled(defaults.noc_energy_nj_per_byte),
+        "dram_energy_nj_per_byte": scaled(defaults.dram_energy_nj_per_byte),
+        "sram_area_um2_per_byte": scaled(defaults.sram_area_um2_per_byte),
+        "noc_area_um2_per_gbps": scaled(defaults.noc_area_um2_per_gbps),
+        "nic_base_area_um2": scaled(defaults.nic_base_area_um2),
+        "refetch_cap": _choice(rng, (4, 8, 16, 32)),
+        "layer_launch_cycles": _choice(rng, (0, 16, 64, 256)),
+        "default_glb_bytes": _choice(rng, (64 * 1024, 256 * 1024,
+                                           1024 * 1024)),
+    }
+
+
+def _draw_task(rng: np.random.Generator, params: _ClassParams,
+               seed: int, index: int, weight: float) -> TaskSpec:
+    unet_allowed = params.unet_heights != (0, 0)
+    use_unet = unet_allowed and rng.uniform() < 0.35
+    option_count = _int_between(rng, params.options)
+    name = f"task{index}"
+    if use_unet:
+        # "synseg..." keys resolve to segmentation/IOU descriptors,
+        # plain "syn..." keys to classification/percent (see
+        # repro.train.datasets.synthetic_dataset_spec).
+        dataset = f"synseg{seed}t{index}"
+        max_height = _int_between(rng, params.unet_heights)
+        input_hw = _choice(rng, tuple(
+            hw for hw in params.unet_hw if hw % (2 ** max_height) == 0))
+        return TaskSpec(
+            name=name, backbone="unet", dataset=dataset, weight=weight,
+            input_hw=input_hw, max_height=max_height,
+            base_options=_option_subset(rng, _UNET_BASE_POOL,
+                                        option_count),
+        )
+    dataset = f"syncls{seed}t{index}"
+    num_blocks = _int_between(rng, params.resnet_blocks)
+    input_hw = _choice(rng, tuple(
+        hw for hw in params.resnet_hw if hw >= 2 ** num_blocks))
+    return TaskSpec(
+        name=name, backbone="resnet9", dataset=dataset, weight=weight,
+        input_hw=input_hw, num_blocks=num_blocks,
+        stem_options=_option_subset(rng, _STEM_POOL, option_count),
+        filter_options=_option_subset(rng, _FILTER_POOL, option_count),
+        skip_options=_option_subset(rng, params.skip_pool, option_count),
+        num_classes=_choice(rng, (2, 10, 100)),
+    )
+
+
+def generate_spec(seed: int,
+                  size_class: str | None = None) -> ScenarioSpec:
+    """Draw one scenario spec from the seeded distribution.
+
+    Pure function of ``(seed, size_class)``: equal arguments give equal
+    specs.  ``size_class=None`` lets the seed pick one (weighted toward
+    the cheap classes, see :data:`_CLASS_WEIGHTS`).  The class-pick draw
+    is consumed either way, so ``generate_spec(seed)`` and
+    ``generate_spec(seed, size_class=<the class it picked>)`` are the
+    *same* spec — a failure report's ``(case_seed, size_class)`` pair
+    reconstructs the exact scenario.
+    """
+    rng = new_rng(seed)
+    picked = str(rng.choice(SIZE_CLASSES, p=_CLASS_WEIGHTS))
+    if size_class is None:
+        size_class = picked
+    if size_class not in _CLASS_PARAMS:
+        raise ValueError(
+            f"unknown size class {size_class!r}; expected one of "
+            f"{SIZE_CLASSES}")
+    params = _CLASS_PARAMS[size_class]
+
+    num_tasks = _int_between(rng, params.tasks)
+    raw_weights = rng.uniform(0.5, 2.0, size=num_tasks)
+    weights = [float(w / raw_weights.sum()) for w in raw_weights]
+    tasks = tuple(
+        _draw_task(rng, params, seed, index, weights[index])
+        for index in range(num_tasks))
+
+    num_slots = _int_between(rng, params.slots)
+    allow_empty = bool(rng.uniform() < 0.7)
+    pe_step = _choice(rng, (32, 64, 128))
+    max_pes = pe_step * _choice(rng, (4, 8, 16, 32))
+    bw_step = _choice(rng, (4, 8, 16))
+    # Mandatory-active slots each need >= one bandwidth step, so the
+    # budget multiplier must cover the slot count when empties are
+    # disallowed (AllocationSpace rejects an unsatisfiable space).
+    bw_mults = tuple(m for m in (2, 4, 8)
+                     if allow_empty or m >= num_slots)
+    max_bw = bw_step * _choice(rng, bw_mults)
+    all_flows = tuple(flow.value for flow in Dataflow)
+    dataflow_count = _int_between(rng, (1, len(all_flows)))
+    picked = rng.choice(len(all_flows), size=dataflow_count, replace=False)
+    dataflows = tuple(sorted(all_flows[int(i)] for i in picked))
+
+    return ScenarioSpec(
+        seed=seed,
+        size_class=size_class,
+        tasks=tasks,
+        aggregate=_choice(rng, ("avg", "min")),
+        latency_cycles=int(_log_uniform(rng, 2e3, 2e6)),
+        energy_nj=_log_uniform(rng, 1e6, 1e10),
+        area_um2=_log_uniform(rng, 1e8, 1e10),
+        bounds_factor=float(rng.uniform(1.5, 3.0)),
+        max_pes=max_pes,
+        max_bandwidth_gbps=max_bw,
+        num_slots=num_slots,
+        pe_step=pe_step,
+        bw_step=bw_step,
+        dataflows=dataflows,
+        allow_empty_slots=allow_empty,
+        cost_params=_draw_cost_params(rng),
+        rho=_choice(rng, (1.0, 5.0, 10.0, 20.0)),
+        design_samples=params.design_samples,
+        mc_runs=params.mc_runs,
+    )
+
+
+def generate_specs(count: int, *, seed: int = 0,
+                   size_classes: tuple[str, ...] | None = None
+                   ) -> list[ScenarioSpec]:
+    """Generate ``count`` specs with seeds ``seed .. seed+count-1``.
+
+    ``size_classes`` cycles explicitly through the given classes (the
+    campaign wiring uses this to keep grids predictable); ``None`` lets
+    each seed pick its own.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    specs = []
+    for index in range(count):
+        explicit = (size_classes[index % len(size_classes)]
+                    if size_classes else None)
+        specs.append(generate_spec(seed + index, size_class=explicit))
+    return specs

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.arch.resnet import cifar10_resnet_space, stl10_resnet_space
 from repro.arch.unet import nuclei_unet_space
+from repro.workloads.validation import validate_workload
 from repro.workloads.workload import (
     DesignSpecs,
     PenaltyBounds,
@@ -97,10 +98,16 @@ _PRESETS = {"W1": w1, "W2": w2, "W3": w3, "Fig1": fig1_workload}
 
 
 def workload_by_name(name: str) -> Workload:
-    """Look up a preset workload by its paper name (W1/W2/W3/Fig1)."""
+    """Look up a preset workload by its paper name (W1/W2/W3/Fig1).
+
+    Every preset passes the same schema validator the scenario generator
+    runs on its outputs, so presets and generated workloads satisfy one
+    contract (:func:`repro.workloads.validation.validate_workload`).
+    """
     try:
-        return _PRESETS[name]()
+        factory = _PRESETS[name]
     except KeyError:
         valid = ", ".join(sorted(_PRESETS))
         raise KeyError(
             f"unknown workload {name!r}; expected one of {valid}") from None
+    return validate_workload(factory())

@@ -1,0 +1,121 @@
+"""One workload validator for presets and generated scenarios alike.
+
+The schema a workload must satisfy is scattered across constructor
+checks (``Workload``/``Task``/``DesignSpecs`` reject many bad inputs on
+construction), but nothing asserted the *whole* contract in one place —
+in particular the layer-level facts the cost model and HAP solver rely
+on (positive layer dimensions, decodable genotype extremes, unique layer
+names).  With the scenario generator (:mod:`repro.workloads.generator`)
+manufacturing workloads we never hand-wrote, every workload — preset or
+generated — now passes through :func:`validate_workload` before a search
+sees it, so a generator bug or a hand-edited preset fails loudly at
+build time instead of deep inside a solve.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.workload import Workload
+
+__all__ = ["validate_workload"]
+
+#: Weight-sum tolerance, matching ``Workload.__post_init__``.
+_WEIGHT_TOL = 1e-9
+
+
+def _fail(workload: Workload, detail: str) -> ValueError:
+    return ValueError(f"workload {workload.name!r} is invalid: {detail}")
+
+
+def validate_workload(workload: Workload) -> Workload:
+    """Assert the full workload schema; returns the workload for chaining.
+
+    Checks (superset of the constructor checks, so manually constructed
+    or mutated-by-``replace`` workloads are covered too):
+
+    - at least one task; unique task names; every weight in ``(0, 1]``
+      and the weights summing to 1;
+    - positive design specs and penalty bounds strictly exceeding them
+      (the Eq. 3 denominators must be positive);
+    - ``aggregate`` one of ``avg``/``min``;
+    - every task exposes a non-empty choice sequence with non-empty,
+      duplicate-free options and a non-empty dataset key;
+    - the smallest and largest genotypes of every space decode to
+      networks with at least one layer, all layer dimensions positive
+      and layer names unique — the extremes bound every interior
+      genotype for the monotone geometry the spaces emit.
+
+    Raises:
+        ValueError: On the first violated check.
+    """
+    if not workload.tasks:
+        raise _fail(workload, "no tasks")
+    names = [task.name for task in workload.tasks]
+    if len(set(names)) != len(names):
+        raise _fail(workload, f"duplicate task names {names}")
+    total_weight = 0.0
+    for task in workload.tasks:
+        if not 0.0 < task.weight <= 1.0:
+            raise _fail(
+                workload,
+                f"task {task.name!r} weight {task.weight} outside (0, 1]")
+        total_weight += task.weight
+    if abs(total_weight - 1.0) > _WEIGHT_TOL:
+        raise _fail(workload, f"task weights sum to {total_weight}, not 1")
+    if workload.aggregate not in ("avg", "min"):
+        raise _fail(workload, f"unknown aggregate {workload.aggregate!r}")
+
+    specs, bounds = workload.specs, workload.bounds
+    if (specs.latency_cycles <= 0 or specs.energy_nj <= 0
+            or specs.area_um2 <= 0):
+        raise _fail(workload, f"non-positive design specs {specs}")
+    if (bounds.latency_cycles <= specs.latency_cycles
+            or bounds.energy_nj <= specs.energy_nj
+            or bounds.area_um2 <= specs.area_um2):
+        raise _fail(
+            workload,
+            "penalty bounds do not strictly exceed the design specs")
+
+    for task in workload.tasks:
+        space = task.space
+        if not isinstance(space.dataset, str) or not space.dataset:
+            raise _fail(workload, f"task {task.name!r} has no dataset key")
+        if not space.choices:
+            raise _fail(workload, f"task {task.name!r} space has no choices")
+        for choice in space.choices:
+            if choice.num_options < 1:
+                raise _fail(
+                    workload,
+                    f"task {task.name!r} choice {choice.name!r} is empty")
+            if len(set(choice.options)) != len(choice.options):
+                raise _fail(
+                    workload,
+                    f"task {task.name!r} choice {choice.name!r} has "
+                    f"duplicate options")
+        for extreme in (space.smallest_indices(), space.largest_indices()):
+            try:
+                network = space.decode(extreme)
+            except Exception as exc:
+                raise _fail(
+                    workload,
+                    f"task {task.name!r} genotype {extreme} does not "
+                    f"decode: {exc}") from exc
+            if not network.layers:
+                raise _fail(
+                    workload,
+                    f"task {task.name!r} genotype {extreme} decodes to an "
+                    f"empty network")
+            layer_names = [layer.name for layer in network.layers]
+            if len(set(layer_names)) != len(layer_names):
+                raise _fail(
+                    workload,
+                    f"task {task.name!r} network has duplicate layer names")
+            for layer in network.layers:
+                for field in ("in_channels", "out_channels", "kernel",
+                              "stride", "in_height", "in_width",
+                              "out_height", "out_width"):
+                    if getattr(layer, field) < 1:
+                        raise _fail(
+                            workload,
+                            f"task {task.name!r} layer {layer.name!r} has "
+                            f"non-positive {field}")
+    return workload

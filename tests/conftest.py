@@ -1,4 +1,11 @@
-"""Shared fixtures for the NASAIC reproduction test suite."""
+"""Shared fixtures for the NASAIC reproduction test suite.
+
+The seeded builders hoisted out of ``test_evalservice.py`` /
+``test_driver.py`` / ``test_store.py`` live in
+:mod:`tests.suite_helpers` (``from suite_helpers import ...``); they are
+re-exported here as session fixtures so fixture-style tests — including
+the differential fuzz-harness tests — reuse the exact same builders.
+"""
 
 from __future__ import annotations
 
@@ -19,6 +26,17 @@ from repro.arch import (
 from repro.cost import CostModel
 from repro.train import SurrogateTrainer, default_surrogate
 from repro.workloads import w1, w2, w3
+from suite_helpers import build_hw_evaluator, sample_design_pairs
+
+
+@pytest.fixture(scope="session")
+def hw_evaluator_factory():
+    return build_hw_evaluator
+
+
+@pytest.fixture(scope="session")
+def design_pairs_factory():
+    return sample_design_pairs
 
 
 @pytest.fixture

@@ -157,3 +157,97 @@ class TestStoreFlag:
         payload = json.loads(out.read_text())
         assert payload["cache"]["store_hits"] > 0
         assert payload["cache"]["misses"] == 0
+
+
+class TestFuzzCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.cases is None and args.minutes is None
+        assert args.seed == 0
+        assert args.repro_dir == "fuzz-repros"
+
+    @pytest.mark.parametrize("argv", [
+        ["fuzz", "--cases", "0"],
+        ["fuzz", "--cases", "-3"],
+        ["fuzz", "--minutes", "0"],
+        ["fuzz", "--minutes", "-1"],
+    ])
+    def test_non_positive_budgets_rejected_by_parser(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        assert "positive" in capsys.readouterr().err
+
+    def test_green_run_writes_report(self, capsys, tmp_path):
+        report = tmp_path / "fuzz.json"
+        code = main(["fuzz", "--cases", "2", "--seed", "0", "--quiet",
+                     "--report", str(report),
+                     "--repro-dir", str(tmp_path / "repros")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fuzz: 2 scenarios" in out and "OK" in out
+        payload = json.loads(report.read_text())
+        assert payload["ok"] and payload["cases"] == 2
+        assert not (tmp_path / "repros").exists() \
+            or not list((tmp_path / "repros").iterdir())
+
+    def test_pair_subset_and_unknown_pair(self, capsys, tmp_path):
+        code = main(["fuzz", "--cases", "1", "--quiet",
+                     "--pairs", "cost-table,hap-modes",
+                     "--repro-dir", str(tmp_path)])
+        assert code == 0
+        assert "cost-table=1" in capsys.readouterr().out
+        with pytest.raises(SystemExit, match="unknown oracle pair"):
+            main(["fuzz", "--cases", "1", "--pairs", "bogus"])
+
+    def test_failure_exit_code_and_repro(self, capsys, tmp_path,
+                                         monkeypatch):
+        """An injected perturbation drives exit code 1 and a persisted
+        repro under --repro-dir."""
+        import dataclasses
+
+        from repro.cost.model import CostModel
+
+        original = CostModel.layer_cost
+
+        def perturbed(self, layer, sub):
+            cost = original(self, layer, sub)
+            return dataclasses.replace(
+                cost, energy_nj=cost.energy_nj * (1.0 + 1e-7))
+
+        monkeypatch.setattr(CostModel, "layer_cost", perturbed)
+        repro_dir = tmp_path / "repros"
+        code = main(["fuzz", "--cases", "1", "--quiet",
+                     "--pairs", "cost-table",
+                     "--repro-dir", str(repro_dir)])
+        assert code == 1
+        assert "FAILURE" in capsys.readouterr().out
+        assert list(repro_dir.glob("repro-cost-table-*.json"))
+
+
+class TestGeneratedCampaign:
+    def test_generated_scenarios_join_the_grid(self, capsys, tmp_path):
+        out = tmp_path / "campaign.json"
+        code = main(["campaign", "--workloads", "W3", "--strategies",
+                     "mc", "--budgets", "4", "--generated", "2",
+                     "--generated-classes", "tiny", "--out", str(out)])
+        assert code in (0, 1)
+        payload = json.loads(out.read_text())
+        names = [s["workload"] for s in payload["scenarios"]]
+        assert names[0] == "W3"
+        assert sum(name.startswith("G") for name in names) == 2
+        assert all("-tiny" in name for name in names[1:])
+
+    def test_generated_only_grid(self, capsys, tmp_path):
+        out = tmp_path / "campaign.json"
+        code = main(["campaign", "--workloads", "", "--strategies", "mc",
+                     "--budgets", "3", "--generated", "1",
+                     "--generated-classes", "small", "--out", str(out)])
+        assert code in (0, 1)
+        payload = json.loads(out.read_text())
+        assert len(payload["scenarios"]) == 1
+        assert payload["scenarios"][0]["workload"].endswith("-small")
+
+    def test_unknown_generated_class_rejected(self):
+        with pytest.raises(SystemExit, match="size class"):
+            main(["campaign", "--generated", "1",
+                  "--generated-classes", "mega"])

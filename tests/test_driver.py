@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import pytest
 
+from suite_helpers import build_hw_evaluator, normalised_run
 from repro.core import (
     NASAIC,
     NASAICConfig,
@@ -23,14 +24,7 @@ from repro.core import (
 )
 from repro.core.baselines import _MonteCarloStrategy
 from repro.core.evalservice import EvalService
-from repro.core.evaluator import Evaluator
-from repro.core.serialization import (
-    load_checkpoint,
-    result_to_dict,
-    save_checkpoint,
-)
-from repro.cost.model import CostModel
-from repro.train import SurrogateTrainer, default_surrogate
+from repro.core.serialization import load_checkpoint, save_checkpoint
 from repro.workloads import w1, w3
 
 NASAIC_CONFIG = dict(episodes=5, hw_steps=3, seed=123, joint_batch=2)
@@ -39,8 +33,7 @@ EA_CONFIG = dict(population=8, generations=4, elite=1, seed=13)
 
 def normalised(result) -> dict:
     """Run record with the wall-clock measurement zeroed."""
-    result.eval_seconds = 0.0
-    payload = result_to_dict(result)
+    payload = normalised_run(result)
     payload["episodes"] = [
         (e.episode, e.reward, e.penalty, e.trained, e.hardware_steps,
          e.solution is not None)
@@ -81,9 +74,7 @@ class TestProtocol:
         must stretch the round schedule, not truncate the sweep."""
         reference = monte_carlo_search(w3(), runs=40, seed=19)
         workload = w3()
-        surrogate = default_surrogate([t.space for t in workload.tasks])
-        evaluator = Evaluator(workload, CostModel(),
-                              SurrogateTrainer(surrogate))
+        evaluator = build_hw_evaluator(workload)
         from repro.accel import AllocationSpace
 
         strategy = _MonteCarloStrategy(workload, AllocationSpace(),
@@ -148,10 +139,7 @@ class TestCheckpointResume:
 
         def parts():
             workload = w3()
-            surrogate = default_surrogate(
-                [t.space for t in workload.tasks])
-            evaluator = Evaluator(workload, CostModel(),
-                                  SurrogateTrainer(surrogate))
+            evaluator = build_hw_evaluator(workload)
             from repro.accel import AllocationSpace
             strategy = _MonteCarloStrategy(
                 workload, AllocationSpace(), evaluator, runs=60, seed=19,

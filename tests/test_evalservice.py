@@ -13,10 +13,11 @@ import dataclasses
 
 import pytest
 
+from suite_helpers import build_hw_evaluator as make_evaluator
+from suite_helpers import sample_design_pairs
 from repro.accel import AllocationSpace
 from repro.core import EvalService, Evaluator, design_digest
 from repro.cost import CostModel
-from repro.train import SurrogateTrainer, default_surrogate
 from repro.utils.rng import new_rng
 from repro.workloads import w1
 
@@ -31,19 +32,8 @@ def alloc():
     return AllocationSpace()
 
 
-def make_evaluator(workload):
-    surrogate = default_surrogate([t.space for t in workload.tasks])
-    return Evaluator(workload, CostModel(), SurrogateTrainer(surrogate))
-
-
 def sample_pairs(workload, alloc, n, seed=3):
-    rng = new_rng(seed)
-    pairs = []
-    for _ in range(n):
-        nets = tuple(t.space.decode(t.space.random_indices(rng))
-                     for t in workload.tasks)
-        pairs.append((nets, alloc.random_design(rng)))
-    return pairs
+    return sample_design_pairs(workload, alloc, n, seed=seed)
 
 
 @pytest.fixture(scope="module")

@@ -16,38 +16,29 @@ import struct
 
 import pytest
 
+from suite_helpers import build_hw_evaluator as make_evaluator
+from suite_helpers import normalised_run
 from repro.core import (
     Campaign,
     CampaignConfig,
     EvalService,
     EvalStore,
-    Evaluator,
     NASAIC,
     NASAICConfig,
     Scenario,
     cost_params_digest,
 )
-from repro.core.serialization import result_to_dict
 from repro.core.store import STORE_MAGIC
 from repro.cost import CostModel
-from repro.train import SurrogateTrainer, default_surrogate
 from repro.workloads import w1
 
 NASAIC_CONFIG = dict(episodes=3, hw_steps=2, seed=11, joint_batch=2)
 
 
-def make_evaluator(workload):
-    surrogate = default_surrogate([t.space for t in workload.tasks])
-    return Evaluator(workload, CostModel(), SurrogateTrainer(surrogate))
-
-
 def normalised(result) -> dict:
     """Run record stripped of cache/timing accounting: the facts that
     must not depend on which tier answered."""
-    payload = result_to_dict(result)
-    for key in ("cache_hits", "cache_misses", "eval_seconds", "pricing"):
-        payload.pop(key)
-    return payload
+    return normalised_run(result, drop_accounting=True)
 
 
 @pytest.fixture(scope="module")
@@ -187,6 +178,47 @@ class TestCorruption:
         with pytest.raises(ValueError, match="corrupted"):
             EvalStore(path)
 
+    @staticmethod
+    def _two_record_store(tmp_path):
+        """A store with two records, plus the byte offset where the
+        second record's length prefix starts."""
+        path = tmp_path / "tail.bin"
+        with EvalStore(path) as store:
+            store.put("s", "d1", ("k1",), "v1")
+            boundary = path.stat().st_size
+            store.put("s", "d2", ("k2",), "v2")
+        return path, boundary
+
+    def test_last_record_body_truncation_rejects_whole_store(
+            self, tmp_path):
+        """A crash mid-way through the *last* record must not half-load
+        the earlier, intact records: the whole open fails loudly."""
+        path, _ = self._two_record_store(tmp_path)
+        path.write_bytes(path.read_bytes()[:-3])
+        with pytest.raises(ValueError, match="truncated record body"):
+            EvalStore(path)
+
+    def test_last_record_prefix_truncation_rejects_whole_store(
+            self, tmp_path):
+        """Same with the cut landing *inside* the last record's length
+        prefix (4 of its 8 bytes survive)."""
+        path, boundary = self._two_record_store(tmp_path)
+        path.write_bytes(path.read_bytes()[:boundary + 4])
+        with pytest.raises(ValueError,
+                           match="truncated record length prefix"):
+            EvalStore(path)
+
+    def test_truncation_exactly_at_record_boundary_is_clean(
+            self, tmp_path):
+        """A cut at a record boundary loses only the later record — the
+        prefix of durable appends before it is a valid store."""
+        path, boundary = self._two_record_store(tmp_path)
+        path.write_bytes(path.read_bytes()[:boundary])
+        store = EvalStore(path)
+        assert store.get("s", "d1", ("k1",)) == "v1"
+        assert store.get("s", "d2", ("k2",)) is None
+        assert len(store) == 1
+
 
 class TestShards:
     def test_read_only_refuses_appends(self, tmp_path):
@@ -214,6 +246,60 @@ class TestShards:
         assert added == 1  # the parent's entry is not re-merged
         assert main.get("s", "d2", ("k2",)) == "from-shard"
         main.close()
+
+    def test_merge_from_with_overlapping_keys(self, tmp_path):
+        """Keys present in both stores are neither duplicated nor
+        rewritten on disk; only genuinely new entries (and memo keys)
+        are appended."""
+        main_path = tmp_path / "main.bin"
+        with EvalStore(main_path) as main:
+            main.put("s", "d1", ("k1",), "v1")
+            main.put("s", "d2", ("k2",), "v2")
+            main.put_memo("params", {"m1": 1})
+        with EvalStore(tmp_path / "shard.bin") as shard:
+            shard.put("s", "d2", ("k2",), "v2")  # overlap
+            shard.put("s", "d3", ("k3",), "v3")  # new
+            shard.put_memo("params", {"m1": 1, "m2": 2})  # half overlap
+        main = EvalStore(main_path)
+        size_before = main_path.stat().st_size
+        added = main.merge_from(EvalStore(tmp_path / "shard.bin",
+                                          read_only=True))
+        main.close()
+        assert added == 1
+        assert main_path.stat().st_size > size_before
+        reopened = EvalStore(main_path)
+        assert len(reopened) == 3
+        assert reopened.get("s", "d2", ("k2",)) == "v2"
+        assert reopened.get("s", "d3", ("k3",)) == "v3"
+        assert reopened.get_memo("params") == {"m1": 1, "m2": 2}
+        # Merging the same shard again appends nothing at all.
+        size_after = main_path.stat().st_size
+        again = EvalStore(main_path)
+        assert again.merge_from(EvalStore(tmp_path / "shard.bin",
+                                          read_only=True)) == 0
+        again.close()
+        assert main_path.stat().st_size == size_after
+
+    def test_parent_file_vanishing_after_open_is_harmless(self, tmp_path):
+        """The parent overlay is loaded into memory on open: deleting
+        its file between open and read must not break lookups through
+        the child (the campaign pool's merge step unlinks shards while
+        sibling readers may still hold them)."""
+        parent_path = tmp_path / "parent.bin"
+        with EvalStore(parent_path) as writer:
+            writer.put("s", "d1", ("k1",), "from-parent")
+            writer.put_memo("params", {"m1": 1})
+        parent = EvalStore(parent_path, read_only=True)
+        child = EvalStore(tmp_path / "child.bin", parent=parent)
+        parent_path.unlink()  # vanishes between open and first read
+        assert child.get("s", "d1", ("k1",)) == "from-parent"
+        assert child.get_memo("params") == {"m1": 1}
+        assert len(child) == 1
+        assert ("s", "d1", ("k1",)) in child
+        # The child's own appends still work with the parent file gone.
+        child.put("s", "d2", ("k2",), "own")
+        assert child.get("s", "d2", ("k2",)) == "own"
+        child.close()
 
 
 # ----------------------------------------------------------------------
