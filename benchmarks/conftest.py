@@ -38,9 +38,10 @@ def _results_dir():
 
 def write_report(name: str, text: str) -> None:
     """Persist a rendered report and echo it for ``pytest -s`` runs."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    from repro.core.serialization import durable_replace
+
     path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n", encoding="utf-8")
+    durable_replace(path, (text + "\n").encode("utf-8"))
     print(f"\n[report written to {path}]\n{text}")
 
 
@@ -55,10 +56,11 @@ def write_json(name: str, payload: dict) -> None:
     """
     import json
 
-    RESULTS_DIR.mkdir(exist_ok=True)
+    from repro.core.serialization import durable_replace
+
     path = RESULTS_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
+    blob = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    durable_replace(path, blob.encode("utf-8"))
     print(f"[json written to {path}]")
 
 

@@ -12,6 +12,9 @@ Commands:
 - ``fuzz``        — differential verification: generated scenarios
   through every registered oracle pair, failures shrunk to minimal
   replayable JSON repros
+- ``serve``       — the pricing daemon: host the evaluation tier (LRU
+  + store + cost memo) behind a local Unix socket so many concurrent
+  searches share one cache
 - ``experiments`` — regenerate one or all of the paper's tables/figures
 
 Every command prints a human-readable report and can persist the raw
@@ -21,7 +24,11 @@ thread it verbatim as the run's master seed (see
 ``--checkpoint``/``--resume`` for interruptible runs.
 ``search``/``evolve``/``campaign``/``experiments`` accept ``--store
 PATH``: a persistent cross-run evaluation store — repeat invocations
-warm-start from every design the store has already priced.
+warm-start from every design the store has already priced.  The store
+is single-writer (enforced with an advisory lock); to share one
+pricing tier across *concurrent* runs, start ``repro serve --store
+PATH --socket SOCK`` and point the runs at it with ``--service
+unix://SOCK`` (``search``/``evolve``/``mc``).
 """
 
 from __future__ import annotations
@@ -111,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent evaluation store: warm-start "
                             "from designs priced by earlier runs and "
                             "append this run's pricing durably")
+        p.add_argument("--service", default=None, metavar="ENDPOINT",
+                       help="price through a running 'repro serve' "
+                            "daemon (unix://SOCKET) instead of a "
+                            "private cache; incompatible with "
+                            "--store/--checkpoint/--resume")
 
     def add_checkpointing(p: argparse.ArgumentParser) -> None:
         p.add_argument("--checkpoint", default=None,
@@ -146,6 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc = sub.add_parser("mc", help="joint Monte-Carlo search")
     add_common(p_mc)
     p_mc.add_argument("--runs", type=int, default=2000)
+    p_mc.add_argument("--service", default=None, metavar="ENDPOINT",
+                      help="price through a running 'repro serve' "
+                           "daemon (unix://SOCKET)")
 
     p_campaign = sub.add_parser(
         "campaign",
@@ -216,6 +231,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--quiet", action="store_true",
                         help="suppress per-case progress lines")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the pricing daemon: one shared evaluation tier "
+             "(LRU + store + cost memo) behind a local Unix socket")
+    p_serve.add_argument("--socket", required=True,
+                         help="Unix socket to listen on; clients "
+                              "connect with --service unix://SOCKET")
+    p_serve.add_argument("--store", default=None,
+                         help="persistent evaluation store owned by "
+                              "the daemon while it runs (its writer "
+                              "lock keeps every other writer out)")
+    p_serve.add_argument("--cache-size", type=_nonnegative_int,
+                         default=4096,
+                         help="LRU capacity of each hosted evaluation "
+                              "context (default: 4096)")
+
     p_exp = sub.add_parser("experiments",
                            help="regenerate paper tables/figures")
     p_exp.add_argument("target", choices=["fig1", "fig6", "table1",
@@ -240,13 +271,59 @@ def _open_store(args: argparse.Namespace):
     return EvalStore(args.store)
 
 
+def _served_context(args: argparse.Namespace, workload, rho: float, *,
+                    calibrate: bool = True):
+    """Connect ``--service`` after rejecting incompatible flags.
+
+    The daemon prices under the search's *effective* evaluation
+    context: for ``search``/``evolve`` that means penalty bounds are
+    calibrated here (exactly as the search constructor would) and the
+    returned workload must be used with ``calibrate_bounds=False`` —
+    otherwise client and daemon would disagree on the context salt and
+    the handshake would refuse.  ``mc`` prices uncalibrated, so it
+    passes ``calibrate=False``.  Returns ``(workload, cost model,
+    remote service)``.
+    """
+    for flag in ("store", "checkpoint", "resume"):
+        if getattr(args, flag, None):
+            raise SystemExit(
+                f"--service is incompatible with --{flag}: the cache "
+                "and store live in the daemon (run 'repro serve' with "
+                "--store for persistence; use a local --store for "
+                "checkpointable runs)")
+    from repro.core.client import RemoteEvalService
+    from repro.cost import CostModel
+
+    cost_model = CostModel()
+    if calibrate:
+        from repro.accel import AllocationSpace
+        from repro.core.bounds_calibration import calibrate_penalty_bounds
+
+        bounds = calibrate_penalty_bounds(workload, cost_model,
+                                          AllocationSpace())
+        workload = workload.with_specs(workload.specs, bounds=bounds)
+    remote = RemoteEvalService(args.service, workload,
+                               cost_model.params, rho)
+    return workload, cost_model, remote
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload)
-    store = _open_store(args)
-    search = NASAIC(workload, config=NASAICConfig(
+    config = NASAICConfig(
         episodes=args.episodes, hw_steps=args.hw_steps, seed=args.seed,
-        cache_size=args.cache_size, eval_workers=args.workers),
-        store=store)
+        cache_size=args.cache_size, eval_workers=args.workers)
+    store = remote = None
+    if args.service:
+        from dataclasses import replace
+
+        workload, cost_model, remote = _served_context(
+            args, workload, config.rho)
+        config = replace(config, calibrate_bounds=False)
+        search = NASAIC(workload, config=config, cost_model=cost_model,
+                        evalservice=remote)
+    else:
+        store = _open_store(args)
+        search = NASAIC(workload, config=config, store=store)
     try:
         result = search.run(
             progress_every=args.progress if args.progress > 0 else None,
@@ -256,6 +333,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             resume_from=args.resume)
     finally:
         search.close()
+        if remote is not None:
+            remote.close()
         if store is not None:
             store.close()
     print(result.summary())
@@ -266,11 +345,23 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 def _cmd_evolve(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload)
-    store = _open_store(args)
-    search = EvolutionarySearch(workload, config=EvolutionConfig(
+    config = EvolutionConfig(
         population=args.population, generations=args.generations,
         seed=args.seed, cache_size=args.cache_size,
-        eval_workers=args.workers), store=store)
+        eval_workers=args.workers)
+    store = remote = None
+    if args.service:
+        from dataclasses import replace
+
+        workload, cost_model, remote = _served_context(
+            args, workload, config.rho)
+        config = replace(config, calibrate_bounds=False)
+        search = EvolutionarySearch(workload, config=config,
+                                    cost_model=cost_model,
+                                    evalservice=remote)
+    else:
+        store = _open_store(args)
+        search = EvolutionarySearch(workload, config=config, store=store)
     try:
         result = search.run(
             checkpoint_path=args.checkpoint,
@@ -279,6 +370,8 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
             resume_from=args.resume)
     finally:
         search.close()
+        if remote is not None:
+            remote.close()
         if store is not None:
             store.close()
     print(result.summary())
@@ -399,7 +492,18 @@ def _cmd_nas(args: argparse.Namespace) -> int:
 
 def _cmd_mc(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload)
-    result = monte_carlo_search(workload, runs=args.runs, seed=args.seed)
+    if args.service:
+        workload, cost_model, remote = _served_context(
+            args, workload, 10.0, calibrate=False)
+        try:
+            result = monte_carlo_search(
+                workload, cost_model=cost_model, runs=args.runs,
+                seed=args.seed, evalservice=remote)
+        finally:
+            remote.close()
+    else:
+        result = monte_carlo_search(workload, runs=args.runs,
+                                    seed=args.seed)
     print(result.summary())
     if args.out:
         print(f"saved to {save_result(result, args.out)}")
@@ -440,6 +544,25 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.server import serve
+
+    suffix = f" (store: {args.store})" if args.store else ""
+    print(f"pricing daemon listening on unix://{args.socket}{suffix}",
+          flush=True)
+    server = serve(args.socket, store_path=args.store,
+                   cache_size=args.cache_size)
+    counters = server.counters
+    print(f"daemon stopped: {counters['connections']} connections, "
+          f"{counters['batches']} batches, "
+          f"{counters['computed']} priced, "
+          f"{counters['coalesced']} coalesced, "
+          f"{counters['persisted']} persisted"
+          + (f", {counters['persist_errors']} persist ERRORS"
+             if counters["persist_errors"] else ""))
+    return 1 if counters["persist_errors"] else 0
+
+
 _COMMANDS = {
     "search": _cmd_search,
     "evolve": _cmd_evolve,
@@ -447,6 +570,7 @@ _COMMANDS = {
     "mc": _cmd_mc,
     "campaign": _cmd_campaign,
     "fuzz": _cmd_fuzz,
+    "serve": _cmd_serve,
     "experiments": _cmd_experiments,
 }
 

@@ -28,6 +28,7 @@ from repro.core.campaign import (
     save_campaign,
 )
 from repro.core.choices import Decision, JointSample, JointSearchSpace
+from repro.core.client import RemoteEvalService, parse_endpoint
 from repro.core.differential import (
     FuzzFailure,
     FuzzReport,
@@ -68,7 +69,9 @@ from repro.core.reward import (
     normalised_accuracy,
     weighted_normalised_accuracy,
 )
+from repro.core.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, FrameError
 from repro.core.search import NASAIC, NASAICConfig
+from repro.core.server import PricingServer, serve, serve_in_thread
 from repro.core.store import EvalStore, cost_params_digest
 
 __all__ = [
@@ -88,10 +91,15 @@ __all__ = [
     "EvolutionConfig",
     "EvolutionarySearch",
     "ExploredSolution",
+    "FrameError",
     "FuzzFailure",
     "FuzzReport",
     "HardwareEvaluation",
+    "MAX_FRAME_BYTES",
     "OraclePair",
+    "PROTOCOL_VERSION",
+    "PricingServer",
+    "RemoteEvalService",
     "JointSample",
     "JointSearchSpace",
     "NASOnlyResult",
@@ -124,6 +132,7 @@ __all__ = [
     "monte_carlo_designs",
     "monte_carlo_search",
     "normalised_accuracy",
+    "parse_endpoint",
     "register_pair",
     "registered_pairs",
     "replay_repro",
@@ -134,6 +143,8 @@ __all__ = [
     "save_campaign",
     "save_report",
     "save_repro",
+    "serve",
+    "serve_in_thread",
     "shrink_spec",
     "spec_distance",
     "successive_nas_then_asic",

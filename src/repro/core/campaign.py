@@ -173,8 +173,9 @@ class CampaignConfig:
             appended durably.  One store serves both execution modes —
             sequentially every service shares it; on a process pool
             each worker reads it and appends to a private shard that is
-            merged back after the pool completes (single-writer safety
-            without cross-process locks).
+            merged back after the pool completes (each file keeps
+            exactly one writer, which the store's advisory writer lock
+            now enforces).
     """
 
     scenarios: tuple[Scenario, ...]
@@ -296,11 +297,19 @@ class Campaign:
     def run(self) -> CampaignResult:
         """Execute every scenario and consolidate the outcomes."""
         started = time.perf_counter()
-        if self.config.workers > 1 and len(self.config.scenarios) > 1:
-            outcomes = self._run_pool()
-        else:
-            outcomes = [self._run_one(scenario)
-                        for scenario in self.config.scenarios]
+        try:
+            if (self.config.workers > 1
+                    and len(self.config.scenarios) > 1):
+                outcomes = self._run_pool()
+            else:
+                outcomes = [self._run_one(scenario)
+                            for scenario in self.config.scenarios]
+        finally:
+            # A scenario dying mid-grid must not drop the cost memo
+            # accumulated by the scenarios that did complete — the
+            # flush otherwise only happens on close().
+            for service in self.services.values():
+                service.flush_store()
         return CampaignResult(
             outcomes=outcomes,
             wall_seconds=time.perf_counter() - started,
@@ -367,9 +376,19 @@ class Campaign:
                 for index, scenario in enumerate(self.config.scenarios)]
         ctx = pool_context(
             require_picklable=(_run_scenario_isolated, *jobs))
-        with ProcessPoolExecutor(max_workers=self.config.workers,
-                                 mp_context=ctx) as pool:
-            outcomes = list(pool.map(_run_scenario_isolated, jobs))
+        # Workers load the main store read-only under a shared lock, so
+        # the parent's exclusive writer claim steps aside for the pool
+        # phase (it appends nothing until the merge below) and is
+        # re-taken before merging the shards back.
+        if self.store is not None:
+            self.store.downgrade_lock()
+        try:
+            with ProcessPoolExecutor(max_workers=self.config.workers,
+                                     mp_context=ctx) as pool:
+                outcomes = list(pool.map(_run_scenario_isolated, jobs))
+        finally:
+            if self.store is not None:
+                self.store.upgrade_lock()
         if self.store is not None:
             for _, _, _, _, _, shard_path in jobs:
                 shard = Path(shard_path)
@@ -526,14 +545,14 @@ def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
 
 
 def save_campaign(result: CampaignResult, path: str | Path) -> Path:
-    """Write the consolidated campaign JSON to ``path``."""
+    """Write the consolidated campaign JSON to ``path`` (atomic: an
+    interrupted run never leaves a truncated campaign file)."""
     import json
 
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(campaign_to_dict(result), indent=2),
-                    encoding="utf-8")
-    return path
+    from repro.core.serialization import durable_replace
+
+    blob = json.dumps(campaign_to_dict(result), indent=2).encode("utf-8")
+    return durable_replace(path, blob)
 
 
 def format_campaign(result: CampaignResult) -> str:

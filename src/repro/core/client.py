@@ -1,0 +1,257 @@
+"""Synchronous client of the pricing daemon (``repro serve``).
+
+:class:`RemoteEvalService` speaks the protocol of
+:mod:`repro.core.protocol` over a local Unix socket and presents the
+same surface search code already consumes — ``evaluate_many``,
+``evaluate_hardware``, ``stats``, ``context_salt``,
+``bump_generation``, ``flush_store`` — so :class:`repro.core.driver.\
+SearchDriver`, the strategies and the campaign runner adopt the served
+tier through plain injection, with zero strategy changes.
+
+Differences from a local :class:`repro.core.evalservice.EvalService`:
+
+- The cache and the store live in the daemon and are shared across
+  clients; ``store`` is therefore ``None`` here and checkpointing
+  (``state_snapshot`` / ``restore_state``) is refused with a pointer
+  at the local-store workflow.
+- ``stats`` are mirrored client-side from the per-request tiers the
+  daemon reports, so per-run accounting (hit rates, miss seconds)
+  stays truthful even though the cache itself is shared — coalesced
+  and cross-client hits land in ``shared_hits``, exactly where a
+  shared campaign cache would put them.
+- The handshake recomputes the evaluation-context salt locally and
+  refuses a daemon whose salt differs, the same guarantee
+  :func:`repro.core.evalservice.verify_injected_service` gives for
+  in-process sharing.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+from pathlib import Path
+
+from repro.core.evalservice import (
+    EvalServiceStats,
+    design_content,
+    evaluation_context_salt,
+)
+from repro.core.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["RemoteEvalService", "parse_endpoint"]
+
+
+def parse_endpoint(endpoint: str | Path) -> Path:
+    """Socket path of a service endpoint (``unix:///run/x.sock`` or a
+    bare filesystem path)."""
+    text = str(endpoint)
+    if text.startswith("unix://"):
+        text = text[len("unix://"):]
+    if not text:
+        raise ValueError(
+            f"service endpoint {str(endpoint)!r} has no socket path")
+    return Path(text)
+
+
+class RemoteEvalService:
+    """Evaluation service backed by a pricing daemon.
+
+    Args:
+        endpoint: ``unix://<socket path>`` (or a bare path) of a
+            running ``repro serve`` daemon.
+        workload / cost_params / rho: The evaluation context this
+            client prices under; shipped in the handshake so the
+            daemon hosts (or reuses) the matching service.
+        timeout: Per-reply socket timeout in seconds.  Generous by
+            default — a cold miss behind many queued batches can take
+            a while; a dead daemon still fails in bounded time.
+        submit_chunk: Max designs per submit frame; larger batches are
+            transparently split so they never trip the frame-size
+            guard.
+    """
+
+    def __init__(self, endpoint: str | Path, workload, cost_params,
+                 rho: float, *, timeout: float = 600.0,
+                 submit_chunk: int = 256,
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.socket_path = parse_endpoint(endpoint)
+        self.stats = EvalServiceStats()
+        self.store = None  # the persistent tier lives in the daemon
+        self._salt = evaluation_context_salt(workload, cost_params, rho)
+        self._submit_chunk = max(1, submit_chunk)
+        self._max_frame_bytes = max_frame_bytes
+        self._request_id = 0
+        # Designs already shipped on this connection, by content key:
+        # repeats submit the server-issued int handle instead of the
+        # full (kilobyte) design pickle.
+        self._handles: dict[tuple, int] = {}
+        self._sock: socket.socket | None = socket.socket(
+            socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            try:
+                self._sock.connect(str(self.socket_path))
+            except (FileNotFoundError, ConnectionRefusedError) as exc:
+                raise ConnectionError(
+                    f"no pricing daemon listening at {self.socket_path} "
+                    f"({exc.strerror or exc}); start one with "
+                    f"'repro serve --socket {self.socket_path}'") from exc
+            reply = self._call({"op": "hello",
+                                "version": PROTOCOL_VERSION,
+                                "workload": workload,
+                                "cost_params": cost_params,
+                                "rho": rho})
+            if reply.get("salt") != self._salt:
+                raise ValueError(
+                    f"pricing daemon at {self.socket_path} computed "
+                    f"context salt {reply.get('salt')!r} but this "
+                    f"client computed {self._salt!r} — version skew "
+                    "between daemon and client would misprice designs")
+        except BaseException:
+            self._sock.close()
+            self._sock = None
+            raise
+
+    # ------------------------------------------------------------------
+    # EvalService surface
+    # ------------------------------------------------------------------
+    @property
+    def context_salt(self) -> str:
+        """Digest of the evaluation context (compared against the
+        daemon's during the handshake)."""
+        return self._salt
+
+    @property
+    def cache_len(self) -> int:
+        """The LRU lives in the daemon; this client holds no entries."""
+        return 0
+
+    def evaluate_hardware(self, networks, accelerator):
+        """Price one design through the daemon."""
+        return self.evaluate_many([(networks, accelerator)])[0]
+
+    def evaluate_many(self, pairs) -> list:
+        """Price a batch through the daemon, preserving order.
+
+        Chunked to respect the frame-size guard; stats are mirrored
+        from the tiers the daemon reports for each request.
+        """
+        pairs = list(pairs)
+        self.stats.batches += 1
+        evaluations: list = []
+        for start in range(0, len(pairs), self._submit_chunk):
+            chunk = pairs[start:start + self._submit_chunk]
+            keys = [design_content(*pair) for pair in chunk]
+            entries = [self._handles.get(key, pair)
+                       for key, pair in zip(keys, chunk)]
+            self._request_id += 1
+            reply = self._call({"op": "submit",
+                                "id": self._request_id,
+                                "pairs": entries})
+            if reply.get("id") != self._request_id:
+                raise ConnectionError(
+                    f"pricing daemon answered request "
+                    f"{reply.get('id')!r} out of order (expected "
+                    f"{self._request_id}) — stream desynchronised")
+            for key, handle in zip(keys, reply["handles"]):
+                self._handles[key] = handle
+            evaluations.extend(pickle.loads(blob)
+                               for blob in reply["evaluations"])
+            self._absorb(reply["tiers"], reply["miss_seconds"])
+        return evaluations
+
+    def bump_generation(self) -> None:
+        """Open a new cache generation in the hosted service, so
+        pre-existing entries count as shared reuse from here on."""
+        self._call({"op": "bump_generation"})
+
+    def flush_store(self) -> int:
+        """Ask the daemon to flush the hosted service's cost memo."""
+        return int(self._call({"op": "flush"}).get("flushed", 0))
+
+    def state_snapshot(self) -> dict:
+        raise RuntimeError(
+            "a remote evaluation service cannot be checkpointed: its "
+            "cache lives in the daemon and is shared across clients; "
+            "run with a local --store instead of --service when you "
+            "need --checkpoint/--resume")
+
+    def restore_state(self, state: dict) -> None:
+        raise RuntimeError(
+            "a remote evaluation service cannot restore a checkpoint: "
+            "resume the run against a local --store instead of "
+            "--service")
+
+    def close(self) -> None:
+        """Close the connection (the daemon and its caches live on)."""
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    # ------------------------------------------------------------------
+    # Daemon management
+    # ------------------------------------------------------------------
+    def server_stats(self) -> dict:
+        """The daemon's view: hosted-service stats snapshot,
+        ``cache_len``, server counters, store occupancy."""
+        return self._call({"op": "stats"})
+
+    def ping(self) -> int:
+        """Round-trip liveness check; returns the daemon's protocol
+        version."""
+        return int(self._call({"op": "ping"})["version"])
+
+    def shutdown_server(self) -> None:
+        """Ask the daemon to shut down gracefully (drain + flush)."""
+        self._call({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _call(self, request: dict) -> dict:
+        if self._sock is None:
+            raise RuntimeError("remote evaluation service is closed")
+        send_frame(self._sock, request,
+                   max_bytes=self._max_frame_bytes)
+        reply = recv_frame(self._sock,
+                           max_bytes=self._max_frame_bytes)
+        if reply is None:
+            raise ConnectionError(
+                f"pricing daemon at {self.socket_path} closed the "
+                "connection")
+        if not isinstance(reply, dict) or not reply.get("ok"):
+            error = (reply.get("error", "unknown error")
+                     if isinstance(reply, dict) else repr(reply))
+            raise RuntimeError(
+                f"pricing daemon refused {request.get('op')!r}: "
+                f"{error}")
+        return reply
+
+    def _absorb(self, tiers, miss_seconds: float) -> None:
+        """Mirror one reply's tier breakdown into local stats."""
+        for tier in tiers:
+            if tier == "miss":
+                self.stats.misses += 1
+                continue
+            self.stats.hits += 1
+            if tier == "store":
+                self.stats.store_hits += 1
+            elif tier in ("shared", "coalesced"):
+                self.stats.shared_hits += 1
+        self.stats.miss_seconds += miss_seconds
+
+    def __enter__(self) -> "RemoteEvalService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._sock is None else "connected"
+        return (f"RemoteEvalService({str(self.socket_path)!r}, "
+                f"{state}, salt={self._salt[:8]}...)")

@@ -50,7 +50,7 @@ import numpy as np
 from repro.core.driver import SearchDriver
 from repro.core.evaluator import Evaluator
 from repro.core.evalservice import EvalService
-from repro.core.serialization import result_to_dict
+from repro.core.serialization import durable_replace, result_to_dict
 from repro.core.store import EvalStore
 from repro.cost.model import CostModel
 from repro.cost.params import CostModelParams
@@ -291,6 +291,52 @@ def _check_store_warm(scenario: GeneratedScenario,
     return None
 
 
+def _check_served(scenario: GeneratedScenario,
+                  rng: np.random.Generator) -> str | None:
+    """Daemon-served pricing vs the bare evaluator (bit-identical).
+
+    Spins a real ``repro serve`` daemon (background thread, temp
+    socket + store), prices the trace through two sequential clients —
+    the second must be answered entirely from the shared tier — and
+    compares every evaluation against the direct evaluator.
+    """
+    from repro.core.client import RemoteEvalService
+    from repro.core.server import serve_in_thread
+
+    pairs = scenario.sample_pairs(rng, scenario.spec.design_samples)
+    trace = pairs + pairs[::-1]  # repeats exercise the served hit path
+    direct_eval = Evaluator(scenario.workload,
+                            CostModel(scenario.cost_params),
+                            trainer=None, rho=scenario.rho)
+    direct = [direct_eval.evaluate_hardware(nets, accel)
+              for nets, accel in trace]
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+        store_path = Path(tmp) / "store.bin"
+        with serve_in_thread(store_path=store_path) as server:
+
+            def client() -> RemoteEvalService:
+                return RemoteEvalService(
+                    server.socket_path, scenario.workload,
+                    scenario.cost_params, scenario.rho)
+
+            with client() as first:
+                served = first.evaluate_many(trace)
+            with client() as second:
+                reserved = second.evaluate_many(trace)
+                recomputed = second.stats.misses
+    for index, (want, got_first, got_second) in enumerate(
+            zip(direct, served, reserved)):
+        if got_first != want:
+            return f"request {index}: served evaluation != direct"
+        if got_second != want:
+            return (f"request {index}: second-client served "
+                    f"evaluation != direct")
+    if recomputed:
+        return (f"second client recomputed {recomputed} designs the "
+                f"daemon had already priced")
+    return None
+
+
 def _check_checkpoint_resume(scenario: GeneratedScenario,
                              rng: np.random.Generator) -> str | None:
     """Kill-and-resume at a random round vs the uninterrupted run."""
@@ -386,6 +432,10 @@ for _pair in (
     OraclePair("store-warm",
                "store-warmed pricing == cold pricing, fully served",
                _check_store_warm),
+    OraclePair("served",
+               "daemon-served pricing == direct evaluator, "
+               "second client fully shared",
+               _check_served),
     OraclePair("checkpoint-resume",
                "resume at any round == uninterrupted run",
                _check_checkpoint_resume),
@@ -526,10 +576,8 @@ def save_repro(path: str | Path, pair: OraclePair, spec: ScenarioSpec,
     }
     if original is not None and original != spec:
         payload["original_spec"] = original.to_dict()
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
-    return path
+    return durable_replace(
+        path, json.dumps(payload, indent=2).encode("utf-8"))
 
 
 def replay_repro(path: str | Path) -> str | None:
@@ -609,12 +657,9 @@ class FuzzReport:
 
 
 def save_report(report: FuzzReport, path: str | Path) -> Path:
-    """Write the fuzz report JSON to ``path``."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(report.to_dict(), indent=2),
-                    encoding="utf-8")
-    return path
+    """Write the fuzz report JSON to ``path`` (atomic replace)."""
+    return durable_replace(
+        path, json.dumps(report.to_dict(), indent=2).encode("utf-8"))
 
 
 def run_fuzz(*, cases: int | None = None, minutes: float | None = None,

@@ -222,11 +222,20 @@ class SearchDriver:
         (or :meth:`step`) to continue.
         """
         steps = 0
-        while not self.done:
-            if max_rounds is not None and steps >= max_rounds:
-                return None
-            self.step()
-            steps += 1
+        try:
+            while not self.done:
+                if max_rounds is not None and steps >= max_rounds:
+                    return None
+                self.step()
+                steps += 1
+        finally:
+            # Evaluations persist as they are computed, but the
+            # cross-design cost memo normally reaches the store only on
+            # service close — flush it here too so an exception or
+            # KeyboardInterrupt mid-run cannot silently drop priced
+            # work (idempotent: only fresh entries are appended).
+            if self.service is not None:
+                self.service.flush_store()
         return self.finish()
 
     def finish(self) -> Any:

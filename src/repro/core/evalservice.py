@@ -410,6 +410,51 @@ class EvalService:
             self._persist(zip(miss_keys, miss_pairs, evaluations))
         return [results[key] for key in keys]
 
+    # ------------------------------------------------------------------
+    # Server seams
+    # ------------------------------------------------------------------
+    def lookup_tiers(self, key: tuple
+                     ) -> tuple[HardwareEvaluation | None, str | None]:
+        """Tiered lookup without computing: ``(evaluation, tier)``.
+
+        The seam :class:`repro.core.server.PricingServer` prices
+        through — it walks the same LRU-then-store tiers as
+        :meth:`evaluate_many` (with identical stats accounting) but
+        leaves the miss computation to the caller, which runs it on an
+        executor and feeds the result back via :meth:`admit_miss`.
+        ``tier`` is ``"hit"`` (LRU), ``"shared"`` (LRU entry from an
+        earlier generation — for the daemon, typically another
+        client's), ``"store"`` (persistent tier) or ``None`` (miss).
+        """
+        shared_before = self.stats.shared_hits
+        cached = self._lookup(key)
+        if cached is not None:
+            tier = ("shared" if self.stats.shared_hits > shared_before
+                    else "hit")
+            return cached, tier
+        cached = self._lookup_store(key)
+        if cached is not None:
+            return cached, "store"
+        return None, None
+
+    def admit_miss(self, key: tuple, evaluation: HardwareEvaluation,
+                   seconds: float) -> None:
+        """Record one externally computed miss (the inverse seam of
+        :meth:`lookup_tiers`): counts the miss and its wall-clock,
+        mirrors the pricing counters and inserts the evaluation into
+        the LRU.  Persistence stays with the caller — the server
+        serialises all store appends through its single writer task.
+        """
+        self.stats.misses += 1
+        self.stats.miss_seconds += seconds
+        self._sync_pricing()
+        self._store(key, evaluation)
+
+    def store_digest(self, key: tuple) -> str:
+        """Public alias of :meth:`_key_digest` for callers that manage
+        persistence themselves (the serving layer)."""
+        return self._key_digest(key)
+
     def _evaluate_many_uncached(self,
                                 pairs: list[_Pair]
                                 ) -> list[HardwareEvaluation]:

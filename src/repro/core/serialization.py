@@ -173,12 +173,10 @@ def result_to_dict(result: SearchResult) -> dict[str, Any]:
 
 
 def save_result(result: SearchResult, path: str | Path) -> Path:
-    """Write a search run to ``path`` as indented JSON."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(result_to_dict(result), indent=2),
-                    encoding="utf-8")
-    return path
+    """Write a search run to ``path`` as indented JSON (atomic: an
+    interrupted write never leaves a truncated file behind)."""
+    blob = json.dumps(result_to_dict(result), indent=2).encode("utf-8")
+    return durable_replace(path, blob)
 
 
 def load_result(path: str | Path) -> dict[str, Any]:

@@ -1,0 +1,552 @@
+"""Pricing-as-a-service: the async multi-client evaluation daemon.
+
+The co-exploration loop is bottlenecked by hardware pricing, not the
+optimiser — the observation behind deephyper's asynchronous search and
+Apollo's shared transferable evaluation data.  This module turns the
+pricing tier into a long-running service (``repro serve``) that many
+concurrent search clients reach over a local Unix socket, sharing one
+LRU + persistent store + cost-model memo instead of each warming a
+private cache from zero.
+
+Architecture (one asyncio loop, two single-thread executors):
+
+- **Hosted services.**  Each client ``hello`` ships its evaluation
+  context (workload, cost parameters, rho); the server builds — or
+  reuses — one :class:`~repro.core.evalservice.EvalService` per
+  context salt, exactly like campaign sharing, so equal-context
+  clients share one cache and differing contexts can never poison
+  each other (entries are salt-namespaced).
+- **Single compute thread.**  Evaluators are not thread-safe, so all
+  miss computation runs on a one-thread executor; the event loop stays
+  free to serve cache hits and accept connections while a miss prices.
+  Cache/stats mutations happen only on the loop thread (executor
+  callbacks), keeping the service single-threaded in effect.
+- **Cross-client coalescing.**  An in-flight future map keyed by
+  ``(salt, content key)``: when client B submits a design client A is
+  currently pricing, B awaits A's future instead of recomputing —
+  identical in-flight content keys are priced exactly once.
+- **Single writer task.**  Computed misses are enqueued and drained by
+  one task that appends to the store through a dedicated one-thread
+  executor, so all store appends stay serialized — the same
+  single-writer contract the store's ``flock`` enforces across
+  processes, upheld inside the daemon by construction.
+- **Graceful SIGTERM.**  Shutdown stops accepting, waits for in-flight
+  pricing, drains the persist queue, flushes every hosted service's
+  cost memo and releases the store writer lock — a ``kill`` never
+  drops priced work.
+
+Determinism: pricing is RNG-free, so a served evaluation is
+bit-identical to an in-process one — the ``served`` oracle pair in
+:mod:`repro.core.differential` and ``benchmarks/bench_serve.py`` gate
+this continuously.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import shutil
+import signal
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.core.evaluator import Evaluator
+from repro.core.evalservice import (
+    EvalService,
+    design_content,
+    evaluation_context_salt,
+)
+from repro.core.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameError,
+    encode_frame,
+    read_frame,
+)
+from repro.core.store import EvalStore
+from repro.cost.model import CostModel
+
+__all__ = ["PricingServer", "serve", "serve_in_thread"]
+
+
+class PricingServer:
+    """One pricing daemon: socket, hosted services, store, writer task.
+
+    Args:
+        socket_path: Unix socket to listen on (created on start; a
+            stale file from a dead daemon is replaced).
+        store_path: Optional persistent evaluation store backing every
+            hosted service.  Opened for writing on start — the store's
+            writer lock makes a second daemon on the same store fail
+            loudly before it can touch the socket.
+        cache_size: LRU capacity of each hosted service.
+        max_frame_bytes: Protocol frame-size guard (tests shrink it).
+    """
+
+    def __init__(self, socket_path: str | Path, *,
+                 store_path: str | Path | None = None,
+                 cache_size: int = 4096,
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.socket_path = Path(socket_path)
+        self.store_path = (Path(store_path)
+                           if store_path is not None else None)
+        self.cache_size = cache_size
+        self.max_frame_bytes = max_frame_bytes
+        self.store: EvalStore | None = None
+        #: context salt -> hosted service (inspectable in tests).
+        self.services: dict[str, EvalService] = {}
+        self.counters = {"connections": 0, "batches": 0, "computed": 0,
+                         "coalesced": 0, "persisted": 0,
+                         "persist_errors": 0}
+        self._inflight: dict[tuple[str, tuple], asyncio.Future] = {}
+        # Evaluations pickled once, served many times: the hit path of
+        # a repeat-heavy trace is dominated by (re)pickling reply
+        # objects, so replies are cached as blobs per (salt, key).
+        self._reply_blobs: dict[tuple[str, tuple], bytes] = {}
+        self._reply_blob_cap = 16384
+        self._persist_queue: asyncio.Queue | None = None
+        self._compute: ThreadPoolExecutor | None = None
+        self._write: ThreadPoolExecutor | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._writer_task: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_event: asyncio.Event | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Open the store, bind the socket, launch the writer task."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        if self.store_path is not None:
+            # First thing: the writer lock.  A second daemon on the
+            # same store dies here, before unlinking anyone's socket.
+            self.store = EvalStore(self.store_path)
+        self._compute = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-compute")
+        self._write = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-write")
+        self._persist_queue = asyncio.Queue()
+        self._writer_task = self._loop.create_task(
+            self._drain_persist_queue())
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        self.socket_path.unlink(missing_ok=True)  # stale socket
+        self._server = await asyncio.start_unix_server(
+            self._handle_client, path=str(self.socket_path))
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT trigger the graceful shutdown (main thread
+        only — threads cannot install signal handlers)."""
+        assert self._loop is not None, "call start() first"
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            self._loop.add_signal_handler(signum,
+                                          self._shutdown_event.set)
+
+    def request_shutdown(self) -> None:
+        """Thread-safe shutdown trigger (used by ``serve_in_thread``)."""
+        loop, event = self._loop, self._shutdown_event
+        if loop is None or event is None:
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:  # loop already closed
+            pass
+
+    async def run_async(self) -> None:
+        """Start, serve until the shutdown event fires, wind down."""
+        await self.start()
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Graceful wind-down: no accepted connection loses priced
+        work and nothing pending skips persistence."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._inflight:
+            await asyncio.gather(*list(self._inflight.values()),
+                                 return_exceptions=True)
+        if self._persist_queue is not None:
+            await self._persist_queue.join()
+        if self._writer_task is not None:
+            self._writer_task.cancel()
+            try:
+                await self._writer_task
+            except asyncio.CancelledError:
+                pass
+        if self.store is not None:
+            for service in self.services.values():
+                await self._loop.run_in_executor(self._write,
+                                                 service.flush_store)
+        if self._compute is not None:
+            self._compute.shutdown(wait=True)
+        if self._write is not None:
+            self._write.shutdown(wait=True)
+        if self.store is not None:
+            self.store.close()
+        self.socket_path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _reply(self, writer: asyncio.StreamWriter,
+                     payload: dict) -> None:
+        writer.write(encode_frame(payload,
+                                  max_bytes=self.max_frame_bytes))
+        await writer.drain()
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self.counters["connections"] += 1
+        service: EvalService | None = None
+        # Connection-local design handles: entry i is the (key, pair)
+        # this client first submitted as handle i, so its repeats ride
+        # as ints instead of re-pickled kilobyte design objects.
+        handles: list[tuple[tuple, tuple]] = []
+        try:
+            while True:
+                try:
+                    request = await read_frame(
+                        reader, max_bytes=self.max_frame_bytes)
+                except (FrameError,
+                        asyncio.IncompleteReadError) as exc:
+                    # The stream cannot be trusted past a malformed
+                    # frame: answer best-effort, then hang up.
+                    await self._reply(writer,
+                                      {"ok": False, "error": str(exc)})
+                    return
+                if request is None:
+                    return  # clean disconnect between frames
+                response = await self._dispatch(request, service,
+                                                handles)
+                if isinstance(response, tuple):  # hello binds a service
+                    service, response = response
+                await self._reply(writer, response)
+                if response.get("shutdown"):
+                    self._shutdown_event.set()
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            # Client vanished mid-reply.  In-flight computations keep
+            # running to completion (and persist) — other clients
+            # coalesced onto them are unaffected.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request, service: EvalService | None,
+                        handles: list):
+        if not isinstance(request, dict) or "op" not in request:
+            return {"ok": False,
+                    "error": "malformed request (expected a dict "
+                             "with an 'op' field)"}
+        op = request["op"]
+        if op == "hello":
+            return self._handle_hello(request)
+        if op == "ping":
+            return {"ok": True, "version": PROTOCOL_VERSION}
+        if op == "shutdown":
+            return {"ok": True, "shutdown": True}
+        if service is None:
+            return {"ok": False,
+                    "error": f"op {op!r} before a successful hello"}
+        if op == "submit":
+            return await self._handle_submit(service, request, handles)
+        if op == "stats":
+            return self._handle_stats(service)
+        if op == "bump_generation":
+            service.bump_generation()
+            return {"ok": True}
+        if op == "flush":
+            flushed = await self._loop.run_in_executor(
+                self._write, service.flush_store)
+            return {"ok": True, "flushed": flushed}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _handle_hello(self, request):
+        version = request.get("version")
+        if version != PROTOCOL_VERSION:
+            return None, {
+                "ok": False,
+                "error": f"protocol version {version!r} is not "
+                         f"supported (server speaks "
+                         f"{PROTOCOL_VERSION})"}
+        try:
+            workload = request["workload"]
+            params = request["cost_params"]
+            rho = request["rho"]
+            salt = evaluation_context_salt(workload, params, rho)
+        except Exception as exc:
+            return None, {"ok": False,
+                          "error": f"bad hello payload: {exc}"}
+        service = self.services.get(salt)
+        if service is None:
+            evaluator = Evaluator(workload, CostModel(params),
+                                  trainer=None, rho=rho)
+            service = EvalService(evaluator,
+                                  cache_size=self.cache_size,
+                                  store=self.store)
+            self.services[salt] = service
+        else:
+            # Same accounting as campaign sharing: entries priced
+            # before this client joined count as *shared* reuse.
+            service.bump_generation()
+        return service, {"ok": True, "salt": salt,
+                         "version": PROTOCOL_VERSION}
+
+    # ------------------------------------------------------------------
+    # Pricing
+    # ------------------------------------------------------------------
+    async def _handle_submit(self, service: EvalService, request,
+                             handles: list):
+        entries = request.get("pairs")
+        if not isinstance(entries, list):
+            return {"ok": False, "error": "submit without a pairs list"}
+        resolved: list[tuple[tuple, tuple, int]] = []
+        try:
+            for entry in entries:
+                if isinstance(entry, int):
+                    if not 0 <= entry < len(handles):
+                        return {"ok": False, "id": request.get("id"),
+                                "error": "unknown design handle "
+                                         f"{entry} (this connection "
+                                         f"issued {len(handles)})"}
+                    key, pair = handles[entry]
+                    resolved.append((key, pair, entry))
+                else:
+                    networks, accelerator = entry
+                    pair = (networks, accelerator)
+                    key = design_content(networks, accelerator)
+                    handles.append((key, pair))
+                    resolved.append((key, pair, len(handles) - 1))
+        except Exception as exc:
+            return {"ok": False, "id": request.get("id"),
+                    "error": f"malformed design entry: {exc}"}
+        self.counters["batches"] += 1
+        service.stats.batches += 1
+        salt = service.context_salt
+        results: dict[tuple, object] = {}
+        first_tier: dict[tuple, str] = {}
+        awaited: dict[tuple, asyncio.Future] = {}
+        for key, pair, _handle in resolved:
+            if key in first_tier:
+                # Intra-batch duplicate: the first occurrence answers
+                # for all of them (counted as a hit, mirroring
+                # EvalService.evaluate_many).
+                service.stats.hits += 1
+                continue
+            evaluation, tier = service.lookup_tiers(key)
+            if evaluation is not None:
+                results[key] = evaluation
+                first_tier[key] = tier
+                continue
+            inflight_key = (salt, key)
+            pending = self._inflight.get(inflight_key)
+            if pending is not None:
+                # Another client is pricing this exact design right
+                # now: one compute, many answers.
+                awaited[key] = pending
+                first_tier[key] = "coalesced"
+                self.counters["coalesced"] += 1
+                continue
+            awaited[key] = self._spawn_compute(service, inflight_key,
+                                               key, pair)
+            first_tier[key] = "miss"
+        miss_seconds = 0.0
+        try:
+            for key, future in awaited.items():
+                evaluation, seconds = await future
+                results[key] = evaluation
+                if first_tier[key] == "miss":
+                    miss_seconds += seconds
+        except Exception as exc:
+            return {"ok": False, "id": request.get("id"),
+                    "error": f"pricing failed: "
+                             f"{type(exc).__name__}: {exc}"}
+        seen: set[tuple] = set()
+        tiers = []
+        for key, _pair, _handle in resolved:
+            tiers.append(first_tier[key] if key not in seen else "hit")
+            seen.add(key)
+        return {"ok": True, "id": request.get("id"),
+                "evaluations": [
+                    self._reply_blob(salt, key, results[key])
+                    for key, _pair, _handle in resolved],
+                "handles": [handle for _key, _pair, handle in resolved],
+                "tiers": tiers, "miss_seconds": miss_seconds}
+
+    def _reply_blob(self, salt: str, key: tuple, evaluation) -> bytes:
+        """The evaluation pickled once per design (FIFO-capped cache)."""
+        address = (salt, key)
+        blob = self._reply_blobs.get(address)
+        if blob is None:
+            blob = pickle.dumps(evaluation,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            while len(self._reply_blobs) >= self._reply_blob_cap:
+                self._reply_blobs.pop(next(iter(self._reply_blobs)))
+            self._reply_blobs[address] = blob
+        return blob
+
+    def _spawn_compute(self, service: EvalService,
+                       inflight_key: tuple[str, tuple], key: tuple,
+                       pair) -> asyncio.Future:
+        """Price one miss on the compute thread; resolve a loop-side
+        future every coalesced awaiter shares."""
+        future = self._loop.create_future()
+        self._inflight[inflight_key] = future
+
+        def compute():
+            started = time.perf_counter()
+            networks, accelerator = pair
+            evaluation = service.evaluator.evaluate_hardware(
+                networks, accelerator)
+            return evaluation, time.perf_counter() - started
+
+        task = self._loop.run_in_executor(self._compute, compute)
+
+        def finish(task: asyncio.Future) -> None:
+            # Runs on the loop thread: cache/stats mutation is safe.
+            self._inflight.pop(inflight_key, None)
+            exc = task.exception()
+            if exc is not None:
+                future.set_exception(exc)
+                return
+            evaluation, seconds = task.result()
+            service.admit_miss(key, evaluation, seconds)
+            self.counters["computed"] += 1
+            if self.store is not None:
+                self._persist_queue.put_nowait(
+                    (service.context_salt,
+                     service.store_digest(key), key, evaluation))
+            future.set_result((evaluation, seconds))
+
+        task.add_done_callback(finish)
+        return future
+
+    async def _drain_persist_queue(self) -> None:
+        """The single writer task: all store appends flow through here
+        (and through the one-thread write executor), so appends are
+        serialized no matter how many clients are pricing."""
+        while True:
+            entries = [await self._persist_queue.get()]
+            while True:
+                try:
+                    entries.append(self._persist_queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                await self._loop.run_in_executor(
+                    self._write, self.store.put_many, entries)
+                self.counters["persisted"] += len(entries)
+            except Exception:
+                # The store indexes only after a successful append, so
+                # a failed write (full disk) leaves it consistent; the
+                # entries stay served from the LRU for this daemon's
+                # lifetime.
+                self.counters["persist_errors"] += len(entries)
+            finally:
+                for _ in entries:
+                    self._persist_queue.task_done()
+
+    def _handle_stats(self, service: EvalService):
+        return {"ok": True,
+                "stats": service.stats.snapshot(),
+                "cache_len": service.cache_len,
+                "services": len(self.services),
+                "server": dict(self.counters),
+                "store_entries": (len(self.store)
+                                  if self.store is not None else 0)}
+
+
+def serve(socket_path: str | Path, *,
+          store_path: str | Path | None = None,
+          cache_size: int = 4096) -> PricingServer:
+    """Run a pricing daemon until SIGTERM/SIGINT (blocking).
+
+    The CLI entry point (``repro serve``).  Returns the wound-down
+    server so callers can inspect its counters.
+    """
+    server = PricingServer(socket_path, store_path=store_path,
+                           cache_size=cache_size)
+
+    async def main() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        try:
+            await server._shutdown_event.wait()
+        finally:
+            await server.shutdown()
+
+    asyncio.run(main())
+    return server
+
+
+@contextmanager
+def serve_in_thread(socket_path: str | Path | None = None, *,
+                    store_path: str | Path | None = None,
+                    cache_size: int = 4096,
+                    max_frame_bytes: int = MAX_FRAME_BYTES):
+    """Run a daemon on a background thread (tests, fuzzing, benches).
+
+    Yields the started :class:`PricingServer`; the daemon is shut down
+    gracefully — in-flight pricing finished, persist queue drained,
+    memos flushed — when the block exits.  Without ``socket_path`` a
+    short-lived temp directory hosts the socket (Unix socket paths
+    have a ~100-byte limit deep pytest tmp dirs can exceed).
+    """
+    owned_dir: str | None = None
+    if socket_path is None:
+        owned_dir = tempfile.mkdtemp(prefix="repro-serve-")
+        socket_path = Path(owned_dir) / "pricing.sock"
+    server = PricingServer(socket_path, store_path=store_path,
+                           cache_size=cache_size,
+                           max_frame_bytes=max_frame_bytes)
+    started = threading.Event()
+    boot_error: list[BaseException] = []
+
+    def main() -> None:
+        async def run() -> None:
+            try:
+                await server.start()
+            except BaseException as exc:
+                boot_error.append(exc)
+                started.set()
+                return
+            started.set()
+            try:
+                await server._shutdown_event.wait()
+            finally:
+                await server.shutdown()
+
+        asyncio.run(run())
+
+    thread = threading.Thread(target=main, name="repro-serve",
+                              daemon=True)
+    thread.start()
+    if not started.wait(timeout=60):
+        raise RuntimeError("pricing daemon failed to start in time")
+    if boot_error:
+        thread.join(timeout=10)
+        raise boot_error[0]
+    try:
+        yield server
+    finally:
+        server.request_shutdown()
+        thread.join(timeout=60)
+        if owned_dir is not None:
+            shutil.rmtree(owned_dir, ignore_errors=True)

@@ -34,10 +34,16 @@ Design:
   warm-started run also reprices no (layer, sub-accelerator) pair an
   earlier run already priced.
 - **Single writer, shard + merge for pools.**  One process appends to
-  one store file.  Campaign process-pool mode gives each worker a
-  private *shard* store layered over the main store read-only
-  (``parent=``), then merges the shards back into the main store
-  afterwards — see :meth:`EvalStore.merge_from`.
+  one store file, and the contract is *enforced*, not conventional: a
+  writer takes an advisory exclusive ``fcntl.flock`` on the file for
+  its whole lifetime, so a second writer fails loudly at open instead
+  of interleaving length-prefixed records.  Read-only opens take a
+  shared lock just long enough to snapshot the bytes.  Campaign
+  process-pool mode gives each worker a private *shard* store layered
+  over the main store read-only (``parent=``) — the parent downgrades
+  its lock to shared around the pool phase so workers can load the
+  main file — then merges the shards back into the main store
+  afterwards; see :meth:`EvalStore.merge_from`.
 
 The store is infrastructure beneath the exactness contracts: a warm
 start changes *where* an evaluation's bits come from, never what they
@@ -51,6 +57,11 @@ import pickle
 import struct
 from pathlib import Path
 from typing import Any, Iterable
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.serialization import durable_append
 from repro.utils.hashing import stable_hash
@@ -90,7 +101,9 @@ class EvalStore:
     Raises:
         ValueError: If the file exists but is not a repro evaluation
             store, has an unsupported version, or is corrupted or
-            truncated.
+            truncated — or if another process already holds the store's
+            writer lock (single-writer contract; see
+            :meth:`downgrade_lock` and ``repro serve`` for sharing).
     """
 
     def __init__(self, path: str | Path, *, read_only: bool = False,
@@ -107,8 +120,66 @@ class EvalStore:
         self._handle = None
         self.lookups = 0
         self.lookup_hits = 0
-        if self.path.exists():
-            self._load()
+        if not read_only:
+            # Writers lock eagerly: the second writer must fail at
+            # *open*, before any record could interleave.
+            self._acquire_writer_lock()
+        try:
+            if self.path.exists():
+                self._load()
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Locking
+    # ------------------------------------------------------------------
+    def _acquire_writer_lock(self) -> None:
+        """Open the append handle and take the exclusive advisory lock.
+
+        The handle doubles as the lock holder: ``flock`` locks live on
+        the open file description, so closing the handle (or the
+        process dying) always releases the lock — no stale lock files.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(self.path, "ab")
+        if fcntl is not None:
+            try:
+                fcntl.flock(handle.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError as exc:
+                handle.close()
+                raise ValueError(
+                    f"evaluation store {self.path} is already open for "
+                    f"writing elsewhere (single-writer contract: "
+                    f"concurrent appends would interleave records and "
+                    f"corrupt the file); to share one pricing tier "
+                    f"across clients, run 'repro serve --store "
+                    f"{self.path}' and point the searches at it with "
+                    f"--service") from exc
+        self._handle = handle
+        # The magic header is owed exactly once per fresh file; the
+        # flag (not a per-append stat) keeps a retried append after a
+        # failed flush from buffering the header twice.
+        self._needs_magic = self.path.stat().st_size == 0
+
+    def downgrade_lock(self) -> None:
+        """Convert the writer's exclusive lock to a shared one.
+
+        Used by the campaign pool: workers open the main store
+        ``read_only`` (shared lock) while the parent — which promises
+        not to append during the pool phase — keeps only a shared
+        claim.  No-op for read-only stores and where locking is
+        unsupported.
+        """
+        if self._handle is not None and fcntl is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_SH)
+
+    def upgrade_lock(self) -> None:
+        """Re-take the exclusive writer lock after
+        :meth:`downgrade_lock` (blocks until readers drain)."""
+        if self._handle is not None and fcntl is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
 
     # ------------------------------------------------------------------
     # Loading / file format
@@ -119,7 +190,23 @@ class EvalStore:
             f"cannot be trusted — delete or restore it and re-run")
 
     def _load(self) -> None:
-        data = self.path.read_bytes()
+        with open(self.path, "rb") as reader:
+            # Readers snapshot under a shared lock so a load can never
+            # observe a half-written append.  A writer's own load is
+            # already protected by its exclusive lock (taking a second
+            # flock on a fresh descriptor would self-deadlock).
+            if self.read_only and fcntl is not None:
+                try:
+                    fcntl.flock(reader.fileno(),
+                                fcntl.LOCK_SH | fcntl.LOCK_NB)
+                except OSError as exc:
+                    raise ValueError(
+                        f"evaluation store {self.path} is exclusively "
+                        f"locked by a writer; read it once the writer "
+                        f"closes (or query the writer through 'repro "
+                        f"serve' instead of opening the file directly)"
+                    ) from exc
+            data = reader.read()
         if not data:
             # A crash between creating the file and the first durable
             # append leaves zero bytes: nothing was promised, so this
@@ -213,12 +300,11 @@ class EvalStore:
         if not records:
             return
         if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            fresh = (not self.path.exists()
-                     or self.path.stat().st_size == 0)
-            self._handle = open(self.path, "ab")
-            if fresh:
-                self._handle.write(STORE_MAGIC)
+            # Reopened after close(): re-take the writer lock.
+            self._acquire_writer_lock()
+        if self._needs_magic:
+            self._handle.write(STORE_MAGIC)
+            self._needs_magic = False
         frames = []
         for record in records:
             blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
@@ -284,7 +370,8 @@ class EvalStore:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Close the append handle (idempotent; lookups keep working)."""
+        """Close the append handle, releasing the writer lock
+        (idempotent; lookups keep working)."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None

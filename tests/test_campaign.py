@@ -180,6 +180,47 @@ class TestStrategies:
         assert names == ["W1/mc/b5/s7/rho5", "W1/mc/b5/s7"]
 
 
+class TestCrashFlush:
+    def test_scenario_crash_mid_grid_flushes_store(self, tmp_path,
+                                                   monkeypatch):
+        """A scenario dying mid-campaign must leave the persistent
+        store holding everything the completed scenarios priced,
+        including the cost memo (flushed by ``run``'s finally, not
+        only by ``close``)."""
+        import repro.core.campaign as campaign_module
+        from repro.core import EvalStore
+        from repro.core.store import cost_params_digest
+
+        store_path = tmp_path / "crash-campaign.store"
+        scenarios = (Scenario("W1", "mc", 4, seed=3),
+                     Scenario("W1", "mc", 4, seed=4))
+        real_mc = campaign_module.monte_carlo_search
+        calls = {"n": 0}
+
+        def dying_mc(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt  # scenario 2 is killed
+            return real_mc(*args, **kwargs)
+
+        monkeypatch.setattr(campaign_module, "monte_carlo_search",
+                            dying_mc)
+        campaign = Campaign(CampaignConfig(scenarios=scenarios,
+                                           store_path=store_path))
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run()
+        priced = sum(s.stats.misses for s in campaign.services.values())
+        assert priced > 0
+        memo_digest = cost_params_digest(campaign.cost_model.params)
+        # Release the writer lock as a real crash would, but without
+        # the service close that normally flushes the memo.
+        campaign.store.close()
+        reopened = EvalStore(store_path, read_only=True)
+        assert len(reopened) == priced
+        assert reopened.get_memo(memo_digest), \
+            "cost memo must be flushed by the campaign's finally"
+
+
 class TestValidation:
     def test_unknown_strategy(self):
         with pytest.raises(ValueError, match="unknown strategy"):

@@ -94,6 +94,44 @@ class TestProtocol:
         assert "episode 2/5" in lines[0]
 
 
+class TestCrashFlush:
+    """A run killed mid-round must not silently drop priced work: the
+    driver's try/finally flushes the cost memo, and the per-batch
+    durable appends already persisted every computed evaluation."""
+
+    def test_kill_mid_run_retains_completed_pricings(self, tmp_path):
+        from repro.core import EvalStore
+        from repro.core.store import cost_params_digest
+
+        store_path = tmp_path / "crash.store"
+        with EvalStore(store_path) as store:
+            search = NASAIC(w1(), config=NASAICConfig(**NASAIC_CONFIG),
+                            store=store)
+            real_observe = search.observe
+            rounds = {"n": 0}
+
+            def dying_observe(evaluations):
+                rounds["n"] += 1
+                if rounds["n"] == 3:
+                    raise KeyboardInterrupt  # the mid-run kill
+                return real_observe(evaluations)
+
+            search.observe = dying_observe
+            driver = SearchDriver(search, search.evalservice)
+            with pytest.raises(KeyboardInterrupt):
+                driver.run()
+            priced = search.evalservice.stats.misses
+            assert priced > 0
+            memo_digest = cost_params_digest(
+                search.evalservice.evaluator.cost_model.params)
+            # Deliberately no search.close(): the crash path must have
+            # already made the store consistent.
+        reopened = EvalStore(store_path, read_only=True)
+        assert len(reopened) == priced
+        assert reopened.get_memo(memo_digest), \
+            "cost memo must be flushed by the driver's finally"
+
+
 class TestCheckpointResume:
     """Interrupt at every possible round; resume must be bit-identical."""
 

@@ -1,0 +1,410 @@
+"""The pricing daemon: protocol framing, serving, coalescing, locks.
+
+The served tier's contract is the strong one everything else in the
+repo holds to: a daemon-priced evaluation is **bit-identical** to an
+in-process one, no matter which tier answered (LRU, shared, store,
+coalesced) or how many clients raced for it.  The framing tests pin
+the failure modes of a length-prefixed stream — oversize, truncation,
+garbage — to loud errors instead of desynchronised mispricing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from suite_helpers import sample_design_pairs
+from repro.core.client import RemoteEvalService, parse_endpoint
+from repro.core.evalservice import EvalService
+from repro.core.evaluator import Evaluator
+from repro.core.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameError,
+    encode_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.core.server import PricingServer, serve_in_thread
+from repro.core.store import EvalStore, cost_params_digest
+from repro.cost import CostModel
+from repro.cost.model import CostModelParams
+from repro.workloads import w1
+
+RHO = 10.0
+
+
+def make_params() -> CostModelParams:
+    return CostModelParams()
+
+
+def make_evaluator(workload):
+    return Evaluator(workload, CostModel(make_params()), trainer=None,
+                     rho=RHO)
+
+
+def make_client(server, workload, **kwargs) -> RemoteEvalService:
+    return RemoteEvalService(server.socket_path, workload,
+                             make_params(), RHO, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return w1()
+
+
+@pytest.fixture(scope="module")
+def pairs(workload):
+    return sample_design_pairs(workload, n=5, seed=11)
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_round_trip_sync_and_async(self):
+        payload = {"op": "submit", "id": 3,
+                   "pairs": [("nets", "accel")] * 4}
+        frame = encode_frame(payload)
+
+        left, right = socket.socketpair()
+        with left, right:
+            send_frame(left, payload)
+            assert recv_frame(right) == payload
+
+        async def round_trip():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame)
+            reader.feed_eof()
+            first = await read_frame(reader)
+            second = await read_frame(reader)  # clean EOF after frame
+            return first, second
+
+        first, second = asyncio.run(round_trip())
+        assert first == payload
+        assert second is None
+
+    def test_oversized_frame_refused_before_send(self):
+        with pytest.raises(FrameError, match="exceeds the protocol"):
+            encode_frame({"blob": b"x" * 4096}, max_bytes=64)
+
+    def test_oversized_length_prefix_refused_on_read(self):
+        blob = pickle.dumps({"op": "ping"})
+        frame = struct.pack("<Q", MAX_FRAME_BYTES + 1) + blob
+
+        async def read():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame)
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        with pytest.raises(FrameError, match="over the protocol limit"):
+            asyncio.run(read())
+
+    def test_truncated_body_raises_not_hangs(self):
+        frame = encode_frame({"op": "ping"})
+
+        async def read():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame[:-3])  # EOF mid-body
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        with pytest.raises(asyncio.IncompleteReadError):
+            asyncio.run(read())
+
+    def test_sync_truncation_mid_frame_raises(self):
+        left, right = socket.socketpair()
+        with right:
+            with left:
+                left.sendall(encode_frame({"op": "ping"})[:-3])
+            with pytest.raises(FrameError, match="mid-frame"):
+                recv_frame(right)
+
+    def test_garbage_body_is_a_frame_error(self):
+        blob = b"this is not a pickle"
+        left, right = socket.socketpair()
+        with left, right:
+            left.sendall(struct.pack("<Q", len(blob)) + blob)
+            with pytest.raises(FrameError, match="unpicklable"):
+                recv_frame(right)
+
+    def test_endpoint_parsing(self):
+        assert str(parse_endpoint("unix:///run/x.sock")) == "/run/x.sock"
+        assert str(parse_endpoint("/tmp/y.sock")) == "/tmp/y.sock"
+        with pytest.raises(ValueError, match="no socket path"):
+            parse_endpoint("unix://")
+
+
+# ----------------------------------------------------------------------
+# Serving
+# ----------------------------------------------------------------------
+class TestServedPricing:
+    def test_served_is_bit_identical_to_inprocess(self, workload, pairs):
+        trace = pairs + pairs[::-1]
+        with EvalService(make_evaluator(workload)) as local:
+            want = local.evaluate_many(trace)
+        with serve_in_thread() as server:
+            with make_client(server, workload) as client:
+                got = client.evaluate_many(trace)
+        assert got == want
+
+    def test_client_stats_mirror_tiers(self, workload, pairs):
+        with serve_in_thread() as server:
+            with make_client(server, workload) as client:
+                client.evaluate_many(pairs + pairs[:2])
+                assert client.stats.misses == len(pairs)
+                assert client.stats.hits == 2
+                assert client.stats.batches == 1
+                assert client.stats.miss_seconds > 0.0
+                # Second client: all answered from the shared tier.
+                with make_client(server, workload) as second:
+                    second.evaluate_many(pairs)
+                    assert second.stats.misses == 0
+                    assert second.stats.shared_hits == len(pairs)
+
+    def test_submit_chunking_respects_frame_limit(self, workload, pairs):
+        with serve_in_thread() as server:
+            with make_client(server, workload,
+                             submit_chunk=2) as client:
+                got = client.evaluate_many(pairs)
+        with EvalService(make_evaluator(workload)) as local:
+            assert got == local.evaluate_many(pairs)
+
+    def test_hello_version_skew_is_refused(self, workload):
+        with serve_in_thread() as server:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            with sock:
+                sock.connect(str(server.socket_path))
+                send_frame(sock, {"op": "hello",
+                                  "version": PROTOCOL_VERSION + 1})
+                reply = recv_frame(sock)
+                assert not reply["ok"]
+                assert "version" in reply["error"]
+
+    def test_submit_before_hello_is_refused(self, workload):
+        with serve_in_thread() as server:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            with sock:
+                sock.connect(str(server.socket_path))
+                send_frame(sock, {"op": "submit", "pairs": []})
+                reply = recv_frame(sock)
+                assert not reply["ok"]
+                assert "before a successful hello" in reply["error"]
+
+    def test_malformed_frame_drops_connection_not_daemon(
+            self, workload, pairs):
+        with serve_in_thread() as server:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            with sock:
+                sock.connect(str(server.socket_path))
+                blob = b"garbage, not a pickle"
+                sock.sendall(struct.pack("<Q", len(blob)) + blob)
+                reply = recv_frame(sock)
+                assert not reply["ok"]
+                assert recv_frame(sock) is None  # server hung up
+            # The daemon itself survives and serves new clients.
+            with make_client(server, workload) as client:
+                assert client.ping() == PROTOCOL_VERSION
+
+    def test_oversized_batch_fails_loudly_client_side(
+            self, workload, pairs):
+        """A frame-size budget that admits the handshake but not a
+        giant single-chunk submit fails before any bytes are sent."""
+        with serve_in_thread() as server:
+            with make_client(server, workload,
+                             max_frame_bytes=4096,
+                             submit_chunk=10_000) as client:
+                with pytest.raises(FrameError,
+                                   match="exceeds the protocol"):
+                    client.evaluate_many(pairs * 50)
+
+    def test_client_disconnect_mid_batch_keeps_daemon_serving(
+            self, workload, pairs):
+        with serve_in_thread() as server:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            with sock:
+                sock.connect(str(server.socket_path))
+                send_frame(sock, {"op": "hello",
+                                  "version": PROTOCOL_VERSION,
+                                  "workload": workload,
+                                  "cost_params": make_params(),
+                                  "rho": RHO})
+                assert recv_frame(sock)["ok"]
+                send_frame(sock, {"op": "submit", "id": 1,
+                                  "pairs": pairs})
+                # Hang up without reading the reply.
+            deadline = time.monotonic() + 30
+            with make_client(server, workload) as client:
+                while time.monotonic() < deadline:
+                    if server.counters["computed"] >= len(pairs):
+                        break
+                    time.sleep(0.05)
+                # The abandoned batch still priced and is now shared.
+                client.evaluate_many(pairs)
+                assert client.stats.misses == 0
+
+    def test_checkpointing_is_refused_with_pointer(self, workload):
+        with serve_in_thread() as server:
+            with make_client(server, workload) as client:
+                with pytest.raises(RuntimeError, match="local --store"):
+                    client.state_snapshot()
+                with pytest.raises(RuntimeError, match="local --store"):
+                    client.restore_state({})
+
+    def test_closed_client_refuses_calls(self, workload):
+        with serve_in_thread() as server:
+            client = make_client(server, workload)
+            client.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                client.ping()
+
+
+# ----------------------------------------------------------------------
+# Coalescing
+# ----------------------------------------------------------------------
+class TestCoalescing:
+    def test_identical_inflight_keys_priced_once(self, workload, pairs):
+        """N clients submit the same design while it is being priced:
+        one compute, N identical answers."""
+        clients = 4
+        gate = threading.Event()
+        with serve_in_thread() as server:
+            first = make_client(server, workload)
+            try:
+                # Bind the hosted service, then make its next misses
+                # slow enough that every racer lands mid-flight.
+                first.ping()
+                (service,) = server.services.values()
+                real = service.evaluator.evaluate_hardware
+
+                def slow(nets, accel):
+                    gate.wait(timeout=30)
+                    time.sleep(0.2)
+                    return real(nets, accel)
+
+                service.evaluator.evaluate_hardware = slow
+                results: list = [None] * clients
+                errors: list = []
+
+                def run(slot: int) -> None:
+                    try:
+                        with make_client(server, workload) as client:
+                            results[slot] = (
+                                client.evaluate_many(pairs[:1]),
+                                client.stats.snapshot())
+                    except Exception as exc:  # surface in the test
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=run, args=(slot,))
+                           for slot in range(clients)]
+                for thread in threads:
+                    thread.start()
+                time.sleep(0.3)  # let every submit reach the daemon
+                gate.set()
+                for thread in threads:
+                    thread.join(timeout=30)
+            finally:
+                first.close()
+            assert not errors
+            assert server.counters["computed"] == 1
+            assert server.counters["coalesced"] >= clients - 1
+        want = make_evaluator(workload).evaluate_hardware(*pairs[0])
+        miss_tiers = 0
+        for evaluations, stats in results:
+            assert evaluations == [want]
+            miss_tiers += stats.misses
+        assert miss_tiers == 1  # exactly one client paid the miss
+
+
+# ----------------------------------------------------------------------
+# Store integration
+# ----------------------------------------------------------------------
+class TestDaemonStore:
+    def test_priced_work_persists_and_warm_restarts(
+            self, tmp_path, workload, pairs):
+        store_path = tmp_path / "store.bin"
+        with serve_in_thread(store_path=store_path) as server:
+            with make_client(server, workload) as client:
+                want = client.evaluate_many(pairs)
+        # Graceful shutdown drained the persist queue, flushed the
+        # memo and released the writer lock.
+        with EvalStore(store_path, read_only=True) as store:
+            assert len(store) == len(pairs)
+            memo = store.get_memo(cost_params_digest(make_params()))
+            assert memo
+        with serve_in_thread(store_path=store_path) as server:
+            with make_client(server, workload) as client:
+                got = client.evaluate_many(pairs)
+                assert client.stats.misses == 0
+                assert client.stats.store_hits == len(pairs)
+        assert got == want
+
+    def test_second_daemon_on_same_store_fails_loudly(
+            self, tmp_path, workload):
+        store_path = tmp_path / "store.bin"
+        with serve_in_thread(store_path=store_path):
+            with pytest.raises(ValueError, match="repro serve"):
+                with serve_in_thread(store_path=store_path):
+                    pass  # pragma: no cover
+
+    def test_shutdown_op_winds_daemon_down(self, tmp_path, workload,
+                                           pairs):
+        store_path = tmp_path / "store.bin"
+        with serve_in_thread(store_path=store_path) as server:
+            with make_client(server, workload) as client:
+                client.evaluate_many(pairs[:2])
+                client.shutdown_server()
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if not server.socket_path.exists():
+                    break
+                time.sleep(0.05)
+        with EvalStore(store_path, read_only=True) as store:
+            assert len(store) == 2
+
+    def test_contexts_are_salt_namespaced(self, tmp_path, workload,
+                                          pairs):
+        """Two clients with different rho share a daemon but never an
+        answer: per-context hosted services."""
+        with serve_in_thread(store_path=tmp_path / "s.bin") as server:
+            with make_client(server, workload) as client:
+                base = client.evaluate_many(pairs[:2])
+            other = RemoteEvalService(server.socket_path, workload,
+                                      make_params(), RHO * 2)
+            with other:
+                shifted = other.evaluate_many(pairs[:2])
+                assert other.stats.misses == 2  # nothing shared
+            assert len(server.services) == 2
+        for lhs, rhs in zip(base, shifted):
+            assert lhs.penalty != rhs.penalty or lhs == rhs
+
+
+class TestServerLifecycle:
+    def test_stale_socket_file_is_replaced(self, tmp_path, workload):
+        socket_path = tmp_path / "stale.sock"
+        with serve_in_thread(socket_path=socket_path):
+            pass  # exits cleanly, unlinks the socket
+        socket_path.touch()  # simulate a crash leaving a stale file
+        with serve_in_thread(socket_path=socket_path) as server:
+            with make_client(server, workload) as client:
+                assert client.ping() == PROTOCOL_VERSION
+
+    def test_flush_and_bump_generation_ops(self, tmp_path, workload,
+                                           pairs):
+        with serve_in_thread(store_path=tmp_path / "s.bin") as server:
+            with make_client(server, workload) as client:
+                client.evaluate_many(pairs[:2])
+                assert client.flush_store() > 0  # memo entries landed
+                client.bump_generation()
+                client.evaluate_many(pairs[:2])
+                # Post-bump re-hits count as shared in the daemon too.
+                stats = client.server_stats()
+                assert stats["stats"].shared_hits == 2

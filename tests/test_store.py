@@ -141,6 +141,84 @@ class TestRoundTrip:
         assert EvalStore(path).get("s", "d", ("k",)) == "v"
 
 
+try:
+    import fcntl  # noqa: F401  (lock tests need a flock platform)
+    HAVE_FLOCK = True
+except ImportError:  # pragma: no cover - non-POSIX platform
+    HAVE_FLOCK = False
+
+needs_flock = pytest.mark.skipif(not HAVE_FLOCK,
+                                 reason="fcntl.flock unavailable")
+
+
+@needs_flock
+class TestWriterLock:
+    """The single-writer contract is enforced, not conventional: the
+    second writer on a path fails loudly at open, readers are fenced
+    off an exclusively-locked file, and the campaign pool's
+    downgrade/upgrade dance admits shared readers mid-campaign."""
+
+    def test_second_writer_fails_loudly(self, tmp_path):
+        path = tmp_path / "locked.bin"
+        with EvalStore(path) as first:
+            first.put("s", "d", ("k",), "v")
+            with pytest.raises(ValueError, match="repro serve"):
+                EvalStore(path)
+
+    def test_lock_released_on_close(self, tmp_path):
+        path = tmp_path / "locked.bin"
+        store = EvalStore(path)
+        store.put("s", "d", ("k",), "v")
+        store.close()
+        with EvalStore(path) as second:
+            second.put("s", "d2", ("k2",), "v2")
+        assert len(EvalStore(path, read_only=True)) == 2
+
+    def test_lock_released_when_open_fails(self, tmp_path):
+        """A writer open that dies during load (corrupt file) must not
+        leave the path locked behind the raised error."""
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"not a store at all\n")
+        with pytest.raises(ValueError, match="not a repro evaluation"):
+            EvalStore(path)
+        path.unlink()
+        with EvalStore(path) as recovered:  # path is free again
+            recovered.put("s", "d", ("k",), "v")
+
+    def test_reader_fails_while_writer_holds_exclusive(self, tmp_path):
+        path = tmp_path / "locked.bin"
+        with EvalStore(path) as writer:
+            writer.put("s", "d", ("k",), "v")
+            with pytest.raises(ValueError, match="locked by a writer"):
+                EvalStore(path, read_only=True)
+
+    def test_downgrade_admits_readers_then_upgrade(self, tmp_path):
+        path = tmp_path / "locked.bin"
+        with EvalStore(path) as writer:
+            writer.put("s", "d", ("k",), "v")
+            writer.downgrade_lock()
+            reader = EvalStore(path, read_only=True)
+            assert reader.get("s", "d", ("k",)) == "v"
+            # The reader's shared lock lives only for the load, so the
+            # writer can re-take its exclusive claim immediately.
+            writer.upgrade_lock()
+            with pytest.raises(ValueError, match="repro serve"):
+                EvalStore(path)
+
+    def test_append_after_close_retakes_lock(self, tmp_path):
+        path = tmp_path / "locked.bin"
+        store = EvalStore(path)
+        store.put("s", "d1", ("k1",), "v1")
+        store.close()
+        blocker = EvalStore(path)
+        with pytest.raises(ValueError, match="repro serve"):
+            store.put("s", "d2", ("k2",), "v2")
+        blocker.close()
+        store.put("s", "d2", ("k2",), "v2")  # lock free: append works
+        store.close()
+        assert len(EvalStore(path, read_only=True)) == 2
+
+
 class TestCorruption:
     def test_wrong_magic_rejected(self, tmp_path):
         path = tmp_path / "junk.bin"
@@ -239,7 +317,8 @@ class TestShards:
         assert shard.get("s", "d1", ("k1",)) == "from-main"
         shard.put("s", "d2", ("k2",), "from-shard")
         shard.close()
-        assert EvalStore(main_path).get("s", "d2", ("k2",)) is None
+        assert EvalStore(main_path,
+                         read_only=True).get("s", "d2", ("k2",)) is None
         main = EvalStore(main_path)
         added = main.merge_from(
             EvalStore(tmp_path / "main.bin.shard0", read_only=True))
@@ -267,7 +346,7 @@ class TestShards:
         main.close()
         assert added == 1
         assert main_path.stat().st_size > size_before
-        reopened = EvalStore(main_path)
+        reopened = EvalStore(main_path, read_only=True)
         assert len(reopened) == 3
         assert reopened.get("s", "d2", ("k2",)) == "v2"
         assert reopened.get("s", "d3", ("k3",)) == "v3"
