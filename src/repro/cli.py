@@ -123,6 +123,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "daemon (unix://SOCKET) instead of a "
                             "private cache; incompatible with "
                             "--store/--checkpoint/--resume")
+        add_service_tuning(p)
+
+    def add_service_tuning(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--fallback", default=None, choices=["local"],
+                       help="with --service: when the daemon stays "
+                            "unreachable past the retry budget, finish "
+                            "the run on local pricing (bit-identical; "
+                            "the run JSON records degraded=true)")
+        p.add_argument("--service-timeout", type=_positive_float,
+                       default=600.0, metavar="SECONDS",
+                       help="per-reply deadline against the daemon "
+                            "(default: 600)")
+        p.add_argument("--service-retries", type=_nonnegative_int,
+                       default=4, metavar="N",
+                       help="reconnect/resubmit attempts per request "
+                            "before giving up (default: 4)")
 
     def add_checkpointing(p: argparse.ArgumentParser) -> None:
         p.add_argument("--checkpoint", default=None,
@@ -161,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--service", default=None, metavar="ENDPOINT",
                       help="price through a running 'repro serve' "
                            "daemon (unix://SOCKET)")
+    add_service_tuning(p_mc)
 
     p_campaign = sub.add_parser(
         "campaign",
@@ -246,6 +263,23 @@ def build_parser() -> argparse.ArgumentParser:
                          default=4096,
                          help="LRU capacity of each hosted evaluation "
                               "context (default: 4096)")
+    p_serve.add_argument("--status", action="store_true",
+                         help="probe the daemon at --socket and print "
+                              "its status instead of starting one "
+                              "(exit 1 when unreachable)")
+    p_serve.add_argument("--read-timeout", type=_positive_float,
+                         default=None, metavar="SECONDS",
+                         help="shed a connection idle this long "
+                              "between requests (default: never)")
+    p_serve.add_argument("--write-timeout", type=_positive_float,
+                         default=60.0, metavar="SECONDS",
+                         help="shed a client whose reply write stalls "
+                              "this long (default: 60)")
+    p_serve.add_argument("--max-inflight", type=_nonnegative_int,
+                         default=256,
+                         help="bound on queued miss computations; "
+                              "submits past it are refused with a "
+                              "retryable error (default: 256)")
 
     p_exp = sub.add_parser("experiments",
                            help="regenerate paper tables/figures")
@@ -302,8 +336,11 @@ def _served_context(args: argparse.Namespace, workload, rho: float, *,
         bounds = calibrate_penalty_bounds(workload, cost_model,
                                           AllocationSpace())
         workload = workload.with_specs(workload.specs, bounds=bounds)
-    remote = RemoteEvalService(args.service, workload,
-                               cost_model.params, rho)
+    remote = RemoteEvalService(
+        args.service, workload, cost_model.params, rho,
+        timeout=getattr(args, "service_timeout", 600.0),
+        retries=getattr(args, "service_retries", 4),
+        fallback=getattr(args, "fallback", None))
     return workload, cost_model, remote
 
 
@@ -547,20 +584,65 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.server import serve
 
+    if args.status:
+        return _serve_status(args)
     suffix = f" (store: {args.store})" if args.store else ""
     print(f"pricing daemon listening on unix://{args.socket}{suffix}",
           flush=True)
     server = serve(args.socket, store_path=args.store,
-                   cache_size=args.cache_size)
+                   cache_size=args.cache_size,
+                   read_timeout=args.read_timeout,
+                   write_timeout=args.write_timeout,
+                   max_inflight=args.max_inflight)
+    if server.store is not None and server.store.recovered:
+        note = server.store.recovered
+        print(f"store recovered on startup: kept {note['kept_bytes']} "
+              f"durable bytes, quarantined {note['quarantined_bytes']} "
+              f"torn bytes to {note['sidecar']} ({note['detail']})")
     counters = server.counters
-    print(f"daemon stopped: {counters['connections']} connections, "
+    print(f"daemon stopped"
+          + (" (forced)" if server.aborted else "")
+          + f": {counters['connections']} connections, "
           f"{counters['batches']} batches, "
           f"{counters['computed']} priced, "
           f"{counters['coalesced']} coalesced, "
           f"{counters['persisted']} persisted"
+          + (f", {counters['compute_errors']} compute errors"
+             if counters["compute_errors"] else "")
+          + (f", {counters['refused_busy']} refused busy"
+             if counters["refused_busy"] else "")
+          + (f", {counters['shed']} clients shed"
+             if counters["shed"] else "")
           + (f", {counters['persist_errors']} persist ERRORS"
              if counters["persist_errors"] else ""))
     return 1 if counters["persist_errors"] else 0
+
+
+def _serve_status(args: argparse.Namespace) -> int:
+    """``repro serve --status``: probe the daemon, print its report."""
+    from repro.core.client import probe_status
+
+    try:
+        status = probe_status(args.socket)
+    except (ConnectionError, OSError, ValueError) as exc:
+        print(f"no pricing daemon reachable at {args.socket}: {exc}")
+        return 1
+    counters = status.get("counters", {})
+    print(f"pricing daemon at unix://{args.socket}: up "
+          f"{status.get('uptime_seconds', 0.0):.0f}s, "
+          f"{status.get('services', 0)} hosted contexts, "
+          f"{status.get('inflight', 0)} computations in flight, "
+          f"{status.get('persist_queue', 0)} queued appends")
+    print(f"store: {status.get('store_path') or 'none'} "
+          f"({status.get('store_entries', 0)} entries)")
+    if status.get("store_recovered"):
+        note = status["store_recovered"]
+        print(f"store recovered on startup: kept "
+              f"{note['kept_bytes']} durable bytes, quarantined "
+              f"{note['quarantined_bytes']} to {note['sidecar']}")
+    print("counters: " + ", ".join(f"{name}={value}"
+                                   for name, value in counters.items()))
+    return 0
 
 
 _COMMANDS = {
@@ -578,6 +660,11 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "fallback", None) and not getattr(args, "service",
+                                                       None):
+        raise SystemExit(
+            "--fallback requires --service: a run without --service "
+            "already prices locally")
     return _COMMANDS[args.command](args)
 
 

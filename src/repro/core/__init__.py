@@ -28,7 +28,19 @@ from repro.core.campaign import (
     save_campaign,
 )
 from repro.core.choices import Decision, JointSample, JointSearchSpace
-from repro.core.client import RemoteEvalService, parse_endpoint
+from repro.core.client import (
+    DaemonBusyError,
+    RemoteEvalService,
+    parse_endpoint,
+    probe_status,
+)
+from repro.core.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    PoisonedDesignError,
+    TornWriteError,
+)
 from repro.core.differential import (
     FuzzFailure,
     FuzzReport,
@@ -82,6 +94,7 @@ __all__ = [
     "CampaignResult",
     "ControllerConfig",
     "ControllerSample",
+    "DaemonBusyError",
     "Decision",
     "EpisodeRecord",
     "EvalService",
@@ -91,15 +104,20 @@ __all__ = [
     "EvolutionConfig",
     "EvolutionarySearch",
     "ExploredSolution",
+    "FaultInjector",
+    "FaultPlan",
     "FrameError",
     "FuzzFailure",
     "FuzzReport",
     "HardwareEvaluation",
+    "InjectedFault",
     "MAX_FRAME_BYTES",
     "OraclePair",
     "PROTOCOL_VERSION",
+    "PoisonedDesignError",
     "PricingServer",
     "RemoteEvalService",
+    "TornWriteError",
     "JointSample",
     "JointSearchSpace",
     "NASOnlyResult",
@@ -133,6 +151,7 @@ __all__ = [
     "monte_carlo_search",
     "normalised_accuracy",
     "parse_endpoint",
+    "probe_status",
     "register_pair",
     "registered_pairs",
     "replay_repro",

@@ -23,12 +23,37 @@ Differences from a local :class:`repro.core.evalservice.EvalService`:
   refuses a daemon whose salt differs, the same guarantee
   :func:`repro.core.evalservice.verify_injected_service` gives for
   in-process sharing.
+
+Fault tolerance
+---------------
+
+Every request runs under a per-reply deadline (``timeout``) and a
+bounded retry budget (``retries``) with exponential backoff + jitter.
+A connection-level failure — dropped socket, timed-out reply, daemon
+restart, frame garbage — tears down the connection and transparently
+reconnects: re-handshake, salt re-verified, and (because design
+handles are per-connection server state) the submit entries rebuilt
+from the full designs.  Resubmission is safe: pricing is deterministic
+and the daemon coalesces duplicates, so a retried request returns
+bit-identical evaluations.  A ``retryable`` refusal from the daemon
+(bounded in-flight queue at capacity) backs off on the *same*
+connection.
+
+When the retry budget is exhausted (or the daemon refuses outright —
+e.g. a poisoned design) and the client was built with
+``fallback="local"``, it degrades: the remainder of the run is priced
+by a local :class:`~repro.core.evalservice.EvalService` layered over a
+read-only view of the daemon's store when reachable, and the run
+records ``degraded`` + fault counters in its ``pricing`` block.
+Without a fallback the error propagates — loudly, never silently.
 """
 
 from __future__ import annotations
 
 import pickle
+import random
 import socket
+import time
 from pathlib import Path
 
 from repro.core.evalservice import (
@@ -39,11 +64,14 @@ from repro.core.evalservice import (
 from repro.core.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    FrameError,
     recv_frame,
     send_frame,
 )
+from repro.utils.hashing import stable_hash
 
-__all__ = ["RemoteEvalService", "parse_endpoint"]
+__all__ = ["DaemonBusyError", "RemoteEvalService", "parse_endpoint",
+           "probe_status"]
 
 
 def parse_endpoint(endpoint: str | Path) -> Path:
@@ -58,6 +86,55 @@ def parse_endpoint(endpoint: str | Path) -> Path:
     return Path(text)
 
 
+class DaemonBusyError(ConnectionError):
+    """The daemon refused a request with ``retryable: True`` (bounded
+    in-flight queue at capacity).  The connection itself is healthy —
+    the client backs off and resubmits without reconnecting."""
+
+
+class _WireFrameError(FrameError):
+    """A framing failure while *receiving*: the stream is
+    desynchronised, so reconnect + resubmit can fix it.  (An encode
+    failure — an oversized outgoing frame — is deterministic and is
+    never retried.)"""
+
+
+def probe_status(endpoint: str | Path, *,
+                 timeout: float = 5.0) -> dict:
+    """One-shot ``status`` probe of a daemon (``repro serve --status``).
+
+    Opens a fresh connection, sends the pre-handshake ``status`` op and
+    returns the daemon's reply (uptime, hosted services, in-flight and
+    queued work, counters, store occupancy).  Raises
+    :class:`ConnectionError` when no daemon is reachable.
+    """
+    path = parse_endpoint(endpoint)
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        try:
+            sock.connect(str(path))
+        except (FileNotFoundError, ConnectionRefusedError) as exc:
+            raise ConnectionError(
+                f"no pricing daemon listening at {path} "
+                f"({exc.strerror or exc})") from exc
+        send_frame(sock, {"op": "status"})
+        reply = recv_frame(sock)
+        if reply is None:
+            raise ConnectionError(
+                f"pricing daemon at {path} closed the connection "
+                "before answering the status probe")
+        if not isinstance(reply, dict) or not reply.get("ok"):
+            error = (reply.get("error", "unknown error")
+                     if isinstance(reply, dict) else repr(reply))
+            raise ConnectionError(
+                f"pricing daemon at {path} refused the status probe: "
+                f"{error}")
+        return reply
+    finally:
+        sock.close()
+
+
 class RemoteEvalService:
     """Evaluation service backed by a pricing daemon.
 
@@ -67,55 +144,261 @@ class RemoteEvalService:
         workload / cost_params / rho: The evaluation context this
             client prices under; shipped in the handshake so the
             daemon hosts (or reuses) the matching service.
-        timeout: Per-reply socket timeout in seconds.  Generous by
-            default — a cold miss behind many queued batches can take
-            a while; a dead daemon still fails in bounded time.
+        timeout: Per-reply deadline in seconds.  Generous by default —
+            a cold miss behind many queued batches can take a while; a
+            dead daemon still fails in bounded time.
         submit_chunk: Max designs per submit frame; larger batches are
             transparently split so they never trip the frame-size
             guard.
+        retries: Reconnect/resubmit attempts per request after the
+            first failure, before giving up (falling back or raising).
+        backoff: Base backoff in seconds; attempt ``k`` sleeps
+            ``min(backoff_max, backoff * 2**(k-1))`` scaled by a
+            deterministic jitter in ``[0.5, 1.5)`` (seeded from the
+            context salt, so runs stay reproducible).
+        backoff_max: Backoff ceiling in seconds.
+        fallback: ``None`` (fail loudly, the default) or ``"local"``:
+            when the retry budget is exhausted, finish the run on a
+            local :class:`~repro.core.evalservice.EvalService` over a
+            read-only view of the daemon's store (when reachable).
+        fault_injector: Test-only :class:`repro.core.faults.\
+FaultInjector` hooked into the frame-send seam (chaos harness).
     """
 
     def __init__(self, endpoint: str | Path, workload, cost_params,
                  rho: float, *, timeout: float = 600.0,
                  submit_chunk: int = 256,
-                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 retries: int = 4, backoff: float = 0.05,
+                 backoff_max: float = 2.0,
+                 fallback: str | None = None,
+                 fault_injector=None) -> None:
+        if fallback not in (None, "local"):
+            raise ValueError(
+                f"unknown fallback mode {fallback!r} (supported: "
+                f"'local')")
         self.socket_path = parse_endpoint(endpoint)
         self.stats = EvalServiceStats()
         self.store = None  # the persistent tier lives in the daemon
+        self._workload = workload
+        self._cost_params = cost_params
+        self._rho = rho
         self._salt = evaluation_context_salt(workload, cost_params, rho)
+        self._timeout = timeout
         self._submit_chunk = max(1, submit_chunk)
         self._max_frame_bytes = max_frame_bytes
+        self._retries = max(0, int(retries))
+        self._backoff = backoff
+        self._backoff_max = backoff_max
+        self._fallback = fallback
+        self._injector = fault_injector
+        # Deterministic jitter: de-synchronises concurrent clients'
+        # retry storms without introducing run-to-run nondeterminism.
+        self._jitter = random.Random(
+            stable_hash(self._salt, salt="client-jitter"))
         self._request_id = 0
+        self._closed = False
+        self._ever_connected = False
+        #: The daemon's store path (from the handshake reply); the
+        #: local fallback layers a read-only view over it.
+        self._daemon_store_path: str | None = None
+        #: Local fallback service once degraded, else ``None``.
+        self._local = None
+        self._stats_base: EvalServiceStats | None = None
         # Designs already shipped on this connection, by content key:
         # repeats submit the server-issued int handle instead of the
-        # full (kilobyte) design pickle.
+        # full (kilobyte) design pickle.  Reset on every (re)connect —
+        # handles are per-connection server state.
         self._handles: dict[tuple, int] = {}
-        self._sock: socket.socket | None = socket.socket(
-            socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
+        self._sock: socket.socket | None = None
+        try:
+            self._with_retry(None)
+        except (ConnectionError, FrameError, OSError) as exc:
+            if self._fallback != "local":
+                raise
+            self._degrade(exc)
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        """(Re)connect: fresh socket, handshake, salt verification.
+
+        The per-connection handle table is reset — the daemon issues
+        handles per connection, so stale ones would misprice designs.
+        Any failure closes the socket (no fd leak on the handshake or
+        salt-mismatch paths).
+        """
+        self._drop_socket()
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self._timeout)
+        ok = False
         try:
             try:
-                self._sock.connect(str(self.socket_path))
+                sock.connect(str(self.socket_path))
             except (FileNotFoundError, ConnectionRefusedError) as exc:
                 raise ConnectionError(
                     f"no pricing daemon listening at {self.socket_path} "
                     f"({exc.strerror or exc}); start one with "
                     f"'repro serve --socket {self.socket_path}'") from exc
-            reply = self._call({"op": "hello",
-                                "version": PROTOCOL_VERSION,
-                                "workload": workload,
-                                "cost_params": cost_params,
-                                "rho": rho})
+            reply = self._call_on(sock, {"op": "hello",
+                                         "version": PROTOCOL_VERSION,
+                                         "workload": self._workload,
+                                         "cost_params": self._cost_params,
+                                         "rho": self._rho})
             if reply.get("salt") != self._salt:
                 raise ValueError(
                     f"pricing daemon at {self.socket_path} computed "
                     f"context salt {reply.get('salt')!r} but this "
                     f"client computed {self._salt!r} — version skew "
                     "between daemon and client would misprice designs")
-        except BaseException:
+            self._daemon_store_path = reply.get("store")
+            ok = True
+        finally:
+            if not ok:
+                sock.close()
+        self._handles = {}
+        self._sock = sock
+        if self._ever_connected:
+            self.stats.reconnects += 1
+        self._ever_connected = True
+
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
             self._sock.close()
             self._sock = None
-            raise
+
+    def _call_on(self, sock: socket.socket, request: dict) -> dict:
+        """One raw round-trip on an explicit socket (no retry)."""
+        if self._injector is not None:
+            self._injector.on_client_frame(sock)
+        # A FrameError raised here (oversized outgoing frame) happens
+        # before any bytes hit the socket and is deterministic — it
+        # propagates unretried.
+        send_frame(sock, request, max_bytes=self._max_frame_bytes)
+        try:
+            reply = recv_frame(sock, max_bytes=self._max_frame_bytes)
+        except FrameError as exc:
+            raise _WireFrameError(str(exc)) from exc
+        if reply is None:
+            raise ConnectionError(
+                f"pricing daemon at {self.socket_path} closed the "
+                "connection")
+        if not isinstance(reply, dict) or not reply.get("ok"):
+            if isinstance(reply, dict) and reply.get("retryable"):
+                raise DaemonBusyError(
+                    f"pricing daemon at {self.socket_path} deferred "
+                    f"{request.get('op')!r}: "
+                    f"{reply.get('error', 'busy')}")
+            error = (reply.get("error", "unknown error")
+                     if isinstance(reply, dict) else repr(reply))
+            raise RuntimeError(
+                f"pricing daemon refused {request.get('op')!r}: "
+                f"{error}")
+        return reply
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        base = min(self._backoff_max,
+                   self._backoff * (2 ** max(0, attempt - 1)))
+        time.sleep(base * (0.5 + self._jitter.random()))
+
+    def _with_retry(self, build_request) -> dict | None:
+        """Run one request under the retry budget.
+
+        ``build_request`` is called fresh per attempt (``None`` means
+        "just ensure connected") because a reconnect resets the handle
+        table — stale handles must never be resubmitted.  Retryable:
+        connection-level failures (``OSError`` including timeouts,
+        :class:`FrameError`, a closed stream) which reconnect, and
+        :class:`DaemonBusyError` which backs off on the live
+        connection.  Not retryable: daemon refusals (``RuntimeError``)
+        and salt mismatches (``ValueError``) — retrying cannot fix
+        version skew or a poisoned design.
+        """
+        if self._closed:
+            raise RuntimeError("remote evaluation service is closed")
+        attempt = 0
+        while True:
+            try:
+                if self._sock is None:
+                    self._connect()
+                if build_request is None:
+                    return None
+                return self._call_on(self._sock, build_request())
+            except DaemonBusyError:
+                # The connection is healthy; just back off and resend.
+                attempt += 1
+                self.stats.retries += 1
+                if attempt > self._retries:
+                    raise
+            except (OSError, _WireFrameError) as exc:
+                self._drop_socket()
+                attempt += 1
+                self.stats.retries += 1
+                if attempt > self._retries:
+                    if isinstance(exc, ConnectionError):
+                        raise
+                    raise ConnectionError(
+                        f"pricing daemon at {self.socket_path} failed "
+                        f"{attempt} attempts (last: {exc})") from exc
+            self._sleep_backoff(attempt)
+
+    # ------------------------------------------------------------------
+    # Degradation (local fallback)
+    # ------------------------------------------------------------------
+    def _degrade(self, cause: BaseException) -> None:
+        """Switch to a local fallback service for the rest of the run.
+
+        Layered over a read-only view of the daemon's store when one is
+        reachable (warm start, no writer-lock contention with a daemon
+        that may still hold it); already-mirrored stats are kept as the
+        base and the local service's stats are folded in on top.
+        """
+        from repro.core.evalservice import EvalService
+        from repro.core.evaluator import Evaluator
+        from repro.core.store import EvalStore
+        from repro.cost.model import CostModel
+
+        self._drop_socket()
+        store = None
+        if self._daemon_store_path:
+            try:
+                store = EvalStore(self._daemon_store_path,
+                                  read_only=True)
+            except (OSError, ValueError):
+                store = None  # cold fallback beats no fallback
+        evaluator = Evaluator(self._workload,
+                              CostModel(self._cost_params),
+                              trainer=None, rho=self._rho)
+        self._local = EvalService(evaluator, store=store)
+        base = self.stats.snapshot()
+        self._stats_base = base
+        self.stats.degraded = 1
+        import warnings
+        warnings.warn(
+            f"pricing daemon at {self.socket_path} unreachable after "
+            f"{self.stats.retries} retries ({cause}); degrading to "
+            f"local pricing"
+            + (" over a read-only view of the daemon's store"
+               if store is not None else " (store unreachable — cold)"),
+            RuntimeWarning, stacklevel=3)
+
+    def _refresh_degraded_stats(self) -> None:
+        """Fold base (pre-degradation) + local stats into ``self.stats``
+        in place — external references to the stats object stay valid."""
+        import dataclasses
+        local = self._local.stats
+        base = self._stats_base
+        for field in dataclasses.fields(EvalServiceStats):
+            setattr(self.stats, field.name,
+                    getattr(base, field.name)
+                    + getattr(local, field.name))
+        self.stats.degraded = 1
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this client has fallen back to local pricing."""
+        return self._local is not None
 
     # ------------------------------------------------------------------
     # EvalService surface
@@ -128,7 +411,10 @@ class RemoteEvalService:
 
     @property
     def cache_len(self) -> int:
-        """The LRU lives in the daemon; this client holds no entries."""
+        """The LRU lives in the daemon; this client holds no entries
+        (after degradation: the local fallback's cache)."""
+        if self._local is not None:
+            return self._local.cache_len
         return 0
 
     def evaluate_hardware(self, networks, accelerator):
@@ -139,25 +425,50 @@ class RemoteEvalService:
         """Price a batch through the daemon, preserving order.
 
         Chunked to respect the frame-size guard; stats are mirrored
-        from the tiers the daemon reports for each request.
+        from the tiers the daemon reports for each request.  Retries
+        rebuild the submit entries fresh (handles are per-connection);
+        an exhausted retry budget degrades to local pricing when a
+        fallback was configured, else raises.
         """
         pairs = list(pairs)
+        if self._local is not None:
+            result = self._local.evaluate_many(pairs)
+            self._refresh_degraded_stats()
+            return result
         self.stats.batches += 1
         evaluations: list = []
         for start in range(0, len(pairs), self._submit_chunk):
             chunk = pairs[start:start + self._submit_chunk]
             keys = [design_content(*pair) for pair in chunk]
-            entries = [self._handles.get(key, pair)
-                       for key, pair in zip(keys, chunk)]
             self._request_id += 1
-            reply = self._call({"op": "submit",
-                                "id": self._request_id,
-                                "pairs": entries})
-            if reply.get("id") != self._request_id:
+            request_id = self._request_id
+
+            def build_request() -> dict:
+                entries = [self._handles.get(key, pair)
+                           for key, pair in zip(keys, chunk)]
+                return {"op": "submit", "id": request_id,
+                        "pairs": entries}
+
+            try:
+                reply = self._with_retry(build_request)
+            except (ConnectionError, FrameError, OSError, RuntimeError,
+                    ValueError) as exc:
+                if self._fallback != "local":
+                    raise
+                # The local reprice below counts this batch itself.
+                self.stats.batches -= 1
+                self._degrade(exc)
+                # Reprice the whole batch locally: chunks already
+                # priced through the daemon are deterministic cache /
+                # store hits, so the result stays bit-identical.
+                result = self._local.evaluate_many(pairs)
+                self._refresh_degraded_stats()
+                return result
+            if reply.get("id") != request_id:
                 raise ConnectionError(
                     f"pricing daemon answered request "
                     f"{reply.get('id')!r} out of order (expected "
-                    f"{self._request_id}) — stream desynchronised")
+                    f"{request_id}) — stream desynchronised")
             for key, handle in zip(keys, reply["handles"]):
                 self._handles[key] = handle
             evaluations.extend(pickle.loads(blob)
@@ -168,11 +479,19 @@ class RemoteEvalService:
     def bump_generation(self) -> None:
         """Open a new cache generation in the hosted service, so
         pre-existing entries count as shared reuse from here on."""
-        self._call({"op": "bump_generation"})
+        if self._local is not None:
+            self._local.bump_generation()
+            return
+        self._with_retry(lambda: {"op": "bump_generation"})
 
     def flush_store(self) -> int:
         """Ask the daemon to flush the hosted service's cost memo."""
-        return int(self._call({"op": "flush"}).get("flushed", 0))
+        if self._local is not None:
+            flushed = self._local.flush_store()
+            self._refresh_degraded_stats()
+            return flushed
+        reply = self._with_retry(lambda: {"op": "flush"})
+        return int(reply.get("flushed", 0))
 
     def state_snapshot(self) -> dict:
         raise RuntimeError(
@@ -189,9 +508,12 @@ class RemoteEvalService:
 
     def close(self) -> None:
         """Close the connection (the daemon and its caches live on)."""
-        if self._sock is not None:
-            self._sock.close()
-            self._sock = None
+        self._closed = True
+        self._drop_socket()
+        if self._local is not None:
+            if self._local.store is not None:
+                self._local.store.close()
+            self._local.close()
 
     # ------------------------------------------------------------------
     # Daemon management
@@ -199,39 +521,33 @@ class RemoteEvalService:
     def server_stats(self) -> dict:
         """The daemon's view: hosted-service stats snapshot,
         ``cache_len``, server counters, store occupancy."""
-        return self._call({"op": "stats"})
+        if self._local is not None:
+            raise ConnectionError(
+                "client is degraded to local pricing; the daemon is "
+                "unreachable")
+        return self._with_retry(lambda: {"op": "stats"})
 
     def ping(self) -> int:
         """Round-trip liveness check; returns the daemon's protocol
         version."""
-        return int(self._call({"op": "ping"})["version"])
+        if self._local is not None:
+            raise ConnectionError(
+                "client is degraded to local pricing; the daemon is "
+                "unreachable")
+        return int(self._with_retry(lambda: {"op": "ping"})["version"])
 
     def shutdown_server(self) -> None:
-        """Ask the daemon to shut down gracefully (drain + flush)."""
-        self._call({"op": "shutdown"})
+        """Ask the daemon to shut down gracefully (drain + flush).
 
-    # ------------------------------------------------------------------
-    # Wire plumbing
-    # ------------------------------------------------------------------
-    def _call(self, request: dict) -> dict:
+        Deliberately unretried: re-sending a shutdown through the
+        retry machinery could kill a *restarted* daemon."""
         if self._sock is None:
-            raise RuntimeError("remote evaluation service is closed")
-        send_frame(self._sock, request,
-                   max_bytes=self._max_frame_bytes)
-        reply = recv_frame(self._sock,
-                           max_bytes=self._max_frame_bytes)
-        if reply is None:
-            raise ConnectionError(
-                f"pricing daemon at {self.socket_path} closed the "
-                "connection")
-        if not isinstance(reply, dict) or not reply.get("ok"):
-            error = (reply.get("error", "unknown error")
-                     if isinstance(reply, dict) else repr(reply))
-            raise RuntimeError(
-                f"pricing daemon refused {request.get('op')!r}: "
-                f"{error}")
-        return reply
+            self._connect()
+        self._call_on(self._sock, {"op": "shutdown"})
 
+    # ------------------------------------------------------------------
+    # Stats plumbing
+    # ------------------------------------------------------------------
     def _absorb(self, tiers, miss_seconds: float) -> None:
         """Mirror one reply's tier breakdown into local stats."""
         for tier in tiers:
@@ -252,6 +568,13 @@ class RemoteEvalService:
         self.close()
 
     def __repr__(self) -> str:
-        state = "closed" if self._sock is None else "connected"
+        if self._local is not None:
+            state = "degraded-local"
+        elif self._closed:
+            state = "closed"
+        elif self._sock is None:
+            state = "disconnected"
+        else:
+            state = "connected"
         return (f"RemoteEvalService({str(self.socket_path)!r}, "
                 f"{state}, salt={self._salt[:8]}...)")

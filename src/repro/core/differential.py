@@ -41,6 +41,7 @@ import json
 import math
 import tempfile
 import time
+import warnings
 from dataclasses import dataclass, fields, replace
 from pathlib import Path
 from typing import Any, Callable
@@ -337,6 +338,92 @@ def _check_served(scenario: GeneratedScenario,
     return None
 
 
+def _check_chaos_serve(scenario: GeneratedScenario,
+                       rng: np.random.Generator) -> str | None:
+    """Fault-injected serving vs the bare evaluator (bit-identical).
+
+    Draws a seeded :class:`~repro.core.faults.FaultPlan` (dropped
+    connections, stalled replies, poisoned computes, daemon kill, torn
+    store append — or none), threads one injector through daemon,
+    client and store, and prices the trace through a retrying client
+    with ``fallback="local"``.  The contract: under *any* bounded fault
+    schedule the client either completes through retries or degrades to
+    local pricing — both bit-identical to the direct evaluator, never a
+    silent divergence or a hang.  Afterwards the store is reopened with
+    ``recover=True`` and every surviving entry is checked against the
+    direct pricing (the durable prefix must stay trustworthy even when
+    the daemon died mid-append).
+    """
+    from repro.core.client import RemoteEvalService
+    from repro.core.evalservice import design_content
+    from repro.core.faults import FaultInjector, FaultPlan
+    from repro.core.server import serve_in_thread
+
+    pairs = scenario.sample_pairs(rng, scenario.spec.design_samples)
+    trace = pairs + pairs[::-1]  # repeats exercise handle re-registration
+    direct_eval = Evaluator(scenario.workload,
+                            CostModel(scenario.cost_params),
+                            trainer=None, rho=scenario.rho)
+    direct = [direct_eval.evaluate_hardware(nets, accel)
+              for nets, accel in trace]
+    plan = FaultPlan.from_rng(rng)
+    injector = FaultInjector(plan)
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+        store_path = Path(tmp) / "store.bin"
+        with warnings.catch_warnings():
+            # Degradation warns on purpose; the fuzzer only cares about
+            # the bit-identity verdict.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with serve_in_thread(store_path=store_path,
+                                 fault_injector=injector,
+                                 write_timeout=5.0) as server:
+                client = RemoteEvalService(
+                    server.socket_path, scenario.workload,
+                    scenario.cost_params, scenario.rho,
+                    timeout=1.0, retries=3, backoff=0.01,
+                    backoff_max=0.05, fallback="local",
+                    fault_injector=injector)
+                try:
+                    # Several submits so mid-run faults land between
+                    # batches, not only inside the first one.
+                    chunk = max(1, len(trace) // 3)
+                    served: list = []
+                    for start in range(0, len(trace), chunk):
+                        served.extend(client.evaluate_many(
+                            trace[start:start + chunk]))
+                    degraded = client.degraded
+                    retries = client.stats.retries
+                finally:
+                    client.close()
+        if len(served) != len(trace):
+            return (f"{len(served)} of {len(trace)} evaluations "
+                    f"returned under {plan.describe()}")
+        for index, (want, got) in enumerate(zip(direct, served)):
+            if got != want:
+                path = "degraded" if degraded else "served"
+                return (f"request {index}: {path} evaluation != "
+                        f"direct under {plan.describe()}")
+        if degraded and not injector.fired and not retries:
+            return (f"client degraded although no fault fired "
+                    f"({plan.describe()})")
+        # The durable prefix must recover and stay bit-exact.
+        if store_path.exists():
+            expected = {design_content(*pair): evaluation
+                        for pair, evaluation in zip(trace, direct)}
+            check_store = EvalStore(store_path, recover=True)
+            try:
+                for _address, entries in check_store._evals.items():
+                    for key, evaluation in entries:
+                        want = expected.get(key)
+                        if want is not None and evaluation != want:
+                            return (f"recovered store entry diverges "
+                                    f"from direct pricing under "
+                                    f"{plan.describe()}")
+            finally:
+                check_store.close()
+    return None
+
+
 def _check_checkpoint_resume(scenario: GeneratedScenario,
                              rng: np.random.Generator) -> str | None:
     """Kill-and-resume at a random round vs the uninterrupted run."""
@@ -436,6 +523,10 @@ for _pair in (
                "daemon-served pricing == direct evaluator, "
                "second client fully shared",
                _check_served),
+    OraclePair("chaos-serve",
+               "fault-injected serving completes or falls back, "
+               "bit-identical to direct pricing",
+               _check_chaos_serve),
     OraclePair("checkpoint-resume",
                "resume at any round == uninterrupted run",
                _check_checkpoint_resume),
@@ -719,7 +810,17 @@ def run_fuzz(*, cases: int | None = None, minutes: float | None = None,
             checks += 1
             if detail is None:
                 continue
-            shrunk, shrunk_detail = shrink_spec(spec, pair)
+            try:
+                shrunk, shrunk_detail = shrink_spec(spec, pair)
+            except ValueError:
+                # The failure did not reproduce on re-check (a
+                # timing-dependent pair, e.g. a chaos fault schedule
+                # racing real deadlines).  A flaky contract violation
+                # is still a violation: record it unshrunk with the
+                # original detail instead of crashing the campaign.
+                shrunk, shrunk_detail = spec, (
+                    f"{detail} [did not reproduce on re-check — "
+                    f"timing-dependent]")
             repro_path = None
             if repro_dir is not None:
                 repro_path = save_repro(

@@ -35,8 +35,10 @@ by the golden search test.
 from __future__ import annotations
 
 import time
+import warnings
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields, replace
 
 from repro.accel.accelerator import HeterogeneousAccelerator
@@ -190,6 +192,13 @@ class EvalServiceStats:
             on a worker pool run their own solvers, so their inner-loop
             counters are not reflected here (the cache accounting still
             is).
+        pool_restarts: Times a broken process pool was rebuilt and its
+            batch repriced serially (fault tolerance, not a hot path).
+        retries / reconnects / degraded: Fault counters mirrored by
+            :class:`repro.core.client.RemoteEvalService` — request
+            retries, transparent reconnects, and whether the client
+            fell back to local pricing (0/1).  Always 0 for a local
+            service.
     """
 
     hits: int = 0
@@ -209,6 +218,10 @@ class EvalServiceStats:
     hap_memo_hits: int = 0
     hap_steps_saved: int = 0
     hap_steps_replayed: int = 0
+    pool_restarts: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    degraded: int = 0
 
     @property
     def requests(self) -> int:
@@ -245,9 +258,15 @@ class EvalServiceStats:
         the stats when it starts and absorbs only the delta, so campaign
         scenarios sharing one cache still report per-run numbers.
         """
-        return EvalServiceStats(**{
+        diff = EvalServiceStats(**{
             f.name: getattr(self, f.name) - getattr(since, f.name)
             for f in fields(self)})
+        # Degradation is a state, not a counter: a client that fell
+        # back to local pricing before the run started (e.g. the
+        # daemon was already unreachable at construction) must still
+        # report the run as degraded.
+        diff.degraded = self.degraded
+        return diff
 
     def summary(self) -> str:
         """One-line human-readable account."""
@@ -264,6 +283,8 @@ class EvalServiceStats:
         pruned_pct = self.hap_moves_pruned / moves if moves else 0.0
         steps = self.hap_steps_saved + self.hap_steps_replayed
         saved_pct = self.hap_steps_saved / steps if steps else 0.0
+        restarts = (f"; {self.pool_restarts} pool restarts"
+                    if self.pool_restarts else "")
         return (f"pricing: cost memo {self.cost_memo_hits} hits / "
                 f"{self.cost_memo_misses} misses "
                 f"({self.cost_memo_rate:.1%} reuse, "
@@ -271,7 +292,7 @@ class EvalServiceStats:
                 f"HAP moves {moves} priced, "
                 f"{self.hap_moves_pruned} pruned ({pruned_pct:.1%}), "
                 f"{self.hap_moves_resumed} resumed "
-                f"({saved_pct:.1%} steps skipped)")
+                f"({saved_pct:.1%} steps skipped){restarts}")
 
 
 class EvalService:
@@ -493,8 +514,23 @@ class EvalService:
             pool = self._ensure_pool()
             # Chunk to amortise per-item pickling on large sweeps.
             chunksize = max(1, len(pairs) // (self.workers * 4))
-            evaluations = list(pool.map(_eval_in_worker, pairs,
-                                        chunksize=chunksize))
+            try:
+                evaluations = list(pool.map(_eval_in_worker, pairs,
+                                            chunksize=chunksize))
+            except BrokenProcessPool:
+                # A worker died (OOM kill, hard crash).  Pricing is
+                # deterministic, so the batch is safely repriced
+                # serially in-process; the pool is dropped and rebuilt
+                # lazily on the next parallel batch.
+                pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+                self.stats.pool_restarts += 1
+                warnings.warn(
+                    f"evaluation worker pool broke mid-batch; repricing "
+                    f"{len(pairs)} designs serially and rebuilding the "
+                    f"pool", RuntimeWarning, stacklevel=3)
+                return [self.evaluator.evaluate_hardware(nets, accel)
+                        for nets, accel in pairs]
             # Workers run their own cost models; mirror the invocation
             # count so `Evaluator.hardware_evaluations` stays truthful.
             self.evaluator.hardware_evaluations += len(pairs)

@@ -37,9 +37,19 @@ Ops (client -> server):
   next submit), per-request ``tiers`` (``"hit" | "shared" | "store" |
   "miss" | "coalesced"``) and the batch's ``miss_seconds`` so the
   client mirrors honest stats.
+- ``status``: ``{"op"}`` — pre-handshake liveness/occupancy probe
+  (``repro serve --status``): uptime, hosted services, in-flight and
+  queued work, counters, store occupancy.  Needs no evaluation
+  context, so monitoring never pays a handshake.
 - ``stats`` / ``bump_generation`` / ``flush`` / ``ping`` /
   ``shutdown``: service management; see :class:`repro.core.server.\
 PricingServer`.
+
+Error frames carry ``ok: False`` and an ``error`` string; a frame with
+``retryable: True`` (the daemon's bounded in-flight queue refusing at
+capacity) tells the client the *connection* is healthy and the request
+should be retried with backoff, while every other refusal is terminal
+for that request.
 
 Like the checkpoint format, frames use pickle: evaluations must
 round-trip bit-identically, and the socket is a *local* Unix socket

@@ -84,6 +84,12 @@ class SearchResult:
             accounting — certified-bound prunes and delta-resume reuse
             inside the uncached solves (zero on worker-pool misses,
             whose counters stay in the worker processes).
+        degraded: Whether a remote pricing client fell back to local
+            pricing mid-run (results stay bit-identical; the flag makes
+            the fault visible in the run record).
+        pricing_retries / pricing_reconnects / pool_restarts: Fault
+            counters — request retries and transparent reconnects of a
+            remote client, and broken-pool rebuilds of a local service.
     """
 
     name: str
@@ -104,6 +110,10 @@ class SearchResult:
     hap_moves_resumed: int = 0
     hap_steps_saved: int = 0
     hap_steps_replayed: int = 0
+    degraded: bool = False
+    pricing_retries: int = 0
+    pricing_reconnects: int = 0
+    pool_restarts: int = 0
 
     def absorb_eval_stats(self, stats) -> None:
         """Copy an :class:`~repro.core.evalservice.EvalServiceStats`
@@ -121,6 +131,12 @@ class SearchResult:
         self.hap_moves_resumed = stats.hap_moves_resumed
         self.hap_steps_saved = stats.hap_steps_saved
         self.hap_steps_replayed = stats.hap_steps_replayed
+        # Fault counters (getattr-guarded: older snapshots round-trip
+        # through checkpoints without these fields).
+        self.degraded = bool(getattr(stats, "degraded", 0))
+        self.pricing_retries = int(getattr(stats, "retries", 0))
+        self.pricing_reconnects = int(getattr(stats, "reconnects", 0))
+        self.pool_restarts = int(getattr(stats, "pool_restarts", 0))
 
     def record(self, solution: ExploredSolution) -> None:
         """Add a solution and refresh the incumbent best."""
@@ -167,6 +183,18 @@ class SearchResult:
                 f"{self.hap_moves_pruned} pruned by certified bounds, "
                 f"{self.hap_moves_resumed} delta-resumed "
                 f"({saved:.1%} simulation steps skipped)")
+        if self.degraded or self.pricing_retries \
+                or self.pricing_reconnects or self.pool_restarts:
+            flags = []
+            if self.degraded:
+                flags.append("DEGRADED to local pricing")
+            if self.pricing_retries:
+                flags.append(f"{self.pricing_retries} retries")
+            if self.pricing_reconnects:
+                flags.append(f"{self.pricing_reconnects} reconnects")
+            if self.pool_restarts:
+                flags.append(f"{self.pool_restarts} pool restarts")
+            lines.append("pricing faults: " + ", ".join(flags))
         if self.best is not None:
             lines.append("best: " + self.best.describe())
         else:

@@ -144,8 +144,9 @@ def result_to_dict(result: SearchResult) -> dict[str, Any]:
 
     The ``pricing`` block mirrors the run's uncached-pricing counters
     (cross-design cost-table memo reuse and HAP move pricing — certified
-    prunes, delta-resumes, simulation steps skipped), so JSON outputs
-    track the fast-path effectiveness per run.
+    prunes, delta-resumes, simulation steps skipped) plus the fault
+    counters (``degraded``, retries/reconnects, pool restarts), so JSON
+    outputs track fast-path effectiveness and fault exposure per run.
     """
     return {
         "name": result.name,
@@ -168,6 +169,10 @@ def result_to_dict(result: SearchResult) -> dict[str, Any]:
             "hap_moves_resumed": result.hap_moves_resumed,
             "hap_steps_saved": result.hap_steps_saved,
             "hap_steps_replayed": result.hap_steps_replayed,
+            "degraded": result.degraded,
+            "retries": result.pricing_retries,
+            "reconnects": result.pricing_reconnects,
+            "pool_restarts": result.pool_restarts,
         },
     }
 

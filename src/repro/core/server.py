@@ -33,12 +33,36 @@ Architecture (one asyncio loop, two single-thread executors):
 - **Graceful SIGTERM.**  Shutdown stops accepting, waits for in-flight
   pricing, drains the persist queue, flushes every hosted service's
   cost memo and releases the store writer lock — a ``kill`` never
-  drops priced work.
+  drops priced work.  A *second* signal during the drain forces an
+  immediate exit (crash semantics: the store's durable prefix is kept
+  intact by construction, and the next daemon opens it with
+  ``recover=True``).
+
+Hardening (one faulty client must never take the daemon down):
+
+- **Crash recovery.**  The store is opened with ``recover=True``: a
+  file torn by a previous crash mid-append is truncated back to the
+  last valid record, the tail quarantined to a ``.corrupt`` sidecar.
+- **Stale-socket probing.**  A leftover socket file is only unlinked
+  after a probe-connect proves nothing is listening — a starting
+  daemon never steals a live daemon's socket.
+- **Deadlines + shedding.**  Optional per-connection read deadline and
+  a write deadline: a stalled or unread-buffer-filling client is shed
+  (connection dropped, ``shed`` counter) without blocking the loop.
+- **Bounded in-flight queue.**  Past ``max_inflight`` queued
+  computations, submits are refused loudly with a ``retryable`` error
+  frame the client backs off on — memory stays bounded under storm.
+- **Compute isolation.**  A design whose pricing raises (poisoned
+  input) answers a per-request error frame; the daemon, its other
+  connections and coalesced siblings of *other* designs are untouched.
+- **Status probing.**  A pre-handshake ``status`` op
+  (``repro serve --status``) reports uptime, hosted services,
+  in-flight and queued work, counters and store occupancy.
 
 Determinism: pricing is RNG-free, so a served evaluation is
-bit-identical to an in-process one — the ``served`` oracle pair in
-:mod:`repro.core.differential` and ``benchmarks/bench_serve.py`` gate
-this continuously.
+bit-identical to an in-process one — the ``served`` and ``chaos-serve``
+oracle pairs in :mod:`repro.core.differential` and
+``benchmarks/bench_serve.py`` gate this continuously.
 """
 
 from __future__ import annotations
@@ -47,6 +71,7 @@ import asyncio
 import pickle
 import shutil
 import signal
+import socket
 import tempfile
 import threading
 import time
@@ -60,6 +85,7 @@ from repro.core.evalservice import (
     design_content,
     evaluation_context_salt,
 )
+from repro.core.faults import TornWriteError
 from repro.core.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -78,30 +104,52 @@ class PricingServer:
 
     Args:
         socket_path: Unix socket to listen on (created on start; a
-            stale file from a dead daemon is replaced).
+            stale file from a dead daemon is probe-connected first and
+            only replaced when nothing answers).
         store_path: Optional persistent evaluation store backing every
-            hosted service.  Opened for writing on start — the store's
-            writer lock makes a second daemon on the same store fail
-            loudly before it can touch the socket.
+            hosted service.  Opened for writing with ``recover=True``
+            on start — the store's writer lock makes a second daemon on
+            the same store fail loudly before it can touch the socket,
+            and a tail torn by a previous crash is recovered.
         cache_size: LRU capacity of each hosted service.
         max_frame_bytes: Protocol frame-size guard (tests shrink it).
+        read_timeout: Seconds a connection may sit idle between
+            requests before being shed (``None`` = wait forever, the
+            default — searches legitimately think between batches).
+        write_timeout: Seconds a reply write may stall before the
+            client is shed (``None`` = forever).  The default guards
+            the loop against a client that stops reading.
+        max_inflight: Bound on concurrently queued miss computations;
+            submits needing more are refused with a ``retryable`` error
+            frame.
+        fault_injector: Test-only :class:`repro.core.faults.\
+FaultInjector` hooked into the reply/batch/compute/append seams.
     """
 
     def __init__(self, socket_path: str | Path, *,
                  store_path: str | Path | None = None,
                  cache_size: int = 4096,
-                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 read_timeout: float | None = None,
+                 write_timeout: float | None = 60.0,
+                 max_inflight: int = 256,
+                 fault_injector=None) -> None:
         self.socket_path = Path(socket_path)
         self.store_path = (Path(store_path)
                            if store_path is not None else None)
         self.cache_size = cache_size
         self.max_frame_bytes = max_frame_bytes
+        self.read_timeout = read_timeout
+        self.write_timeout = write_timeout
+        self.max_inflight = max(1, max_inflight)
+        self._injector = fault_injector
         self.store: EvalStore | None = None
         #: context salt -> hosted service (inspectable in tests).
         self.services: dict[str, EvalService] = {}
         self.counters = {"connections": 0, "batches": 0, "computed": 0,
                          "coalesced": 0, "persisted": 0,
-                         "persist_errors": 0}
+                         "persist_errors": 0, "compute_errors": 0,
+                         "refused_busy": 0, "shed": 0}
         self._inflight: dict[tuple[str, tuple], asyncio.Future] = {}
         # Evaluations pickled once, served many times: the hit path of
         # a repeat-heavy trace is dominated by (re)pickling reply
@@ -115,42 +163,110 @@ class PricingServer:
         self._writer_task: asyncio.Task | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._shutdown_event: asyncio.Event | None = None
+        self._force_event: asyncio.Event | None = None
+        self._client_writers: set[asyncio.StreamWriter] = set()
+        self._started_at = 0.0
         self._closed = False
+        self._aborted = False
+        #: Whether the daemon exited through :meth:`abort` (forced /
+        #: crash-style) rather than the graceful drain.
+        self.aborted = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Open the store, bind the socket, launch the writer task."""
+        """Open (and if needed recover) the store, bind the socket,
+        launch the writer task."""
         self._loop = asyncio.get_running_loop()
         self._shutdown_event = asyncio.Event()
+        self._force_event = asyncio.Event()
+        self._started_at = time.monotonic()
         if self.store_path is not None:
             # First thing: the writer lock.  A second daemon on the
             # same store dies here, before unlinking anyone's socket.
-            self.store = EvalStore(self.store_path)
-        self._compute = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve-compute")
-        self._write = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve-write")
-        self._persist_queue = asyncio.Queue()
-        self._writer_task = self._loop.create_task(
-            self._drain_persist_queue())
-        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
-        self.socket_path.unlink(missing_ok=True)  # stale socket
-        self._server = await asyncio.start_unix_server(
-            self._handle_client, path=str(self.socket_path))
+            # recover=True picks up a tail torn by a previous crash.
+            self.store = EvalStore(self.store_path, recover=True,
+                                   fault_injector=self._injector)
+        try:
+            self._compute = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve-compute")
+            self._write = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve-write")
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            self._replace_stale_socket()
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=str(self.socket_path))
+            self._persist_queue = asyncio.Queue()
+            self._writer_task = self._loop.create_task(
+                self._drain_persist_queue())
+        except BaseException:
+            # A boot failure must release everything it acquired —
+            # above all the store writer lock.
+            if self._compute is not None:
+                self._compute.shutdown(wait=False)
+            if self._write is not None:
+                self._write.shutdown(wait=False)
+            if self.store is not None:
+                self.store.close()
+            raise
+
+    def _replace_stale_socket(self) -> None:
+        """Unlink a leftover socket file only if nothing answers it.
+
+        A daemon that died hard (or was force-killed) leaves its socket
+        behind; a *live* daemon's socket accepts the probe and the
+        newcomer refuses to steal it.
+        """
+        if not self.socket_path.exists():
+            return
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(1.0)
+        try:
+            try:
+                probe.connect(str(self.socket_path))
+            except OSError:
+                # Nothing listening: genuinely stale, safe to replace.
+                self.socket_path.unlink(missing_ok=True)
+            else:
+                raise ValueError(
+                    f"another pricing daemon is already listening on "
+                    f"{self.socket_path}; refusing to steal a live "
+                    f"socket (use a different --socket, or stop the "
+                    f"other daemon first)")
+        finally:
+            probe.close()
+
+    def _on_signal(self) -> None:
+        """First signal: graceful drain.  Second: force immediate exit
+        (the store's durable prefix stays valid; next open recovers)."""
+        if not self._shutdown_event.is_set():
+            self._shutdown_event.set()
+        else:
+            self._force_event.set()
 
     def install_signal_handlers(self) -> None:
-        """SIGTERM/SIGINT trigger the graceful shutdown (main thread
-        only — threads cannot install signal handlers)."""
+        """SIGTERM/SIGINT trigger the graceful shutdown; a repeat of
+        either forces immediate exit (main thread only — threads cannot
+        install signal handlers)."""
         assert self._loop is not None, "call start() first"
         for signum in (signal.SIGTERM, signal.SIGINT):
-            self._loop.add_signal_handler(signum,
-                                          self._shutdown_event.set)
+            self._loop.add_signal_handler(signum, self._on_signal)
 
     def request_shutdown(self) -> None:
-        """Thread-safe shutdown trigger (used by ``serve_in_thread``)."""
-        loop, event = self._loop, self._shutdown_event
+        """Thread-safe shutdown trigger (used by ``serve_in_thread``).
+        Like a signal: the first call drains, a second call forces."""
+        loop = self._loop
+        if loop is None or self._shutdown_event is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._on_signal)
+        except RuntimeError:  # loop already closed
+            pass
+
+    def force_stop(self) -> None:
+        """Thread-safe immediate-exit trigger (crash semantics)."""
+        loop, event = self._loop, self._force_event
         if loop is None or event is None:
             return
         try:
@@ -158,18 +274,59 @@ class PricingServer:
         except RuntimeError:  # loop already closed
             pass
 
-    async def run_async(self) -> None:
-        """Start, serve until the shutdown event fires, wind down."""
+    async def run_async(self, *, install_signals: bool = False) -> None:
+        """Start, serve until stopped (gracefully or forced), wind
+        down accordingly."""
         await self.start()
+        if install_signals:
+            self.install_signal_handlers()
+        await self._serve_until_stopped()
+
+    async def _serve_until_stopped(self) -> None:
+        """Serve until the shutdown event; force event (second signal,
+        injected kill) aborts — including mid-drain."""
+        shutdown_wait = asyncio.ensure_future(
+            self._shutdown_event.wait())
+        force_wait = asyncio.ensure_future(self._force_event.wait())
         try:
-            await self._shutdown_event.wait()
+            done, _ = await asyncio.wait(
+                {shutdown_wait, force_wait},
+                return_when=asyncio.FIRST_COMPLETED)
+            if force_wait in done:
+                await self.abort()
+                return
+            graceful = asyncio.ensure_future(self.shutdown())
+            done, _ = await asyncio.wait(
+                {graceful, force_wait},
+                return_when=asyncio.FIRST_COMPLETED)
+            if graceful in done:
+                await graceful  # propagate drain errors
+                return
+            # Second signal landed mid-drain: stop draining, get out.
+            graceful.cancel()
+            try:
+                await graceful
+            except asyncio.CancelledError:
+                pass
+            await self.abort()
         finally:
-            await self.shutdown()
+            for waiter in (shutdown_wait, force_wait):
+                if not waiter.done():
+                    waiter.cancel()
+            # No exit path may leak the store's writer lock: a drain
+            # error propagating out of ``await graceful`` would
+            # otherwise leave the handle open (and the store locked)
+            # until GC.  Both calls are idempotent no-ops on the
+            # normal paths, which already wound down.
+            if self._write is not None:
+                self._write.shutdown(wait=True, cancel_futures=True)
+            if self.store is not None:
+                self.store.close()
 
     async def shutdown(self) -> None:
         """Graceful wind-down: no accepted connection loses priced
         work and nothing pending skips persistence."""
-        if self._closed:
+        if self._closed or self._aborted:
             return
         self._closed = True
         if self._server is not None:
@@ -187,9 +344,14 @@ class PricingServer:
             except asyncio.CancelledError:
                 pass
         if self.store is not None:
-            for service in self.services.values():
-                await self._loop.run_in_executor(self._write,
-                                                 service.flush_store)
+            try:
+                for service in self.services.values():
+                    await self._loop.run_in_executor(
+                        self._write, service.flush_store)
+            except TornWriteError:
+                # Injected crash mid-flush: stop flushing, close out —
+                # the next open recovers the torn tail.
+                self.aborted = True
         if self._compute is not None:
             self._compute.shutdown(wait=True)
         if self._write is not None:
@@ -198,18 +360,76 @@ class PricingServer:
             self.store.close()
         self.socket_path.unlink(missing_ok=True)
 
+    async def abort(self) -> None:
+        """Forced teardown (second signal / injected kill): drop
+        everything *now*.
+
+        Crash semantics by design: in-flight work and the persist queue
+        are dropped (the store's durable prefix is still valid — every
+        completed append was fsynced), client connections reset, and
+        the socket file is deliberately left behind so the next
+        daemon's probe-connect exercises the stale-socket path.
+        """
+        if self._aborted:
+            return
+        self._aborted = True
+        self.aborted = True
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._client_writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self._writer_task is not None and not self._writer_task.done():
+            self._writer_task.cancel()
+            try:
+                await self._writer_task
+            except asyncio.CancelledError:
+                pass
+        for future in list(self._inflight.values()):
+            if not future.done():
+                future.cancel()
+        self._inflight.clear()
+        if self._compute is not None:
+            self._compute.shutdown(wait=False, cancel_futures=True)
+        if self._write is not None:
+            # Wait for an already-running append/flush (queued writes
+            # are still dropped): closing the store underneath it
+            # would let the append re-acquire the writer lock after
+            # close, leaking a locked handle until GC and blocking
+            # the next open's recovery.
+            self._write.shutdown(wait=True, cancel_futures=True)
+        if self.store is not None:
+            self.store.close()
+
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
     async def _reply(self, writer: asyncio.StreamWriter,
                      payload: dict) -> None:
+        if self._injector is not None:
+            stall = self._injector.reply_stall()
+            if stall:
+                await asyncio.sleep(stall)
         writer.write(encode_frame(payload,
                                   max_bytes=self.max_frame_bytes))
-        await writer.drain()
+        try:
+            if self.write_timeout is not None:
+                await asyncio.wait_for(writer.drain(),
+                                       self.write_timeout)
+            else:
+                await writer.drain()
+        except asyncio.TimeoutError:
+            # The client stopped reading; shed it rather than let its
+            # unread buffer pin the connection handler forever.
+            self.counters["shed"] += 1
+            raise ConnectionResetError(
+                "slow client shed: reply write deadline exceeded")
 
     async def _handle_client(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
         self.counters["connections"] += 1
+        self._client_writers.add(writer)
         service: EvalService | None = None
         # Connection-local design handles: entry i is the (key, pair)
         # this client first submitted as handle i, so its repeats ride
@@ -218,8 +438,19 @@ class PricingServer:
         try:
             while True:
                 try:
-                    request = await read_frame(
-                        reader, max_bytes=self.max_frame_bytes)
+                    frame = read_frame(reader,
+                                       max_bytes=self.max_frame_bytes)
+                    if self.read_timeout is not None:
+                        request = await asyncio.wait_for(
+                            frame, self.read_timeout)
+                    else:
+                        request = await frame
+                except asyncio.TimeoutError:
+                    # Idle past the read deadline: shed the connection
+                    # (the client reconnects transparently if it is
+                    # still alive — handles are re-registered).
+                    self.counters["shed"] += 1
+                    return
                 except (FrameError,
                         asyncio.IncompleteReadError) as exc:
                     # The stream cannot be trusted past a malformed
@@ -242,11 +473,18 @@ class PricingServer:
             # running to completion (and persist) — other clients
             # coalesced onto them are unaffected.
             pass
+        except asyncio.CancelledError:
+            # Daemon aborting (forced exit) while this handler was
+            # mid-await: drop the connection quietly — the client's
+            # retry machinery takes it from here.
+            pass
         finally:
+            self._client_writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
                 pass
 
     async def _dispatch(self, request, service: EvalService | None,
@@ -260,6 +498,8 @@ class PricingServer:
             return self._handle_hello(request)
         if op == "ping":
             return {"ok": True, "version": PROTOCOL_VERSION}
+        if op == "status":
+            return self._handle_status()
         if op == "shutdown":
             return {"ok": True, "shutdown": True}
         if service is None:
@@ -273,8 +513,15 @@ class PricingServer:
             service.bump_generation()
             return {"ok": True}
         if op == "flush":
-            flushed = await self._loop.run_in_executor(
-                self._write, service.flush_store)
+            try:
+                flushed = await self._loop.run_in_executor(
+                    self._write, service.flush_store)
+            except TornWriteError as exc:
+                # Injected crash mid-append: daemon dies, connection
+                # resets (the client retries against the next daemon
+                # or falls back).
+                self._force_event.set()
+                raise ConnectionResetError(str(exc)) from exc
             return {"ok": True, "flushed": flushed}
         return {"ok": False, "error": f"unknown op {op!r}"}
 
@@ -307,13 +554,41 @@ class PricingServer:
             # before this client joined count as *shared* reuse.
             service.bump_generation()
         return service, {"ok": True, "salt": salt,
-                         "version": PROTOCOL_VERSION}
+                         "version": PROTOCOL_VERSION,
+                         # Degraded clients layer a read-only local
+                         # fallback over the daemon's store.
+                         "store": (str(self.store_path)
+                                   if self.store_path is not None
+                                   else None)}
+
+    def _handle_status(self) -> dict:
+        """Pre-handshake liveness/occupancy probe
+        (``repro serve --status``)."""
+        return {"ok": True, "version": PROTOCOL_VERSION,
+                "uptime_seconds": time.monotonic() - self._started_at,
+                "services": len(self.services),
+                "inflight": len(self._inflight),
+                "persist_queue": (self._persist_queue.qsize()
+                                  if self._persist_queue is not None
+                                  else 0),
+                "counters": dict(self.counters),
+                "store_path": (str(self.store_path)
+                               if self.store_path is not None else None),
+                "store_entries": (len(self.store)
+                                  if self.store is not None else 0),
+                "store_recovered": (self.store.recovered
+                                    if self.store is not None else None)}
 
     # ------------------------------------------------------------------
     # Pricing
     # ------------------------------------------------------------------
     async def _handle_submit(self, service: EvalService, request,
                              handles: list):
+        if self._injector is not None \
+                and self._injector.on_server_batch():
+            # Injected daemon kill: crash semantics, mid-request.
+            self._force_event.set()
+            raise ConnectionResetError("fault injection: daemon killed")
         entries = request.get("pairs")
         if not isinstance(entries, list):
             return {"ok": False, "error": "submit without a pairs list"}
@@ -364,20 +639,41 @@ class PricingServer:
                 first_tier[key] = "coalesced"
                 self.counters["coalesced"] += 1
                 continue
+            if len(self._inflight) >= self.max_inflight:
+                # Refuse loudly instead of ballooning; computations
+                # already spawned for this batch run to completion and
+                # land in the cache, so the retried submit is cheaper.
+                self.counters["refused_busy"] += 1
+                return {"ok": False, "id": request.get("id"),
+                        "retryable": True,
+                        "error": f"pricing daemon at capacity "
+                                 f"({len(self._inflight)} computations "
+                                 f"in flight); retry with backoff"}
             awaited[key] = self._spawn_compute(service, inflight_key,
                                                key, pair)
             first_tier[key] = "miss"
         miss_seconds = 0.0
-        try:
-            for key, future in awaited.items():
-                evaluation, seconds = await future
+        if awaited:
+            # return_exceptions: one poisoned design must not leave
+            # sibling futures unretrieved (or kill the daemon).
+            outcomes = await asyncio.gather(*awaited.values(),
+                                            return_exceptions=True)
+            failures: list[tuple[tuple, BaseException]] = []
+            for key, outcome in zip(awaited.keys(), outcomes):
+                if isinstance(outcome, BaseException):
+                    failures.append((key, outcome))
+                    continue
+                evaluation, seconds = outcome
                 results[key] = evaluation
                 if first_tier[key] == "miss":
                     miss_seconds += seconds
-        except Exception as exc:
-            return {"ok": False, "id": request.get("id"),
-                    "error": f"pricing failed: "
-                             f"{type(exc).__name__}: {exc}"}
+            if failures:
+                self.counters["compute_errors"] += len(failures)
+                _key, exc = failures[0]
+                return {"ok": False, "id": request.get("id"),
+                        "error": f"pricing failed for {len(failures)} "
+                                 f"of {len(awaited)} designs (first: "
+                                 f"{type(exc).__name__}: {exc})"}
         seen: set[tuple] = set()
         tiers = []
         for key, _pair, _handle in resolved:
@@ -411,6 +707,8 @@ class PricingServer:
         self._inflight[inflight_key] = future
 
         def compute():
+            if self._injector is not None:
+                self._injector.on_compute(key)
             started = time.perf_counter()
             networks, accelerator = pair
             evaluation = service.evaluator.evaluate_hardware(
@@ -422,6 +720,13 @@ class PricingServer:
         def finish(task: asyncio.Future) -> None:
             # Runs on the loop thread: cache/stats mutation is safe.
             self._inflight.pop(inflight_key, None)
+            if future.done():  # aborted while computing
+                if not task.cancelled():
+                    task.exception()  # mark retrieved
+                return
+            if task.cancelled():
+                future.cancel()
+                return
             exc = task.exception()
             if exc is not None:
                 future.set_exception(exc)
@@ -436,6 +741,10 @@ class PricingServer:
             future.set_result((evaluation, seconds))
 
         task.add_done_callback(finish)
+        # A compute that fails after its only awaiter disconnected (or
+        # was refused) must not surface "exception never retrieved".
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None)
         return future
 
     async def _drain_persist_queue(self) -> None:
@@ -453,6 +762,14 @@ class PricingServer:
                 await self._loop.run_in_executor(
                     self._write, self.store.put_many, entries)
                 self.counters["persisted"] += len(entries)
+            except TornWriteError:
+                # Injected crash mid-append: the process "dies" here.
+                # Continuing to append after torn bytes would strand
+                # every later record behind an unreadable tail, so a
+                # real daemon could never survive this either.
+                self.counters["persist_errors"] += len(entries)
+                self._force_event.set()
+                return
             except Exception:
                 # The store indexes only after a successful append, so
                 # a failed write (full disk) leaves it consistent; the
@@ -475,24 +792,22 @@ class PricingServer:
 
 def serve(socket_path: str | Path, *,
           store_path: str | Path | None = None,
-          cache_size: int = 4096) -> PricingServer:
-    """Run a pricing daemon until SIGTERM/SIGINT (blocking).
+          cache_size: int = 4096,
+          read_timeout: float | None = None,
+          write_timeout: float | None = 60.0,
+          max_inflight: int = 256) -> PricingServer:
+    """Run a pricing daemon until SIGTERM/SIGINT (blocking; a second
+    signal forces immediate exit).
 
     The CLI entry point (``repro serve``).  Returns the wound-down
     server so callers can inspect its counters.
     """
     server = PricingServer(socket_path, store_path=store_path,
-                           cache_size=cache_size)
-
-    async def main() -> None:
-        await server.start()
-        server.install_signal_handlers()
-        try:
-            await server._shutdown_event.wait()
-        finally:
-            await server.shutdown()
-
-    asyncio.run(main())
+                           cache_size=cache_size,
+                           read_timeout=read_timeout,
+                           write_timeout=write_timeout,
+                           max_inflight=max_inflight)
+    asyncio.run(server.run_async(install_signals=True))
     return server
 
 
@@ -500,14 +815,19 @@ def serve(socket_path: str | Path, *,
 def serve_in_thread(socket_path: str | Path | None = None, *,
                     store_path: str | Path | None = None,
                     cache_size: int = 4096,
-                    max_frame_bytes: int = MAX_FRAME_BYTES):
+                    max_frame_bytes: int = MAX_FRAME_BYTES,
+                    read_timeout: float | None = None,
+                    write_timeout: float | None = 60.0,
+                    max_inflight: int = 256,
+                    fault_injector=None):
     """Run a daemon on a background thread (tests, fuzzing, benches).
 
     Yields the started :class:`PricingServer`; the daemon is shut down
     gracefully — in-flight pricing finished, persist queue drained,
-    memos flushed — when the block exits.  Without ``socket_path`` a
-    short-lived temp directory hosts the socket (Unix socket paths
-    have a ~100-byte limit deep pytest tmp dirs can exceed).
+    memos flushed — when the block exits (or torn down hard if a fault
+    forced it first).  Without ``socket_path`` a short-lived temp
+    directory hosts the socket (Unix socket paths have a ~100-byte
+    limit deep pytest tmp dirs can exceed).
     """
     owned_dir: str | None = None
     if socket_path is None:
@@ -515,7 +835,11 @@ def serve_in_thread(socket_path: str | Path | None = None, *,
         socket_path = Path(owned_dir) / "pricing.sock"
     server = PricingServer(socket_path, store_path=store_path,
                            cache_size=cache_size,
-                           max_frame_bytes=max_frame_bytes)
+                           max_frame_bytes=max_frame_bytes,
+                           read_timeout=read_timeout,
+                           write_timeout=write_timeout,
+                           max_inflight=max_inflight,
+                           fault_injector=fault_injector)
     started = threading.Event()
     boot_error: list[BaseException] = []
 
@@ -528,10 +852,7 @@ def serve_in_thread(socket_path: str | Path | None = None, *,
                 started.set()
                 return
             started.set()
-            try:
-                await server._shutdown_event.wait()
-            finally:
-                await server.shutdown()
+            await server._serve_until_stopped()
 
         asyncio.run(run())
 

@@ -53,6 +53,7 @@ are (pickle round-trips the records exactly), which
 
 from __future__ import annotations
 
+import os
 import pickle
 import struct
 from pathlib import Path
@@ -63,7 +64,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platform
     fcntl = None  # type: ignore[assignment]
 
-from repro.core.serialization import durable_append
+from repro.core.serialization import durable_append, durable_replace
 from repro.utils.hashing import stable_hash
 
 __all__ = ["EvalStore", "STORE_MAGIC", "STORE_VERSION",
@@ -97,20 +98,44 @@ class EvalStore:
             over the main store.
         parent: Optional fallback store consulted on lookup misses
             (reads only; appends always go to this store's own file).
+        recover: Opt-in crash recovery (writers only).  A file whose
+            tail was torn by a crash mid-append is truncated back to
+            the last valid record: the durable prefix is kept bit-exact
+            and the torn tail is moved to a ``<name>.corrupt`` sidecar
+            for inspection; :attr:`recovered` records what happened.
+            The default stays the loud reject — recovery must be an
+            explicit decision (the daemon makes it on startup), never
+            something a reader does silently.  A file that is not a
+            store at all (wrong magic) is still rejected.
+        fault_injector: Test-only :class:`repro.core.faults.\
+FaultInjector` hooked into the append path (torn-write injection).
 
     Raises:
         ValueError: If the file exists but is not a repro evaluation
             store, has an unsupported version, or is corrupted or
-            truncated — or if another process already holds the store's
-            writer lock (single-writer contract; see
-            :meth:`downgrade_lock` and ``repro serve`` for sharing).
+            truncated (unless ``recover=True``) — or if another process
+            already holds the store's writer lock (single-writer
+            contract; see :meth:`downgrade_lock` and ``repro serve``
+            for sharing).
     """
 
     def __init__(self, path: str | Path, *, read_only: bool = False,
-                 parent: "EvalStore | None" = None) -> None:
+                 parent: "EvalStore | None" = None,
+                 recover: bool = False, fault_injector=None) -> None:
         self.path = Path(path)
         self.read_only = read_only
         self.parent = parent
+        if recover and read_only:
+            raise ValueError(
+                "recover=True rewrites the store file (truncating the "
+                "torn tail) and therefore needs a writer; open the "
+                "store without read_only to recover it")
+        self._recover = recover
+        self._fault_injector = fault_injector
+        #: ``None``, or a dict describing the recovery that ran at
+        #: open: ``kept_bytes``, ``quarantined_bytes``, ``sidecar``,
+        #: ``detail``.
+        self.recovered: dict[str, Any] | None = None
         #: (salt, digest) -> list of (content key, evaluation); a list
         #: because distinct contents may share a digest (collisions are
         #: kept side by side and disambiguated by exact key compare).
@@ -213,26 +238,57 @@ class EvalStore:
             # is an empty store, not corruption.
             return
         if not data.startswith(STORE_MAGIC):
+            if self._recover and STORE_MAGIC.startswith(data):
+                # A crash during the very first append flushed only
+                # part of the header: nothing durable was promised.
+                self._quarantine(data, 0, "torn file header")
+                return
             raise ValueError(
                 f"{self.path} is not a repro evaluation store "
                 f"(expected header {STORE_MAGIC!r})")
         offset = len(STORE_MAGIC)
         total = len(data)
         while offset < total:
-            if offset + _LEN.size > total:
-                raise self._corrupt("truncated record length prefix")
-            (length,) = _LEN.unpack_from(data, offset)
-            offset += _LEN.size
-            if offset + length > total:
-                raise self._corrupt("truncated record body")
+            record_start = offset
             try:
-                record = pickle.loads(data[offset:offset + length])
-            except Exception as exc:
-                raise self._corrupt(f"unreadable record: {exc}") from exc
-            offset += length
-            if not isinstance(record, dict) or "kind" not in record:
-                raise self._corrupt("record is not a store record")
-            self._index(record)
+                if offset + _LEN.size > total:
+                    raise self._corrupt("truncated record length prefix")
+                (length,) = _LEN.unpack_from(data, offset)
+                offset += _LEN.size
+                if offset + length > total:
+                    raise self._corrupt("truncated record body")
+                try:
+                    record = pickle.loads(data[offset:offset + length])
+                except Exception as exc:
+                    raise self._corrupt(
+                        f"unreadable record: {exc}") from exc
+                offset += length
+                if not isinstance(record, dict) or "kind" not in record:
+                    raise self._corrupt("record is not a store record")
+                self._index(record)
+            except ValueError as exc:
+                if not self._recover:
+                    raise
+                # Appends are strictly sequential, so the first bad
+                # record marks where durability ended: everything
+                # before it is the bit-exact durable prefix, everything
+                # from it on is the torn tail.
+                self._quarantine(data, record_start, str(exc))
+                return
+
+    def _quarantine(self, data: bytes, keep: int, detail: str) -> None:
+        """Recovery: quarantine ``data[keep:]`` to the ``.corrupt``
+        sidecar and truncate the store file back to the durable prefix
+        (requires the writer handle — the lock is already held)."""
+        sidecar = self.path.with_name(self.path.name + ".corrupt")
+        durable_replace(sidecar, data[keep:])
+        os.ftruncate(self._handle.fileno(), keep)
+        os.fsync(self._handle.fileno())
+        self._needs_magic = keep == 0
+        self.recovered = {"kept_bytes": keep,
+                          "quarantined_bytes": len(data) - keep,
+                          "sidecar": str(sidecar),
+                          "detail": detail}
 
     def _index(self, record: dict) -> None:
         kind = record["kind"]
@@ -309,8 +365,14 @@ class EvalStore:
         for record in records:
             blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
             frames.append(_LEN.pack(len(blob)) + blob)
+        payload = b"".join(frames)
+        if self._fault_injector is not None:
+            # Chaos seam: may flush only a torn prefix and raise (the
+            # magic header buffered above is flushed with it, so the
+            # torn file still opens far enough to be recovered).
+            self._fault_injector.on_store_append(self._handle, payload)
         # One flush+fsync per batch: every record is durable on return.
-        durable_append(self._handle, b"".join(frames))
+        durable_append(self._handle, payload)
 
     def put(self, salt: str, digest: str, key: tuple,
             evaluation: Any) -> bool:

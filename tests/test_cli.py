@@ -159,6 +159,49 @@ class TestStoreFlag:
         assert payload["cache"]["misses"] == 0
 
 
+class TestServiceFlags:
+    def test_service_tuning_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.fallback is None
+        assert args.service_timeout == 600.0
+        assert args.service_retries == 4
+
+    def test_serve_hardening_defaults(self):
+        args = build_parser().parse_args(["serve", "--socket",
+                                          "/tmp/p.sock"])
+        assert args.status is False
+        assert args.read_timeout is None
+        assert args.write_timeout == 60.0
+        assert args.max_inflight == 256
+
+    def test_fallback_requires_service(self):
+        with pytest.raises(SystemExit, match="requires --service"):
+            main(["search", "--episodes", "2", "--fallback", "local"])
+
+    def test_serve_status_without_daemon_fails(self, capsys, tmp_path):
+        code = main(["serve", "--status",
+                     "--socket", str(tmp_path / "nobody.sock")])
+        assert code == 1
+        assert "no pricing daemon reachable" in capsys.readouterr().out
+
+    def test_degraded_run_records_fault_flags_in_json(
+            self, capsys, tmp_path):
+        """--fallback local against a dead daemon completes and the run
+        JSON pricing block says so (degradation at construction must
+        not be erased by the driver's delta accounting)."""
+        out = tmp_path / "run.json"
+        with pytest.warns(RuntimeWarning, match="degrading to local"):
+            code = main(["mc", "--runs", "4", "--workload", "W3",
+                         "--seed", "3",
+                         "--service", str(tmp_path / "nobody.sock"),
+                         "--service-retries", "1",
+                         "--fallback", "local", "--out", str(out)])
+        assert code in (0, 1)
+        pricing = json.loads(out.read_text())["pricing"]
+        assert pricing["degraded"] is True
+        capsys.readouterr()
+
+
 class TestFuzzCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["fuzz"])

@@ -205,6 +205,38 @@ class TestCrashingCheck:
         assert detail == "check crashed: ValueError: bad table"
 
 
+class TestFlakyCheck:
+    """A failure that does not reproduce on the shrink re-check must be
+    recorded unshrunk, not crash the campaign — timing-dependent pairs
+    (chaos schedules racing real deadlines) can flake 1-in-N."""
+
+    def test_flaky_failure_recorded_unshrunk(self, tmp_path):
+        calls = []
+
+        def flaky(scenario, rng):
+            calls.append(scenario.spec.name)
+            return "transient mismatch" if len(calls) == 1 else None
+
+        probe = OraclePair("flaky-probe", "test-only flaky probe",
+                           flaky)
+        register_pair(probe)
+        try:
+            report = run_fuzz(cases=2, seed=0, pairs=["flaky-probe"],
+                              repro_dir=tmp_path)
+            assert not report.ok
+            assert len(report.failures) == 1
+            failure = report.failures[0]
+            assert "transient mismatch" in failure.detail
+            assert "did not reproduce on re-check" in failure.detail
+            assert failure.spec == generate_spec(0)  # kept unshrunk
+            assert failure.repro_path is not None
+            assert failure.repro_path.exists()
+        finally:
+            from repro.core import differential
+
+            differential._REGISTRY.pop("flaky-probe")
+
+
 class TestCustomPairs:
     def test_registered_pair_joins_the_fuzz(self, tmp_path):
         """Future PRs add their contract here and inherit the corpus;

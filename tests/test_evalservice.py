@@ -189,6 +189,43 @@ class TestParallel:
         service.close()
 
 
+def _die_in_worker(pair):
+    """Stand-in worker body: hard process death (OOM-kill shaped)."""
+    import os
+    os._exit(13)
+
+
+class TestPoolResilience:
+    def test_broken_pool_reprices_serially_then_rebuilds(
+            self, workload, alloc, pairs, monkeypatch):
+        """A worker dying mid-batch breaks the pool; the batch must be
+        repriced serially (bit-identical — pricing is deterministic)
+        and the next parallel batch must run on a rebuilt pool."""
+        with EvalService(make_evaluator(workload)) as serial:
+            want = serial.evaluate_many(pairs)
+        with EvalService(make_evaluator(workload), workers=2,
+                         parallel_threshold=2) as service:
+            # Fork inherits the monkeypatched module global, so every
+            # worker dies on its first task.
+            monkeypatch.setattr(
+                "repro.core.evalservice._eval_in_worker",
+                _die_in_worker)
+            with pytest.warns(RuntimeWarning, match="pool broke"):
+                got = service.evaluate_many(pairs)
+            assert got == want
+            assert service.stats.pool_restarts == 1
+            assert "1 pool restarts" in service.stats.pricing_summary()
+            # Heal the worker body: the next parallel batch rebuilds
+            # the pool lazily and prices in it again.
+            monkeypatch.undo()
+            fresh = sample_pairs(workload, alloc, 4, seed=23)
+            with EvalService(make_evaluator(workload)) as serial:
+                fresh_want = serial.evaluate_many(fresh)
+            assert service.evaluate_many(fresh) == fresh_want
+            assert service.stats.parallel_evaluations == len(fresh)
+            assert service.stats.pool_restarts == 1
+
+
 class TestValidation:
     def test_negative_cache_size_rejected(self, workload):
         with pytest.raises(ValueError, match="cache_size"):

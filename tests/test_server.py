@@ -11,6 +11,7 @@ garbage — to loud errors instead of desynchronised mispricing.
 from __future__ import annotations
 
 import asyncio
+import os
 import pickle
 import socket
 import struct
@@ -20,7 +21,12 @@ import time
 import pytest
 
 from suite_helpers import sample_design_pairs
-from repro.core.client import RemoteEvalService, parse_endpoint
+from repro.core.client import (
+    DaemonBusyError,
+    RemoteEvalService,
+    parse_endpoint,
+    probe_status,
+)
 from repro.core.evalservice import EvalService
 from repro.core.evaluator import Evaluator
 from repro.core.protocol import (
@@ -408,3 +414,254 @@ class TestServerLifecycle:
                 # Post-bump re-hits count as shared in the daemon too.
                 stats = client.server_stats()
                 assert stats["stats"].shared_hits == 2
+
+
+# ----------------------------------------------------------------------
+# Hardening: deadlines, capacity, crash semantics, status
+# ----------------------------------------------------------------------
+class TestHardening:
+    def test_live_daemon_socket_is_never_stolen(self, tmp_path,
+                                                workload):
+        """A starting daemon probe-connects before unlinking: a *live*
+        daemon's socket is refused, only a dead one is replaced."""
+        socket_path = tmp_path / "pricing.sock"
+        with serve_in_thread(socket_path=socket_path) as server:
+            with pytest.raises(ValueError, match="refusing to steal"):
+                with serve_in_thread(socket_path=socket_path):
+                    pass  # pragma: no cover
+            # The live daemon was untouched by the failed boot.
+            with make_client(server, workload) as client:
+                assert client.ping() == PROTOCOL_VERSION
+
+    def test_idle_client_shed_on_read_timeout(self, workload):
+        with serve_in_thread(read_timeout=0.2) as server:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            with sock:
+                sock.connect(str(server.socket_path))
+                sock.settimeout(30)
+                # Send nothing: the idle connection is shed instead of
+                # pinning a reader task forever.
+                assert recv_frame(sock) is None
+            assert server.counters["shed"] >= 1
+            # Healthy clients are unaffected.
+            with make_client(server, workload) as client:
+                assert client.ping() == PROTOCOL_VERSION
+
+    def test_capacity_refusal_is_loud_and_retryable(self, workload,
+                                                    pairs):
+        """At ``max_inflight`` the daemon refuses with a retryable
+        busy frame instead of queueing without bound; once capacity
+        frees up the same client completes bit-identically."""
+        gate = threading.Event()
+        with serve_in_thread(max_inflight=1) as server:
+            first = make_client(server, workload)
+            client = None
+            try:
+                first.ping()
+                (service,) = server.services.values()
+                real = service.evaluator.evaluate_hardware
+
+                def slow(nets, accel):
+                    gate.wait(timeout=30)
+                    return real(nets, accel)
+
+                service.evaluator.evaluate_hardware = slow
+                client = make_client(server, workload, retries=2,
+                                     backoff=0.01)
+                with pytest.raises(DaemonBusyError,
+                                   match="at capacity"):
+                    client.evaluate_many(pairs[:2])
+                assert server.counters["refused_busy"] >= 1
+                gate.set()
+                got = client.evaluate_many(pairs[:2])
+            finally:
+                gate.set()
+                first.close()
+                if client is not None:
+                    client.close()
+        with EvalService(make_evaluator(workload)) as local:
+            assert got == local.evaluate_many(pairs[:2])
+
+    def test_status_probe_reports_health(self, tmp_path, workload,
+                                         pairs):
+        store_path = tmp_path / "s.bin"
+        with serve_in_thread(store_path=store_path) as server:
+            with make_client(server, workload) as client:
+                client.evaluate_many(pairs[:2])
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if server.counters["persisted"] >= 2:
+                    break
+                time.sleep(0.05)
+            status = probe_status(server.socket_path)
+            assert status["ok"]
+            assert status["version"] == PROTOCOL_VERSION
+            assert status["uptime_seconds"] >= 0.0
+            assert status["services"] == 1
+            assert status["counters"]["computed"] == 2
+            assert status["store_path"] == str(store_path)
+            assert status["store_entries"] == 2
+            assert status["store_recovered"] is None
+
+    def test_status_probe_without_daemon_raises(self, tmp_path):
+        with pytest.raises(ConnectionError, match="no pricing daemon"):
+            probe_status(tmp_path / "nobody.sock")
+
+    def test_double_signal_forces_abort_and_store_recovers(
+            self, tmp_path, workload, pairs):
+        """First shutdown signal drains gracefully; a second one
+        forces immediate exit even with a compute still in flight.
+        The store's durable prefix stays openable afterwards."""
+        store_path = tmp_path / "s.bin"
+        gate = threading.Event()
+        with serve_in_thread(store_path=store_path) as server:
+            first = make_client(server, workload)
+            try:
+                first.evaluate_many(pairs[:1])
+                (service,) = server.services.values()
+                real = service.evaluator.evaluate_hardware
+
+                def slow(nets, accel):
+                    gate.wait(timeout=30)
+                    return real(nets, accel)
+
+                service.evaluator.evaluate_hardware = slow
+                sock = socket.socket(socket.AF_UNIX,
+                                     socket.SOCK_STREAM)
+                with sock:
+                    sock.connect(str(server.socket_path))
+                    send_frame(sock, {"op": "hello",
+                                      "version": PROTOCOL_VERSION,
+                                      "workload": workload,
+                                      "cost_params": make_params(),
+                                      "rho": RHO})
+                    assert recv_frame(sock)["ok"]
+                    send_frame(sock, {"op": "submit", "id": 1,
+                                      "pairs": pairs[1:2]})
+                    deadline = time.monotonic() + 30
+                    while time.monotonic() < deadline:
+                        if len(server._inflight) > 0:
+                            break
+                        time.sleep(0.02)
+                    # Graceful drain blocks on the gated compute; the
+                    # second signal must not wait for it.
+                    server.request_shutdown()
+                    server.request_shutdown()
+                    deadline = time.monotonic() + 30
+                    while time.monotonic() < deadline:
+                        if server.aborted:
+                            break
+                        time.sleep(0.02)
+            finally:
+                gate.set()
+                first.close()
+        assert server.aborted
+        # The forced exit released the writer lock; the durable prefix
+        # opens cleanly (recover is a no-op or a quarantine, never a
+        # loud reject).
+        with EvalStore(store_path, recover=True) as store:
+            assert len(store) >= 0
+
+    def test_forced_exit_leaves_socket_and_restart_serves(
+            self, tmp_path, workload, pairs):
+        """Crash semantics end-to-end: a force-stopped daemon leaves
+        its socket file behind; a restarted daemon replaces the stale
+        socket and an existing client completes via transparent
+        reconnect — bit-identical, never degraded."""
+        socket_path = tmp_path / "pricing.sock"
+        store_path = tmp_path / "store.bin"
+        client = None
+        try:
+            with serve_in_thread(socket_path=socket_path,
+                                 store_path=store_path) as first:
+                client = make_client(first, workload, retries=8,
+                                     backoff=0.05)
+                client.evaluate_many(pairs[:2])
+                first.force_stop()
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    if first.aborted:
+                        break
+                    time.sleep(0.02)
+            assert first.aborted
+            assert socket_path.exists()  # left for the next probe
+            with serve_in_thread(socket_path=socket_path,
+                                 store_path=store_path):
+                got = client.evaluate_many(pairs)
+                assert client.stats.reconnects >= 1
+                assert not client.degraded
+        finally:
+            if client is not None:
+                client.close()
+        with EvalService(make_evaluator(workload)) as local:
+            assert got == local.evaluate_many(pairs)
+
+    def test_abort_mid_flush_never_leaks_the_store_lock(
+            self, tmp_path, workload, pairs, monkeypatch):
+        """A force-abort landing while a memo flush is still running in
+        the write executor must wait for it: closing the store under
+        the flush would let the append re-acquire the writer lock
+        *after* close, leaving the file locked until GC and blocking
+        the next open's crash recovery (found by chaos-serve fuzzing,
+        case seed 1493)."""
+        store_path = tmp_path / "store.bin"
+        flush_started = threading.Event()
+        release = threading.Event()
+        original = EvalService.flush_store
+
+        def slow_flush(service):
+            flush_started.set()
+            release.wait(timeout=30)
+            return original(service)
+
+        monkeypatch.setattr(EvalService, "flush_store", slow_flush)
+        with serve_in_thread(store_path=store_path) as server:
+            with make_client(server, workload) as client:
+                client.evaluate_many(pairs)
+            server.request_shutdown()  # graceful drain reaches the flush
+            assert flush_started.wait(timeout=30)
+            server.force_stop()  # second signal lands mid-flush
+            # Buggy behaviour closed the store out from under the
+            # running flush; give the abort a moment to reach that
+            # point before letting the flush finish.
+            deadline = time.monotonic() + 1.0
+            while (time.monotonic() < deadline
+                   and server.store._handle is not None):
+                time.sleep(0.01)
+            release.set()
+        assert server.aborted
+        # The writer lock must be free: recovery opens on first try.
+        with EvalStore(store_path, recover=True) as store:
+            assert len(store) == len(pairs)
+
+    def test_failed_handshakes_never_leak_fds(self, workload,
+                                              monkeypatch):
+        """Satellite regression: salt-mismatch and version-refused
+        connects must close their socket (fd) on the way out."""
+        def fd_count() -> int:
+            return len(os.listdir("/proc/self/fd"))
+
+        with serve_in_thread() as server:
+            baseline = fd_count()
+            for _ in range(5):
+                with monkeypatch.context() as patch:
+                    patch.setattr(
+                        "repro.core.client.evaluation_context_salt",
+                        lambda *args: "not-the-daemon-salt")
+                    with pytest.raises(ValueError,
+                                       match="version skew"):
+                        make_client(server, workload)
+                with monkeypatch.context() as patch:
+                    patch.setattr(
+                        "repro.core.client.PROTOCOL_VERSION",
+                        PROTOCOL_VERSION + 1)
+                    with pytest.raises(RuntimeError, match="version"):
+                        make_client(server, workload)
+            # Server-side peer fds unwind asynchronously; the client
+            # side must already be back at the baseline.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if fd_count() <= baseline:
+                    break
+                time.sleep(0.05)
+            assert fd_count() <= baseline

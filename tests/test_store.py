@@ -298,6 +298,116 @@ class TestCorruption:
         assert len(store) == 1
 
 
+class TestRecovery:
+    """``recover=True``: keep the durable prefix bit-exact, quarantine
+    the torn tail to a ``.corrupt`` sidecar, stay appendable."""
+
+    @staticmethod
+    def _torn_store(tmp_path, cut: int):
+        """A two-record store with `cut` bytes chopped off the end.
+        Returns (path, durable_boundary, original_bytes)."""
+        path = tmp_path / "torn.bin"
+        with EvalStore(path) as store:
+            store.put("s", "d1", ("k1",), "v1")
+            boundary = path.stat().st_size
+            store.put("s", "d2", ("k2",), "v2")
+        original = path.read_bytes()
+        path.write_bytes(original[:-cut])
+        return path, boundary, original
+
+    def test_torn_body_keeps_prefix_and_quarantines_tail(self, tmp_path):
+        path, boundary, original = self._torn_store(tmp_path, cut=3)
+        with EvalStore(path, recover=True) as store:
+            assert store.get("s", "d1", ("k1",)) == "v1"
+            assert store.get("s", "d2", ("k2",)) is None
+            assert len(store) == 1
+            assert store.recovered is not None
+            assert store.recovered["kept_bytes"] == boundary
+            assert "truncated record body" in store.recovered["detail"]
+        # Durable prefix untouched, torn tail preserved in the sidecar.
+        assert path.read_bytes() == original[:boundary]
+        sidecar = path.with_name(path.name + ".corrupt")
+        assert sidecar.read_bytes() == original[boundary:-3]
+
+    def test_torn_length_prefix_recovers_too(self, tmp_path):
+        """The cut lands *inside* the second record's length prefix:
+        only 4 of its 8 bytes survive."""
+        path = tmp_path / "torn2.bin"
+        with EvalStore(path) as store:
+            store.put("s", "d1", ("k1",), "v1")
+            boundary = path.stat().st_size
+            store.put("s", "d2", ("k2",), "v2")
+        path.write_bytes(path.read_bytes()[:boundary + 4])
+        with EvalStore(path, recover=True) as store:
+            assert len(store) == 1
+            assert store.recovered["kept_bytes"] == boundary
+            assert ("truncated record length prefix"
+                    in store.recovered["detail"])
+        assert path.stat().st_size == boundary
+
+    def test_recovered_store_stays_appendable(self, tmp_path):
+        path, _, _ = self._torn_store(tmp_path, cut=3)
+        with EvalStore(path, recover=True) as store:
+            assert store.put("s", "d3", ("k3",), "v3")
+        reopened = EvalStore(path, read_only=True)
+        assert reopened.get("s", "d1", ("k1",)) == "v1"
+        assert reopened.get("s", "d3", ("k3",)) == "v3"
+        assert len(reopened) == 2
+
+    def test_clean_store_recovery_is_a_noop(self, tmp_path):
+        path = tmp_path / "clean.bin"
+        with EvalStore(path) as store:
+            store.put("s", "d", ("k",), "v")
+        before = path.read_bytes()
+        with EvalStore(path, recover=True) as store:
+            assert store.recovered is None
+            assert len(store) == 1
+        assert path.read_bytes() == before
+        assert not path.with_name(path.name + ".corrupt").exists()
+
+    def test_recover_with_read_only_is_refused(self, tmp_path):
+        path = tmp_path / "s.bin"
+        with EvalStore(path) as store:
+            store.put("s", "d", ("k",), "v")
+        with pytest.raises(ValueError, match="recover=True rewrites"):
+            EvalStore(path, read_only=True, recover=True)
+
+    def test_mid_file_garbage_quarantines_from_bad_record(self, tmp_path):
+        """Garbage *between* valid records cuts at the garbage: records
+        behind it are unreachable (appends are strictly sequential, so
+        they were never durably acknowledged in order)."""
+        path = tmp_path / "mid.bin"
+        with EvalStore(path) as store:
+            store.put("s", "d1", ("k1",), "v1")
+            boundary = path.stat().st_size
+            store.put("s", "d2", ("k2",), "v2")
+        data = path.read_bytes()
+        blob = b"\xffgarbage"
+        path.write_bytes(data[:boundary]
+                         + struct.pack("<Q", len(blob)) + blob
+                         + data[boundary:])
+        with EvalStore(path, recover=True) as store:
+            assert len(store) == 1
+            assert store.recovered["kept_bytes"] == boundary
+        assert path.stat().st_size == boundary
+
+    def test_torn_header_recovers_to_empty_store(self, tmp_path):
+        path = tmp_path / "header.bin"
+        path.write_bytes(STORE_MAGIC[:4])
+        with EvalStore(path, recover=True) as store:
+            assert len(store) == 0
+            assert store.recovered["kept_bytes"] == 0
+            assert "torn file header" in store.recovered["detail"]
+            assert store.put("s", "d", ("k",), "v")
+        assert len(EvalStore(path, read_only=True)) == 1
+
+    def test_wrong_magic_still_rejected_under_recover(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"not a store at all, but long enough\n")
+        with pytest.raises(ValueError, match="not a repro evaluation"):
+            EvalStore(path, recover=True)
+
+
 class TestShards:
     def test_read_only_refuses_appends(self, tmp_path):
         path = tmp_path / "s.bin"
