@@ -6,24 +6,30 @@ Two studies share this file:
   optimal (ILP) mapper with the heuristic of Shao et al. [29] for speed;
   this quantifies the energy optimality gap on random small instances.
 - **Pricing speedup** (``test_uncached_pricing_speedup`` / ``main``): the
-  PR-2 acceptance gate.  It prices a trace of sampled designs end to end
-  (``MappingProblem.build`` + ``solve_hap``) with a **fresh cost model
-  per design** — no evaluation-cache hits, no cross-design memo carry-over
-  — through
+  acceptance gate.  It prices a trace of sampled joint-workload designs
+  end to end (problem build + ``solve_hap``) through three kernel modes:
 
   - the PR-1 baseline (scalar per-pair cost oracle + memoised full-replay
-    move pricing: ``build(batched=False)`` + ``solve_hap(resume=False)``),
-  - the array-native fast path (vectorised batch cost tables +
-    delta-resume move pricing with certified prune bounds — the default),
+    move pricing: a fresh ``CostModel`` and ``build(batched=False)`` per
+    design, ``solve_hap(resume=False)``),
+  - the scalar delta-resume path (union-primed ``build_many`` + certified
+    prune bounds + in-replay abort, ``solve_hap(batched=False)``),
+  - the batched array kernel (the default: one vectorised bound mask per
+    sweep, union-primed ``build_many``, lockstep waves per the wave cost
+    model),
 
-  asserts the two paths return **bit-identical** ``HAPResult``\\ s, and
-  gates the wall-clock ratio at >= 3x.
+  asserts all three return **bit-identical** ``HAPResult``\\ s, and gates
+  the batched-over-baseline wall-clock ratio at >= 6x.  Timing is
+  interleaved (each repeat times every path back to back, minima are
+  compared) so shared-runner load hits all paths alike.
 
 Machine-readable record: ``benchmarks/results/BENCH_hap.json`` with keys
-``speedup`` (gated), ``baseline_ms`` / ``fast_ms`` (per-trace wall-clock),
-``designs``, ``latency_constraint``, ``gate``, and ``pricing`` (the fast
-path's counters: ``moves_priced``, ``pruned``, ``resumed``,
-``steps_saved``, ``steps_replayed``, ``full_replays``, ``memo_hits`` —
+``speedup`` (gated, batched vs PR-1), ``speedup_scalar`` (scalar
+delta-resume vs PR-1, informational), ``baseline_ms`` / ``scalar_ms`` /
+``fast_ms`` (per-trace wall-clock), ``designs``, ``latency_constraint``,
+``gate``, and ``pricing`` (the batched path's counters: ``moves_priced``,
+``pruned``, ``resumed``, ``steps_saved``, ``steps_replayed``,
+``full_replays``, ``memo_hits``, ``batched_rounds``, ``batch_width`` —
 see :class:`repro.mapping.schedule.MoveStats`), so the perf trajectory is
 tracked across PRs.
 
@@ -43,22 +49,27 @@ import time
 import numpy as np
 
 from benchmarks.conftest import run_once, write_json, write_report
-from repro.accel import AllocationSpace
+from repro.accel import AllocationSpace, ResourceBudget
 from repro.cost import CostModel
 from repro.mapping import MappingProblem, MoveStats, solve_exact, solve_hap
 from repro.utils.rng import new_rng, spawn_rng
 from repro.utils.tables import format_table
-from repro.workloads import w1
+from repro.workloads import w1, w2
 from tests.test_schedule import tiny_problem
 
-#: Pricing-trace shape (quick mode shrinks it).
-TRACE_DESIGNS = 12
-MIN_SPEEDUP = 3.0
+#: Pricing-trace shape (quick mode shrinks the repeats, not the trace —
+#: the ratio depends on the design mix).  The trace prices a joint
+#: three-network workload (both W1 tasks plus W2's segmentation task) on
+#: sampled 4-slot accelerators under a tight latency budget: deep-chain
+#: instances where move pricing, not table building, dominates.
+TRACE_DESIGNS = 8
+TRACE_LATENCY = 400_000
+MIN_SPEEDUP = 6.0
 #: Timing repeats per path (min is reported) and attempts before the gate
 #: fails: the identity check is deterministic, but wall-clock ratios can
 #: flake on shared runners, so a scheduler hiccup gets more chances while
 #: a real regression fails every attempt.
-TIMING_REPEATS = 3
+TIMING_REPEATS = 5
 MAX_ATTEMPTS = 3
 
 
@@ -109,46 +120,74 @@ def test_hap_heuristic_quality(benchmark):
 # Uncached single-design pricing: fast path vs the PR-1 baseline
 # ----------------------------------------------------------------------
 def build_design_trace(designs: int, seed: int = 5):
-    """Sampled (networks, accelerator) designs, as a converging search
-    would request them — each priced uncached in this benchmark."""
-    workload = w1()
-    alloc = AllocationSpace()
+    """Sampled joint-workload (networks, accelerator) designs, as a
+    converging search would request them — each priced uncached in this
+    benchmark.
+
+    The workload joins both W1 tasks with W2's second task (three
+    networks, ~55-60 layers per design) on 4-slot accelerators with at
+    least three active sub-accelerators, so the feasibility hill-climb
+    under ``TRACE_LATENCY`` does real work in every solve.
+    """
+    tasks = list(w1().tasks) + list(w2().tasks)[1:]
+    alloc = AllocationSpace(
+        num_slots=4,
+        budget=ResourceBudget(max_pes=4096, max_bandwidth_gbps=64))
     rng = spawn_rng(new_rng(seed), 0)
     pairs = []
     for _ in range(designs):
         networks = tuple(
             task.space.decode(task.space.random_indices(rng))
-            for task in workload.tasks)
-        pairs.append((networks, alloc.random_design(rng)))
-    return workload.specs.latency_cycles, pairs
+            for task in tasks)
+        accel = alloc.random_design(rng)
+        while sum(s.is_active for s in accel.subaccs) < 3:
+            accel = alloc.random_design(rng)
+        pairs.append((networks, accel))
+    return TRACE_LATENCY, pairs
 
 
 def _price_fast(pairs, latency_constraint, stats=None):
-    """Array-native pricing: batched cost tables + delta-resume HAP."""
-    return [solve_hap(MappingProblem.build(nets, accel, CostModel()),
-                      latency_constraint, stats=stats)
-            for nets, accel in pairs]
+    """Batched array kernel: union-primed ``build_many`` over the whole
+    trace + the default (vectorised-bounds) solver."""
+    cost_model = CostModel()
+    problems = MappingProblem.build_many(pairs, cost_model)
+    return [solve_hap(problem, latency_constraint, stats=stats)
+            for problem in problems]
+
+
+def _price_scalar(pairs, latency_constraint):
+    """Scalar delta-resume kernel: same builds, ``batched=False``."""
+    cost_model = CostModel()
+    problems = MappingProblem.build_many(pairs, cost_model)
+    return [solve_hap(problem, latency_constraint, batched=False)
+            for problem in problems]
 
 
 def _price_baseline(pairs, latency_constraint):
-    """PR-1 pricing: scalar cost oracle + memoised full-replay moves."""
+    """PR-1 pricing: scalar cost oracle + memoised full-replay moves,
+    one fresh cost model per design (no cross-design sharing existed)."""
     return [solve_hap(
         MappingProblem.build(nets, accel, CostModel(), batched=False),
         latency_constraint, resume=False)
         for nets, accel in pairs]
 
 
-def _best_of(fn, repeats: int) -> float:
-    best = float("inf")
+def _best_of_interleaved(fns, repeats: int) -> list[float]:
+    """Per-path minima over ``repeats`` rounds, each round timing every
+    path back to back — runner load perturbs all paths alike instead of
+    whichever path a sequential protocol happened to time during it."""
+    best = [float("inf")] * len(fns)
     for _ in range(repeats):
-        started = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - started)
+        for i, fn in enumerate(fns):
+            started = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - started)
     return best
 
 
 def run_benchmark(quick: bool = False) -> dict:
-    """Time both pricing paths on the same trace; check bit-identity.
+    """Time the three pricing paths on the same trace; check that all
+    return bit-identical results.
 
     Quick mode keeps the full design mix (the ratio depends on it) and
     only trims timing repeats.
@@ -159,21 +198,26 @@ def run_benchmark(quick: bool = False) -> dict:
 
     stats = MoveStats()
     fast = _price_fast(pairs, latency_constraint, stats=stats)
+    scalar = _price_scalar(pairs, latency_constraint)
     baseline = _price_baseline(pairs, latency_constraint)
-    assert fast == baseline, (
-        "fast and baseline pricing diverged — bit-identity violated")
+    assert fast == scalar == baseline, (
+        "kernel modes diverged — bit-identity violated")
 
-    fast_s = _best_of(lambda: _price_fast(pairs, latency_constraint),
-                      repeats)
-    baseline_s = _best_of(
-        lambda: _price_baseline(pairs, latency_constraint), repeats)
+    fast_s, scalar_s, baseline_s = _best_of_interleaved(
+        [lambda: _price_fast(pairs, latency_constraint),
+         lambda: _price_scalar(pairs, latency_constraint),
+         lambda: _price_baseline(pairs, latency_constraint)],
+        repeats)
     speedup = baseline_s / fast_s if fast_s > 0 else float("inf")
     return {
         "designs": designs,
         "latency_constraint": latency_constraint,
         "baseline_ms": baseline_s * 1e3,
+        "scalar_ms": scalar_s * 1e3,
         "fast_ms": fast_s * 1e3,
         "speedup": speedup,
+        "speedup_scalar": (baseline_s / scalar_s if scalar_s > 0
+                           else float("inf")),
         "gate": MIN_SPEEDUP,
         "pricing": stats.as_dict(),
     }
@@ -189,7 +233,10 @@ def render(report: dict) -> str:
             ["PR-1 baseline (scalar build + full replays)",
              f"{report['baseline_ms']:.1f} ms",
              f"{report['baseline_ms'] / report['designs']:.2f} ms"],
-            ["array-native (batch tables + delta-resume)",
+            ["scalar delta-resume (certified bounds)",
+             f"{report['scalar_ms']:.1f} ms",
+             f"{report['scalar_ms'] / report['designs']:.2f} ms"],
+            ["batched array kernel (vectorised bounds)",
              f"{report['fast_ms']:.1f} ms",
              f"{report['fast_ms'] / report['designs']:.2f} ms"],
         ],
@@ -198,7 +245,8 @@ def render(report: dict) -> str:
                f"LS={report['latency_constraint']})"))
     return (f"{table}\n"
             f"speedup: {report['speedup']:.1f}x "
-            f"(gate: >= {report['gate']:.0f}x)   "
+            f"(gate: >= {report['gate']:.0f}x; scalar "
+            f"{report['speedup_scalar']:.1f}x)   "
             f"moves: {pricing['moves_priced']} priced, "
             f"{pricing['pruned']} pruned, {pricing['resumed']} resumed "
             f"({saved:.1%} steps skipped)")
@@ -218,8 +266,8 @@ def run_gated(quick: bool = False) -> dict:
 
 
 def test_uncached_pricing_speedup(benchmark=None):
-    """Acceptance: >= 3x over the PR-1 baseline, identical results (the
-    identity assert lives inside run_benchmark)."""
+    """Acceptance: >= 6x over the PR-1 baseline for the batched kernel,
+    identical results (the identity assert lives inside run_benchmark)."""
     if benchmark is not None:
         report = run_once(benchmark, run_gated)
         write_report("bench_hap_pricing", render(report))

@@ -11,8 +11,12 @@ writer task keeping all store appends serialized.
 
 The benchmark prices a repeat-heavy trace — K concurrent clients each
 run S sessions over the same pool of D distinct designs, so the fleet
-requests every design K x S times — through two harnesses that differ
-only in sharing:
+requests every design K x S times.  The evaluation context is
+deliberately heavyweight (three network chains from two workloads
+under a tight latency constraint, the regime the co-exploration paper
+actually searches in), so a miss costs real HAP solver work — the
+thing a shared cache amortises and ``--workers`` parallelises.  Three
+harnesses differ only in sharing:
 
 - **private** (the status quo): K threads, each session with its own
   fresh in-process :class:`~repro.core.evalservice.EvalService`.
@@ -24,14 +28,20 @@ only in sharing:
   daemon; the fleet computes each design once (D computations —
   coalescing and the shared LRU absorb everything else, across
   clients and sessions alike).
+- **served + workers**: the served harness against a fresh cold
+  daemon started with ``--workers`` — misses price on a process pool
+  instead of the single compute thread, while the in-flight map still
+  dedups before dispatch (the single-compute guarantee is checked on
+  this datapoint too).
 
 Gates (asserted on every attempt):
 
 - **bit-identity** — every served evaluation equals the in-process
-  reference, for every client and request;
-- **single-compute** — the daemon's ``computed`` counter equals the
-  number of distinct designs (cross-client coalescing worked);
-- **>= 2x aggregate throughput** — the served fleet finishes the
+  reference, for every client and request, on both daemons;
+- **single-compute** — each daemon's ``computed`` counter equals the
+  number of distinct designs (cross-client coalescing worked, with
+  and without workers);
+- **>= 2x aggregate throughput** — both served fleets finish the
   trace at least ``SPEEDUP_GATE`` times faster than the private-cache
   fleet (best of ``ATTEMPTS``, so scheduler hiccups on shared runners
   do not flake).
@@ -48,18 +58,21 @@ or through pytest (``pytest benchmarks/bench_serve.py``).
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import os
 import sys
 import tempfile
 import threading
 import time
 from pathlib import Path
 
-from repro.accel import AllocationSpace
+from repro.accel import AllocationSpace, ResourceBudget
 from repro.core import EvalService, Evaluator, RemoteEvalService
 from repro.core.server import serve_in_thread
 from repro.cost import CostModel
 from repro.utils.rng import new_rng
-from repro.workloads import w1
+from repro.workloads import w1, w2
+from repro.workloads.workload import DesignSpecs, PenaltyBounds
 
 SEED = 17
 CLIENTS = 4
@@ -68,17 +81,43 @@ DISTINCT, DISTINCT_QUICK = 80, 30
 SUBMIT_BATCH = 16  # designs per evaluate_many call, like driver rounds
 SPEEDUP_GATE = 2.0
 ATTEMPTS = 3
+WORKERS = max(2, min(4, os.cpu_count() or 2))
+
+
+def bench_workload():
+    """A heavyweight evaluation context: both W1 tasks plus W2's
+    second task (three network chains per design) under a tight
+    latency budget, so every miss runs a real feasibility hill-climb
+    instead of an already-feasible no-op solve."""
+    base, other = w1(), w2()
+    raw = list(base.tasks) + [
+        dataclasses.replace(task, name=task.name + "-b")
+        for task in other.tasks[1:]]
+    tasks = tuple(dataclasses.replace(task, weight=1.0 / len(raw))
+                  for task in raw)
+    specs = DesignSpecs(latency_cycles=600_000, energy_nj=3.0e9,
+                        area_um2=6.0e9)
+    return dataclasses.replace(base, name="w1w2-tight", tasks=tasks,
+                               specs=specs,
+                               bounds=PenaltyBounds.from_specs(specs))
 
 
 def sample_pool(workload, n: int) -> list:
-    """``n`` distinct seeded (networks, accelerator) designs."""
-    allocation = AllocationSpace()
+    """``n`` distinct seeded (networks, accelerator) designs; at least
+    three active sub-accelerators each, so the scheduler has real slot
+    choices to price."""
+    allocation = AllocationSpace(
+        num_slots=4,
+        budget=ResourceBudget(max_pes=4096, max_bandwidth_gbps=64))
     rng = new_rng(SEED)
     pool = []
     for _ in range(n):
         nets = tuple(task.space.decode(task.space.random_indices(rng))
                      for task in workload.tasks)
-        pool.append((nets, allocation.random_design(rng)))
+        accel = allocation.random_design(rng)
+        while sum(s.is_active for s in accel.subaccs) < 3:
+            accel = allocation.random_design(rng)
+        pool.append((nets, accel))
     return pool
 
 
@@ -158,9 +197,25 @@ def run_attempt(workload, pool: list, traces: list[list],
             computed = server.counters["computed"]
             coalesced = server.counters["coalesced"]
 
+    # Same fleet against a fresh cold daemon with a worker pool:
+    # misses price concurrently, coalescing must still dedup them.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        with serve_in_thread(store_path=Path(tmp) / "store.bin",
+                             workers=WORKERS) as server:
+
+            def workers_service(_client: int) -> RemoteEvalService:
+                return RemoteEvalService(server.socket_path, workload,
+                                         params, 10.0)
+
+            workers_results, workers_s = run_fleet(workers_service,
+                                                   traces)
+            computed_workers = server.counters["computed"]
+            computed_parallel = server.counters["computed_parallel"]
+
     requests = SESSIONS * sum(len(trace) for trace in traces)
     for results, label in ((private_results, "private"),
-                           (served_results, "served")):
+                           (served_results, "served"),
+                           (workers_results, "served-workers")):
         for client, (trace, sessions) in enumerate(
                 zip(traces, results)):
             for session, evaluations in enumerate(sessions):
@@ -173,6 +228,10 @@ def run_attempt(workload, pool: list, traces: list[list],
     assert computed == len(pool), (
         f"daemon computed {computed} misses for {len(pool)} distinct "
         "designs — cross-client coalescing failed to deduplicate")
+    assert computed_workers == len(pool), (
+        f"workers daemon computed {computed_workers} misses for "
+        f"{len(pool)} distinct designs — coalescing must dedup "
+        "before pool dispatch")
     return {
         "clients": len(traces),
         "sessions": SESSIONS,
@@ -180,16 +239,23 @@ def run_attempt(workload, pool: list, traces: list[list],
         "requests": requests,
         "private_s": private_s,
         "served_s": served_s,
+        "served_workers_s": workers_s,
         "speedup": private_s / served_s if served_s > 0 else float("inf"),
+        "speedup_workers": (private_s / workers_s
+                            if workers_s > 0 else float("inf")),
         "private_throughput_rps": requests / private_s,
         "served_throughput_rps": requests / served_s,
+        "served_workers_throughput_rps": requests / workers_s,
+        "workers": WORKERS,
         "computed": computed,
         "coalesced": coalesced,
+        "computed_workers": computed_workers,
+        "computed_parallel": computed_parallel,
     }
 
 
 def run_benchmark(quick: bool = False) -> dict:
-    workload = w1()
+    workload = bench_workload()
     pool = sample_pool(workload, DISTINCT_QUICK if quick else DISTINCT)
     traces = [client_trace(pool, client) for client in range(CLIENTS)]
     reference = Evaluator(workload, CostModel(), trainer=None, rho=10.0)
@@ -198,9 +264,11 @@ def run_benchmark(quick: bool = False) -> dict:
     best: dict | None = None
     for attempt in range(ATTEMPTS):
         report = run_attempt(workload, pool, traces, want)
-        if best is None or report["speedup"] > best["speedup"]:
+        score = min(report["speedup"], report["speedup_workers"])
+        if best is None or score > min(best["speedup"],
+                                       best["speedup_workers"]):
             best = report
-        if best["speedup"] >= SPEEDUP_GATE:
+        if min(best["speedup"], best["speedup_workers"]) >= SPEEDUP_GATE:
             break
     best["attempts"] = attempt + 1
     return best
@@ -220,9 +288,16 @@ def render(report: dict) -> str:
         f"({report['served_throughput_rps']:.0f} req/s); "
         f"{report['speedup']:.2f}x aggregate (gate >= "
         f"{SPEEDUP_GATE:.1f}x, best of {report['attempts']})\n"
+        f"daemon --workers {report['workers']}: "
+        f"{report['served_workers_s'] * 1e3:.0f} ms "
+        f"({report['served_workers_throughput_rps']:.0f} req/s); "
+        f"{report['speedup_workers']:.2f}x aggregate, "
+        f"{report['computed_parallel']} misses priced on workers\n"
         f"daemon computed {report['computed']} misses "
-        f"({report['coalesced']} coalesced mid-flight); every "
-        "evaluation bit-identical to in-process")
+        f"({report['coalesced']} coalesced mid-flight; "
+        f"{report['computed_workers']} with workers — still one "
+        "compute per distinct design); every evaluation "
+        "bit-identical to in-process")
 
 
 def to_json(report: dict) -> dict:
@@ -230,20 +305,26 @@ def to_json(report: dict) -> dict:
     return {
         **{key: report[key] for key in (
             "clients", "sessions", "distinct_designs", "requests",
-            "computed", "coalesced", "speedup", "attempts")},
+            "computed", "coalesced", "speedup", "attempts",
+            "workers", "speedup_workers", "computed_workers",
+            "computed_parallel")},
         "private_ms": report["private_s"] * 1e3,
         "served_ms": report["served_s"] * 1e3,
+        "served_workers_ms": report["served_workers_s"] * 1e3,
         "private_throughput_rps": report["private_throughput_rps"],
         "served_throughput_rps": report["served_throughput_rps"],
-        "gate": (f"served fleet >= {SPEEDUP_GATE}x private fleet, "
-                 "computed == distinct designs, evaluations "
+        "served_workers_throughput_rps":
+            report["served_workers_throughput_rps"],
+        "gate": (f"served fleets (serial and --workers) >= "
+                 f"{SPEEDUP_GATE}x private fleet, computed == "
+                 "distinct designs on both daemons, evaluations "
                  "bit-identical"),
     }
 
 
 def test_served_multi_client(benchmark=None):
     """Acceptance: bit-identity and single-compute (asserted inside
-    run_benchmark), served fleet >= 2x private-cache fleet."""
+    run_benchmark), both served fleets >= 2x private-cache fleet."""
     if benchmark is not None:
         from benchmarks.conftest import run_once, write_json, write_report
 
@@ -253,6 +334,7 @@ def test_served_multi_client(benchmark=None):
     else:
         report = run_benchmark()
     assert report["speedup"] >= SPEEDUP_GATE, render(report)
+    assert report["speedup_workers"] >= SPEEDUP_GATE, render(report)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -268,9 +350,11 @@ def main(argv: list[str] | None = None) -> int:
         write_json("serve", to_json(report))
     except ImportError:  # pragma: no cover - repo root not on sys.path
         pass
-    if report["speedup"] < SPEEDUP_GATE:
-        print(f"FAIL: served aggregate speedup "
-              f"{report['speedup']:.2f}x below the "
+    worst = min(report["speedup"], report["speedup_workers"])
+    if worst < SPEEDUP_GATE:
+        print(f"FAIL: served aggregate speedup {worst:.2f}x "
+              f"(serial {report['speedup']:.2f}x, --workers "
+              f"{report['speedup_workers']:.2f}x) below the "
               f"{SPEEDUP_GATE:.1f}x gate", file=sys.stderr)
         return 1
     return 0

@@ -280,6 +280,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bound on queued miss computations; "
                               "submits past it are refused with a "
                               "retryable error (default: 256)")
+    p_serve.add_argument("--workers", type=_nonnegative_int, default=0,
+                         help="process-pool width for miss "
+                              "computation, one pool per hosted "
+                              "context (0/1 = price misses on the "
+                              "single compute thread; default: 0)")
 
     p_exp = sub.add_parser("experiments",
                            help="regenerate paper tables/figures")
@@ -587,13 +592,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.status:
         return _serve_status(args)
     suffix = f" (store: {args.store})" if args.store else ""
+    if args.workers > 1:
+        suffix += f" ({args.workers} pricing workers per context)"
     print(f"pricing daemon listening on unix://{args.socket}{suffix}",
           flush=True)
     server = serve(args.socket, store_path=args.store,
                    cache_size=args.cache_size,
                    read_timeout=args.read_timeout,
                    write_timeout=args.write_timeout,
-                   max_inflight=args.max_inflight)
+                   max_inflight=args.max_inflight,
+                   workers=args.workers)
     if server.store is not None and server.store.recovered:
         note = server.store.recovered
         print(f"store recovered on startup: kept {note['kept_bytes']} "
@@ -611,6 +619,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
              if counters["compute_errors"] else "")
           + (f", {counters['refused_busy']} refused busy"
              if counters["refused_busy"] else "")
+          + (f", {counters['computed_parallel']} priced on workers"
+             if counters["computed_parallel"] else "")
+          + (f", {counters['pool_restarts']} pool restarts"
+             if counters["pool_restarts"] else "")
           + (f", {counters['shed']} clients shed"
              if counters["shed"] else "")
           + (f", {counters['persist_errors']} persist ERRORS"
@@ -628,11 +640,19 @@ def _serve_status(args: argparse.Namespace) -> int:
         print(f"no pricing daemon reachable at {args.socket}: {exc}")
         return 1
     counters = status.get("counters", {})
+    workers = status.get("workers", 0)
     print(f"pricing daemon at unix://{args.socket}: up "
           f"{status.get('uptime_seconds', 0.0):.0f}s, "
           f"{status.get('services', 0)} hosted contexts, "
-          f"{status.get('inflight', 0)} computations in flight, "
+          + (f"{workers} pricing workers per context, "
+             if workers > 1 else "")
+          + f"{status.get('inflight', 0)} computations in flight, "
           f"{status.get('persist_queue', 0)} queued appends")
+    for salt, ctx in sorted(status.get("contexts", {}).items()):
+        print(f"  context {salt[:12]}: {ctx['requests']} requests, "
+              f"{ctx['hits']} hits ({ctx['hit_rate']:.1%}, "
+              f"{ctx['store_hits']} from store), "
+              f"{ctx['coalesced']} coalesced")
     print(f"store: {status.get('store_path') or 'none'} "
           f"({status.get('store_entries', 0)} entries)")
     if status.get("store_recovered"):

@@ -210,19 +210,23 @@ def _check_cost_table(scenario: GeneratedScenario,
 
 def _check_hap_modes(scenario: GeneratedScenario,
                      rng: np.random.Generator) -> str | None:
-    """Delta-resume and PR-1 fast paths vs the full-reschedule oracle."""
+    """Batched, delta-resume, and PR-1 fast paths vs the oracle."""
     for index, (nets, accel) in enumerate(
             scenario.sample_pairs(rng, scenario.spec.design_samples)):
         problem = MappingProblem.build(nets, accel,
                                        CostModel(scenario.cost_params))
         constraint = _derived_constraint(problem, rng)
-        resumed = _hap_facts(solve_hap(problem, constraint))
+        batched = _hap_facts(solve_hap(problem, constraint))
+        scalar = _hap_facts(solve_hap(problem, constraint, batched=False))
         replayed = _hap_facts(solve_hap(problem, constraint, resume=False))
         oracle = _hap_facts(solve_hap(problem, constraint,
                                       incremental=False))
-        if resumed != oracle:
+        if batched != oracle:
+            return (f"design {index} (LS={constraint}): batched kernel "
+                    f"{batched[:3]} != oracle {oracle[:3]}")
+        if scalar != oracle:
             return (f"design {index} (LS={constraint}): delta-resume "
-                    f"{resumed[:3]} != oracle {oracle[:3]}")
+                    f"{scalar[:3]} != oracle {oracle[:3]}")
         if replayed != oracle:
             return (f"design {index} (LS={constraint}): full-replay "
                     f"{replayed[:3]} != oracle {oracle[:3]}")
@@ -511,7 +515,8 @@ for _pair in (
                "batched cost tables == scalar oracle (bit-identical)",
                _check_cost_table),
     OraclePair("hap-modes",
-               "delta-resume / full-replay HAP == full-reschedule oracle",
+               "batched / delta-resume / full-replay HAP == "
+               "full-reschedule oracle",
                _check_hap_modes),
     OraclePair("evalservice",
                "cached / cache-disabled service == direct evaluator",

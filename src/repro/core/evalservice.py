@@ -192,6 +192,12 @@ class EvalServiceStats:
             on a worker pool run their own solvers, so their inner-loop
             counters are not reflected here (the cache accounting still
             is).
+        hap_batched_rounds / hap_batch_width: Vectorised move-kernel
+            accounting — ``trial_moves`` rounds issued and total
+            candidate columns priced across them (mean width =
+            ``hap_batch_width / hap_batched_rounds``).  Shows how much
+            of the move pricing ran through the array program rather
+            than one-at-a-time trials.
         pool_restarts: Times a broken process pool was rebuilt and its
             batch repriced serially (fault tolerance, not a hot path).
         retries / reconnects / degraded: Fault counters mirrored by
@@ -218,6 +224,8 @@ class EvalServiceStats:
     hap_memo_hits: int = 0
     hap_steps_saved: int = 0
     hap_steps_replayed: int = 0
+    hap_batched_rounds: int = 0
+    hap_batch_width: int = 0
     pool_restarts: int = 0
     retries: int = 0
     reconnects: int = 0
@@ -285,6 +293,11 @@ class EvalServiceStats:
         saved_pct = self.hap_steps_saved / steps if steps else 0.0
         restarts = (f"; {self.pool_restarts} pool restarts"
                     if self.pool_restarts else "")
+        batched = ""
+        if self.hap_batched_rounds:
+            mean_width = self.hap_batch_width / self.hap_batched_rounds
+            batched = (f", {self.hap_batched_rounds} batched rounds "
+                       f"(mean width {mean_width:.1f})")
         return (f"pricing: cost memo {self.cost_memo_hits} hits / "
                 f"{self.cost_memo_misses} misses "
                 f"({self.cost_memo_rate:.1%} reuse, "
@@ -292,7 +305,7 @@ class EvalServiceStats:
                 f"HAP moves {moves} priced, "
                 f"{self.hap_moves_pruned} pruned ({pruned_pct:.1%}), "
                 f"{self.hap_moves_resumed} resumed "
-                f"({saved_pct:.1%} steps skipped){restarts}")
+                f"({saved_pct:.1%} steps skipped){batched}{restarts}")
 
 
 class EvalService:
@@ -529,15 +542,15 @@ class EvalService:
                     f"evaluation worker pool broke mid-batch; repricing "
                     f"{len(pairs)} designs serially and rebuilding the "
                     f"pool", RuntimeWarning, stacklevel=3)
-                return [self.evaluator.evaluate_hardware(nets, accel)
-                        for nets, accel in pairs]
+                return self.evaluator.evaluate_hardware_many(pairs)
             # Workers run their own cost models; mirror the invocation
             # count so `Evaluator.hardware_evaluations` stays truthful.
             self.evaluator.hardware_evaluations += len(pairs)
             self.stats.parallel_evaluations += len(pairs)
             return evaluations
-        return [self.evaluator.evaluate_hardware(nets, accel)
-                for nets, accel in pairs]
+        # Serial misses price through the batched build: one
+        # union-primed cost pass for the whole miss batch.
+        return self.evaluator.evaluate_hardware_many(pairs)
 
     def _sync_pricing(self) -> None:
         """Mirror the evaluator's cumulative uncached-pricing counters
@@ -557,6 +570,8 @@ class EvalService:
         stats.hap_memo_hits = moves.memo_hits
         stats.hap_steps_saved = moves.steps_saved
         stats.hap_steps_replayed = moves.steps_replayed
+        stats.hap_batched_rounds = moves.batched_rounds
+        stats.hap_batch_width = moves.batch_width
         cost_model = self.evaluator.cost_model
         stats.cost_memo_hits = cost_model.memo_hits
         stats.cost_memo_misses = cost_model.memo_misses

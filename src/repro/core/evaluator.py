@@ -12,6 +12,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.accel.accelerator import HeterogeneousAccelerator
 from repro.arch.network import NetworkArch
@@ -94,13 +95,44 @@ class Evaluator:
         accelerator: HeterogeneousAccelerator,
     ) -> HardwareEvaluation:
         """Cost model + mapping/scheduling -> (rl, re, ra) and penalty."""
+        self._check_networks(networks)
+        problem = MappingProblem.build(networks, accelerator,
+                                       self.cost_model)
+        return self._finish_hardware(accelerator, problem)
+
+    def evaluate_hardware_many(
+        self,
+        pairs: Sequence[tuple[tuple[NetworkArch, ...],
+                              HeterogeneousAccelerator]],
+    ) -> list[HardwareEvaluation]:
+        """Batch hardware path over ``(networks, accelerator)`` pairs.
+
+        The cost tables of the whole batch build from one union-primed
+        pricing pass (:meth:`MappingProblem.build_many`) instead of one
+        pass per design; solves and reward assembly are per design.
+        Results are bit-identical to mapping :meth:`evaluate_hardware`
+        over the list — priming only moves pricing work, never changes
+        a value — which ``tests/test_evalservice.py`` asserts.
+        """
+        pairs = list(pairs)
+        for networks, _accelerator in pairs:
+            self._check_networks(networks)
+        problems = MappingProblem.build_many(pairs, self.cost_model)
+        return [self._finish_hardware(accelerator, problem)
+                for (_networks, accelerator), problem
+                in zip(pairs, problems)]
+
+    def _check_networks(self,
+                        networks: tuple[NetworkArch, ...]) -> None:
         if len(networks) != self.workload.num_tasks:
             raise ValueError(
                 f"expected {self.workload.num_tasks} networks, got "
                 f"{len(networks)}")
+
+    def _finish_hardware(self, accelerator: HeterogeneousAccelerator,
+                         problem: MappingProblem) -> HardwareEvaluation:
+        """Solve + score one built problem (shared by both entry points)."""
         specs = self.workload.specs
-        problem = MappingProblem.build(networks, accelerator,
-                                       self.cost_model)
         hap = solve_hap(problem, specs.latency_cycles,
                         stats=self.move_stats)
         area = self.cost_model.area_um2(

@@ -16,11 +16,20 @@ Architecture (one asyncio loop, two single-thread executors):
   context salt, exactly like campaign sharing, so equal-context
   clients share one cache and differing contexts can never poison
   each other (entries are salt-namespaced).
-- **Single compute thread.**  Evaluators are not thread-safe, so all
-  miss computation runs on a one-thread executor; the event loop stays
-  free to serve cache hits and accept connections while a miss prices.
-  Cache/stats mutations happen only on the loop thread (executor
-  callbacks), keeping the service single-threaded in effect.
+- **Single compute thread, optional worker pool.**  Evaluators are not
+  thread-safe, so by default all miss computation runs on a one-thread
+  executor; the event loop stays free to serve cache hits and accept
+  connections while a miss prices.  Cache/stats mutations happen only
+  on the loop thread (executor callbacks), keeping the service
+  single-threaded in effect.  ``workers > 1`` adds one process pool
+  per hosted context (the same initializer-built per-worker evaluators
+  :class:`~repro.core.evalservice.EvalService` uses), so distinct
+  misses of one context price concurrently; coalescing still happens
+  on the loop thread *before* dispatch, so each distinct in-flight
+  design is computed exactly once no matter how many workers run.  A
+  broken pool (worker OOM-killed) is dropped, its in-flight misses
+  repriced on the serial thread, and the pool rebuilt lazily —
+  mirroring the service's own fault tolerance.
 - **Cross-client coalescing.**  An in-flight future map keyed by
   ``(salt, content key)``: when client B submits a design client A is
   currently pricing, B awaits A's future instead of recomputing —
@@ -75,13 +84,16 @@ import socket
 import tempfile
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from pathlib import Path
 
 from repro.core.evaluator import Evaluator
 from repro.core.evalservice import (
     EvalService,
+    _eval_in_worker,
+    _init_worker,
     design_content,
     evaluation_context_salt,
 )
@@ -95,8 +107,22 @@ from repro.core.protocol import (
 )
 from repro.core.store import EvalStore
 from repro.cost.model import CostModel
+from repro.utils.pool import pool_context
 
 __all__ = ["PricingServer", "serve", "serve_in_thread"]
+
+
+def _timed_eval_in_worker(pair):
+    """Worker-side pricing with its own wall-clock, so ``miss_seconds``
+    reflects compute time, not pool queue wait."""
+    started = time.perf_counter()
+    return _eval_in_worker(pair), time.perf_counter() - started
+
+
+def _warm_worker() -> None:
+    """No-op warmup task: forces a pool worker to spawn and run its
+    initializer (evaluator construction) ahead of the first miss."""
+    return None
 
 
 class PricingServer:
@@ -122,6 +148,14 @@ class PricingServer:
         max_inflight: Bound on concurrently queued miss computations;
             submits needing more are refused with a ``retryable`` error
             frame.
+        workers: Process-pool width for miss computation (``repro
+            serve --workers``).  ``0``/``1`` price every miss on the
+            single compute thread (default).  ``> 1`` builds one pool
+            per hosted context, lazily at its first miss; distinct
+            in-flight designs still coalesce on the loop thread before
+            dispatch, so the single-compute guarantee is unchanged.
+            Fault-injection hooks live in the daemon process, so a
+            ``fault_injector`` keeps computation on the serial thread.
         fault_injector: Test-only :class:`repro.core.faults.\
 FaultInjector` hooked into the reply/batch/compute/append seams.
     """
@@ -133,6 +167,7 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
                  read_timeout: float | None = None,
                  write_timeout: float | None = 60.0,
                  max_inflight: int = 256,
+                 workers: int = 0,
                  fault_injector=None) -> None:
         self.socket_path = Path(socket_path)
         self.store_path = (Path(store_path)
@@ -142,14 +177,24 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
         self.read_timeout = read_timeout
         self.write_timeout = write_timeout
         self.max_inflight = max(1, max_inflight)
+        self.workers = max(0, workers)
         self._injector = fault_injector
         self.store: EvalStore | None = None
         #: context salt -> hosted service (inspectable in tests).
         self.services: dict[str, EvalService] = {}
         self.counters = {"connections": 0, "batches": 0, "computed": 0,
-                         "coalesced": 0, "persisted": 0,
-                         "persist_errors": 0, "compute_errors": 0,
-                         "refused_busy": 0, "shed": 0}
+                         "computed_parallel": 0, "coalesced": 0,
+                         "persisted": 0, "persist_errors": 0,
+                         "compute_errors": 0, "refused_busy": 0,
+                         "shed": 0, "pool_restarts": 0}
+        #: context salt -> lazily built miss-computation process pool.
+        self._pools: dict[str, ProcessPoolExecutor] = {}
+        #: context salt -> pool initializer args (recorded at hello).
+        self._pool_args: dict[str, tuple] = {}
+        #: context salt -> cross-client coalesced submits (the hosted
+        #: service's own stats cannot see coalescing — it happens on
+        #: the in-flight map before the service is asked anything).
+        self._coalesced_by_salt: dict[str, int] = {}
         self._inflight: dict[tuple[str, tuple], asyncio.Future] = {}
         # Evaluations pickled once, served many times: the hit path of
         # a repeat-heavy trace is dominated by (re)pickling reply
@@ -318,6 +363,9 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
             # otherwise leave the handle open (and the store locked)
             # until GC.  Both calls are idempotent no-ops on the
             # normal paths, which already wound down.
+            for pool in self._pools.values():
+                pool.shutdown(wait=False, cancel_futures=True)
+            self._pools.clear()
             if self._write is not None:
                 self._write.shutdown(wait=True, cancel_futures=True)
             if self.store is not None:
@@ -352,6 +400,9 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
                 # Injected crash mid-flush: stop flushing, close out —
                 # the next open recovers the torn tail.
                 self.aborted = True
+        for pool in self._pools.values():
+            pool.shutdown(wait=True)
+        self._pools.clear()
         if self._compute is not None:
             self._compute.shutdown(wait=True)
         if self._write is not None:
@@ -390,6 +441,9 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
             if not future.done():
                 future.cancel()
         self._inflight.clear()
+        for pool in self._pools.values():
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._pools.clear()
         if self._compute is not None:
             self._compute.shutdown(wait=False, cancel_futures=True)
         if self._write is not None:
@@ -549,6 +603,15 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
                                   cache_size=self.cache_size,
                                   store=self.store)
             self.services[salt] = service
+            if self.workers > 1:
+                self._pool_args[salt] = (workload, params, rho)
+                # Warm the pool now: workers fork and build their
+                # evaluators while the client is still assembling its
+                # first batch, instead of on the first miss's clock.
+                pool = self._pool_for(salt)
+                if pool is not None:
+                    for _ in range(self.workers):
+                        pool.submit(_warm_worker)
         else:
             # Same accounting as campaign sharing: entries priced
             # before this client joined count as *shared* reuse.
@@ -563,10 +626,26 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
 
     def _handle_status(self) -> dict:
         """Pre-handshake liveness/occupancy probe
-        (``repro serve --status``)."""
+        (``repro serve --status``).
+
+        ``contexts`` breaks the traffic down per hosted context salt —
+        requests/hits/store hits from the hosted service's own stats,
+        plus the cross-client coalesced submits only the server's
+        in-flight map can see — so a shared daemon shows *which*
+        evaluation context its cache is actually working for.
+        """
         return {"ok": True, "version": PROTOCOL_VERSION,
                 "uptime_seconds": time.monotonic() - self._started_at,
                 "services": len(self.services),
+                "workers": self.workers,
+                "contexts": {
+                    salt: {"requests": service.stats.requests,
+                           "hits": service.stats.hits,
+                           "store_hits": service.stats.store_hits,
+                           "coalesced": self._coalesced_by_salt.get(
+                               salt, 0),
+                           "hit_rate": service.stats.hit_rate}
+                    for salt, service in self.services.items()},
                 "inflight": len(self._inflight),
                 "persist_queue": (self._persist_queue.qsize()
                                   if self._persist_queue is not None
@@ -638,6 +717,8 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
                 awaited[key] = pending
                 first_tier[key] = "coalesced"
                 self.counters["coalesced"] += 1
+                self._coalesced_by_salt[salt] = \
+                    self._coalesced_by_salt.get(salt, 0) + 1
                 continue
             if len(self._inflight) >= self.max_inflight:
                 # Refuse loudly instead of ballooning; computations
@@ -698,13 +779,47 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
             self._reply_blobs[address] = blob
         return blob
 
+    def _pool_for(self, salt: str) -> ProcessPoolExecutor | None:
+        """This context's miss-computation pool, built lazily.
+
+        ``None`` routes the miss to the serial compute thread: workers
+        disabled, the context unknown (no hello recorded initargs), or
+        a fault injector present — injection hooks live in the daemon
+        process, so chaos runs keep the serial path's exact semantics.
+        """
+        if self.workers <= 1 or self._injector is not None:
+            return None
+        pool = self._pools.get(salt)
+        if pool is None:
+            initargs = self._pool_args.get(salt)
+            if initargs is None:
+                return None
+            ctx = pool_context(
+                require_picklable=(_init_worker, _eval_in_worker,
+                                   *initargs))
+            pool = ProcessPoolExecutor(max_workers=self.workers,
+                                       mp_context=ctx,
+                                       initializer=_init_worker,
+                                       initargs=initargs)
+            self._pools[salt] = pool
+        return pool
+
+    def _drop_pool(self, salt: str) -> None:
+        """Discard a broken pool (rebuilt lazily on the next miss)."""
+        broken = self._pools.pop(salt, None)
+        if broken is not None:
+            self.counters["pool_restarts"] += 1
+            broken.shutdown(wait=False, cancel_futures=True)
+
     def _spawn_compute(self, service: EvalService,
                        inflight_key: tuple[str, tuple], key: tuple,
                        pair) -> asyncio.Future:
-        """Price one miss on the compute thread; resolve a loop-side
-        future every coalesced awaiter shares."""
+        """Price one miss — on this context's worker pool when enabled,
+        else on the compute thread; resolve a loop-side future every
+        coalesced awaiter shares."""
         future = self._loop.create_future()
         self._inflight[inflight_key] = future
+        salt = service.context_salt
 
         def compute():
             if self._injector is not None:
@@ -715,25 +830,63 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
                 networks, accelerator)
             return evaluation, time.perf_counter() - started
 
-        task = self._loop.run_in_executor(self._compute, compute)
+        task = None
+        pooled = pool = self._pool_for(salt)
+        if pool is not None:
+            try:
+                task = self._loop.run_in_executor(
+                    pool, _timed_eval_in_worker, pair)
+            except BrokenProcessPool:
+                # The pool broke between misses; reprice serially and
+                # let the next miss rebuild it.
+                self._drop_pool(salt)
+                pooled = None
+        if task is None:
+            task = self._loop.run_in_executor(self._compute, compute)
 
         def finish(task: asyncio.Future) -> None:
             # Runs on the loop thread: cache/stats mutation is safe.
-            self._inflight.pop(inflight_key, None)
+            nonlocal pooled
             if future.done():  # aborted while computing
+                self._inflight.pop(inflight_key, None)
                 if not task.cancelled():
                     task.exception()  # mark retrieved
                 return
             if task.cancelled():
+                self._inflight.pop(inflight_key, None)
                 future.cancel()
                 return
             exc = task.exception()
+            if isinstance(exc, BrokenProcessPool) and pooled is not None:
+                # A worker died (OOM kill, hard crash) mid-computation.
+                # Pricing is deterministic, so this miss repriced on
+                # the serial thread answers identically; the in-flight
+                # entry stays registered, so late submits still
+                # coalesce onto the retry instead of recomputing.
+                self._drop_pool(salt)
+                pooled = None
+                try:
+                    retry = self._loop.run_in_executor(self._compute,
+                                                       compute)
+                except RuntimeError as error:  # shut down mid-retry
+                    self._inflight.pop(inflight_key, None)
+                    future.set_exception(error)
+                    return
+                retry.add_done_callback(finish)
+                return
+            self._inflight.pop(inflight_key, None)
             if exc is not None:
                 future.set_exception(exc)
                 return
             evaluation, seconds = task.result()
             service.admit_miss(key, evaluation, seconds)
             self.counters["computed"] += 1
+            if pooled is not None:
+                self.counters["computed_parallel"] += 1
+                # The worker ran its own evaluator; mirror the
+                # invocation so `hardware_evaluations` stays truthful
+                # (same accounting as EvalService's pool path).
+                service.evaluator.hardware_evaluations += 1
             if self.store is not None:
                 self._persist_queue.put_nowait(
                     (service.context_salt,
@@ -795,7 +948,8 @@ def serve(socket_path: str | Path, *,
           cache_size: int = 4096,
           read_timeout: float | None = None,
           write_timeout: float | None = 60.0,
-          max_inflight: int = 256) -> PricingServer:
+          max_inflight: int = 256,
+          workers: int = 0) -> PricingServer:
     """Run a pricing daemon until SIGTERM/SIGINT (blocking; a second
     signal forces immediate exit).
 
@@ -806,7 +960,8 @@ def serve(socket_path: str | Path, *,
                            cache_size=cache_size,
                            read_timeout=read_timeout,
                            write_timeout=write_timeout,
-                           max_inflight=max_inflight)
+                           max_inflight=max_inflight,
+                           workers=workers)
     asyncio.run(server.run_async(install_signals=True))
     return server
 
@@ -819,6 +974,7 @@ def serve_in_thread(socket_path: str | Path | None = None, *,
                     read_timeout: float | None = None,
                     write_timeout: float | None = 60.0,
                     max_inflight: int = 256,
+                    workers: int = 0,
                     fault_injector=None):
     """Run a daemon on a background thread (tests, fuzzing, benches).
 
@@ -839,6 +995,7 @@ def serve_in_thread(socket_path: str | Path | None = None, *,
                            read_timeout=read_timeout,
                            write_timeout=write_timeout,
                            max_inflight=max_inflight,
+                           workers=workers,
                            fault_injector=fault_injector)
     started = threading.Event()
     boot_error: list[BaseException] = []

@@ -220,6 +220,70 @@ class CostModel:
                 grid[row].append(column[lkey])
         return grid
 
+    def prime_pairs(
+        self, pairs: Sequence[tuple[ConvLayer, SubAccelerator]]
+    ) -> int:
+        """Price the union of distinct (layer geometry, sub-accelerator
+        configuration) pairs into the memo — one vectorised pass per
+        distinct configuration.
+
+        The cross-design batch front door: a caller about to build many
+        :class:`~repro.mapping.problem.MappingProblem`\\ s (an
+        ``evaluate_many`` miss batch, :meth:`MappingProblem.build_many`)
+        primes the union of its pairs first, so every subsequent
+        per-design table is answered from the memo instead of running
+        one pricing pass per design.  Priced values are bit-identical to
+        the scalar oracle and to :meth:`cost_table` (same vectorised
+        pricing; the terms are elementwise, so batch composition cannot
+        change a value).  Already-memoised pairs are skipped without
+        touching hit accounting — priming is not a lookup; only the
+        misses it prices count (``memo_misses``).  Returns the number of
+        pairs priced.
+        """
+        cache = self._layer_cache
+        distinct_pos: dict[tuple, int] = {}
+        representatives: list[ConvLayer] = []
+        by_sub: dict[tuple, tuple[SubAccelerator, dict]] = {}
+        for layer, subacc in pairs:
+            if not subacc.is_active:
+                raise ValueError(
+                    "cannot prime an inactive sub-accelerator")
+            lkey = layer_identity(layer)
+            if lkey not in distinct_pos:
+                distinct_pos[lkey] = len(representatives)
+                representatives.append(layer)
+            sub_key = (subacc.dataflow.value, subacc.num_pes,
+                       subacc.bandwidth_gbps)
+            entry = by_sub.get(sub_key)
+            if entry is None:
+                entry = (subacc, {})
+                by_sub[sub_key] = entry
+            misses = entry[1]
+            if lkey not in misses and ((lkey,) + sub_key) not in cache:
+                misses[lkey] = None
+        shared: tuple | None = None
+        priced = 0
+        for _sub_key, (subacc, miss_lkeys) in by_sub.items():
+            if not miss_lkeys:
+                continue
+            if shared is None:
+                shared = self._shared_terms(representatives)
+            positions = [distinct_pos[lkey] for lkey in miss_lkeys]
+            # Unlike cost_table's single-design columns, a sub-config's
+            # first-seen key order here need not match the global
+            # representative order (its first design may introduce
+            # layers another design already registered), so the
+            # no-copy shortcut requires positions to be the identity.
+            if positions == list(range(len(representatives))):
+                terms = shared
+            else:
+                terms = self._subset_terms(shared, positions)
+            self._price_column(list(miss_lkeys), terms, subacc)
+            self.memo_misses += len(miss_lkeys)
+            priced += len(miss_lkeys)
+            self._evict_excess()
+        return priced
+
     def _shared_terms(self, layers: list[ConvLayer]) -> tuple:
         """Dataflow-independent arrays of a distinct-layer batch."""
         params = self.params

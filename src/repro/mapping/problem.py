@@ -13,6 +13,7 @@ MAESTRO-substitute oracle for every (layer, active sub-accelerator) pair.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -113,6 +114,42 @@ class MappingProblem:
             layer_net=tuple(layer_net),
             flat_layers=tuple(flat_layers),
         )
+
+    @classmethod
+    def build_many(
+        cls,
+        designs: Sequence[tuple],
+        cost_model: CostModel,
+        *,
+        batched: bool = True,
+    ) -> list["MappingProblem"]:
+        """Build one problem per ``(networks, accelerator)`` design,
+        priming the cost memo with the **union** of the batch's distinct
+        (layer geometry, sub-accelerator) pairs first.
+
+        One vectorised pricing pass per distinct sub-accelerator
+        configuration covers the whole generation
+        (:meth:`repro.cost.model.CostModel.prime_pairs`); every
+        per-design :meth:`build` is then answered from the memo.  The
+        returned problems are bit-identical to building each design
+        separately — priming changes *when* a pair is priced, never its
+        value.  ``batched=False`` skips priming and builds each design
+        through the scalar reference path.
+        """
+        designs = list(designs)
+        if batched and len(designs) > 1:
+            pairs: list[tuple[ConvLayer, object]] = []
+            for networks, accelerator in designs:
+                active = [sub for sub in accelerator.subaccs
+                          if sub.is_active]
+                for network in networks:
+                    for layer in network.layers:
+                        for subacc in active:
+                            pairs.append((layer, subacc))
+            cost_model.prime_pairs(pairs)
+        return [cls.build(networks, accelerator, cost_model,
+                          batched=batched)
+                for networks, accelerator in designs]
 
     # ------------------------------------------------------------------
     # Convenience accessors

@@ -221,6 +221,29 @@ class TestBatchCostTable:
             model.layer_cost(layer, sub)
         assert model.memo_misses == before
 
+    def test_prime_pairs_order_independent_across_designs(self):
+        """A sub-config whose first design lists shared layers in a
+        different order than the batch's global first-seen order must
+        still price every key with its own geometry (regression: the
+        cold-column no-copy shortcut paired global-order term rows
+        with per-config-order keys, swapping two layers' costs —
+        found by the `evalservice` fuzz pair)."""
+        a, b = HIGH_RES_LIGHT, LOW_RES_HEAVY
+        sub1 = SubAccelerator(Dataflow.NVDLA, 1024, 32)
+        sub2 = SubAccelerator(Dataflow.SHIDIANNAO, 512, 16)
+        model = CostModel()
+        # sub2 first appears with the layers in reversed order, so its
+        # miss-key order (b, a) differs from the representatives (a, b).
+        model.prime_pairs([(a, sub1), (b, sub1), (b, sub2), (a, sub2)])
+        assert model.memo_misses == 4
+        scalar = CostModel()
+        for layer in (a, b):
+            for sub in (sub1, sub2):
+                assert (model.layer_cost(layer, sub)
+                        == scalar.layer_cost(layer, sub))
+        # Priming filled the memo: the lookups above were all hits.
+        assert model.memo_misses == 4
+
     def test_memo_keyed_by_geometry_not_name(self):
         """Two layers with identical geometry but different names share
         one memo entry (layer identity is content, not label)."""

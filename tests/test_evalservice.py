@@ -137,6 +137,40 @@ class TestAccounting:
         text = service.stats.summary()
         assert "1 hits" in text and "1 misses" in text
 
+    def test_batched_kernel_counters_flow_to_run_record(self, workload,
+                                                        pairs,
+                                                        monkeypatch):
+        """The vectorised kernel's rounds/width counters mirror from the
+        evaluator into the stats, the pricing summary, the search
+        result, and the run JSON."""
+        from repro.core.results import SearchResult
+        from repro.core.serialization import result_to_dict
+
+        # The fixture designs sit below the widths at which solve_hap
+        # selects the batched scans and dispatches lockstep waves;
+        # force both on so the counters move.
+        monkeypatch.setattr("repro.mapping.hap._BATCH_MIN", 1)
+        monkeypatch.setattr("repro.mapping.hap._PROBE", 0)
+        monkeypatch.setattr("repro.mapping.hap._WAVE_MIN", 1)
+        monkeypatch.setattr("repro.mapping.hap._GAIN_MARGIN", -1e9)
+        evaluator = make_evaluator(workload)
+        service = EvalService(evaluator)
+        service.evaluate_many(pairs)
+        stats = service.stats
+        moves = evaluator.move_stats
+        assert stats.hap_batched_rounds == moves.batched_rounds > 0
+        assert stats.hap_batch_width == moves.batch_width
+        assert stats.hap_batch_width >= stats.hap_batched_rounds
+        assert "batched rounds" in stats.pricing_summary()
+
+        result = SearchResult(name="probe")
+        result.absorb_eval_stats(stats)
+        assert result.hap_batched_rounds == stats.hap_batched_rounds
+        assert result.hap_batch_width == stats.hap_batch_width
+        pricing = result_to_dict(result)["pricing"]
+        assert pricing["hap_batched_rounds"] == stats.hap_batched_rounds
+        assert pricing["hap_batch_width"] == stats.hap_batch_width
+
 
 class TestBitIdentity:
     def test_cached_equals_uncached(self, workload, pairs):

@@ -331,6 +331,124 @@ class TestCoalescing:
 
 
 # ----------------------------------------------------------------------
+# Worker-pool miss computation (--workers)
+# ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_pooled_misses_are_bit_identical(self, workload, pairs):
+        """workers=2 prices misses in worker processes; every answer
+        equals the in-process reference and repeats hit the shared
+        LRU exactly as on the serial path."""
+        trace = pairs + pairs[::-1]
+        with EvalService(make_evaluator(workload)) as local:
+            want = local.evaluate_many(trace)
+        with serve_in_thread(workers=2) as server:
+            with make_client(server, workload) as client:
+                got = client.evaluate_many(trace)
+            assert server.counters["computed"] == len(pairs)
+            assert server.counters["computed_parallel"] == len(pairs)
+            assert server.counters["pool_restarts"] == 0
+        assert got == want
+
+    def test_pooled_compute_stays_exactly_once(self, workload, pairs):
+        """Concurrent clients over one design pool with workers on:
+        the in-flight map dedups before pool dispatch, so each
+        distinct design is computed exactly once fleet-wide."""
+        clients = 4
+        results: list = [None] * clients
+        errors: list = []
+        with serve_in_thread(workers=2) as server:
+
+            def run(slot: int) -> None:
+                try:
+                    with make_client(server, workload) as client:
+                        results[slot] = client.evaluate_many(pairs)
+                except Exception as exc:  # surface in the test
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=run, args=(slot,))
+                       for slot in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors
+            assert server.counters["computed"] == len(pairs)
+        with EvalService(make_evaluator(workload)) as local:
+            want = local.evaluate_many(pairs)
+        for evaluations in results:
+            assert evaluations == want
+
+    def test_status_reports_workers_and_context_breakdown(
+            self, workload, pairs):
+        with serve_in_thread(workers=2) as server:
+            with make_client(server, workload) as client:
+                client.evaluate_many(pairs[:2] + pairs[:2])
+            status = probe_status(server.socket_path)
+            assert status["workers"] == 2
+            (context,) = status["contexts"].values()
+            assert context["requests"] == 4
+            assert context["hits"] == 2
+            assert context["store_hits"] == 0
+            assert context["coalesced"] == 0
+            assert context["hit_rate"] == 0.5
+
+    def test_serial_daemon_status_reports_zero_workers(
+            self, workload, pairs):
+        with serve_in_thread() as server:
+            with make_client(server, workload) as client:
+                client.evaluate_many(pairs[:1])
+            status = probe_status(server.socket_path)
+            assert status["workers"] == 0
+            (context,) = status["contexts"].values()
+            assert context["requests"] == 1
+            assert server.counters["computed_parallel"] == 0
+
+    def test_coalesced_submits_attributed_to_context(self, workload,
+                                                     pairs):
+        """The per-context breakdown counts cross-client coalescing
+        (the hosted service's own stats cannot see it)."""
+        clients = 3
+        gate = threading.Event()
+        with serve_in_thread() as server:
+            first = make_client(server, workload)
+            try:
+                first.ping()
+                (service,) = server.services.values()
+                real = service.evaluator.evaluate_hardware
+
+                def slow(nets, accel):
+                    gate.wait(timeout=30)
+                    time.sleep(0.2)
+                    return real(nets, accel)
+
+                service.evaluator.evaluate_hardware = slow
+                errors: list = []
+
+                def run() -> None:
+                    try:
+                        with make_client(server, workload) as client:
+                            client.evaluate_many(pairs[:1])
+                    except Exception as exc:  # surface in the test
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=run)
+                           for _ in range(clients)]
+                for thread in threads:
+                    thread.start()
+                time.sleep(0.3)  # let every submit reach the daemon
+                gate.set()
+                for thread in threads:
+                    thread.join(timeout=30)
+            finally:
+                first.close()
+            assert not errors
+            status = server._handle_status()
+            (context,) = status["contexts"].values()
+            assert context["coalesced"] == server.counters["coalesced"]
+            assert context["coalesced"] >= clients - 1
+
+
+# ----------------------------------------------------------------------
 # Store integration
 # ----------------------------------------------------------------------
 class TestDaemonStore:
