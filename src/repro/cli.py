@@ -52,12 +52,15 @@ from repro.core.campaign import (
     save_campaign,
 )
 from repro.core.serialization import save_result
+from repro.core.strategies import StrategyNames
 from repro.workloads import workload_by_name
 
 __all__ = ["build_parser", "main"]
 
 _WORKLOAD_CHOICES = ["W1", "W2", "W3", "Fig1"]
-_STRATEGY_CHOICES = ["nasaic", "evolution", "mc", "nas"]
+# Live view over the strategy registry: registering a strategy makes it
+# a valid ``--strategies`` token with no CLI change.
+_STRATEGY_CHOICES = StrategyNames(campaign_only=True)
 
 
 def _nonnegative_int(text: str) -> int:

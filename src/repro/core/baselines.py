@@ -86,9 +86,22 @@ def spec_distance(latency: float, energy: float, area: float,
 
 def _reference_design(allocation: AllocationSpace) -> HeterogeneousAccelerator:
     """An arbitrary valid design used to pin inert hardware segments."""
-    slots = [(allocation.dataflows[0], allocation.budget.max_pes,
-              allocation.budget.max_bandwidth_gbps)]
-    slots += [(allocation.dataflows[0], 0, 0)] * (allocation.num_slots - 1)
+    dataflow = allocation.dataflows[0]
+    if allocation.allow_empty_slots:
+        slots = [(dataflow, allocation.budget.max_pes,
+                  allocation.budget.max_bandwidth_gbps)]
+        slots += [(dataflow, 0, 0)] * (allocation.num_slots - 1)
+        return allocation.build(slots)
+    # Mandatory-active spaces: minimum allocation on every slot, the
+    # remaining budget on slot 0.
+    rest = allocation.num_slots - 1
+    pe0 = max(p for p in allocation.pe_options
+              if p <= allocation.budget.max_pes - rest * allocation.pe_step)
+    bw0 = max(b for b in allocation.bw_options
+              if b <= allocation.budget.max_bandwidth_gbps
+              - rest * allocation.bw_step)
+    slots = [(dataflow, pe0, bw0)]
+    slots += [(dataflow, allocation.pe_step, allocation.bw_step)] * rest
     return allocation.build(slots)
 
 

@@ -36,7 +36,7 @@ Campaign JSON schema (``campaign_to_dict``)::
                "misses": ..., "shared_hits": ..., "store_hits": ...,
                "hit_rate": ..., "shared_hit_rate": ...,
                "store_hit_rate": ..., "entries": ...,
-               "store_entries": ...},
+               "store_entries": ..., "store_bytes": ...},
      "scenarios": [
         {"name": "W1/nasaic/b4/s7", "workload": "W1",
          "strategy": "nasaic", "budget": 4, "seed": 7, "rho": 10.0,
@@ -67,6 +67,7 @@ from repro.utils.pool import pool_context
 from repro.accel.allocation import AllocationSpace
 from repro.core.baselines import (
     NASOnlyResult,
+    hardware_aware_nas,
     monte_carlo_search,
     run_nas_per_task,
 )
@@ -82,6 +83,16 @@ from repro.core.results import SearchResult
 from repro.core.search import NASAIC, NASAICConfig
 from repro.core.serialization import result_to_dict
 from repro.core.store import EvalStore
+from repro.core.strategies.registry import (
+    CampaignContext,
+    StrategyNames,
+    strategy_spec,
+)
+from repro.core.strategies.zoo import (
+    BayesOptSearch,
+    EnsembleSearch,
+    LocalSearch,
+)
 from repro.cost.model import CostModel
 from repro.utils.tables import format_table
 from repro.workloads import workload_by_name
@@ -91,8 +102,11 @@ __all__ = ["Campaign", "CampaignConfig", "CampaignResult", "Scenario",
            "ScenarioOutcome", "campaign_to_dict", "format_campaign",
            "run_campaign", "save_campaign"]
 
-#: Strategy kinds a scenario may name.
-STRATEGIES = ("nasaic", "evolution", "mc", "nas")
+#: Strategy kinds a scenario may name — a *live view* over the strategy
+#: registry (campaign-runnable specs only), so registering a new
+#: :class:`~repro.core.strategies.registry.StrategySpec` makes it a
+#: valid scenario strategy with no edit here.
+STRATEGIES = StrategyNames(campaign_only=True)
 
 
 @dataclass(frozen=True)
@@ -319,11 +333,15 @@ class Campaign:
         workload = self._resolve_workload(scenario)
         options = scenario.options
         surrogate = options.get("surrogate")
+        spec = strategy_spec(scenario.strategy)
         started = time.perf_counter()
-        if scenario.strategy == "nas":
-            result: Any = run_nas_per_task(
-                workload, surrogate=surrogate,
-                episodes=scenario.budget, seed=scenario.seed)
+        if not spec.uses_service:
+            context = CampaignContext(
+                workload=workload, allocation=None,
+                cost_model=self.cost_model, surrogate=surrogate,
+                config=None, budget=scenario.budget, seed=scenario.seed,
+                rho=scenario.rho, service=None, store=None)
+            result: Any = spec.campaign_runner(context)
             return ScenarioOutcome(scenario, result,
                                    time.perf_counter() - started, None)
         allocation = options.get("allocation") or AllocationSpace()
@@ -340,22 +358,12 @@ class Campaign:
         if config is not None and getattr(config, "calibrate_bounds",
                                           False):
             config = replace(config, calibrate_bounds=False)
-        if scenario.strategy == "nasaic":
-            result = NASAIC(
-                eval_workload, allocation=allocation,
-                cost_model=self.cost_model, surrogate=surrogate,
-                config=config, evalservice=service).run()
-        elif scenario.strategy == "evolution":
-            result = EvolutionarySearch(
-                eval_workload, allocation=allocation,
-                cost_model=self.cost_model, surrogate=surrogate,
-                config=config, evalservice=service).run()
-        else:  # "mc"
-            result = monte_carlo_search(
-                eval_workload, allocation=allocation,
-                cost_model=self.cost_model, surrogate=surrogate,
-                runs=scenario.budget, seed=scenario.seed, rho=rho,
-                evalservice=service)
+        context = CampaignContext(
+            workload=eval_workload, allocation=allocation,
+            cost_model=self.cost_model, surrogate=surrogate,
+            config=config, budget=scenario.budget, seed=scenario.seed,
+            rho=rho, service=service, store=self.store)
+        result = spec.campaign_runner(context)
         return ScenarioOutcome(scenario, result,
                                time.perf_counter() - started,
                                service.stats.delta(before))
@@ -405,13 +413,10 @@ class Campaign:
         explicit = scenario.options.get("config")
         if explicit is not None:
             return explicit
-        if scenario.strategy == "nasaic":
-            return NASAICConfig(episodes=scenario.budget,
-                                seed=scenario.seed, rho=scenario.rho)
-        if scenario.strategy == "evolution":
-            return EvolutionConfig(generations=scenario.budget,
-                                   seed=scenario.seed, rho=scenario.rho)
-        return None  # "mc": no config object
+        factory = strategy_spec(scenario.strategy).config_factory
+        if factory is None:
+            return None  # config-less strategies (e.g. "mc", "hw-nas")
+        return factory(scenario.budget, scenario.seed, scenario.rho)
 
     def _evaluation_workload(self, workload: Workload,
                              allocation: AllocationSpace,
@@ -472,6 +477,8 @@ class Campaign:
             "entries": entries,
             "store_entries": (len(self.store)
                               if self.store is not None else 0),
+            "store_bytes": (self.store.size_bytes
+                            if self.store is not None else 0),
             "cost_memo_hits": self.cost_model.memo_hits,
             "cost_memo_misses": self.cost_model.memo_misses,
         }

@@ -31,7 +31,8 @@ from repro.accel.allocation import AllocationSpace
 from repro.arch.network import NetworkArch
 from repro.workloads.workload import Workload
 
-__all__ = ["Decision", "JointSearchSpace", "JointSample"]
+__all__ = ["Decision", "JointSearchSpace", "JointSample",
+           "random_genes", "repair_genes"]
 
 
 @dataclass(frozen=True)
@@ -132,6 +133,11 @@ class JointSearchSpace:
         """Decision range of one task's architecture segment."""
         return self._task_slices[task_index]
 
+    def slot_positions(self, slot: int) -> tuple[int, int, int]:
+        """Decision positions ``(dataflow, pes, bandwidth)`` of one slot."""
+        return (self._df_positions[slot], self._pe_positions[slot],
+                self._bw_positions[slot])
+
     # ------------------------------------------------------------------
     # Budget-aware masking
     # ------------------------------------------------------------------
@@ -149,7 +155,12 @@ class JointSearchSpace:
         if position in self._pe_positions:
             slot = self._pe_positions.index(position)
             used = sum(self._pe_of(sampled, s) for s in range(slot))
-            mask = alloc.pe_mask(alloc.budget.max_pes - used)
+            # Reserve the cheapest option for every later slot: spaces
+            # whose PE options cannot be zero force every slot active,
+            # so a greedy early slot must not starve the rest (with a
+            # zero option the reserve is 0 and the mask is unchanged).
+            reserve = (alloc.num_slots - slot - 1) * min(alloc.pe_options)
+            mask = alloc.pe_mask(alloc.budget.max_pes - used - reserve)
             is_last = slot == alloc.num_slots - 1
             earlier_active = any(
                 self._pe_of(sampled, s) > 0 for s in range(slot))
@@ -243,3 +254,47 @@ class JointSearchSpace:
             forced[self._bw_positions[slot]] = (
                 self.allocation.bw_options.index(bw))
         return forced
+
+
+# ----------------------------------------------------------------------
+# Genome helpers shared by every genome-based strategy (EA + the zoo)
+# ----------------------------------------------------------------------
+def random_genes(space: JointSearchSpace,
+                 rng: np.random.Generator) -> list[int]:
+    """Sample a budget-valid genome, one masked draw per decision.
+
+    Draw order and mask handling match the evolutionary search's
+    original sampler exactly, so hoisting it here left RNG streams
+    untouched.
+    """
+    genes: list[int] = []
+    for pos in range(space.num_decisions):
+        mask = space.mask_for(pos, genes)
+        if mask is None:
+            genes.append(int(rng.integers(
+                space.decisions[pos].num_options)))
+        else:
+            allowed = np.flatnonzero(mask)
+            genes.append(int(rng.choice(allowed)))
+    return genes
+
+
+def repair_genes(space: JointSearchSpace, genes: list[int]) -> list[int]:
+    """Clamp hardware genes to the budget, walking slot by slot.
+
+    Architecture genes are always valid; PE/bandwidth genes may violate
+    the running budget after crossover or mutation, in which case they
+    are clamped to the largest allowed option — the mildest change that
+    restores validity.  RNG-free.
+    """
+    repaired: list[int] = []
+    for pos, gene in enumerate(genes):
+        mask = space.mask_for(pos, repaired)
+        if mask is None or mask[gene]:
+            repaired.append(gene)
+            continue
+        allowed = np.flatnonzero(mask)
+        below = allowed[allowed <= gene]
+        repaired.append(int(below.max() if below.size else
+                            allowed.min()))
+    return repaired

@@ -38,7 +38,6 @@ alone replays the exact failing inputs.
 from __future__ import annotations
 
 import json
-import math
 import tempfile
 import time
 import warnings
@@ -430,24 +429,26 @@ def _check_chaos_serve(scenario: GeneratedScenario,
 
 def _check_checkpoint_resume(scenario: GeneratedScenario,
                              rng: np.random.Generator) -> str | None:
-    """Kill-and-resume at a random round vs the uninterrupted run."""
-    from repro.core.baselines import _MonteCarloStrategy
+    """Kill-and-resume at a random round vs the uninterrupted run.
 
-    runs, chunk = scenario.spec.mc_runs, 2
+    The strategy under test is *drawn from the registry*: every
+    :class:`~repro.core.strategies.registry.StrategySpec` with a
+    ``fuzz_builder`` participates, so a newly registered strategy
+    inherits this oracle across the fuzz corpus with zero wiring here.
+    """
+    from repro.core.strategies.registry import registered_strategies
+
+    specs = [spec for spec in registered_strategies()
+             if spec.fuzz_builder is not None]
+    spec = specs[int(rng.integers(len(specs)))]
 
     def build() -> tuple[Any, EvalService]:
-        evaluator = Evaluator(
-            scenario.workload, CostModel(scenario.cost_params),
-            SurrogateTrainer(scenario.build_surrogate()), rho=scenario.rho)
-        strategy = _MonteCarloStrategy(
-            scenario.workload, scenario.allocation, evaluator,
-            runs=runs, seed=scenario.spec.seed, chunk=chunk)
-        return strategy, EvalService(evaluator)
+        return spec.fuzz_builder(scenario)
 
     strategy, service = build()
     with service:
         reference = SearchDriver(strategy, service).run()
-    total_rounds = math.ceil(runs / chunk)
+    total_rounds = strategy.total_rounds
     if total_rounds < 2:
         return None  # nothing to interrupt
     stop_round = int(rng.integers(1, total_rounds))
@@ -462,11 +463,19 @@ def _check_checkpoint_resume(scenario: GeneratedScenario,
         strategy, service = build()
         with service:
             resumed = SearchDriver(strategy, service).restore(ckpt).run()
-    want, got = _normalised_run(reference), _normalised_run(resumed)
+
+    def norm(result):
+        # Design sweeps finish with a raw evaluation list, not a
+        # SearchResult run record.
+        if isinstance(result, list):
+            return {"evaluations": result}
+        return _normalised_run(result)
+
+    want, got = norm(reference), norm(resumed)
     if want != got:
         keys = [key for key in want if want[key] != got.get(key)]
-        return (f"resume at round {stop_round}/{total_rounds} diverged "
-                f"in {keys}")
+        return (f"strategy {spec.name!r}: resume at round "
+                f"{stop_round}/{total_rounds} diverged in {keys}")
     return None
 
 

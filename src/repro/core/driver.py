@@ -300,10 +300,14 @@ class SearchDriver:
         """
         payload = load_checkpoint(path)
         if payload["strategy_name"] != self.strategy.strategy_name:
+            # Late import: the registry registers strategies that import
+            # this module, so the dependency must not be at module level.
+            from repro.core.strategies.registry import strategy_names
             raise ValueError(
                 f"checkpoint is for strategy "
                 f"{payload['strategy_name']!r}, not "
-                f"{self.strategy.strategy_name!r}")
+                f"{self.strategy.strategy_name!r} "
+                f"(registered strategies: {', '.join(strategy_names())})")
         if payload["total_rounds"] != self.strategy.total_rounds:
             raise ValueError(
                 f"checkpoint budget ({payload['total_rounds']} rounds) "

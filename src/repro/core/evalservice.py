@@ -205,6 +205,13 @@ class EvalServiceStats:
             retries, transparent reconnects, and whether the client
             fell back to local pricing (0/1).  Always 0 for a local
             service.
+        store_entries / store_bytes: Persistent-store scale gauges —
+            evaluation records visible through the attached
+            :class:`~repro.core.store.EvalStore` (own + parent tiers)
+            and its on-disk footprint in bytes.  Like ``degraded``
+            these are state, not counters: a delta carries the current
+            values rather than a difference.  Always 0 with no store
+            attached.
     """
 
     hits: int = 0
@@ -230,6 +237,8 @@ class EvalServiceStats:
     retries: int = 0
     reconnects: int = 0
     degraded: int = 0
+    store_entries: int = 0
+    store_bytes: int = 0
 
     @property
     def requests(self) -> int:
@@ -274,6 +283,10 @@ class EvalServiceStats:
         # daemon was already unreachable at construction) must still
         # report the run as degraded.
         diff.degraded = self.degraded
+        # Store scale is likewise a gauge — "how big is the persistent
+        # tier now", not "how much did this run add".
+        diff.store_entries = self.store_entries
+        diff.store_bytes = self.store_bytes
         return diff
 
     def summary(self) -> str:
@@ -298,6 +311,10 @@ class EvalServiceStats:
             mean_width = self.hap_batch_width / self.hap_batched_rounds
             batched = (f", {self.hap_batched_rounds} batched rounds "
                        f"(mean width {mean_width:.1f})")
+        store = ""
+        if self.store_entries or self.store_bytes:
+            store = (f"; store {self.store_entries} entries, "
+                     f"{self.store_bytes} B on disk")
         return (f"pricing: cost memo {self.cost_memo_hits} hits / "
                 f"{self.cost_memo_misses} misses "
                 f"({self.cost_memo_rate:.1%} reuse, "
@@ -305,7 +322,7 @@ class EvalServiceStats:
                 f"HAP moves {moves} priced, "
                 f"{self.hap_moves_pruned} pruned ({pruned_pct:.1%}), "
                 f"{self.hap_moves_resumed} resumed "
-                f"({saved_pct:.1%} steps skipped){batched}{restarts}")
+                f"({saved_pct:.1%} steps skipped){batched}{restarts}{store}")
 
 
 class EvalService:
@@ -576,6 +593,13 @@ class EvalService:
         stats.cost_memo_hits = cost_model.memo_hits
         stats.cost_memo_misses = cost_model.memo_misses
         stats.cost_memo_entries = cost_model.cache_size
+        self._sync_store_scale()
+
+    def _sync_store_scale(self) -> None:
+        """Mirror the persistent tier's scale gauges into :attr:`stats`."""
+        if self.store is not None:
+            self.stats.store_entries = len(self.store)
+            self.stats.store_bytes = self.store.size_bytes
 
     # ------------------------------------------------------------------
     # Persistent store tier
@@ -595,6 +619,7 @@ class EvalService:
         persisted = store.get_memo(cost_params_digest(cost_model.params))
         if persisted:
             cost_model.preload_memo(persisted)
+        self._sync_store_scale()
 
     def flush_store(self) -> int:
         """Persist cost-memo entries accumulated since the last flush.
@@ -607,8 +632,10 @@ class EvalService:
         if self.store is None or self.store.read_only:
             return 0
         cost_model = self.evaluator.cost_model
-        return self.store.put_memo(cost_params_digest(cost_model.params),
-                                   cost_model.memo_state()["cache"])
+        written = self.store.put_memo(cost_params_digest(cost_model.params),
+                                      cost_model.memo_state()["cache"])
+        self._sync_store_scale()
+        return written
 
     def _lookup_store(self, key: tuple) -> HardwareEvaluation | None:
         """Second-tier lookup: LRU missed, ask the persistent store."""
@@ -644,6 +671,7 @@ class EvalService:
         self.store.put_many(
             (self._salt, self._key_digest(key), key, evaluation)
             for key, _pair, evaluation in triples)
+        self._sync_store_scale()
 
     # ------------------------------------------------------------------
     # LRU mechanics

@@ -37,11 +37,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-import numpy as np
-
 from repro.accel.allocation import AllocationSpace
 from repro.core.bounds_calibration import calibrate_penalty_bounds
-from repro.core.choices import JointSearchSpace
+from repro.core.choices import JointSearchSpace, random_genes, repair_genes
 from repro.core.driver import RoundLog, SearchDriver
 from repro.core.evaluator import Evaluator, HardwareEvaluation
 from repro.core.evalservice import EvalService, verify_injected_service
@@ -166,36 +164,10 @@ class EvolutionarySearch:
     # Genome operations
     # ------------------------------------------------------------------
     def _random_genes(self) -> list[int]:
-        genes = []
-        for pos in range(self.space.num_decisions):
-            mask = self.space.mask_for(pos, genes)
-            if mask is None:
-                genes.append(int(self._rng.integers(
-                    self.space.decisions[pos].num_options)))
-            else:
-                allowed = np.flatnonzero(mask)
-                genes.append(int(self._rng.choice(allowed)))
-        return genes
+        return random_genes(self.space, self._rng)
 
     def _repair(self, genes: list[int]) -> list[int]:
-        """Clamp hardware genes to the budget, walking slot by slot.
-
-        Architecture genes are always valid; PE/bandwidth genes may
-        violate the running budget after crossover or mutation, in which
-        case they are clamped to the largest allowed option — the
-        mildest change that restores validity.
-        """
-        repaired: list[int] = []
-        for pos, gene in enumerate(genes):
-            mask = self.space.mask_for(pos, repaired)
-            if mask is None or mask[gene]:
-                repaired.append(gene)
-                continue
-            allowed = np.flatnonzero(mask)
-            below = allowed[allowed <= gene]
-            repaired.append(int(below.max() if below.size else
-                                allowed.min()))
-        return repaired
+        return repair_genes(self.space, genes)
 
     def _crossover(self, a: list[int], b: list[int]) -> list[int]:
         child = [ga if self._rng.random() < 0.5 else gb

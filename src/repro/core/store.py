@@ -340,6 +340,35 @@ FaultInjector` hooked into the append path (torn-write injection).
         own = sum(len(bucket) for bucket in self._evals.values())
         return own + (len(self.parent) if self.parent is not None else 0)
 
+    def iter_evaluations(self, salt: str):
+        """Yield ``(content_key, evaluation)`` for every distinct record
+        stored under ``salt`` — the warm-training read path.
+
+        Own records come first (in durable append order), then the
+        parent's records that this store does not shadow, so iteration
+        order is deterministic for a given store file chain.
+        """
+        seen: set[tuple] = set()
+        for (stored_salt, _digest), bucket in self._evals.items():
+            if stored_salt != salt:
+                continue
+            for key, evaluation in bucket:
+                if key not in seen:
+                    seen.add(key)
+                    yield key, evaluation
+        if self.parent is not None:
+            for key, evaluation in self.parent.iter_evaluations(salt):
+                if key not in seen:
+                    seen.add(key)
+                    yield key, evaluation
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk bytes of the store file (plus the parent chain's)."""
+        own = self.path.stat().st_size if self.path.exists() else 0
+        return own + (self.parent.size_bytes
+                      if self.parent is not None else 0)
+
     def __contains__(self, addr: tuple[str, str, tuple]) -> bool:
         salt, digest, key = addr
         if any(stored == key

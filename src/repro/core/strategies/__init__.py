@@ -1,0 +1,41 @@
+"""Strategy registry and the model-based strategy zoo.
+
+``registry`` is the single source of truth for strategy names and
+wiring (campaigns, CLI, checkpoints, fuzzing); ``zoo`` hosts the
+surrogate-guided strategies (``local``, ``bayesopt``, ``ensemble``)
+that warm-train from a persistent :class:`~repro.core.store.EvalStore`.
+"""
+
+from repro.core.strategies.registry import (
+    CampaignContext,
+    StrategyNames,
+    StrategySpec,
+    register_strategy,
+    registered_strategies,
+    strategy_names,
+    strategy_spec,
+)
+from repro.core.strategies.zoo import (
+    BayesOptConfig,
+    BayesOptSearch,
+    EnsembleConfig,
+    EnsembleSearch,
+    LocalSearchConfig,
+    LocalSearch,
+)
+
+__all__ = [
+    "BayesOptConfig",
+    "BayesOptSearch",
+    "CampaignContext",
+    "EnsembleConfig",
+    "EnsembleSearch",
+    "LocalSearchConfig",
+    "LocalSearch",
+    "StrategyNames",
+    "StrategySpec",
+    "register_strategy",
+    "registered_strategies",
+    "strategy_names",
+    "strategy_spec",
+]

@@ -1,6 +1,14 @@
-"""Training substrate: dataset descriptors and the accuracy surrogate."""
+"""Training substrate: dataset descriptors, the accuracy surrogate,
+and small NumPy regressors for model-guided search."""
 
 from repro.train.datasets import DATASETS, DatasetSpec, dataset_spec
+from repro.train.regressors import (
+    GaussianProcessRegressor,
+    MLPEnsembleRegressor,
+    expected_improvement,
+    normal_cdf,
+    normal_pdf,
+)
 from repro.train.surrogate import (
     AccuracySurrogate,
     SurrogateCalibration,
@@ -12,9 +20,14 @@ __all__ = [
     "AccuracySurrogate",
     "DATASETS",
     "DatasetSpec",
+    "GaussianProcessRegressor",
+    "MLPEnsembleRegressor",
     "SurrogateCalibration",
     "SurrogateTrainer",
     "TrainingResult",
     "dataset_spec",
     "default_surrogate",
+    "expected_improvement",
+    "normal_cdf",
+    "normal_pdf",
 ]

@@ -1,0 +1,229 @@
+"""Pure-NumPy reward regressors for the model-based strategy zoo.
+
+The zoo strategies (``repro.core.strategies.zoo``) model the Eq. 4
+episode reward as a function of the normalised joint genome.  This
+environment has no scikit-learn / SciPy, so both surrogates are
+implemented directly on :mod:`numpy`:
+
+- :class:`GaussianProcessRegressor` — an RBF-kernel GP with a Cholesky
+  solve and analytic predictive variance, the classic Bayesian
+  optimisation surrogate.
+- :class:`MLPEnsembleRegressor` — a bagged ensemble of one-hidden-layer
+  tanh MLPs trained by full-batch gradient descent (BANANAS-style:
+  ensemble disagreement is the uncertainty estimate).
+
+Both are deterministic given their inputs (the ensemble additionally
+given the caller's RNG), which is what makes the strategies'
+kill-and-resume bit-identity possible.  This module sits in the
+``train`` layer and must not import ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "GaussianProcessRegressor",
+    "MLPEnsembleRegressor",
+    "expected_improvement",
+    "normal_cdf",
+    "normal_pdf",
+]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def normal_cdf(z: np.ndarray) -> np.ndarray:
+    """Standard normal CDF, elementwise (``math.erf``-based; no SciPy)."""
+    z = np.asarray(z, dtype=float)
+    return np.array([0.5 * (1.0 + math.erf(v / _SQRT2))
+                     for v in z.ravel()]).reshape(z.shape)
+
+
+def normal_pdf(z: np.ndarray) -> np.ndarray:
+    """Standard normal PDF, elementwise."""
+    z = np.asarray(z, dtype=float)
+    return np.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
+
+
+def expected_improvement(mean: np.ndarray, std: np.ndarray,
+                         best: float, xi: float = 0.0) -> np.ndarray:
+    """Expected improvement of a maximisation objective.
+
+    Args:
+        mean: Predictive means.
+        std: Predictive standard deviations (>= 0).
+        best: Incumbent objective value.
+        xi: Exploration margin subtracted from the improvement.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    improve = mean - best - xi
+    ei = np.where(improve > 0, improve, 0.0)
+    active = std > 1e-12
+    if active.any():
+        z = np.zeros_like(mean)
+        z[active] = improve[active] / std[active]
+        ei = np.where(
+            active,
+            improve * normal_cdf(z) + std * normal_pdf(z),
+            ei)
+    return ei
+
+
+class GaussianProcessRegressor:
+    """RBF-kernel Gaussian process with analytic predictive variance.
+
+    Targets are standardised internally; the squared distance in the
+    kernel is normalised by the input dimension so one ``lengthscale``
+    works across genome widths.
+
+    Args:
+        lengthscale: Kernel lengthscale on the dimension-normalised
+            distance (inputs are expected in ``[0, 1]^d``).
+        noise: Observation-noise variance added to the kernel diagonal.
+    """
+
+    def __init__(self, lengthscale: float = 0.35,
+                 noise: float = 1e-4) -> None:
+        if lengthscale <= 0:
+            raise ValueError("lengthscale must be positive")
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.lengthscale = float(lengthscale)
+        self.noise = float(noise)
+        self._X: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._chol: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq = np.sum((a[:, None, :] - b[None, :, :]) ** 2, axis=2)
+        sq /= max(1, a.shape[1])
+        return np.exp(-0.5 * sq / (self.lengthscale ** 2))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
+        """Fit the GP to ``(X, y)``; deterministic, no RNG involved."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or len(X) != len(y) or len(X) == 0:
+            raise ValueError("fit expects a non-empty (n, d) X and (n,) y")
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std())
+        if self._y_std < 1e-12:
+            self._y_std = 1.0
+        t = (y - self._y_mean) / self._y_std
+        K = self._kernel(X, X)
+        K[np.diag_indices_from(K)] += self.noise + 1e-8
+        self._chol = np.linalg.cholesky(K)
+        self._alpha = np.linalg.solve(
+            self._chol.T, np.linalg.solve(self._chol, t))
+        self._X = X
+        return self
+
+    def predict(self, Xq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Predictive ``(mean, std)`` at query points, in target units."""
+        if self._X is None:
+            raise RuntimeError("predict() before fit()")
+        Xq = np.asarray(Xq, dtype=float)
+        Ks = self._kernel(Xq, self._X)
+        mean = Ks @ self._alpha
+        v = np.linalg.solve(self._chol, Ks.T)
+        var = 1.0 + self.noise - np.sum(v * v, axis=0)
+        std = np.sqrt(np.clip(var, 1e-12, None))
+        return (mean * self._y_std + self._y_mean, std * self._y_std)
+
+
+class MLPEnsembleRegressor:
+    """Bagged one-hidden-layer tanh MLPs (BANANAS-style predictor).
+
+    Each member bootstraps the training set and draws its own weight
+    initialisation from the caller's RNG, then trains by full-batch
+    gradient descent on the standardised targets.  Ensemble mean is the
+    prediction; ensemble variance is the uncertainty.
+
+    Args:
+        models: Ensemble size.
+        hidden: Hidden-layer width.
+        epochs: Full-batch gradient steps per member.
+        lr: Learning rate.
+    """
+
+    def __init__(self, models: int = 5, hidden: int = 16,
+                 epochs: int = 120, lr: float = 0.05) -> None:
+        if models < 1 or hidden < 1 or epochs < 1:
+            raise ValueError("models, hidden and epochs must be >= 1")
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.models = int(models)
+        self.hidden = int(hidden)
+        self.epochs = int(epochs)
+        self.lr = float(lr)
+        self._weights: list[tuple[np.ndarray, ...]] = []
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            rng: np.random.Generator) -> "MLPEnsembleRegressor":
+        """Fit all ensemble members; consumes ``rng`` deterministically."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or len(X) != len(y) or len(X) == 0:
+            raise ValueError("fit expects a non-empty (n, d) X and (n,) y")
+        n, d = X.shape
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std())
+        if self._y_std < 1e-12:
+            self._y_std = 1.0
+        t_all = (y - self._y_mean) / self._y_std
+        self._weights = []
+        for _ in range(self.models):
+            idx = rng.integers(n, size=n)
+            Xb, tb = X[idx], t_all[idx]
+            w1 = rng.normal(0.0, 1.0 / math.sqrt(d), size=(d, self.hidden))
+            b1 = np.zeros(self.hidden)
+            w2 = rng.normal(0.0, 1.0 / math.sqrt(self.hidden),
+                            size=self.hidden)
+            b2 = 0.0
+            for _ in range(self.epochs):
+                h = np.tanh(Xb @ w1 + b1)
+                err = h @ w2 + b2 - tb
+                gw2 = h.T @ err / n
+                gb2 = float(err.mean())
+                dh = np.outer(err, w2) * (1.0 - h * h)
+                gw1 = Xb.T @ dh / n
+                gb1 = dh.mean(axis=0)
+                w1 -= self.lr * gw1
+                b1 -= self.lr * gb1
+                w2 -= self.lr * gw2
+                b2 -= self.lr * gb2
+            self._weights.append((w1, b1, w2, np.float64(b2)))
+        return self
+
+    def predict(self, Xq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Predictive ``(mean, std)`` at query points, in target units."""
+        if not self._weights:
+            raise RuntimeError("predict() before fit()")
+        Xq = np.asarray(Xq, dtype=float)
+        preds = np.stack([
+            np.tanh(Xq @ w1 + b1) @ w2 + float(b2)
+            for w1, b1, w2, b2 in self._weights])
+        mean = preds.mean(axis=0)
+        std = preds.std(axis=0)
+        return (mean * self._y_std + self._y_mean, std * self._y_std)
+
+    def state(self) -> dict:
+        """Picklable snapshot of the fitted weights and target scaling."""
+        return {"weights": [tuple(np.array(w) for w in member)
+                            for member in self._weights],
+                "y_mean": self._y_mean, "y_std": self._y_std}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state` snapshot."""
+        self._weights = [tuple(np.array(w) for w in member)
+                        for member in state["weights"]]
+        self._y_mean = state["y_mean"]
+        self._y_std = state["y_std"]

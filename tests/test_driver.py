@@ -331,3 +331,95 @@ class TestStoreCheckpointCompose:
         bare = fresh_nasaic()
         with pytest.raises(ValueError, match="store"):
             SearchDriver(bare, bare.evalservice).restore(ckpt)
+
+
+class TestRegistryCheckpointResume:
+    """Every fuzz-buildable registry strategy — the six migrated loops
+    plus the surrogate zoo — holds the bit-identical resume contract at
+    *every* interruption point, surrogate state (model weights, liar
+    sets, RNG positions) included."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        from repro.workloads import generate_spec
+        return generate_spec(2, size_class="tiny").materialize()
+
+    @staticmethod
+    def norm(result):
+        if isinstance(result, list):  # design-sweep returns evaluations
+            return {"evaluations": result}
+        return normalised(result)
+
+    @pytest.mark.parametrize("name", [
+        s.name for s in __import__(
+            "repro.core.strategies.registry",
+            fromlist=["registered_strategies"]).registered_strategies()
+        if s.fuzz_builder])
+    def test_every_interruption_point(self, tmp_path, scenario, name):
+        from repro.core.strategies.registry import strategy_spec
+        spec = strategy_spec(name)
+        strategy, service = spec.fuzz_builder(scenario)
+        total = strategy.total_rounds
+        with service:
+            reference = self.norm(SearchDriver(strategy, service).run())
+        assert total >= 2, "fuzz builder must allow an interruption"
+        for stop in range(1, total):
+            ckpt = tmp_path / f"{name}-{stop}.ckpt"
+            strategy, service = spec.fuzz_builder(scenario)
+            with service:
+                driver = SearchDriver(strategy, service,
+                                      checkpoint_path=ckpt)
+                assert driver.run(max_rounds=stop) is None
+                driver.save_checkpoint()
+            strategy, service = spec.fuzz_builder(scenario)
+            with service:
+                resumed = self.norm(
+                    SearchDriver(strategy, service).restore(ckpt).run())
+            assert resumed == reference, \
+                f"{name}: resume at round {stop}/{total} diverged"
+
+    def test_warm_store_resume_bit_identical(self, tmp_path):
+        """Kill-and-resume of a store-warmed zoo strategy: the warm
+        training set, the refit surrogate and the RNG positions all
+        come back bit-identical from the checkpoint."""
+        from repro.core import EvalStore
+        from repro.core.strategies import (
+            BayesOptConfig, BayesOptSearch, LocalSearchConfig,
+            LocalSearch)
+
+        store_path = tmp_path / "warm.store"
+        with EvalStore(store_path) as store:
+            seeder = LocalSearch(w1(), config=LocalSearchConfig(
+                rounds=2, batch=3, seed=5, calibrate_bounds=False),
+                store=store)
+            seeder.run()
+            seeder.close()
+
+        config = BayesOptConfig(rounds=3, batch=2, candidates=16,
+                                seed=7, calibrate_bounds=False)
+
+        def fresh():
+            with EvalStore(store_path, read_only=True) as warm_store:
+                search = BayesOptSearch(w1(), config=config,
+                                        warm_store=warm_store)
+            return search
+
+        search = fresh()
+        assert search.warm_samples > 0
+        reference = normalised(SearchDriver(
+            search, search.evalservice).run())
+        search.close()
+        for stop in (1, 2):
+            ckpt = tmp_path / f"warm-{stop}.ckpt"
+            search = fresh()
+            driver = SearchDriver(search, search.evalservice,
+                                  checkpoint_path=ckpt)
+            assert driver.run(max_rounds=stop) is None
+            driver.save_checkpoint()
+            search.close()
+            search = fresh()
+            resumed = normalised(SearchDriver(
+                search, search.evalservice).restore(ckpt).run())
+            search.close()
+            assert resumed == reference, \
+                f"warm resume at round {stop} diverged"
