@@ -26,9 +26,19 @@ Machine-readable record: ``benchmarks/results/BENCH_store.json`` with
 per-family ``cold_ms`` / ``warm_ms`` / ``speedup`` / ``served_rate``
 blocks and the gate description.
 
-Run standalone (CI smoke uses ``--quick``)::
+**Scale mode** (``--scale``) gates the offset-index tier instead: a
+synthetic corpus ~10^3 entries and one ~10^6 entries (``--quick``
+shrinks the large corpus), asserting that reopening the big store and
+answering warm lookups from it stay within 2x of the small-store
+numbers (with absolute noise floors) — i.e. open cost is the index
+stamp, not an O(n) unpickle, and lookups are index seeks, not scans.
+The same run compacts the large store and re-probes every sampled
+address for bit-identical answers, live and after a cold reopen.
+Record: ``benchmarks/results/BENCH_store_scale.json``.
 
-    PYTHONPATH=src:. python benchmarks/bench_store.py [--quick]
+Run standalone (CI smoke uses ``--quick`` for both modes)::
+
+    PYTHONPATH=src:. python benchmarks/bench_store.py [--quick] [--scale]
 
 or through pytest (``pytest benchmarks/bench_store.py``).
 """
@@ -52,6 +62,20 @@ SEED = 9
 SPEEDUP_GATE = 2.0
 SERVED_GATE = 0.9
 ATTEMPTS = 3
+
+SCALE_BASELINE = 1_000
+SCALE_TARGET = 1_000_000
+SCALE_QUICK_TARGET = 30_000
+SCALE_RATIO_GATE = 2.0
+# Absolute noise floors: at these magnitudes the 2x ratio would gate
+# scheduler jitter, not algorithmic growth (an O(n) open of 10^6
+# records costs seconds, far above 50 ms).
+SCALE_OPEN_FLOOR_S = 0.05
+SCALE_LOOKUP_FLOOR_S = 200e-6
+SCALE_BATCH = 10_000
+SCALE_PROBES = 64
+SCALE_OPEN_REPS = 5
+SCALE_LOOKUP_REPS = 400
 
 
 def outcome_shape(result) -> dict:
@@ -190,6 +214,166 @@ def to_json(report: dict) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Scale mode: the offset-index tier at ~10^6 entries
+# ----------------------------------------------------------------------
+def _synthetic_entry(i: int):
+    """Deterministic synthetic record ``i``: a handful of contexts,
+    per-design digests and unique keys — the shape a long campaign
+    writes (the service's digest is a content hash of the key)."""
+    salt = f"scale-context-{i % 7}"
+    digest = f"scale-digest-{i}"
+    key = ("design", i, i % 13)
+    evaluation = {"objective": i * 0.5, "latency_ms": float(i % 97),
+                  "feasible": bool(i % 3)}
+    return salt, digest, key, evaluation
+
+
+def _build_corpus(path: Path, entries: int) -> float:
+    """Append ``entries`` synthetic records in batches; returns build
+    seconds.  Several ``put_memo`` rounds leave superseded memo records
+    behind so the compaction stage has something real to drop."""
+    started = time.perf_counter()
+    with EvalStore(path) as store:
+        for base in range(0, entries, SCALE_BATCH):
+            store.put_many([_synthetic_entry(i) for i in
+                            range(base, min(base + SCALE_BATCH, entries))])
+            store.put_memo(f"scale-params-{base % 5}",
+                           {("memo", base): base * 1.0})
+        assert len(store) == entries, "corpus build dropped entries"
+    return time.perf_counter() - started
+
+
+def _measure_store(path: Path, entries: int) -> dict:
+    """Open time (best of ``SCALE_OPEN_REPS`` fresh constructions) and
+    warm per-lookup seconds over sampled known addresses."""
+    open_s = float("inf")
+    for _ in range(SCALE_OPEN_REPS):
+        started = time.perf_counter()
+        store = EvalStore(path, read_only=True)
+        open_s = min(open_s, time.perf_counter() - started)
+        store.close()
+    probes = [_synthetic_entry(i * (entries // SCALE_PROBES) % entries)
+              for i in range(SCALE_PROBES)]
+    store = EvalStore(path, read_only=True)
+    try:
+        assert store.index_used, "store opened without its offset index"
+        for salt, digest, key, expected in probes:  # warm up: memmap
+            assert store.get(salt, digest, key) == expected
+        started = time.perf_counter()
+        for rep in range(SCALE_LOOKUP_REPS):
+            salt, digest, key, _ = probes[rep % len(probes)]
+            store.get(salt, digest, key)
+        lookup_s = (time.perf_counter() - started) / SCALE_LOOKUP_REPS
+    finally:
+        store.close()
+    return {"entries": entries, "open_s": open_s, "lookup_s": lookup_s,
+            "bytes": path.stat().st_size}
+
+
+def run_scale_benchmark(quick: bool = False) -> dict:
+    target = SCALE_QUICK_TARGET if quick else SCALE_TARGET
+    with tempfile.TemporaryDirectory() as workdir:
+        small_path = Path(workdir) / "small.store"
+        large_path = Path(workdir) / "large.store"
+        _build_corpus(small_path, SCALE_BASELINE)
+        build_s = _build_corpus(large_path, target)
+        small = _measure_store(small_path, SCALE_BASELINE)
+        large = _measure_store(large_path, target)
+
+        # Compaction: answers must be bit-identical before and after,
+        # live and across a cold reopen.
+        probes = [_synthetic_entry(i * (target // SCALE_PROBES) % target)
+                  for i in range(SCALE_PROBES)]
+        with EvalStore(large_path) as store:
+            before = [store.get(s, d, k) for s, d, k, _ in probes]
+            report = store.compact()
+            after = [store.get(s, d, k) for s, d, k, _ in probes]
+        assert after == before, "compaction changed a live answer"
+        with EvalStore(large_path, read_only=True) as store:
+            cold = [store.get(s, d, k) for s, d, k, _ in probes]
+        assert cold == before, "compaction changed an answer on reopen"
+        compaction = {"bytes_before": report["bytes_before"],
+                      "bytes_after": report["bytes_after"],
+                      "records_dropped": report["records_dropped"],
+                      "probes": len(probes)}
+    open_gate_s = max(SCALE_RATIO_GATE * small["open_s"],
+                      SCALE_OPEN_FLOOR_S)
+    lookup_gate_s = max(SCALE_RATIO_GATE * small["lookup_s"],
+                        SCALE_LOOKUP_FLOOR_S)
+    return {"baseline": small, "scaled": large, "build_s": build_s,
+            "open_gate_s": open_gate_s, "lookup_gate_s": lookup_gate_s,
+            "compaction": compaction,
+            "open_ok": large["open_s"] <= open_gate_s,
+            "lookup_ok": large["lookup_s"] <= lookup_gate_s}
+
+
+def render_scale(report: dict) -> str:
+    small, large = report["baseline"], report["scaled"]
+    comp = report["compaction"]
+
+    def block(name: str, r: dict) -> str:
+        return (f"{name}: {r['entries']:>9,} entries / "
+                f"{r['bytes'] / 1e6:7.1f} MB — open "
+                f"{r['open_s'] * 1e3:6.2f} ms, warm lookup "
+                f"{r['lookup_s'] * 1e6:6.1f} us")
+
+    return (
+        "Store scale: offset-index open + lazy lookups "
+        f"(gate: <= {SCALE_RATIO_GATE:.0f}x baseline, floors "
+        f"{SCALE_OPEN_FLOOR_S * 1e3:.0f} ms / "
+        f"{SCALE_LOOKUP_FLOOR_S * 1e6:.0f} us)\n"
+        + block("baseline", small) + "\n"
+        + block("scaled  ", large)
+        + f" [{'OK' if report['open_ok'] else 'FAIL'} open, "
+        f"{'OK' if report['lookup_ok'] else 'FAIL'} lookup]\n"
+        f"compaction: {comp['bytes_before'] / 1e6:.1f} MB -> "
+        f"{comp['bytes_after'] / 1e6:.1f} MB, "
+        f"{comp['records_dropped']} records dropped, "
+        f"{comp['probes']} probed answers bit-identical "
+        "(live + cold reopen)")
+
+
+def to_scale_json(report: dict) -> dict:
+    """Flatten into the BENCH_store_scale.json schema."""
+    def block(r: dict) -> dict:
+        return {"entries": r["entries"], "bytes": r["bytes"],
+                "open_ms": r["open_s"] * 1e3,
+                "lookup_us": r["lookup_s"] * 1e6}
+
+    small, large = report["baseline"], report["scaled"]
+    return {
+        "baseline": block(small),
+        "scaled": {**block(large),
+                   "open_ratio": large["open_s"] / small["open_s"],
+                   "lookup_ratio": large["lookup_s"] / small["lookup_s"]},
+        "build_s": report["build_s"],
+        "compaction": report["compaction"],
+        "gate": (f"scaled open <= max({SCALE_RATIO_GATE}x baseline, "
+                 f"{SCALE_OPEN_FLOOR_S * 1e3:.0f}ms) and scaled warm "
+                 f"lookup <= max({SCALE_RATIO_GATE}x baseline, "
+                 f"{SCALE_LOOKUP_FLOOR_S * 1e6:.0f}us); compacted "
+                 "answers bit-identical"),
+    }
+
+
+def test_store_scale(benchmark=None):
+    """Acceptance: open time and warm-lookup latency stay flat (<= 2x
+    with noise floors) from 10^3 to the scaled corpus, and compaction
+    preserves every probed answer bit-identically."""
+    if benchmark is not None:
+        from benchmarks.conftest import (FULL_SCALE, run_once, write_json,
+                                         write_report)
+
+        report = run_once(benchmark,
+                          lambda: run_scale_benchmark(quick=not FULL_SCALE))
+        write_report("bench_store_scale", render_scale(report))
+        write_json("store_scale", to_scale_json(report))
+    else:
+        report = run_scale_benchmark(quick=True)
+    assert report["open_ok"] and report["lookup_ok"], render_scale(report)
+
+
 def test_store_warm_start(benchmark=None):
     """Acceptance: bit-identical warm starts and >= 90% served from the
     store (asserted inside run_benchmark), MC session >= 2x faster."""
@@ -208,7 +392,24 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small run for CI smoke tests")
+    parser.add_argument("--scale", action="store_true",
+                        help="gate the offset-index tier at scale "
+                             "instead of the warm-start sessions")
     args = parser.parse_args(argv)
+    if args.scale:
+        report = run_scale_benchmark(quick=args.quick)
+        print(render_scale(report))
+        try:
+            from benchmarks.conftest import write_json
+
+            write_json("store_scale", to_scale_json(report))
+        except ImportError:  # pragma: no cover - repo root not on path
+            pass
+        if not (report["open_ok"] and report["lookup_ok"]):
+            print("FAIL: store scale gates missed (see above)",
+                  file=sys.stderr)
+            return 1
+        return 0
     report = run_benchmark(quick=args.quick)
     print(render(report))
     try:

@@ -15,6 +15,9 @@ Commands:
 - ``serve``       — the pricing daemon: host the evaluation tier (LRU
   + store + cost memo) behind a local Unix socket so many concurrent
   searches share one cache
+- ``store``       — offline store maintenance: ``compact`` rewrites a
+  store dropping redundant records (answers stay bit-identical),
+  ``stats`` prints its scale gauges
 - ``experiments`` — regenerate one or all of the paper's tables/figures
 
 Every command prints a human-readable report and can persist the raw
@@ -35,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.core import (
     EvolutionConfig,
@@ -288,6 +292,32 @@ def build_parser() -> argparse.ArgumentParser:
                               "computation, one pool per hosted "
                               "context (0/1 = price misses on the "
                               "single compute thread; default: 0)")
+
+    p_store = sub.add_parser(
+        "store",
+        help="offline maintenance for a persistent evaluation store")
+    store_sub = p_store.add_subparsers(dest="store_command",
+                                       required=True)
+    p_compact = store_sub.add_parser(
+        "compact",
+        help="rewrite the store dropping superseded memo records and "
+             "digest-shadowed duplicates (surviving answers stay "
+             "bit-identical); takes the writer lock, so stop any "
+             "daemon owning the store first")
+    p_compact.add_argument("path", help="evaluation store file")
+    p_compact.add_argument("--recover", action="store_true",
+                           help="quarantine a torn tail to a .corrupt "
+                                "sidecar before compacting instead of "
+                                "refusing the file")
+    p_compact.add_argument("--min-redundant", type=_nonnegative_int,
+                           default=0, metavar="N",
+                           help="skip (exit 0) unless at least N "
+                                "droppable records have accumulated "
+                                "(default: 0, always compact)")
+    p_stats = store_sub.add_parser(
+        "stats",
+        help="print a store's scale gauges without rewriting it")
+    p_stats.add_argument("path", help="evaluation store file")
 
     p_exp = sub.add_parser("experiments",
                            help="regenerate paper tables/figures")
@@ -668,6 +698,54 @@ def _serve_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.core.store import EvalStore
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"no evaluation store at {path}")
+        return 1
+
+    if args.store_command == "stats":
+        store = EvalStore(path, read_only=True)
+        try:
+            source = ("offset index" if store.index_used
+                      else f"full scan ({store.scanned_records} records)")
+            print(f"store {path}: {len(store)} entries, "
+                  f"{store.size_bytes} bytes, "
+                  f"{store.redundant_records} redundant records "
+                  f"(opened via {source})")
+        finally:
+            store.close()
+        return 0
+
+    store = EvalStore(path, recover=args.recover)
+    try:
+        if store.recovered:
+            note = store.recovered
+            print(f"recovered before compacting: kept "
+                  f"{note['kept_bytes']} durable bytes, quarantined "
+                  f"{note['quarantined_bytes']} torn bytes to "
+                  f"{note['sidecar']} ({note['detail']})")
+        if args.min_redundant and (store.redundant_records
+                                   < args.min_redundant):
+            print(f"store {path}: {store.redundant_records} redundant "
+                  f"records < --min-redundant {args.min_redundant}, "
+                  "nothing to do")
+            return 0
+        report = store.compact()
+        reclaimed = report["bytes_before"] - report["bytes_after"]
+        print(f"compacted {path}: {report['entries']} entries kept, "
+              f"{report['eval_duplicates_dropped']} shadowed "
+              f"duplicates and {report['memo_records_merged']} "
+              f"superseded memo records dropped, "
+              f"{report['bytes_before']} -> {report['bytes_after']} "
+              f"bytes ({reclaimed} reclaimed)")
+    finally:
+        store.close()
+    return 0
+
+
 _COMMANDS = {
     "search": _cmd_search,
     "evolve": _cmd_evolve,
@@ -676,6 +754,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "fuzz": _cmd_fuzz,
     "serve": _cmd_serve,
+    "store": _cmd_store,
     "experiments": _cmd_experiments,
 }
 

@@ -401,9 +401,16 @@ class Campaign:
             for _, _, _, _, _, shard_path in jobs:
                 shard = Path(shard_path)
                 if shard.exists():
-                    self.store.merge_from(
-                        EvalStore(shard, read_only=True))
+                    # The lazy shard is streamed record-by-record into
+                    # the main store; drop its offset-index sidecar
+                    # along with the shard file itself.
+                    shard_store = EvalStore(shard, read_only=True)
+                    try:
+                        self.store.merge_from(shard_store)
+                    finally:
+                        shard_store.close()
                     shard.unlink()
+                    shard_store.index_path.unlink(missing_ok=True)
         return outcomes
 
     # ------------------------------------------------------------------

@@ -295,6 +295,92 @@ def _check_store_warm(scenario: GeneratedScenario,
     return None
 
 
+def _check_store_compact(scenario: GeneratedScenario,
+                         rng: np.random.Generator) -> str | None:
+    """Compacted store == original store, answer for answer.
+
+    Builds a store with real pricing traffic plus the records
+    compaction exists to drop — digest-shadowed duplicate evaluations
+    and per-digest chains of memo records — then asserts that after
+    :meth:`EvalStore.compact` every surviving answer (evaluations and
+    merged memo entries) is bit-identical to the uncompacted original,
+    both through the live store and through a cold reopen, and that a
+    second compaction is a no-op.
+    """
+    import shutil
+
+    pairs = scenario.sample_pairs(rng, scenario.spec.design_samples)
+
+    def evaluator() -> Evaluator:
+        return Evaluator(scenario.workload, CostModel(scenario.cost_params),
+                         trainer=None, rho=scenario.rho)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "store.bin"
+        with EvalStore(path) as store:
+            with EvalService(evaluator(), store=store) as writer:
+                # Chunked pricing: each flush appends another memo
+                # record per params digest — superseded-record fodder.
+                chunk = max(1, len(pairs) // 3)
+                for start in range(0, len(pairs), chunk):
+                    writer.evaluate_many(pairs[start:start + chunk])
+                    writer.flush_store()
+            # Digest-shadowed duplicates: re-append a sample of the
+            # records verbatim, bypassing put_many's dedup (as an
+            # older or misbehaving writer session would have).
+            records = [record for record in store.iter_records()
+                       if record.get("kind") == "eval"]
+            duplicates = [records[int(pick)] for pick in
+                          rng.integers(len(records),
+                                       size=min(4, len(records)))]
+            store._append_records(duplicates)
+        original = Path(tmp) / "original.bin"
+        shutil.copyfile(path, original)
+
+        with EvalStore(original) as reference, EvalStore(path) as store:
+            before = len(store)
+            report = store.compact()
+            if len(store) != before or len(reference) != before:
+                return (f"compaction changed the entry count: "
+                        f"{before} -> {len(store)}")
+            if report["bytes_after"] >= report["bytes_before"]:
+                return (f"compaction reclaimed nothing "
+                        f"({report['bytes_before']} -> "
+                        f"{report['bytes_after']} bytes) although "
+                        f"duplicates were planted")
+            memo_digests = set()
+            for record in reference.iter_records():
+                if record.get("kind") == "memo":
+                    memo_digests.add(record["params"])
+                    continue
+                got = store.get(record["salt"], record["digest"],
+                                record["key"])
+                if got != record["evaluation"]:
+                    return ("compacted store answer diverges from the "
+                            "original for a surviving evaluation")
+            for digest in memo_digests:
+                if store.get_memo(digest) != reference.get_memo(digest):
+                    return (f"compacted memo entries for params digest "
+                            f"{digest} diverge from the original")
+            second = store.compact()
+            if second["bytes_after"] != second["bytes_before"]:
+                return "second compaction was not a no-op"
+
+        # A cold reopen must serve the same bits (the rewritten file
+        # and its fresh offset index, not this process's caches).
+        with EvalStore(original, read_only=True) as reference, \
+                EvalStore(path, read_only=True) as reopened:
+            for record in reference.iter_records():
+                if record.get("kind") != "eval":
+                    continue
+                got = reopened.get(record["salt"], record["digest"],
+                                   record["key"])
+                if got != record["evaluation"]:
+                    return ("cold-reopened compacted store diverges "
+                            "from the original")
+    return None
+
+
 def _check_served(scenario: GeneratedScenario,
                   rng: np.random.Generator) -> str | None:
     """Daemon-served pricing vs the bare evaluator (bit-identical).
@@ -415,13 +501,13 @@ def _check_chaos_serve(scenario: GeneratedScenario,
                         for pair, evaluation in zip(trace, direct)}
             check_store = EvalStore(store_path, recover=True)
             try:
-                for _address, entries in check_store._evals.items():
-                    for key, evaluation in entries:
-                        want = expected.get(key)
-                        if want is not None and evaluation != want:
-                            return (f"recovered store entry diverges "
-                                    f"from direct pricing under "
-                                    f"{plan.describe()}")
+                for _salt, key, evaluation in (
+                        check_store.iter_all_evaluations()):
+                    want = expected.get(key)
+                    if want is not None and evaluation != want:
+                        return (f"recovered store entry diverges "
+                                f"from direct pricing under "
+                                f"{plan.describe()}")
             finally:
                 check_store.close()
     return None
@@ -533,6 +619,10 @@ for _pair in (
     OraclePair("store-warm",
                "store-warmed pricing == cold pricing, fully served",
                _check_store_warm),
+    OraclePair("store-compact",
+               "compacted store answers bit-identical to the original, "
+               "live and after a cold reopen",
+               _check_store_compact),
     OraclePair("served",
                "daemon-served pricing == direct evaluator, "
                "second client fully shared",

@@ -596,7 +596,13 @@ class EvalService:
         self._sync_store_scale()
 
     def _sync_store_scale(self) -> None:
-        """Mirror the persistent tier's scale gauges into :attr:`stats`."""
+        """Mirror the persistent tier's scale gauges into :attr:`stats`.
+
+        Both reads are O(1): the store maintains its entry count and
+        byte size incrementally as records are appended, so syncing per
+        batch costs nothing even against a multi-million-record store
+        (no per-record walk, no ``stat()`` round-trip).
+        """
         if self.store is not None:
             self.stats.store_entries = len(self.store)
             self.stats.store_bytes = self.store.size_bytes

@@ -158,6 +158,14 @@ class PricingServer:
             ``fault_injector`` keeps computation on the serial thread.
         fault_injector: Test-only :class:`repro.core.faults.\
 FaultInjector` hooked into the reply/batch/compute/append seams.
+        maintenance_interval: Seconds between idle-path store
+            maintenance checks (``None`` disables them).  When the
+            daemon is idle — nothing in flight, persist queue drained —
+            and the store has accumulated enough droppable records
+            (``compact_min_redundant``), the store is compacted on the
+            write executor, serialized with appends.
+        compact_min_redundant: Droppable-record threshold handed to
+            :meth:`repro.core.store.EvalStore.maybe_compact`.
     """
 
     def __init__(self, socket_path: str | Path, *,
@@ -168,7 +176,9 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
                  write_timeout: float | None = 60.0,
                  max_inflight: int = 256,
                  workers: int = 0,
-                 fault_injector=None) -> None:
+                 fault_injector=None,
+                 maintenance_interval: float | None = 300.0,
+                 compact_min_redundant: int = 256) -> None:
         self.socket_path = Path(socket_path)
         self.store_path = (Path(store_path)
                            if store_path is not None else None)
@@ -178,6 +188,8 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
         self.write_timeout = write_timeout
         self.max_inflight = max(1, max_inflight)
         self.workers = max(0, workers)
+        self.maintenance_interval = maintenance_interval
+        self.compact_min_redundant = max(1, compact_min_redundant)
         self._injector = fault_injector
         self.store: EvalStore | None = None
         #: context salt -> hosted service (inspectable in tests).
@@ -186,7 +198,8 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
                          "computed_parallel": 0, "coalesced": 0,
                          "persisted": 0, "persist_errors": 0,
                          "compute_errors": 0, "refused_busy": 0,
-                         "shed": 0, "pool_restarts": 0}
+                         "shed": 0, "pool_restarts": 0,
+                         "compactions": 0, "compacted_records": 0}
         #: context salt -> lazily built miss-computation process pool.
         self._pools: dict[str, ProcessPoolExecutor] = {}
         #: context salt -> pool initializer args (recorded at hello).
@@ -206,6 +219,7 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
         self._write: ThreadPoolExecutor | None = None
         self._server: asyncio.base_events.Server | None = None
         self._writer_task: asyncio.Task | None = None
+        self._maintenance_task: asyncio.Task | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._shutdown_event: asyncio.Event | None = None
         self._force_event: asyncio.Event | None = None
@@ -245,6 +259,10 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
             self._persist_queue = asyncio.Queue()
             self._writer_task = self._loop.create_task(
                 self._drain_persist_queue())
+            if (self.store is not None
+                    and self.maintenance_interval is not None):
+                self._maintenance_task = self._loop.create_task(
+                    self._maintenance_loop())
         except BaseException:
             # A boot failure must release everything it acquired —
             # above all the store writer lock.
@@ -380,6 +398,12 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._maintenance_task is not None:
+            self._maintenance_task.cancel()
+            try:
+                await self._maintenance_task
+            except asyncio.CancelledError:
+                pass
         if self._inflight:
             await asyncio.gather(*list(self._inflight.values()),
                                  return_exceptions=True)
@@ -431,6 +455,13 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
             transport = writer.transport
             if transport is not None:
                 transport.abort()
+        if self._maintenance_task is not None \
+                and not self._maintenance_task.done():
+            self._maintenance_task.cancel()
+            try:
+                await self._maintenance_task
+            except asyncio.CancelledError:
+                pass
         if self._writer_task is not None and not self._writer_task.done():
             self._writer_task.cancel()
             try:
@@ -933,6 +964,34 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
                 for _ in entries:
                     self._persist_queue.task_done()
 
+    async def _maintenance_loop(self) -> None:
+        """Idle-path store maintenance: every ``maintenance_interval``
+        seconds, if no request is in flight and the persist queue has
+        drained, ask the store to compact away redundant records.
+
+        The compaction runs on the one-thread write executor, so it is
+        serialized with appends — a client arriving mid-compaction just
+        queues its persist behind it.
+        """
+        while True:
+            await asyncio.sleep(self.maintenance_interval)
+            if self._inflight or (self._persist_queue is not None
+                                  and self._persist_queue.qsize()):
+                continue
+            try:
+                report = await self._loop.run_in_executor(
+                    self._write, self.store.maybe_compact,
+                    self.compact_min_redundant)
+            except Exception:
+                # Maintenance is best-effort; a failed compaction leaves
+                # the store untouched (the swap is atomic) and must not
+                # kill the daemon.
+                continue
+            if report is not None:
+                self.counters["compactions"] += 1
+                self.counters["compacted_records"] += (
+                    report.get("records_dropped", 0))
+
     def _handle_stats(self, service: EvalService):
         return {"ok": True,
                 "stats": service.stats.snapshot(),
@@ -940,7 +999,9 @@ FaultInjector` hooked into the reply/batch/compute/append seams.
                 "services": len(self.services),
                 "server": dict(self.counters),
                 "store_entries": (len(self.store)
-                                  if self.store is not None else 0)}
+                                  if self.store is not None else 0),
+                "store_redundant": (self.store.redundant_records
+                                    if self.store is not None else 0)}
 
 
 def serve(socket_path: str | Path, *,
@@ -975,7 +1036,9 @@ def serve_in_thread(socket_path: str | Path | None = None, *,
                     write_timeout: float | None = 60.0,
                     max_inflight: int = 256,
                     workers: int = 0,
-                    fault_injector=None):
+                    fault_injector=None,
+                    maintenance_interval: float | None = 300.0,
+                    compact_min_redundant: int = 256):
     """Run a daemon on a background thread (tests, fuzzing, benches).
 
     Yields the started :class:`PricingServer`; the daemon is shut down
@@ -996,7 +1059,9 @@ def serve_in_thread(socket_path: str | Path | None = None, *,
                            write_timeout=write_timeout,
                            max_inflight=max_inflight,
                            workers=workers,
-                           fault_injector=fault_injector)
+                           fault_injector=fault_injector,
+                           maintenance_interval=maintenance_interval,
+                           compact_min_redundant=compact_min_redundant)
     started = threading.Event()
     boot_error: list[BaseException] = []
 

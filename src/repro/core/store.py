@@ -28,17 +28,38 @@ Design:
   priced design survives the process that priced it.  A truncated or
   corrupted file is rejected with a clear error on open — never
   silently half-loaded.
+- **Offset index + lazy records.**  A ``<name>.idx`` sidecar
+  (:func:`repro.core.serialization.save_store_index`) holds a sorted
+  ``(bucket hash, file offset)`` table, so opening a store reads a
+  fixed-size stamp instead of unpickling every record, and lookups
+  binary-search the memory-mapped table and ``pread`` + unpickle only
+  the records they touch (plus a small decoded-record LRU).  Resident
+  memory is bounded by the working set, not the store size.  The
+  sidecar is a *cache*: it is stamped with the covered byte count and
+  a hash of the covered tail, and any mismatch (store mutated behind
+  the index, truncated, replaced) triggers a rebuild — a stale index
+  is never trusted.  Records appended after the stamp are scanned
+  incrementally; writers rewrite the sidecar durably on close.
 - **Cost-memo records.**  The cross-design cost-table memo
   (:meth:`repro.cost.model.CostModel.memo_state`) persists alongside
   the evaluations, namespaced by a digest of the cost parameters, so a
   warm-started run also reprices no (layer, sub-accelerator) pair an
-  earlier run already priced.
+  earlier run already priced.  Memo records are decoded lazily per
+  params digest and merged in file order.
+- **Compaction.**  :meth:`EvalStore.compact` rewrites the file keeping
+  the first record of every distinct ``(salt, key)`` (digest-shadowed
+  duplicates dropped) and folding each params digest's memo records
+  into one.  Surviving evaluation records are copied *byte-exact* —
+  every surviving answer stays bit-identical — and the swap is
+  crash-safe (fsynced temp file, lock handover, atomic replace).
+  ``repro store compact`` runs it offline; the pricing daemon runs
+  :meth:`EvalStore.maybe_compact` from its idle path.
 - **Single writer, shard + merge for pools.**  One process appends to
   one store file, and the contract is *enforced*, not conventional: a
   writer takes an advisory exclusive ``fcntl.flock`` on the file for
   its whole lifetime, so a second writer fails loudly at open instead
   of interleaving length-prefixed records.  Read-only opens take a
-  shared lock just long enough to snapshot the bytes.  Campaign
+  shared lock just long enough to snapshot the load.  Campaign
   process-pool mode gives each worker a private *shard* store layered
   over the main store read-only (``parent=``) — the parent downgrades
   its lock to shared around the pool phase so workers can load the
@@ -48,23 +69,31 @@ Design:
 The store is infrastructure beneath the exactness contracts: a warm
 start changes *where* an evaluation's bits come from, never what they
 are (pickle round-trips the records exactly), which
-``tests/test_store.py`` and ``benchmarks/bench_store.py`` pin down.
+``tests/test_store.py``, the ``store-compact`` differential pair and
+``benchmarks/bench_store.py`` pin down.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import struct
+import threading
+from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
+
+import numpy as np
 
 try:
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platform
     fcntl = None  # type: ignore[assignment]
 
-from repro.core.serialization import durable_append, durable_replace
+from repro.core.serialization import (_fsync_directory, durable_append,
+                                      durable_replace, load_store_index,
+                                      save_store_index, store_index_path)
 from repro.utils.hashing import stable_hash
 
 __all__ = ["EvalStore", "STORE_MAGIC", "STORE_VERSION",
@@ -77,6 +106,17 @@ STORE_MAGIC = b"repro-evalstore v1\n"
 #: struct format of the record length prefix (little-endian u64).
 _LEN = struct.Struct("<Q")
 
+#: Store-file bytes hashed into the index staleness stamp.  The window
+#: always includes the end of the covered prefix, so any truncation,
+#: replacement or tail rewrite invalidates the sidecar; for stores
+#: smaller than the window it covers the whole file.
+_TAIL_WINDOW = 65536
+
+#: Default capacity of the decoded-record LRU (records, not bytes).
+_DECODE_CACHE_RECORDS = 256
+
+_EMPTY_U64 = np.empty(0, dtype="<u8")
+
 
 def cost_params_digest(params: Any) -> str:
     """Stable digest namespacing persisted cost-memo entries.
@@ -85,6 +125,18 @@ def cost_params_digest(params: Any) -> str:
     (mirrors how the evaluation-context salt gates design reuse).
     """
     return format(stable_hash(repr(params), salt="cost-params"), "016x")
+
+
+def _bucket_hash(salt: str, digest: str) -> int:
+    """64-bit index address of a ``(salt, digest)`` bucket.
+
+    Process-independent (:func:`stable_hash`) because it persists in
+    the ``.idx`` sidecar.  A hash collision merely merges two buckets'
+    candidate offsets — every candidate record is decoded and compared
+    by exact ``(salt, key)`` before anything is returned, so collisions
+    cost a decode, never a wrong answer.
+    """
+    return stable_hash((salt, digest), salt="evalstore-bucket")
 
 
 class EvalStore:
@@ -101,14 +153,17 @@ class EvalStore:
         recover: Opt-in crash recovery (writers only).  A file whose
             tail was torn by a crash mid-append is truncated back to
             the last valid record: the durable prefix is kept bit-exact
-            and the torn tail is moved to a ``<name>.corrupt`` sidecar
-            for inspection; :attr:`recovered` records what happened.
-            The default stays the loud reject — recovery must be an
-            explicit decision (the daemon makes it on startup), never
-            something a reader does silently.  A file that is not a
-            store at all (wrong magic) is still rejected.
+            and the torn tail is moved to a fresh ``<name>.corrupt``
+            sidecar (``.corrupt``, ``.corrupt.1``, … — an earlier
+            quarantine is never overwritten) for inspection;
+            :attr:`recovered` records what happened.  The default stays
+            the loud reject — recovery must be an explicit decision
+            (the daemon makes it on startup), never something a reader
+            does silently.  A file that is not a store at all (wrong
+            magic) is still rejected.
         fault_injector: Test-only :class:`repro.core.faults.\
 FaultInjector` hooked into the append path (torn-write injection).
+        decode_cache: Capacity of the decoded-record LRU (records).
 
     Raises:
         ValueError: If the file exists but is not a repro evaluation
@@ -121,7 +176,8 @@ FaultInjector` hooked into the append path (torn-write injection).
 
     def __init__(self, path: str | Path, *, read_only: bool = False,
                  parent: "EvalStore | None" = None,
-                 recover: bool = False, fault_injector=None) -> None:
+                 recover: bool = False, fault_injector=None,
+                 decode_cache: int = _DECODE_CACHE_RECORDS) -> None:
         self.path = Path(path)
         self.read_only = read_only
         self.parent = parent
@@ -132,19 +188,17 @@ FaultInjector` hooked into the append path (torn-write injection).
                 "store without read_only to recover it")
         self._recover = recover
         self._fault_injector = fault_injector
+        self._decode_cache_cap = max(1, int(decode_cache))
         #: ``None``, or a dict describing the recovery that ran at
         #: open: ``kept_bytes``, ``quarantined_bytes``, ``sidecar``,
         #: ``detail``.
         self.recovered: dict[str, Any] | None = None
-        #: (salt, digest) -> list of (content key, evaluation); a list
-        #: because distinct contents may share a digest (collisions are
-        #: kept side by side and disambiguated by exact key compare).
-        self._evals: dict[tuple[str, str], list[tuple[tuple, Any]]] = {}
-        #: params digest -> memoised {cost key: LayerCost} entries.
-        self._memo: dict[str, dict] = {}
-        self._handle = None
         self.lookups = 0
         self.lookup_hits = 0
+        self._handle = None
+        self._needs_magic = False
+        self._cache_lock = threading.Lock()
+        self._reset_state()
         if not read_only:
             # Writers lock eagerly: the second writer must fail at
             # *open*, before any record could interleave.
@@ -152,9 +206,55 @@ FaultInjector` hooked into the append path (torn-write injection).
         try:
             if self.path.exists():
                 self._load()
+            if not read_only and self._idx_dirty:
+                # The sidecar was stale (or a recovery truncated the
+                # file): rewrite it now so the scan just paid is the
+                # last one until the next unclean shutdown.
+                self._write_index()
         except Exception:
             self.close()
             raise
+
+    def _reset_state(self) -> None:
+        """Forget everything derived from the file (index, caches,
+        counters) — the next :meth:`_load` rebuilds it."""
+        # Sorted u64 columns of the persisted index (numpy array or
+        # memmap), or None until :meth:`_ensure_arrays` materialises
+        # them from ``_idx_lazy`` = (arrays_offset, count).
+        self._idx_hashes: Any | None = None
+        self._idx_offsets: Any | None = None
+        self._idx_lazy: tuple[int, int] | None = None
+        #: bucket hash -> [record offsets] for records not covered by
+        #: the persisted index (fresh appends, incremental tail scans).
+        self._extra: dict[int, list[int]] = {}
+        #: params digest -> [memo record offsets] (file order).
+        self._memo_offsets: dict[str, list[int]] = {}
+        #: params digest -> decoded merged entries (lazy, kept hot).
+        self._memo_cache: dict[str, dict] = {}
+        #: record offset -> decoded record, LRU-bounded.
+        self._decode_cache: OrderedDict[int, dict] = OrderedDict()
+        #: Distinct evaluations in this file — maintained incrementally
+        #: so ``len``/gauges are O(1), never a bucket scan.
+        self._entry_count = 0
+        #: Digest-shadowed duplicate records seen on disk (not indexed;
+        #: compaction drops them).  Persisted in the sidecar header.
+        self._shadowed = 0
+        #: Tracked file size — maintained incrementally so the pricing
+        #: gauges need no ``stat()`` per batch.
+        self._size_bytes = 0
+        self._reader = None
+        #: Open handle on the ``.idx`` sidecar between adopt and the
+        #: first lookup — memory-mapping through a retained descriptor
+        #: keeps a store readable even if its files are unlinked after
+        #: open (the campaign pool relies on this for parents).
+        self._idx_handle = None
+        self._append_failed = False
+        self._idx_dirty = False
+        #: True when the last load trusted the ``.idx`` sidecar.
+        self.index_used = False
+        #: Records decoded by load-time scans (0 on an index-fresh
+        #: open) — observability for tests and ``repro store stats``.
+        self.scanned_records = 0
 
     # ------------------------------------------------------------------
     # Locking
@@ -209,17 +309,28 @@ FaultInjector` hooked into the append path (torn-write injection).
     # ------------------------------------------------------------------
     # Loading / file format
     # ------------------------------------------------------------------
+    @property
+    def index_path(self) -> Path:
+        """The ``<name>.idx`` offset-index sidecar path."""
+        return store_index_path(self.path)
+
     def _corrupt(self, detail: str) -> ValueError:
         return ValueError(
             f"{self.path} is corrupted ({detail}); the evaluation store "
             f"cannot be trusted — delete or restore it and re-run")
 
     def _load(self) -> None:
-        with open(self.path, "rb") as reader:
+        reader = open(self.path, "rb")
+        # Install the lazy-read handle up front: the load-time scan
+        # itself decodes candidate records through it.
+        self._reader = reader
+        try:
             # Readers snapshot under a shared lock so a load can never
-            # observe a half-written append.  A writer's own load is
-            # already protected by its exclusive lock (taking a second
-            # flock on a fresh descriptor would self-deadlock).
+            # observe a half-written append; the lock is released once
+            # the load is done (the descriptor stays open for lazy
+            # record reads).  A writer's own load is already protected
+            # by its exclusive lock (taking a second flock on a fresh
+            # descriptor would self-deadlock).
             if self.read_only and fcntl is not None:
                 try:
                     fcntl.flock(reader.fileno(),
@@ -231,41 +342,145 @@ FaultInjector` hooked into the append path (torn-write injection).
                         f"closes (or query the writer through 'repro "
                         f"serve' instead of opening the file directly)"
                     ) from exc
-            data = reader.read()
-        if not data:
+            try:
+                self._load_locked(reader)
+            finally:
+                if self.read_only and fcntl is not None:
+                    try:
+                        fcntl.flock(reader.fileno(), fcntl.LOCK_UN)
+                    except OSError:  # pragma: no cover
+                        pass
+        except Exception:
+            self._reader = None
+            reader.close()
+            raise
+
+    def _load_locked(self, reader) -> None:
+        size = os.fstat(reader.fileno()).st_size
+        self._size_bytes = size
+        if size == 0:
             # A crash between creating the file and the first durable
             # append leaves zero bytes: nothing was promised, so this
             # is an empty store, not corruption.
             return
-        if not data.startswith(STORE_MAGIC):
-            if self._recover and STORE_MAGIC.startswith(data):
+        head = reader.read(len(STORE_MAGIC))
+        if head != STORE_MAGIC:
+            if self._recover and STORE_MAGIC.startswith(head):
                 # A crash during the very first append flushed only
                 # part of the header: nothing durable was promised.
-                self._quarantine(data, 0, "torn file header")
+                self._quarantine_tail(reader, 0, "torn file header")
                 return
             raise ValueError(
                 f"{self.path} is not a repro evaluation store "
                 f"(expected header {STORE_MAGIC!r})")
-        offset = len(STORE_MAGIC)
-        total = len(data)
+        scan_from = len(STORE_MAGIC)
+        index = load_store_index(self.index_path)
+        if index is not None and self._index_fresh(reader, index, size):
+            try:
+                idx_handle = open(self.index_path, "rb")
+            except OSError:
+                idx_handle = None
+            if idx_handle is not None:
+                self._adopt_index(index, idx_handle)
+                scan_from = index["covered_bytes"]
+                self.index_used = True
+        if scan_from < size:
+            self._scan(reader, scan_from, size)
+            self._idx_dirty = True
+
+    def _index_fresh(self, reader, index: dict, size: int) -> bool:
+        """Whether the sidecar's stamp matches the store file — a
+        mismatched (truncated, replaced, rewritten) store means the
+        index is rebuilt, never trusted."""
+        covered = index["covered_bytes"]
+        if covered < len(STORE_MAGIC) or covered > size:
+            return False
+        return index["tail_hash"] == self._tail_hash(reader.fileno(),
+                                                     covered)
+
+    @staticmethod
+    def _tail_hash(fd: int, covered: int) -> str:
+        start = max(0, covered - _TAIL_WINDOW)
+        data = os.pread(fd, covered - start, start)
+        return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+    def _adopt_index(self, index: dict, idx_handle) -> None:
+        count = index["count"]
+        if count:
+            # Columns stay on disk until the first lookup memory-maps
+            # them — opening a million-entry store reads only the stamp.
+            self._idx_lazy = (index["arrays_offset"], count)
+            self._idx_handle = idx_handle
+        else:
+            idx_handle.close()
+            self._idx_hashes = _EMPTY_U64
+            self._idx_offsets = _EMPTY_U64
+        self._entry_count = count
+        self._shadowed = index["shadowed"]
+        self._memo_offsets = {str(params): [int(off) for off in offsets]
+                              for params, offsets in index["memo"].items()}
+
+    def _ensure_arrays(self) -> None:
+        if self._idx_hashes is not None:
+            return
+        if self._idx_lazy is None:
+            self._idx_hashes = _EMPTY_U64
+            self._idx_offsets = _EMPTY_U64
+            return
+        arrays_offset, count = self._idx_lazy
+        try:
+            # Mapping through the handle retained at adopt time (not
+            # the path) keeps the columns readable even if the sidecar
+            # was unlinked after open.
+            self._idx_hashes = np.memmap(
+                self._idx_handle, dtype="<u8", mode="r",
+                offset=arrays_offset, shape=(count,))
+            self._idx_offsets = np.memmap(
+                self._idx_handle, dtype="<u8", mode="r",
+                offset=arrays_offset + 8 * count, shape=(count,))
+            self._idx_lazy = None
+        except (OSError, ValueError):
+            # The sidecar broke between the open-time validation and
+            # the first lookup: fall back to a full reload (which will
+            # rebuild the index from the records).
+            self._reload()
+            self._ensure_arrays()
+            return
+        # The mappings hold their own references; the handle is spent.
+        self._idx_handle.close()
+        self._idx_handle = None
+
+    def _scan(self, reader, start: int, total: int) -> None:
+        """Sequentially decode and index records in ``[start, total)``
+        — the full-rebuild path (``start`` = header end) and the
+        incremental tail scan behind a fresh index."""
+        reader.seek(start)
+        offset = start
         while offset < total:
             record_start = offset
             try:
                 if offset + _LEN.size > total:
                     raise self._corrupt("truncated record length prefix")
-                (length,) = _LEN.unpack_from(data, offset)
+                prefix = reader.read(_LEN.size)
+                if len(prefix) < _LEN.size:
+                    raise self._corrupt("truncated record length prefix")
+                (length,) = _LEN.unpack(prefix)
                 offset += _LEN.size
                 if offset + length > total:
                     raise self._corrupt("truncated record body")
+                blob = reader.read(length)
+                if len(blob) < length:
+                    raise self._corrupt("truncated record body")
                 try:
-                    record = pickle.loads(data[offset:offset + length])
+                    record = pickle.loads(blob)
                 except Exception as exc:
                     raise self._corrupt(
                         f"unreadable record: {exc}") from exc
                 offset += length
                 if not isinstance(record, dict) or "kind" not in record:
                     raise self._corrupt("record is not a store record")
-                self._index(record)
+                self._index_record(record, record_start)
+                self.scanned_records += 1
             except ValueError as exc:
                 if not self._recover:
                     raise
@@ -273,36 +488,166 @@ FaultInjector` hooked into the append path (torn-write injection).
                 # record marks where durability ended: everything
                 # before it is the bit-exact durable prefix, everything
                 # from it on is the torn tail.
-                self._quarantine(data, record_start, str(exc))
+                self._quarantine_tail(reader, record_start, str(exc))
                 return
 
-    def _quarantine(self, data: bytes, keep: int, detail: str) -> None:
-        """Recovery: quarantine ``data[keep:]`` to the ``.corrupt``
-        sidecar and truncate the store file back to the durable prefix
-        (requires the writer handle — the lock is already held)."""
-        sidecar = self.path.with_name(self.path.name + ".corrupt")
-        durable_replace(sidecar, data[keep:])
+    def _index_record(self, record: dict, offset: int) -> None:
+        kind = record["kind"]
+        if kind == "eval":
+            bucket_hash = _bucket_hash(record["salt"], record["digest"])
+            if self._find_own(bucket_hash, record["salt"],
+                              record["key"]) is not None:
+                # Same (salt, key) already on disk at a lower offset:
+                # a digest-shadowed duplicate.  Leave it unindexed (the
+                # earlier record keeps answering) and remember it as
+                # compaction fodder.
+                self._shadowed += 1
+                return
+            self._extra.setdefault(bucket_hash, []).append(offset)
+            self._entry_count += 1
+        elif kind == "memo":
+            params = record["params"]
+            self._memo_offsets.setdefault(params, []).append(offset)
+            # Any decoded view of this digest predates the new record.
+            self._memo_cache.pop(params, None)
+        else:
+            raise self._corrupt(f"unknown record kind {kind!r}")
+
+    def _quarantine_tail(self, reader, keep: int, detail: str) -> None:
+        """Recovery: quarantine the file's bytes from ``keep`` on to a
+        fresh ``.corrupt`` sidecar and truncate the store back to the
+        durable prefix (requires the writer handle — the lock is
+        already held)."""
+        reader.seek(keep)
+        tail = reader.read()
+        sidecar = self._fresh_sidecar()
+        durable_replace(sidecar, tail)
         os.ftruncate(self._handle.fileno(), keep)
         os.fsync(self._handle.fileno())
         self._needs_magic = keep == 0
+        self._size_bytes = keep
+        self._idx_dirty = True
         self.recovered = {"kept_bytes": keep,
-                          "quarantined_bytes": len(data) - keep,
+                          "quarantined_bytes": len(tail),
                           "sidecar": str(sidecar),
                           "detail": detail}
 
-    def _index(self, record: dict) -> None:
-        kind = record["kind"]
-        if kind == "eval":
-            bucket = self._evals.setdefault(
-                (record["salt"], record["digest"]), [])
-            key = record["key"]
-            if not any(stored_key == key for stored_key, _ in bucket):
-                bucket.append((key, record["evaluation"]))
-        elif kind == "memo":
-            self._memo.setdefault(record["params"], {}).update(
-                record["entries"])
-        else:
-            raise self._corrupt(f"unknown record kind {kind!r}")
+    def _fresh_sidecar(self) -> Path:
+        """First unused ``.corrupt`` sidecar name (``.corrupt``,
+        ``.corrupt.1``, …) — a second recovery must never overwrite the
+        bytes quarantined by the first."""
+        base = self.path.name + ".corrupt"
+        suffix = 0
+        while True:
+            name = base if suffix == 0 else f"{base}.{suffix}"
+            sidecar = self.path.with_name(name)
+            if not sidecar.exists():
+                return sidecar
+            suffix += 1
+
+    def _reload(self) -> None:
+        """Drop all file-derived state and reload from disk (used when
+        the file may have changed under us: reopen after ``close``, a
+        vanished sidecar)."""
+        reader, self._reader = self._reader, None
+        if reader is not None:
+            reader.close()
+        idx_handle, self._idx_handle = self._idx_handle, None
+        if idx_handle is not None:
+            idx_handle.close()
+        recovered = self.recovered
+        needs_magic = self._needs_magic
+        self._reset_state()
+        self._needs_magic = needs_magic
+        self.recovered = recovered
+        if self.path.exists():
+            self._load()
+        if not self.read_only and self._idx_dirty:
+            self._write_index()
+
+    # ------------------------------------------------------------------
+    # Lazy record access
+    # ------------------------------------------------------------------
+    def _ensure_reader(self):
+        if self._reader is None:
+            self._reader = open(self.path, "rb")
+        return self._reader
+
+    def _decode_raw(self, offset: int) -> dict:
+        """``pread`` + unpickle the record at ``offset`` (positioned
+        reads: safe under concurrent lookups, no seek state)."""
+        fd = self._ensure_reader().fileno()
+        prefix = os.pread(fd, _LEN.size, offset)
+        if len(prefix) < _LEN.size:
+            raise self._corrupt(
+                f"record at offset {offset} lost its length prefix")
+        (length,) = _LEN.unpack(prefix)
+        if offset + _LEN.size + length > self._size_bytes:
+            raise self._corrupt(
+                f"record at offset {offset} overruns the file")
+        body = os.pread(fd, length, offset + _LEN.size)
+        if len(body) < length:
+            raise self._corrupt(
+                f"record at offset {offset} is truncated")
+        try:
+            record = pickle.loads(body)
+        except Exception as exc:
+            raise self._corrupt(
+                f"unreadable record at offset {offset}: {exc}") from exc
+        if not isinstance(record, dict):
+            raise self._corrupt(
+                f"record at offset {offset} is not a store record")
+        return record
+
+    def _record_at(self, offset: int, *, cache: bool = True) -> dict:
+        if cache:
+            with self._cache_lock:
+                record = self._decode_cache.get(offset)
+                if record is not None:
+                    self._decode_cache.move_to_end(offset)
+                    return record
+        record = self._decode_raw(offset)
+        if cache:
+            self._cache_insert(offset, record)
+        return record
+
+    def _cache_insert(self, offset: int, record: dict) -> None:
+        with self._cache_lock:
+            self._decode_cache[offset] = record
+            self._decode_cache.move_to_end(offset)
+            while len(self._decode_cache) > self._decode_cache_cap:
+                self._decode_cache.popitem(last=False)
+
+    def _candidate_offsets(self, bucket_hash: int) -> list[int]:
+        """Offsets of records addressed by ``bucket_hash``, in file
+        order (persisted index rows first — always at lower offsets
+        than the un-persisted extras)."""
+        self._ensure_arrays()
+        candidates: list[int] = []
+        hashes = self._idx_hashes
+        if hashes is not None and len(hashes):
+            key = np.uint64(bucket_hash)
+            lo = int(np.searchsorted(hashes, key, side="left"))
+            hi = int(np.searchsorted(hashes, key, side="right"))
+            if hi > lo:
+                candidates.extend(int(off)
+                                  for off in self._idx_offsets[lo:hi])
+        extra = self._extra.get(bucket_hash)
+        if extra:
+            candidates.extend(extra)
+        return candidates
+
+    def _find_own(self, bucket_hash: int, salt: str,
+                  key: tuple) -> dict | None:
+        """Decode this store's candidates for a bucket and return the
+        first record matching ``(salt, key)`` exactly (no parent)."""
+        for offset in self._candidate_offsets(bucket_hash):
+            record = self._record_at(offset)
+            if (record.get("kind") == "eval"
+                    and record.get("salt") == salt
+                    and record.get("key") == key):
+                return record
+        return None
 
     # ------------------------------------------------------------------
     # Lookups
@@ -315,10 +660,10 @@ FaultInjector` hooked into the append path (torn-write injection).
         back to a miss (or to the colliding bucket's other entry).
         """
         self.lookups += 1
-        for stored_key, evaluation in self._evals.get((salt, digest), ()):
-            if stored_key == key:
-                self.lookup_hits += 1
-                return evaluation
+        record = self._find_own(_bucket_hash(salt, digest), salt, key)
+        if record is not None:
+            self.lookup_hits += 1
+            return record["evaluation"]
         if self.parent is not None:
             found = self.parent.get(salt, digest, key)
             if found is not None:
@@ -326,19 +671,60 @@ FaultInjector` hooked into the append path (torn-write injection).
             return found
         return None
 
+    def _own_memo(self, params_digest: str) -> dict:
+        """Decoded, merged memo entries of this file alone (lazy; the
+        merged view is cached per digest and kept hot by appends)."""
+        cached = self._memo_cache.get(params_digest)
+        if cached is None:
+            cached = {}
+            for offset in self._memo_offsets.get(params_digest, ()):
+                record = self._record_at(offset, cache=False)
+                if record.get("kind") == "memo":
+                    cached.update(record.get("entries", {}))
+            self._memo_cache[params_digest] = cached
+        return cached
+
     def get_memo(self, params_digest: str) -> dict:
         """Persisted cost-memo entries for one parameter set (merged
         with the parent store's, own entries winning)."""
         merged: dict = {}
         if self.parent is not None:
             merged.update(self.parent.get_memo(params_digest))
-        merged.update(self._memo.get(params_digest, {}))
+        merged.update(self._own_memo(params_digest))
         return merged
 
     def __len__(self) -> int:
-        """Distinct evaluations reachable (own entries plus parent's)."""
-        own = sum(len(bucket) for bucket in self._evals.values())
-        return own + (len(self.parent) if self.parent is not None else 0)
+        """Distinct evaluations reachable (own entries plus parent's)
+        — O(1): the count is maintained incrementally."""
+        return self._entry_count + (len(self.parent)
+                                    if self.parent is not None else 0)
+
+    def _ordered_offsets(self) -> list[int]:
+        """Every indexed record offset (evals + memos) in file order."""
+        self._ensure_arrays()
+        offsets: list[int] = []
+        if self._idx_offsets is not None and len(self._idx_offsets):
+            offsets.extend(int(off) for off in self._idx_offsets)
+        for bucket in self._extra.values():
+            offsets.extend(bucket)
+        for memo_offsets in self._memo_offsets.values():
+            offsets.extend(memo_offsets)
+        offsets.sort()
+        return offsets
+
+    def iter_records(self) -> Iterator[dict]:
+        """Decode this store's own indexed records in file order
+        (shadowed duplicates skipped; the decode LRU is bypassed so a
+        full sweep cannot evict the working set)."""
+        for offset in self._ordered_offsets():
+            yield self._record_at(offset, cache=False)
+
+    def iter_all_evaluations(self) -> Iterator[tuple[str, tuple, Any]]:
+        """Yield ``(salt, content_key, evaluation)`` for every distinct
+        own record, in durable append order (no parent)."""
+        for record in self.iter_records():
+            if record.get("kind") == "eval":
+                yield record["salt"], record["key"], record["evaluation"]
 
     def iter_evaluations(self, salt: str):
         """Yield ``(content_key, evaluation)`` for every distinct record
@@ -346,16 +732,15 @@ FaultInjector` hooked into the append path (torn-write injection).
 
         Own records come first (in durable append order), then the
         parent's records that this store does not shadow, so iteration
-        order is deterministic for a given store file chain.
+        order is deterministic for a given store file chain.  Records
+        are decoded on demand: memory stays bounded by one record plus
+        the dedup key set.
         """
         seen: set[tuple] = set()
-        for (stored_salt, _digest), bucket in self._evals.items():
-            if stored_salt != salt:
-                continue
-            for key, evaluation in bucket:
-                if key not in seen:
-                    seen.add(key)
-                    yield key, evaluation
+        for stored_salt, key, evaluation in self.iter_all_evaluations():
+            if stored_salt == salt and key not in seen:
+                seen.add(key)
+                yield key, evaluation
         if self.parent is not None:
             for key, evaluation in self.parent.iter_evaluations(salt):
                 if key not in seen:
@@ -364,37 +749,79 @@ FaultInjector` hooked into the append path (torn-write injection).
 
     @property
     def size_bytes(self) -> int:
-        """On-disk bytes of the store file (plus the parent chain's)."""
-        own = self.path.stat().st_size if self.path.exists() else 0
-        return own + (self.parent.size_bytes
-                      if self.parent is not None else 0)
+        """On-disk bytes of the store file (plus the parent chain's) —
+        O(1): tracked incrementally, no ``stat()`` per read."""
+        return self._size_bytes + (self.parent.size_bytes
+                                   if self.parent is not None else 0)
+
+    @property
+    def redundant_records(self) -> int:
+        """Records compaction would drop: digest-shadowed duplicates
+        plus superseded (mergeable) memo records."""
+        mergeable = sum(len(offsets) - 1
+                        for offsets in self._memo_offsets.values()
+                        if len(offsets) > 1)
+        return self._shadowed + mergeable
 
     def __contains__(self, addr: tuple[str, str, tuple]) -> bool:
         salt, digest, key = addr
-        if any(stored == key
-               for stored, _ in self._evals.get((salt, digest), ())):
+        if self._find_own(_bucket_hash(salt, digest), salt,
+                          key) is not None:
             return True
         return self.parent is not None and addr in self.parent
 
     # ------------------------------------------------------------------
     # Appends
     # ------------------------------------------------------------------
-    def _append_records(self, records: list[dict]) -> None:
+    def _ensure_writable(self) -> None:
+        """Refuse on read-only stores; reopen after ``close()``.
+
+        Reopening re-takes the writer lock and then *reloads* — an
+        interim writer may have appended (or compacted) while the file
+        was unlocked, and writing against the stale in-memory index
+        would duplicate its records or index ours at wrong offsets.
+        Callers run their dedup checks after this, so interim records
+        are visible to them.
+        """
         if self.read_only:
             raise ValueError(f"evaluation store {self.path} is read-only")
-        if not records:
-            return
         if self._handle is None:
-            # Reopened after close(): re-take the writer lock.
             self._acquire_writer_lock()
+            self._reload()
+
+    def _append_records(self, records: list[dict]) -> list[int]:
+        """Durably append ``records``; returns their file offsets."""
+        self._ensure_writable()
+        if not records:
+            return []
+        if self._append_failed:
+            # The previous append died part-way (disk full, torn
+            # write): the on-disk size no longer matches the tracked
+            # size, so resync before computing this batch's offsets.
+            try:
+                self._handle.flush()
+            except OSError:  # pragma: no cover - flush still failing
+                pass
+            self._size_bytes = os.fstat(self._handle.fileno()).st_size
+            self._append_failed = False
+        base = self._size_bytes
+        header = b""
         if self._needs_magic:
-            self._handle.write(STORE_MAGIC)
-            self._needs_magic = False
+            header = STORE_MAGIC
+            base = len(STORE_MAGIC)
         frames = []
+        offsets = []
+        position = base
         for record in records:
             blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
             frames.append(_LEN.pack(len(blob)) + blob)
+            offsets.append(position)
+            position += _LEN.size + len(blob)
         payload = b"".join(frames)
+        self._append_failed = True
+        if header:
+            self._handle.write(header)
+            self._needs_magic = False
         if self._fault_injector is not None:
             # Chaos seam: may flush only a torn prefix and raise (the
             # magic header buffered above is flushed with it, so the
@@ -402,6 +829,23 @@ FaultInjector` hooked into the append path (torn-write injection).
             self._fault_injector.on_store_append(self._handle, payload)
         # One flush+fsync per batch: every record is durable on return.
         durable_append(self._handle, payload)
+        self._append_failed = False
+        self._size_bytes = position
+        self._idx_dirty = True
+        return offsets
+
+    def _index_appended(self, record: dict, offset: int) -> None:
+        """Index a record that just became durable at ``offset`` (the
+        caller pre-deduplicated, so it is always new)."""
+        if record["kind"] == "eval":
+            bucket_hash = _bucket_hash(record["salt"], record["digest"])
+            self._extra.setdefault(bucket_hash, []).append(offset)
+            self._entry_count += 1
+            # Freshly priced designs are hot: seed the decode LRU.
+            self._cache_insert(offset, record)
+        else:
+            self._memo_offsets.setdefault(record["params"],
+                                          []).append(offset)
 
     def put(self, salt: str, digest: str, key: tuple,
             evaluation: Any) -> bool:
@@ -419,6 +863,7 @@ FaultInjector` hooked into the append path (torn-write injection).
         claiming the entries are absent, so a retry rewrites them
         instead of silently skipping records that never reached disk.
         """
+        self._ensure_writable()
         records = []
         batch_seen: set[tuple[str, str, tuple]] = set()
         for salt, digest, key, evaluation in entries:
@@ -429,41 +874,245 @@ FaultInjector` hooked into the append path (torn-write injection).
             records.append({"kind": "eval", "salt": salt,
                             "digest": digest, "key": key,
                             "evaluation": evaluation})
-        self._append_records(records)
-        for record in records:
-            self._index(record)
+        offsets = self._append_records(records)
+        for record, offset in zip(records, offsets):
+            self._index_appended(record, offset)
         return len(records)
 
     def put_memo(self, params_digest: str, entries: dict) -> int:
         """Durably record cost-memo entries not yet persisted for this
         parameter set; returns how many were new."""
+        self._ensure_writable()
         known = self.get_memo(params_digest)
         fresh = {key: value for key, value in entries.items()
                  if key not in known}
         if fresh:
-            self._append_records([{"kind": "memo", "params": params_digest,
-                                   "entries": fresh}])
-            self._memo.setdefault(params_digest, {}).update(fresh)
+            record = {"kind": "memo", "params": params_digest,
+                      "entries": fresh}
+            (offset,) = self._append_records([record])
+            self._memo_offsets.setdefault(params_digest,
+                                          []).append(offset)
+            cached = self._memo_cache.get(params_digest)
+            if cached is not None:
+                cached.update(fresh)
         return len(fresh)
 
     def merge_from(self, shard: "EvalStore") -> int:
         """Fold a shard store's own records into this store (the
-        campaign pool's merge step); returns new evaluations added."""
-        added = self.put_many(
-            (salt, digest, key, evaluation)
-            for (salt, digest), bucket in shard._evals.items()
-            for key, evaluation in bucket)
-        for params_digest, entries in shard._memo.items():
-            self.put_memo(params_digest, entries)
+        campaign pool's merge step); returns new evaluations added.
+
+        The shard is streamed in bounded batches — merging a large lazy
+        shard never materialises it in memory.
+        """
+        added = 0
+        batch: list[tuple[str, str, tuple, Any]] = []
+        for record in shard.iter_records():
+            if record.get("kind") != "eval":
+                continue
+            batch.append((record["salt"], record["digest"],
+                          record["key"], record["evaluation"]))
+            if len(batch) >= 512:
+                added += self.put_many(batch)
+                batch.clear()
+        if batch:
+            added += self.put_many(batch)
+        for params_digest in list(shard._memo_offsets):
+            self.put_memo(params_digest, shard._own_memo(params_digest))
         return added
+
+    # ------------------------------------------------------------------
+    # Index persistence
+    # ------------------------------------------------------------------
+    def _write_index(self) -> None:
+        """Durably rewrite the ``.idx`` sidecar to cover the whole file
+        (and fold the in-memory extras into the sorted columns)."""
+        if self._size_bytes == 0:
+            # Nothing durable: a stale sidecar for a now-empty file
+            # would just be rebuilt-over; drop it.
+            self.index_path.unlink(missing_ok=True)
+            self._idx_dirty = False
+            return
+        self._ensure_arrays()
+        base = int(len(self._idx_hashes))
+        extra_total = sum(len(bucket) for bucket in self._extra.values())
+        hashes = np.empty(base + extra_total, dtype="<u8")
+        offsets = np.empty(base + extra_total, dtype="<u8")
+        if base:
+            hashes[:base] = self._idx_hashes
+            offsets[:base] = self._idx_offsets
+        row = base
+        for bucket_hash, bucket in self._extra.items():
+            for offset in bucket:
+                hashes[row] = bucket_hash
+                offsets[row] = offset
+                row += 1
+        # Primary key: bucket hash (binary search); secondary: offset,
+        # so candidates inside a bucket keep durable append order and
+        # the earliest record keeps winning lookups.
+        order = np.lexsort((offsets, hashes))
+        hashes = np.ascontiguousarray(hashes[order])
+        offsets = np.ascontiguousarray(offsets[order])
+        tail_hash = self._tail_hash(self._ensure_reader().fileno(),
+                                    self._size_bytes)
+        save_store_index(
+            self.index_path, covered_bytes=self._size_bytes,
+            tail_hash=tail_hash, shadowed=self._shadowed,
+            hashes=hashes.tobytes(), offsets=offsets.tobytes(),
+            memo={params: list(memo_offsets) for params, memo_offsets
+                  in self._memo_offsets.items()})
+        self._idx_hashes = hashes
+        self._idx_offsets = offsets
+        self._idx_lazy = None
+        self._extra = {}
+        self._idx_dirty = False
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> dict[str, Any]:
+        """Rewrite the store dropping digest-shadowed duplicates and
+        folding each params digest's memo records into one.
+
+        Surviving evaluation records are copied byte-exact, so every
+        surviving answer is bit-identical to the original (the
+        ``store-compact`` differential pair fuzzes this).  The swap is
+        crash-safe: the compacted file is fsynced, the writer lock is
+        taken on the new inode *before* the atomic replace, and a crash
+        at any point leaves either the old file or the new one — never
+        a mix.  Returns a report dict (bytes/records before/after).
+        """
+        if self.read_only:
+            raise ValueError(
+                f"evaluation store {self.path} is read-only; compaction "
+                f"rewrites the file and needs the writer lock")
+        self._ensure_writable()
+        report = {"bytes_before": self._size_bytes,
+                  "entries": self._entry_count,
+                  "eval_duplicates_dropped": self._shadowed,
+                  "memo_records_merged": sum(
+                      len(offsets) - 1
+                      for offsets in self._memo_offsets.values()
+                      if len(offsets) > 1)}
+        if self._size_bytes <= len(STORE_MAGIC):
+            report["bytes_after"] = self._size_bytes
+            report["records_dropped"] = 0
+            return report
+        self._ensure_arrays()
+        eval_rows: list[tuple[int, int]] = []  # (offset, bucket hash)
+        if len(self._idx_offsets):
+            eval_rows.extend(zip((int(o) for o in self._idx_offsets),
+                                 (int(h) for h in self._idx_hashes)))
+        for bucket_hash, bucket in self._extra.items():
+            eval_rows.extend((offset, bucket_hash) for offset in bucket)
+        memo_heads = {min(offsets): params
+                      for params, offsets in self._memo_offsets.items()
+                      if offsets}
+        events = sorted(
+            [(offset, "eval", bucket_hash)
+             for offset, bucket_hash in eval_rows]
+            + [(offset, "memo", params)
+               for offset, params in memo_heads.items()])
+        source_fd = self._ensure_reader().fileno()
+        tmp = self.path.with_name(self.path.name + ".compacting")
+        new_hashes: list[int] = []
+        new_offsets: list[int] = []
+        new_memo: dict[str, list[int]] = {}
+        new_handle = None
+        try:
+            with open(tmp, "wb") as out:
+                out.write(STORE_MAGIC)
+                position = len(STORE_MAGIC)
+                for offset, kind, tag in events:
+                    if kind == "eval":
+                        prefix = os.pread(source_fd, _LEN.size, offset)
+                        (length,) = _LEN.unpack(prefix)
+                        frame = prefix + os.pread(source_fd, length,
+                                                  offset + _LEN.size)
+                        if len(frame) != _LEN.size + length:
+                            raise self._corrupt(
+                                f"record at offset {offset} is "
+                                f"truncated")
+                        new_hashes.append(tag)
+                        new_offsets.append(position)
+                    else:
+                        blob = pickle.dumps(
+                            {"kind": "memo", "params": tag,
+                             "entries": dict(self._own_memo(tag))},
+                            protocol=pickle.HIGHEST_PROTOCOL)
+                        frame = _LEN.pack(len(blob)) + blob
+                        new_memo[tag] = [position]
+                    out.write(frame)
+                    position += len(frame)
+                out.flush()
+                os.fsync(out.fileno())
+            # Lock the new inode *before* it becomes visible under the
+            # store path: after the replace, the exclusive claim moves
+            # with it — at no point is the path unlocked.
+            new_handle = open(tmp, "ab")
+            if fcntl is not None:
+                fcntl.flock(new_handle.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+            os.replace(tmp, self.path)
+        except Exception:
+            if new_handle is not None:
+                new_handle.close()
+            tmp.unlink(missing_ok=True)
+            raise
+        _fsync_directory(self.path.parent)
+        old_handle, self._handle = self._handle, new_handle
+        old_handle.close()
+        # Point lazy reads at the new inode.  The previous reader is
+        # dropped, not closed: a concurrent lookup that already picked
+        # it up keeps reading the old (complete) snapshot.
+        self._reader = open(self.path, "rb")
+        sorted_order = np.lexsort((np.asarray(new_offsets, dtype="<u8"),
+                                   np.asarray(new_hashes, dtype="<u8")))
+        self._idx_hashes = np.ascontiguousarray(
+            np.asarray(new_hashes, dtype="<u8")[sorted_order])
+        self._idx_offsets = np.ascontiguousarray(
+            np.asarray(new_offsets, dtype="<u8")[sorted_order])
+        self._idx_lazy = None
+        self._extra = {}
+        self._memo_offsets = new_memo
+        # Decoded memo views are content-identical across compaction;
+        # only the offset-addressed record cache must be dropped.
+        with self._cache_lock:
+            self._decode_cache.clear()
+        self._shadowed = 0
+        self._size_bytes = position
+        self._needs_magic = False
+        self._idx_dirty = True
+        self._write_index()
+        report["bytes_after"] = position
+        report["records_dropped"] = (report["eval_duplicates_dropped"]
+                                     + report["memo_records_merged"])
+        return report
+
+    def maybe_compact(self, min_redundant: int = 64
+                      ) -> dict[str, Any] | None:
+        """Compact only when at least ``min_redundant`` droppable
+        records have accumulated — the daemon's idle-path maintenance
+        hook.  Returns the compaction report, or ``None`` if the store
+        is not worth rewriting (or is read-only)."""
+        if self.read_only:
+            return None
+        if self.redundant_records < max(1, min_redundant):
+            return None
+        return self.compact()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Close the append handle, releasing the writer lock
-        (idempotent; lookups keep working)."""
+        """Write the offset index if stale, then close the append
+        handle, releasing the writer lock (idempotent; lookups keep
+        working)."""
         if self._handle is not None:
+            if not self.read_only and self._idx_dirty:
+                try:
+                    self._write_index()
+                except OSError:  # pragma: no cover - index is a cache
+                    pass
             self._handle.close()
             self._handle = None
 

@@ -159,6 +159,63 @@ class TestStoreFlag:
         assert payload["cache"]["misses"] == 0
 
 
+class TestStoreCommand:
+    @staticmethod
+    def seeded(tmp_path):
+        from repro.core import EvalStore
+
+        path = tmp_path / "maint.store"
+        with EvalStore(path) as store:
+            store.put("s", "d1", ("k1",), {"v": 1})
+            for i in range(3):
+                store.put_memo("params", {("m", i): i})
+        return path
+
+    def test_stats_reports_gauges(self, capsys, tmp_path):
+        path = self.seeded(tmp_path)
+        assert main(["store", "stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out
+        assert "2 redundant records" in out
+        assert "offset index" in out
+
+    def test_compact_drops_redundant_and_preserves_answers(
+            self, capsys, tmp_path):
+        from repro.core import EvalStore
+
+        path = self.seeded(tmp_path)
+        size_before = path.stat().st_size
+        assert main(["store", "compact", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 superseded memo records dropped" in out
+        assert path.stat().st_size < size_before
+        with EvalStore(path, read_only=True) as store:
+            assert store.get("s", "d1", ("k1",)) == {"v": 1}
+            assert store.get_memo("params") == {("m", 0): 0, ("m", 1): 1,
+                                                ("m", 2): 2}
+
+    def test_compact_threshold_skips(self, capsys, tmp_path):
+        path = self.seeded(tmp_path)
+        before = path.read_bytes()
+        assert main(["store", "compact", str(path),
+                     "--min-redundant", "10"]) == 0
+        assert "nothing to do" in capsys.readouterr().out
+        assert path.read_bytes() == before
+
+    def test_compact_recover_quarantines_torn_tail(self, capsys,
+                                                   tmp_path):
+        path = self.seeded(tmp_path)
+        path.write_bytes(path.read_bytes()[:-3])
+        assert main(["store", "compact", str(path), "--recover"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered before compacting" in out
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_missing_store_fails(self, capsys, tmp_path):
+        assert main(["store", "stats", str(tmp_path / "nope.bin")]) == 1
+        assert "no evaluation store" in capsys.readouterr().out
+
+
 class TestServiceFlags:
     def test_service_tuning_defaults(self):
         args = build_parser().parse_args(["search"])

@@ -494,6 +494,50 @@ class TestDaemonStore:
         with EvalStore(store_path, read_only=True) as store:
             assert len(store) == 2
 
+    def test_idle_maintenance_compacts_redundant_store(
+            self, tmp_path, workload, pairs):
+        """The daemon's idle-path hook compacts a store that has
+        accumulated droppable records — and keeps serving identical
+        answers from the swapped file."""
+        store_path = tmp_path / "store.bin"
+        with EvalStore(store_path) as store:
+            for i in range(3):
+                store.put_memo("params", {("m", i): i})
+        size_before = store_path.stat().st_size
+        with serve_in_thread(store_path=store_path,
+                             maintenance_interval=0.05,
+                             compact_min_redundant=1) as server:
+            deadline = time.monotonic() + 30
+            while (time.monotonic() < deadline
+                   and not server.counters["compactions"]):
+                time.sleep(0.02)
+            assert server.counters["compactions"] >= 1
+            assert server.counters["compacted_records"] >= 2
+            assert store_path.stat().st_size < size_before
+            with make_client(server, workload) as client:
+                want = client.evaluate_many(pairs[:2])
+        with EvalStore(store_path, read_only=True) as store:
+            assert store.get_memo("params") == {("m", 0): 0, ("m", 1): 1,
+                                                ("m", 2): 2}
+        # A restart serves the compacted store bit-identically.
+        with serve_in_thread(store_path=store_path) as server:
+            with make_client(server, workload) as client:
+                assert client.evaluate_many(pairs[:2]) == want
+                assert client.stats.misses == 0
+
+    def test_maintenance_leaves_clean_store_alone(self, tmp_path,
+                                                  workload, pairs):
+        """Below the redundancy threshold the hook must not rewrite
+        anything (no churn on every idle tick)."""
+        store_path = tmp_path / "store.bin"
+        with serve_in_thread(store_path=store_path,
+                             maintenance_interval=0.05,
+                             compact_min_redundant=64) as server:
+            with make_client(server, workload) as client:
+                client.evaluate_many(pairs[:2])
+            time.sleep(0.3)  # several idle ticks
+            assert server.counters["compactions"] == 0
+
     def test_contexts_are_salt_namespaced(self, tmp_path, workload,
                                           pairs):
         """Two clients with different rho share a daemon but never an

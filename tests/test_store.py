@@ -650,3 +650,330 @@ class TestCampaignStore:
             result = warm.run()
         assert result.cache["misses"] == 0
         assert result.cache["store_hits"] > 0
+
+
+# ----------------------------------------------------------------------
+# Offset-index sidecar: staleness, lazy loading, recovery interaction
+# ----------------------------------------------------------------------
+def raw_record(salt, digest, key, evaluation) -> bytes:
+    """A length-prefixed eval record frame, bypassing EvalStore (for
+    simulating a writer that never updated the index sidecar)."""
+    blob = pickle.dumps({"kind": "eval", "salt": salt, "digest": digest,
+                         "key": key, "evaluation": evaluation},
+                        protocol=pickle.HIGHEST_PROTOCOL)
+    return struct.pack("<Q", len(blob)) + blob
+
+
+class TestOffsetIndex:
+    @staticmethod
+    def seeded(tmp_path, n=6):
+        path = tmp_path / "indexed.bin"
+        with EvalStore(path) as store:
+            store.put_many([("s", f"d{i}", (f"k{i}",), {"v": i})
+                            for i in range(n)])
+            store.put_memo("params", {"m1": 1})
+        return path
+
+    def test_index_written_on_close_and_trusted_on_reopen(self, tmp_path):
+        path = self.seeded(tmp_path)
+        store = EvalStore(path, read_only=True)
+        assert store.index_path.exists()
+        assert store.index_used, "fresh sidecar must be trusted"
+        assert store.scanned_records == 0, "open must not decode records"
+        assert len(store) == 6
+        assert store.get("s", "d3", ("k3",)) == {"v": 3}
+        assert store.get_memo("params") == {"m1": 1}
+        store.close()
+
+    def test_unindexed_tail_is_scanned_then_reindexed(self, tmp_path):
+        """Records appended behind the sidecar's covered stamp (a
+        writer that died before rewriting it) are found by an
+        incremental tail scan, not ignored and not a full rebuild."""
+        path = self.seeded(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(raw_record("s", "d9", ("k9",), {"v": 9}))
+        store = EvalStore(path, read_only=True)
+        assert store.index_used, "the covered prefix is still good"
+        assert store.scanned_records == 1, "only the tail is decoded"
+        assert store.get("s", "d9", ("k9",)) == {"v": 9}
+        assert store.get("s", "d0", ("k0",)) == {"v": 0}
+        assert len(store) == 7
+        store.close()
+        # A writer open rewrites the sidecar to cover the tail...
+        EvalStore(path).close()
+        # ...so the next reader trusts it outright again.
+        reindexed = EvalStore(path, read_only=True)
+        assert reindexed.index_used and reindexed.scanned_records == 0
+        assert len(reindexed) == 7
+        reindexed.close()
+
+    def test_mutated_store_rebuilds_never_trusts_sidecar(self, tmp_path):
+        """Same size, different bytes: the tail hash must catch a store
+        rewritten underneath its sidecar and answer from the records."""
+        path_a = tmp_path / "a.bin"
+        path_b = tmp_path / "b.bin"
+        with EvalStore(path_a) as store:
+            store.put("s", "d1", ("k1",), "AAAA")
+        with EvalStore(path_b) as store:
+            store.put("s", "d1", ("k1",), "BBBB")
+        assert path_a.stat().st_size == path_b.stat().st_size
+        path_a.write_bytes(path_b.read_bytes())  # sidecar left behind
+        store = EvalStore(path_a, read_only=True)
+        assert not store.index_used, "stale sidecar must not be trusted"
+        assert store.get("s", "d1", ("k1",)) == "BBBB"
+        store.close()
+
+    def test_truncated_store_forces_full_rebuild(self, tmp_path):
+        path = tmp_path / "t.bin"
+        with EvalStore(path) as store:
+            store.put("s", "d1", ("k1",), "v1")
+            boundary = path.stat().st_size
+            store.put("s", "d2", ("k2",), "v2")
+        with open(path, "r+b") as handle:
+            handle.truncate(boundary)  # sidecar now covers beyond EOF
+        store = EvalStore(path, read_only=True)
+        assert not store.index_used
+        assert len(store) == 1
+        assert store.get("s", "d1", ("k1",)) == "v1"
+        assert store.get("s", "d2", ("k2",)) is None
+        store.close()
+
+    def test_garbage_sidecar_rebuilds(self, tmp_path):
+        path = self.seeded(tmp_path)
+        idx = EvalStore(path, read_only=True).index_path
+        idx.write_bytes(b"not an index sidecar at all")
+        store = EvalStore(path, read_only=True)
+        assert not store.index_used
+        assert len(store) == 6
+        assert store.get("s", "d5", ("k5",)) == {"v": 5}
+        store.close()
+        # A writer open repairs the sidecar durably.
+        EvalStore(path).close()
+        repaired = EvalStore(path, read_only=True)
+        assert repaired.index_used and len(repaired) == 6
+        repaired.close()
+
+    def test_recovery_rewrites_index_over_quarantined_tail(self, tmp_path):
+        """Recovery truncates the store below the sidecar's stamp; the
+        recovering writer must leave a sidecar matching the kept prefix
+        so the next reader opens without a scan (and without
+        re-quarantining anything)."""
+        path = tmp_path / "r.bin"
+        with EvalStore(path) as store:
+            store.put("s", "d1", ("k1",), "v1")
+            store.put("s", "d2", ("k2",), "v2")
+        path.write_bytes(path.read_bytes()[:-3])
+        with EvalStore(path, recover=True) as store:
+            assert store.recovered is not None
+            assert len(store) == 1
+        reader = EvalStore(path, read_only=True)
+        assert reader.index_used and reader.scanned_records == 0
+        assert reader.get("s", "d1", ("k1",)) == "v1"
+        assert len(reader) == 1
+        reader.close()
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_lazy_get_after_merge_from(self, tmp_path):
+        """Merged records answer immediately (pre-index, from the
+        in-memory extras) and again after reopening through the
+        sidecar."""
+        main_path = tmp_path / "main.bin"
+        with EvalStore(main_path) as main:
+            main.put("s", "d1", ("k1",), "own")
+        with EvalStore(tmp_path / "shard.bin") as shard:
+            shard.put("s", "d2", ("k2",), "merged")
+        main = EvalStore(main_path)
+        main.merge_from(EvalStore(tmp_path / "shard.bin", read_only=True))
+        assert main.get("s", "d2", ("k2",)) == "merged"
+        assert len(main) == 2
+        main.close()
+        lazy = EvalStore(main_path, read_only=True)
+        assert lazy.index_used and lazy.scanned_records == 0
+        assert lazy.get("s", "d2", ("k2",)) == "merged"
+        assert lazy.get("s", "d1", ("k1",)) == "own"
+        lazy.close()
+
+
+class TestCorruptSidecarSuffixes:
+    def test_second_recovery_does_not_overwrite_first_quarantine(
+            self, tmp_path):
+        """Each recovery quarantines to a *fresh* ``.corrupt`` sidecar
+        (``.corrupt``, ``.corrupt.1``, ...): a later torn tail must not
+        destroy the forensic copy of an earlier one."""
+        path = tmp_path / "twice.bin"
+        with EvalStore(path) as store:
+            store.put("s", "d1", ("k1",), "v1")
+            store.put("s", "d2", ("k2",), "v2")
+        path.write_bytes(path.read_bytes()[:-3])
+        with EvalStore(path, recover=True) as store:
+            assert store.recovered is not None
+            store.put("s", "d3", ("k3",), "v3")
+        first = path.with_name(path.name + ".corrupt")
+        first_bytes = first.read_bytes()
+        path.write_bytes(path.read_bytes()[:-3])  # torn again
+        with EvalStore(path, recover=True) as store:
+            assert store.recovered is not None
+            assert store.recovered["sidecar"].endswith(".corrupt.1")
+        second = path.with_name(path.name + ".corrupt.1")
+        assert second.exists()
+        assert first.read_bytes() == first_bytes, \
+            "second recovery overwrote the first quarantine"
+
+
+class TestReopenAfterClose:
+    def test_reopen_sees_interim_writer_records(self, tmp_path):
+        """A handle appending again after close() must reload first:
+        another writer may have appended in between, and its records
+        must be visible to lookups *and* to dedup."""
+        path = tmp_path / "interim.bin"
+        first = EvalStore(path)
+        first.put("s", "d1", ("k1",), "v1")
+        first.close()
+        second = EvalStore(path)
+        second.put("s", "d2", ("k2",), "interim")
+        second.close()
+        # Reopening through the stale handle reloads the file...
+        assert first.put("s", "d3", ("k3",), "v3")
+        assert first.get("s", "d2", ("k2",)) == "interim"
+        # ...and dedup sees the interim record: no duplicate appended.
+        assert not first.put("s", "d2", ("k2",), "interim")
+        assert len(first) == 3
+        first.close()
+        reopened = EvalStore(path, read_only=True)
+        assert len(reopened) == 3
+        assert reopened.redundant_records == 0
+        reopened.close()
+
+
+class TestScaleGauges:
+    def test_store_gauges_are_incremental_and_exact(self, tmp_path):
+        path = tmp_path / "gauges.bin"
+        store = EvalStore(path)
+        for i in range(3):
+            store.put_many([("s", f"d{i}-{j}", (f"k{i}-{j}",), i * 10 + j)
+                            for j in range(4)])
+            store.put_memo("params", {("m", i): i})
+            assert len(store) == (i + 1) * 4
+            assert store.size_bytes == path.stat().st_size
+        store.close()
+        reopened = EvalStore(path, read_only=True)
+        assert len(reopened) == 12
+        assert reopened.size_bytes == path.stat().st_size
+        reopened.close()
+
+    def test_service_stats_mirror_store_gauges(self, tmp_path, workload):
+        from repro.utils.rng import new_rng
+        from repro.accel import AllocationSpace
+
+        alloc = AllocationSpace()
+        rng = new_rng(13)
+        nets = tuple(t.space.decode(t.space.random_indices(rng))
+                     for t in workload.tasks)
+        pairs = [(nets, alloc.random_design(rng)) for _ in range(2)]
+        store = EvalStore(tmp_path / "s.bin")
+        with EvalService(make_evaluator(workload), store=store) as service:
+            service.evaluate_many(pairs)
+            assert service.stats.store_entries == len(store)
+            assert service.stats.store_bytes == store.size_bytes
+            assert store.size_bytes == (tmp_path / "s.bin").stat().st_size
+
+
+# ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+class TestCompaction:
+    def test_superseded_memo_records_folded(self, tmp_path):
+        path = tmp_path / "memo.bin"
+        store = EvalStore(path)
+        store.put("s", "d1", ("k1",), "v1")
+        for i in range(3):
+            store.put_memo("params", {("m", i): i})
+        assert store.redundant_records == 2
+        before_memo = store.get_memo("params")
+        report = store.compact()
+        assert report["memo_records_merged"] == 2
+        assert report["records_dropped"] == 2
+        assert report["bytes_after"] < report["bytes_before"]
+        assert store.get_memo("params") == before_memo
+        assert store.get("s", "d1", ("k1",)) == "v1"
+        assert store.redundant_records == 0
+        store.close()
+        reopened = EvalStore(path, read_only=True)
+        assert reopened.get_memo("params") == before_memo
+        assert len(reopened) == 1
+        reopened.close()
+
+    def test_digest_shadowed_duplicates_dropped(self, tmp_path):
+        path = tmp_path / "dups.bin"
+        with EvalStore(path) as store:
+            store.put("s", "d1", ("k1",), "v1")
+        data = path.read_bytes()
+        # Replay every record verbatim behind the indexed prefix — the
+        # shape a crashed merge would leave behind.
+        path.write_bytes(data + data[len(STORE_MAGIC):])
+        store = EvalStore(path)
+        assert len(store) == 1, "shadowed duplicate must not count"
+        assert store.redundant_records == 1
+        report = store.compact()
+        assert report["eval_duplicates_dropped"] == 1
+        assert store.get("s", "d1", ("k1",)) == "v1"
+        store.close()
+        assert path.read_bytes() == data, \
+            "compaction must restore the original byte-exact records"
+
+    def test_compact_is_idempotent_and_keeps_the_writer_lock(
+            self, tmp_path):
+        path = tmp_path / "idem.bin"
+        store = EvalStore(path)
+        store.put_many([("s", f"d{i}", (f"k{i}",), i) for i in range(4)])
+        for i in range(2):
+            store.put_memo("params", {("m", i): i})
+        store.compact()
+        first_bytes = path.read_bytes()
+        second = store.compact()
+        assert second["records_dropped"] == 0
+        assert path.read_bytes() == first_bytes
+        # The writer lock survived both rewrites.
+        with pytest.raises(ValueError, match="already open for writing"):
+            EvalStore(path)
+        # The compacted handle still appends and answers.
+        assert store.put("s", "d9", ("k9",), "late")
+        assert store.get("s", "d9", ("k9",)) == "late"
+        assert store.get("s", "d2", ("k2",)) == 2
+        store.close()
+
+    def test_maybe_compact_threshold(self, tmp_path):
+        path = tmp_path / "maybe.bin"
+        store = EvalStore(path)
+        store.put("s", "d1", ("k1",), "v1")
+        store.put_memo("params", {("m", 0): 0})
+        store.put_memo("params", {("m", 1): 1})
+        assert store.redundant_records == 1
+        assert store.maybe_compact(min_redundant=5) is None
+        report = store.maybe_compact(min_redundant=1)
+        assert report is not None and report["records_dropped"] == 1
+        store.close()
+
+    def test_compact_refused_on_read_only(self, tmp_path):
+        path = tmp_path / "ro.bin"
+        with EvalStore(path) as store:
+            store.put("s", "d1", ("k1",), "v1")
+        frozen = EvalStore(path, read_only=True)
+        with pytest.raises(ValueError, match="read-only"):
+            frozen.compact()
+        assert frozen.maybe_compact(min_redundant=0) is None
+        frozen.close()
+
+
+class TestDecodeCache:
+    def test_lru_is_bounded_and_answers_stay_exact(self, tmp_path):
+        path = tmp_path / "lru.bin"
+        with EvalStore(path) as store:
+            store.put_many([("s", f"d{i}", (f"k{i}",), {"v": i})
+                            for i in range(12)])
+        store = EvalStore(path, read_only=True, decode_cache=4)
+        for sweep in range(2):
+            for i in range(12):
+                assert store.get("s", f"d{i}", (f"k{i}",)) == {"v": i}
+                assert len(store._decode_cache) <= 4
+        store.close()
